@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks for the core operations the paper analyzes:
+//! Annotate Keys (§4.1, `O(N·h·(Σmᵢ+q))`), Nested Merge (§4.2,
+//! `O(αN log N)`), version retrieval with and without timestamp trees
+//! (§7.1), history lookup (§7.2), the Myers diff and the two compressors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xarch_core::{Archive, KeyQuery};
+use xarch_datagen::omim::{omim_spec, OmimGen};
+use xarch_diff::diff_texts;
+use xarch_index::{HistoryIndex, TimestampIndex};
+use xarch_keys::annotate;
+use xarch_xml::writer::to_pretty_string;
+
+fn bench_annotate(c: &mut Criterion) {
+    let spec = omim_spec();
+    let mut group = c.benchmark_group("annotate_keys");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let doc = OmimGen::new(1).initial(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &doc, |b, doc| {
+            b.iter(|| annotate(doc, &spec).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let spec = omim_spec();
+    let mut group = c.benchmark_group("nested_merge");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let mut g = OmimGen::new(2);
+        g.ins_ratio = 0.02;
+        let seq = g.sequence(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &seq, |b, seq| {
+            b.iter(|| {
+                let mut a = Archive::new(spec.clone());
+                for d in seq {
+                    a.add_version(d).unwrap();
+                }
+                a.latest()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let spec = omim_spec();
+    let seq = OmimGen::new(3).sequence(200, 20);
+    let mut a = Archive::new(spec);
+    for d in &seq {
+        a.add_version(d).unwrap();
+    }
+    let idx = TimestampIndex::build(&a);
+    let mut group = c.benchmark_group("retrieve_v1");
+    group.sample_size(10);
+    group.bench_function("scan", |b| b.iter(|| a.retrieve(1).unwrap().len()));
+    group.bench_function("timestamp_trees", |b| {
+        b.iter(|| idx.retrieve(&a, 1).0.unwrap().len())
+    });
+    group.finish();
+
+    let hidx = HistoryIndex::build(&a);
+    let d0 = &seq[0];
+    let rec = d0.child_elements(d0.root(), "Record").next().unwrap();
+    let num = d0.text_content(d0.first_child_element(rec, "Num").unwrap());
+    let q = vec![
+        KeyQuery::new("ROOT"),
+        KeyQuery::new("Record").with_text("Num", &num),
+    ];
+    let mut group = c.benchmark_group("history_lookup");
+    group.bench_function("naive_walk", |b| b.iter(|| a.history(&q).unwrap()));
+    group.bench_function("sorted_index", |b| {
+        b.iter(|| hidx.history(&a, &q).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_diff_and_compress(c: &mut Criterion) {
+    let mut g = OmimGen::new(4);
+    g.mod_ratio = 0.02;
+    let seq = g.sequence(200, 2);
+    let a = to_pretty_string(&seq[0], 1);
+    let b_text = to_pretty_string(&seq[1], 1);
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.bench_function("myers_line_diff", |bch| {
+        bch.iter(|| diff_texts(&a, &b_text).edit_cost())
+    });
+    group.bench_function("lzss_compress", |bch| {
+        bch.iter(|| xarch_compress::lzss::compress(a.as_bytes()).len())
+    });
+    let doc = &seq[0];
+    group.bench_function("xmill_compress", |bch| {
+        bch.iter(|| xarch_compress::xmill::xml_compress(doc).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_annotate,
+    bench_merge,
+    bench_retrieval,
+    bench_diff_and_compress
+);
+criterion_main!(benches);

@@ -1,0 +1,437 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Each function generates its workload (scaled to laptop size — the
+//! *shapes* are what reproduce, see `EXPERIMENTS.md`), computes the series,
+//! and prints CSV to stdout. `run(fig)` dispatches by experiment id.
+
+use xarch_core::{Archive, KeyQuery};
+use xarch_datagen::omim::{omim_spec, OmimGen};
+use xarch_datagen::swissprot::{swissprot_spec, SwissProtGen};
+use xarch_datagen::xmark::{xmark_spec, XmarkGen};
+use xarch_extmem::{ExtArchive, IoConfig};
+use xarch_index::{HistoryIndex, TimestampIndex};
+use xarch_xml::Document;
+
+use crate::series::{size_series, SeriesOptions, SizeRow};
+
+/// Scale knobs (versions × records) for each dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub omim_records: usize,
+    pub omim_versions: usize,
+    pub sp_records: usize,
+    pub sp_versions: usize,
+    pub xmark_items: usize,
+    pub xmark_versions: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            omim_records: 300,
+            omim_versions: 100,
+            sp_records: 30,
+            sp_versions: 20,
+            xmark_items: 150,
+            xmark_versions: 20,
+        }
+    }
+}
+
+fn print_series(title: &str, rows: &[SizeRow]) {
+    println!("## {title}");
+    println!("{}", SizeRow::csv_header());
+    for r in rows {
+        println!("{}", r.csv());
+    }
+    println!();
+}
+
+fn omim_versions(scale: &Scale) -> Vec<Document> {
+    OmimGen::new(0xA11CE).sequence(scale.omim_records, scale.omim_versions)
+}
+
+fn sp_versions(scale: &Scale) -> Vec<Document> {
+    SwissProtGen::new(0xB0B).sequence(scale.sp_records, scale.sp_versions)
+}
+
+/// Figure 7: dataset statistics (size, node count N, height h) of the
+/// largest version of each dataset.
+pub fn fig7(scale: &Scale) {
+    println!("## Figure 7: dataset statistics (largest version)");
+    println!("dataset,size_bytes,nodes,height");
+    let rows: Vec<(&str, Document)> = vec![
+        ("OMIM-like", omim_versions(scale).pop().expect("versions")),
+        ("SwissProt-like", sp_versions(scale).pop().expect("versions")),
+        ("XMark-like", XmarkGen::new(0xC0DE).generate(scale.xmark_items)),
+    ];
+    for (name, doc) in rows {
+        let s = doc.stats();
+        let bytes = xarch_xml::writer::to_pretty_string(&doc, 0).len();
+        println!("{name},{bytes},{},{}", s.nodes(), s.height);
+    }
+    println!();
+}
+
+/// Figure 11a: OMIM — version/archive/incremental/cumulative sizes.
+pub fn fig11a(scale: &Scale) {
+    let rows = size_series(
+        &omim_versions(scale),
+        &omim_spec(),
+        SeriesOptions {
+            compress_every: 0,
+            with_cumulative: true,
+            with_concat: false,
+        },
+    );
+    print_series("Figure 11a: OMIM with cumulative diffs", &rows);
+}
+
+/// Figure 11b: Swiss-Prot — same four series.
+pub fn fig11b(scale: &Scale) {
+    let rows = size_series(
+        &sp_versions(scale),
+        &swissprot_spec(),
+        SeriesOptions {
+            compress_every: 0,
+            with_cumulative: true,
+            with_concat: false,
+        },
+    );
+    print_series("Figure 11b: Swiss-Prot with cumulative diffs", &rows);
+}
+
+/// Figure 12a: OMIM with compression.
+pub fn fig12a(scale: &Scale) {
+    let rows = size_series(
+        &omim_versions(scale),
+        &omim_spec(),
+        SeriesOptions {
+            compress_every: (scale.omim_versions / 10).max(1),
+            with_cumulative: true,
+            with_concat: true,
+        },
+    );
+    print_series("Figure 12a: OMIM with incremental diffs + compression", &rows);
+}
+
+/// Figure 12b: Swiss-Prot with compression.
+pub fn fig12b(scale: &Scale) {
+    let rows = size_series(
+        &sp_versions(scale),
+        &swissprot_spec(),
+        SeriesOptions {
+            compress_every: (scale.sp_versions / 10).max(1),
+            with_cumulative: true,
+            with_concat: true,
+        },
+    );
+    print_series("Figure 12b: Swiss-Prot with incremental diffs + compression", &rows);
+}
+
+fn xmark_series(scale: &Scale, pct: f64, mutate_keys: bool, title: &str) {
+    let mut g = XmarkGen::new(0xF00D + pct.to_bits() as u64 + mutate_keys as u64);
+    let versions = if mutate_keys {
+        g.key_mutation_sequence(scale.xmark_items, scale.xmark_versions, pct)
+    } else {
+        g.random_change_sequence(scale.xmark_items, scale.xmark_versions, pct)
+    };
+    let rows = size_series(
+        &versions,
+        &xmark_spec(),
+        SeriesOptions {
+            compress_every: (scale.xmark_versions / 5).max(1),
+            with_cumulative: true,
+            with_concat: true,
+        },
+    );
+    print_series(title, &rows);
+}
+
+/// Figure 13: XMark under random change (a: 1.66%, b: 10%).
+pub fn fig13(scale: &Scale) {
+    xmark_series(scale, 1.66, false, "Figure 13a: XMark, 1.66% random change");
+    xmark_series(scale, 10.0, false, "Figure 13b: XMark, 10% random change");
+}
+
+/// Figure 14: XMark worst case — key mutation (a: 1.66%, b: 10%).
+pub fn fig14(scale: &Scale) {
+    xmark_series(scale, 1.66, true, "Figure 14a: XMark, 1.66% key mutation (worst case)");
+    xmark_series(scale, 10.0, true, "Figure 14b: XMark, 10% key mutation (worst case)");
+}
+
+/// Appendix C.1: XMark random change at 3.33% / 6.66%.
+pub fn fig_c1(scale: &Scale) {
+    xmark_series(scale, 3.33, false, "Appendix C.1a: XMark, 3.33% random change");
+    xmark_series(scale, 6.66, false, "Appendix C.1b: XMark, 6.66% random change");
+}
+
+/// Appendix C.2: key mutation at 3.33% / 6.66%.
+pub fn fig_c2(scale: &Scale) {
+    xmark_series(scale, 3.33, true, "Appendix C.2a: XMark, 3.33% key mutation");
+    xmark_series(scale, 6.66, true, "Appendix C.2b: XMark, 6.66% key mutation");
+}
+
+/// §1/§5 headline claims, derived from the OMIM series:
+/// archive ≤ ~1.12× last version after ~a year of dailies; xmill(archive)
+/// ≈ 40% of the last version; archive within ~1% of incremental diffs.
+pub fn claims(scale: &Scale) {
+    let versions = omim_versions(scale);
+    let rows = size_series(
+        &versions,
+        &omim_spec(),
+        SeriesOptions {
+            compress_every: scale.omim_versions,
+            with_cumulative: false,
+            with_concat: false,
+        },
+    );
+    let last = rows.last().expect("rows");
+    println!("## Claims (OMIM-like, {} versions)", rows.len());
+    println!("metric,paper,measured");
+    println!(
+        "archive / last version,<= 1.12x (per year),{:.3}x",
+        last.archive_bytes as f64 / last.version_bytes as f64
+    );
+    println!(
+        "xmill(archive) / last version,~0.40x,{:.3}x",
+        last.xmill_archive.expect("sampled") as f64 / last.version_bytes as f64
+    );
+    println!(
+        "archive overhead vs inc diffs,<= 1%,{:+.2}%",
+        (last.archive_bytes as f64 / last.inc_bytes as f64 - 1.0) * 100.0
+    );
+    println!();
+}
+
+/// §6: external archiver I/O as a function of memory budget M and page
+/// size B.
+pub fn fig_extmem(scale: &Scale) {
+    println!("## §6: external archiver I/O (OMIM-like, 5 versions)");
+    println!("mem_bytes,page_bytes,page_reads,page_writes,total_io");
+    let versions = OmimGen::new(0xE47).sequence(scale.omim_records / 2, 5);
+    for (m, b) in [
+        (2usize << 10, 256usize),
+        (8 << 10, 256),
+        (32 << 10, 256),
+        (8 << 10, 1024),
+        (8 << 10, 4096),
+    ] {
+        let mut ext = ExtArchive::new(
+            omim_spec(),
+            IoConfig {
+                mem_bytes: m,
+                page_bytes: b,
+            },
+        );
+        for d in &versions {
+            ext.add_version(d).expect("merge");
+        }
+        let s = ext.stats();
+        println!("{m},{b},{},{},{}", s.page_reads, s.page_writes, s.total());
+    }
+    println!();
+}
+
+/// §7: retrieval probes with timestamp trees vs a full scan, and history
+/// lookups via the sorted index vs the naive walk.
+///
+/// Timestamp trees pay off when a version occupies a small fraction of the
+/// archive (`α ≪ k`, §7.1), so this experiment uses a strongly accretive
+/// database: early versions are a sliver of the final archive.
+pub fn fig_index(scale: &Scale) {
+    let mut g = OmimGen::new(0x1DE);
+    g.ins_ratio = 0.08; // ~8% growth per version: v1 is a sliver of the end
+    let versions = g.sequence((scale.omim_records / 10).max(10), 50);
+    let spec = omim_spec();
+    let mut archive = Archive::new(spec.clone());
+    for d in &versions {
+        archive.add_version(d).expect("merge");
+    }
+    let tsidx = TimestampIndex::build(&archive);
+    println!("## §7.1: version retrieval — timestamp-tree probes vs full scan");
+    println!("version,tree_probes,scan_nodes");
+    let scan = archive.scan_cost();
+    let n = versions.len() as u32;
+    for v in [1, n / 4, n / 2, n] {
+        let v = v.max(1);
+        let (_, probes) = tsidx.retrieve(&archive, v);
+        println!("{v},{probes},{scan}");
+    }
+    println!();
+
+    println!("## §7.2: history lookup — sorted-index comparisons vs naive scan");
+    println!("query,comparisons,naive_nodes,found");
+    let hidx = HistoryIndex::build(&archive);
+    // pick a real record number from the first version
+    let d0 = &versions[0];
+    let rec = d0
+        .child_elements(d0.root(), "Record")
+        .next()
+        .expect("record");
+    let num = d0.text_content(d0.first_child_element(rec, "Num").expect("num"));
+    let q = vec![
+        KeyQuery::new("ROOT"),
+        KeyQuery::new("Record").with_text("Num", &num),
+    ];
+    hidx.reset();
+    let t = hidx.history(&archive, &q);
+    println!(
+        "Record[Num={num}],{},{},{}",
+        hidx.comparisons(),
+        archive.scan_cost(),
+        t.is_some()
+    );
+    let q_missing = vec![
+        KeyQuery::new("ROOT"),
+        KeyQuery::new("Record").with_text("Num", "0"),
+    ];
+    hidx.reset();
+    let t = hidx.history(&archive, &q_missing);
+    println!(
+        "Record[Num=0] (absent),{},{},{}",
+        hidx.comparisons(),
+        archive.scan_cost(),
+        t.is_some()
+    );
+    println!();
+}
+
+/// Ablation: the design choices DESIGN.md calls out — stamp alternatives
+/// vs weave compaction beneath frontiers, and chunked vs whole archiving.
+///
+/// Weave only differs from alternatives when frontier content is a *list*
+/// whose versions overlap partially (Fig 10) — on single-text frontiers the
+/// two schemes emit byte-identical XML. The compaction comparison therefore
+/// uses a free-text dataset: records whose `Text` field holds a sequence of
+/// `<line>` elements, a few of which change per version (§2's `<line>`
+/// example of data without keys beneath a point).
+pub fn fig_ablation(scale: &Scale) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xarch_core::{ChunkedArchive, Compaction};
+
+    let spec =
+        xarch_keys::KeySpec::parse("(/, (db, {}))\n(/db, (doc, {id}))\n(/db/doc, (Text, {}))")
+            .expect("spec");
+    let mut rng = StdRng::seed_from_u64(0xAB1A);
+    let n_docs = 40usize;
+    let n_lines = 30usize;
+    let mut lines: Vec<Vec<String>> = (0..n_docs)
+        .map(|d| {
+            (0..n_lines)
+                .map(|l| format!("doc{d} line{l} original text"))
+                .collect()
+        })
+        .collect();
+    let mut versions: Vec<Document> = Vec::new();
+    for v in 0..12 {
+        if v > 0 {
+            // change ~3 lines per document, keep the rest — weave territory
+            for (d, ls) in lines.iter_mut().enumerate() {
+                for _ in 0..3 {
+                    let idx = rng.gen_range(0..ls.len());
+                    ls[idx] = format!("doc{d} line{idx} edited at v{v}");
+                }
+            }
+        }
+        let mut doc = Document::new("db");
+        for (d, ls) in lines.iter().enumerate() {
+            let rec = doc.add_element(doc.root(), "doc");
+            doc.add_text_element(rec, "id", &d.to_string());
+            let text = doc.add_element(rec, "Text");
+            for l in ls {
+                doc.add_text_element(text, "line", l);
+            }
+        }
+        versions.push(doc);
+    }
+    println!("## Ablation: frontier compaction (free-text lines, 3 edits/doc/version)");
+    println!("variant,archive_bytes");
+    for (name, mode) in [
+        ("alternatives", Compaction::Alternatives),
+        ("weave", Compaction::Weave),
+    ] {
+        let mut a = Archive::with_compaction(spec.clone(), mode);
+        for d in &versions {
+            a.add_version(d).expect("merge");
+        }
+        println!("{name},{}", a.size_bytes());
+    }
+    println!();
+
+    let mut g = XmarkGen::new(0xAB1A);
+    let xversions =
+        g.random_change_sequence(scale.xmark_items, scale.xmark_versions.min(10), 10.0);
+    let xspec = xmark_spec();
+    println!("## Ablation: chunked vs whole archiving (XMark, 10% change)");
+    println!("variant,archive_bytes");
+    let mut whole = Archive::new(xspec.clone());
+    for d in &xversions {
+        whole.add_version(d).expect("merge");
+    }
+    println!("whole,{}", whole.size_bytes());
+    let mut c = ChunkedArchive::new(xspec.clone(), 4);
+    for d in &xversions {
+        c.add_version(d).expect("merge");
+    }
+    println!("chunked(4),{}", c.size_bytes());
+    println!();
+}
+
+/// Runs one experiment by id ("7", "11a", ..., "claims", "extmem",
+/// "index", "ablation") or "all".
+pub fn run(fig: &str, scale: &Scale) -> bool {
+    match fig {
+        "7" => fig7(scale),
+        "11a" => fig11a(scale),
+        "11b" => fig11b(scale),
+        "12a" => fig12a(scale),
+        "12b" => fig12b(scale),
+        "13" => fig13(scale),
+        "14" => fig14(scale),
+        "c1" => fig_c1(scale),
+        "c2" => fig_c2(scale),
+        "claims" => claims(scale),
+        "extmem" => fig_extmem(scale),
+        "index" => fig_index(scale),
+        "ablation" => fig_ablation(scale),
+        "all" => {
+            for f in [
+                "7", "11a", "11b", "12a", "12b", "13", "14", "c1", "c2", "claims", "extmem",
+                "index", "ablation",
+            ] {
+                run(f, scale);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// Verifies that one table-driven property of each headline figure holds —
+/// used by integration tests so figure regressions fail CI, not just eyes.
+pub fn sanity(scale: &Scale) -> Result<(), String> {
+    // Fig 11: cumulative diffs overtake incremental diffs.
+    let rows = size_series(
+        &omim_versions(scale),
+        &omim_spec(),
+        SeriesOptions {
+            compress_every: scale.omim_versions,
+            with_cumulative: true,
+            with_concat: false,
+        },
+    );
+    let last = rows.last().ok_or("no rows")?;
+    if last.cumu_bytes <= last.inc_bytes {
+        return Err("cumulative diffs should exceed incremental diffs".into());
+    }
+    // Fig 12: xmill(archive) beats gzip(inc diffs).
+    let (Some(xa), Some(gi)) = (last.xmill_archive, last.gzip_inc) else {
+        return Err("compression not sampled".into());
+    };
+    if xa >= gi {
+        return Err(format!("xmill(archive)={xa} should beat gzip(inc)={gi}"));
+    }
+    Ok(())
+}

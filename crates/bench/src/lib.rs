@@ -1,0 +1,14 @@
+//! # xarch-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (§5, §6, §7, Appendix C). The custom-harness bench
+//! target `paper_figures` (run by `cargo bench`) prints each figure's data
+//! series as CSV; `microbench` times the core operations with Criterion.
+//!
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison of every experiment.
+
+pub mod figures;
+pub mod series;
+
+pub use series::{size_series, SizeRow};

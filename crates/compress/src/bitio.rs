@@ -1,0 +1,172 @@
+//! Bit-level I/O over byte buffers (LSB-first), plus LEB128 varints.
+
+/// Writes bits LSB-first into a growing byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    cur: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `v` (n ≤ 32).
+    pub fn write_bits(&mut self, v: u32, n: u8) {
+        debug_assert!(n <= 32);
+        for i in 0..n {
+            let bit = (v >> i) & 1;
+            self.cur |= (bit as u8) << self.nbits;
+            self.nbits += 1;
+            if self.nbits == 8 {
+                self.buf.push(self.cur);
+                self.cur = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u32, 1);
+    }
+
+    /// Flushes any partial byte and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.buf.push(self.cur);
+        }
+        self.buf
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0, bit: 0 }
+    }
+
+    /// Reads `n` bits (n ≤ 32); `None` at end of input.
+    pub fn read_bits(&mut self, n: u8) -> Option<u32> {
+        let mut v = 0u32;
+        for i in 0..n {
+            if self.pos >= self.buf.len() {
+                return None;
+            }
+            let bit = (self.buf[self.pos] >> self.bit) & 1;
+            v |= (bit as u32) << i;
+            self.bit += 1;
+            if self.bit == 8 {
+                self.bit = 0;
+                self.pos += 1;
+            }
+        }
+        Some(v)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read_bits(1).map(|b| b != 0)
+    }
+}
+
+/// Appends an unsigned LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint, advancing `pos`.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bit(true);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(7, 5);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(16), Some(0xABCD));
+        assert_eq!(r.read_bits(5), Some(7));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncated_is_none() {
+        let buf = [0x80u8]; // continuation bit but no next byte
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn bit_len_tracks() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 13);
+    }
+}

@@ -1,0 +1,255 @@
+//! LZSS: LZ77 with a flag bit per token (literal vs back-reference).
+//!
+//! * window: 32 KiB (like DEFLATE);
+//! * distances: variable-length (4-bit width + payload), so *near* matches
+//!   cost fewer bits than far ones — the locality property that makes
+//!   container grouping (XMill) and text grouping generally pay off, just
+//!   as gzip's Huffman-coded distances do;
+//! * matches: length 3..=258, encoded in 8 bits (`len - 3`);
+//! * match finder: 3-byte hash chains with a bounded probe depth, greedy
+//!   with one-step lazy matching (the standard gzip heuristic).
+//!
+//! The format is self-delimiting via a leading varint holding the
+//! uncompressed length.
+
+use crate::bitio::{read_varint, write_varint, BitReader, BitWriter};
+
+const WINDOW: usize = 1 << 15; // 32 KiB
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data`; output starts with a varint of the original length.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut header = Vec::with_capacity(10);
+    write_varint(&mut header, data.len() as u64);
+    let mut w = BitWriter::new();
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len().max(1)];
+
+    let find = |head: &[usize], prev: &[usize], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None; // (len, dist)
+        let mut cand = head[hash3(data, i)];
+        let mut chain = 0;
+        while cand != usize::MAX && chain < MAX_CHAIN {
+            if i - cand > WINDOW {
+                break;
+            }
+            let max_len = MAX_MATCH.min(data.len() - i);
+            let mut len = 0;
+            while len < max_len && data[cand + len] == data[i + len] {
+                len += 1;
+            }
+            if len >= MIN_MATCH && best.map_or(true, |(bl, _)| len > bl) {
+                best = Some((len, i - cand));
+                if len == max_len {
+                    break;
+                }
+            }
+            cand = prev[cand];
+            chain += 1;
+        }
+        best
+    };
+    let insert = |head: &mut [usize], prev: &mut [usize], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i] = head[h];
+            head[h] = i;
+        }
+    };
+
+    let mut i = 0usize;
+    while i < data.len() {
+        let m = find(&head, &prev, i);
+        // lazy matching: prefer a longer match starting at i+1
+        let take = match m {
+            Some((len, dist)) => {
+                let next = if i + 1 < data.len() {
+                    // peek without inserting i first (conservative)
+                    find(&head, &prev, i + 1)
+                } else {
+                    None
+                };
+                match next {
+                    Some((nlen, _)) if nlen > len + 1 => None, // emit literal, match next round
+                    _ => Some((len, dist)),
+                }
+            }
+            None => None,
+        };
+        match take {
+            Some((len, dist)) => {
+                w.write_bit(false);
+                write_dist(&mut w, dist);
+                w.write_bits((len - MIN_MATCH) as u32, 8);
+                for k in 0..len {
+                    insert(&mut head, &mut prev, i + k);
+                }
+                i += len;
+            }
+            None => {
+                w.write_bit(true);
+                w.write_bits(data[i] as u32, 8);
+                insert(&mut head, &mut prev, i);
+                i += 1;
+            }
+        }
+    }
+    let mut out = header;
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(buf: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let n = read_varint(buf, &mut pos)? as usize;
+    let mut r = BitReader::new(&buf[pos..]);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let is_lit = r.read_bit()?;
+        if is_lit {
+            out.push(r.read_bits(8)? as u8);
+        } else {
+            let dist = read_dist(&mut r)?;
+            let len = r.read_bits(8)? as usize + MIN_MATCH;
+            if dist > out.len() {
+                return None;
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    (out.len() == n).then_some(out)
+}
+
+/// Encodes `dist - 1` as a 4-bit width followed by that many payload bits.
+/// Distance 1 costs 4 bits; distance 32768 costs 19.
+fn write_dist(w: &mut BitWriter, dist: usize) {
+    let v = (dist - 1) as u32;
+    let nbits = if v == 0 { 0 } else { 32 - v.leading_zeros() } as u8;
+    debug_assert!(nbits <= 15);
+    w.write_bits(nbits as u32, 4);
+    if nbits > 0 {
+        w.write_bits(v, nbits);
+    }
+}
+
+fn read_dist(r: &mut BitReader<'_>) -> Option<usize> {
+    let nbits = r.read_bits(4)? as u8;
+    let v = if nbits == 0 { 0 } else { r.read_bits(nbits)? };
+    Some(v as usize + 1)
+}
+
+/// Compressed size of `data` (convenience for the size series).
+pub fn compressed_len(data: &[u8]) -> usize {
+    compress(data).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let c = compress(data);
+        assert_eq!(decompress(&c).as_deref(), Some(data));
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data = b"abcabcabcabcabcabcabcabcabcabcabcabc".repeat(100);
+        let c = round_trip(&data);
+        assert!(c < data.len() / 10, "{} vs {}", c, data.len());
+    }
+
+    #[test]
+    fn xml_like_text_compresses() {
+        let mut s = String::new();
+        for i in 0..500 {
+            s.push_str(&format!("<emp><fn>Name{i}</fn><ln>Surname{i}</ln><sal>90K</sal></emp>\n"));
+        }
+        let c = round_trip(s.as_bytes());
+        assert!(c < s.len() / 3, "{} vs {}", c, s.len());
+    }
+
+    #[test]
+    fn incompressible_data_expands_bounded() {
+        // pseudo-random bytes: ~9/8 expansion + header at worst
+        let mut data = Vec::with_capacity(4096);
+        let mut x = 0x12345678u32;
+        for _ in 0..4096 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            data.push(x as u8);
+        }
+        let c = round_trip(&data);
+        assert!(c <= data.len() * 9 / 8 + 16);
+    }
+
+    #[test]
+    fn long_runs_use_max_match() {
+        let data = vec![b'x'; 100_000];
+        let c = round_trip(&data);
+        assert!(c < 2_000, "run-length-ish compression expected, got {c}");
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "aaaaa..." forces dist=1 matches that overlap the output cursor
+        let data = b"a".repeat(1000);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn matches_across_window_boundary_are_rejected() {
+        // data longer than the window still round-trips
+        let mut data = Vec::new();
+        for i in 0..(WINDOW * 3) {
+            data.push((i % 251) as u8);
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupt_input_returns_none() {
+        let c = compress(b"hello world hello world");
+        assert!(decompress(&c[..c.len() - 1]).is_none() || decompress(&c[..c.len() - 1]).is_some());
+        // truncated header
+        assert_eq!(decompress(&[0x80]), None);
+        // declared length longer than stream
+        let mut bogus = Vec::new();
+        write_varint(&mut bogus, 1000);
+        assert_eq!(decompress(&bogus), None);
+    }
+
+    #[test]
+    fn utf8_text_round_trips() {
+        let s = "naïve café — ναι — 日本語のテキスト".repeat(50);
+        round_trip(s.as_bytes());
+    }
+}

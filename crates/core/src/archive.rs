@@ -1,0 +1,449 @@
+//! The archive data structure (Fig 4): all versions merged into one tree.
+//!
+//! An [`Archive`] is an arena of [`ANode`]s. Element and text nodes mirror
+//! the document model of `xarch-xml`, extended with:
+//!
+//! * an optional [`TimeSet`] — `None` means the timestamp is *inherited*
+//!   from the parent (§1's "inheritance of timestamps");
+//! * the node's key value and [`NodeClass`], so later merges can pair
+//!   children without re-annotating the archive;
+//! * **stamp nodes** ([`AKind::Stamp`]) — the `<T t="...">` wrappers that
+//!   hold alternative contents beneath frontier nodes (Fig 4's `sal`).
+//!
+//! The arena root is the paper's synthetic `root` node, whose timestamp is
+//! `[1..latest]`; it exists so that empty versions are representable (§2's
+//! footnote about version 5 of the company database).
+
+use std::fmt;
+
+use xarch_keys::{KeyError, KeySpec, KeyValue, NodeClass};
+use xarch_xml::{Sym, SymbolTable};
+
+use crate::timeset::TimeSet;
+
+/// Index of a node in the archive arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ANodeId(pub u32);
+
+impl ANodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Node kinds of the archive tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AKind {
+    /// An element node with an interned tag.
+    Element(Sym),
+    /// A text node.
+    Text(String),
+    /// A timestamp node `<T t="...">` grouping one alternative content of a
+    /// frontier node. Its `time` is always `Some`.
+    Stamp,
+}
+
+/// One archive node.
+#[derive(Debug, Clone)]
+pub struct ANode {
+    pub kind: AKind,
+    pub parent: Option<ANodeId>,
+    pub children: Vec<ANodeId>,
+    pub attrs: Vec<(Sym, String)>,
+    /// `None` = inherit the parent's timestamp.
+    pub time: Option<TimeSet>,
+    /// Key value for keyed element nodes.
+    pub key: Option<KeyValue>,
+    /// Classification relative to the key structure.
+    pub class: NodeClass,
+}
+
+/// How contents beneath frontier nodes are compacted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compaction {
+    /// The basic scheme of §4.2: each distinct content is one `<T>`
+    /// alternative (Fig 8).
+    #[default]
+    Alternatives,
+    /// "Further compaction" (§4.2, Fig 10): contents are woven SCCS-style,
+    /// so shared sub-elements across versions are stored once.
+    Weave,
+}
+
+/// Errors raised while merging a version into an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The incoming version violates the key specification.
+    Key(KeyError),
+    /// The incoming version's root element is not covered by a root-level
+    /// key such as `(/, (db, {}))`.
+    UnkeyedRoot(String),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Key(e) => write!(f, "{e}"),
+            MergeError::UnkeyedRoot(tag) => {
+                write!(f, "document root <{tag}> has no root-level key in the spec")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<KeyError> for MergeError {
+    fn from(e: KeyError) -> Self {
+        MergeError::Key(e)
+    }
+}
+
+/// Aggregate statistics of an archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveStats {
+    pub elements: usize,
+    pub texts: usize,
+    pub stamps: usize,
+    /// Nodes carrying an explicit (non-inherited) timestamp.
+    pub explicit_times: usize,
+    /// Total interval count across explicit timestamps.
+    pub intervals: usize,
+}
+
+/// The merged archive of all versions.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    nodes: Vec<ANode>,
+    syms: SymbolTable,
+    root: ANodeId,
+    latest: u32,
+    spec: KeySpec,
+    compaction: Compaction,
+}
+
+impl Archive {
+    /// Creates an empty archive governed by `spec`.
+    pub fn new(spec: KeySpec) -> Self {
+        Self::with_compaction(spec, Compaction::default())
+    }
+
+    /// Creates an empty archive with an explicit compaction mode.
+    pub fn with_compaction(spec: KeySpec, compaction: Compaction) -> Self {
+        let mut syms = SymbolTable::new();
+        let root_tag = syms.intern("root");
+        let root = ANode {
+            kind: AKind::Element(root_tag),
+            parent: None,
+            children: Vec::new(),
+            attrs: Vec::new(),
+            time: Some(TimeSet::new()),
+            key: None,
+            class: NodeClass::Keyed,
+        };
+        Self {
+            nodes: vec![root],
+            syms,
+            root: ANodeId(0),
+            latest: 0,
+            spec,
+            compaction,
+        }
+    }
+
+    /// The synthetic root node.
+    #[inline]
+    pub fn root(&self) -> ANodeId {
+        self.root
+    }
+
+    /// Number of versions archived so far.
+    pub fn latest(&self) -> u32 {
+        self.latest
+    }
+
+    /// The governing key specification.
+    pub fn spec(&self) -> &KeySpec {
+        &self.spec
+    }
+
+    /// The compaction mode.
+    pub fn compaction(&self) -> Compaction {
+        self.compaction
+    }
+
+    /// The symbol table.
+    pub fn syms(&self) -> &SymbolTable {
+        &self.syms
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: ANodeId) -> &ANode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutably borrow a node (crate-internal; invariants are maintained by
+    /// the merge algorithms).
+    #[inline]
+    pub(crate) fn node_mut(&mut self, id: ANodeId) -> &mut ANode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Children of a node.
+    #[inline]
+    pub fn children(&self, id: ANodeId) -> &[ANodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Tag name of an element node.
+    pub fn tag_name(&self, id: ANodeId) -> Option<&str> {
+        match self.node(id).kind {
+            AKind::Element(s) => Some(self.syms.resolve(s)),
+            _ => None,
+        }
+    }
+
+    /// Number of arena slots.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no version has been archived.
+    pub fn is_empty(&self) -> bool {
+        self.latest == 0
+    }
+
+    pub(crate) fn intern(&mut self, name: &str) -> Sym {
+        self.syms.intern(name)
+    }
+
+    pub(crate) fn bump_version(&mut self) -> u32 {
+        self.latest += 1;
+        self.latest
+    }
+
+    pub(crate) fn set_latest(&mut self, latest: u32) {
+        self.latest = latest;
+    }
+
+    /// Allocates a node and links it under `parent` (append).
+    pub(crate) fn push_node(&mut self, parent: ANodeId, node: ANode) -> ANodeId {
+        let id = ANodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.nodes[id.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Allocates a detached node (the caller wires `children`).
+    pub(crate) fn alloc_detached(&mut self, node: ANode) -> ANodeId {
+        let id = ANodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Re-parents `child` under `parent` (append). The child must currently
+    /// be detached.
+    pub(crate) fn attach(&mut self, parent: ANodeId, child: ANodeId) {
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// The *effective* timestamp of a node: its own, or the nearest
+    /// ancestor's ("If a node does not have a timestamp, it is assumed to
+    /// inherit the timestamp of its parent", §2).
+    pub fn effective_time(&self, mut id: ANodeId) -> TimeSet {
+        loop {
+            if let Some(t) = &self.node(id).time {
+                return t.clone();
+            }
+            match self.node(id).parent {
+                Some(p) => id = p,
+                None => return TimeSet::new(),
+            }
+        }
+    }
+
+    /// True if node `id` exists in version `v`.
+    pub fn exists_at(&self, id: ANodeId, v: u32) -> bool {
+        self.effective_time(id).contains(v)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ArchiveStats {
+        let mut s = ArchiveStats {
+            elements: 0,
+            texts: 0,
+            stamps: 0,
+            explicit_times: 0,
+            intervals: 0,
+        };
+        self.stats_rec(self.root, &mut s);
+        s
+    }
+
+    fn stats_rec(&self, id: ANodeId, s: &mut ArchiveStats) {
+        let n = self.node(id);
+        match n.kind {
+            AKind::Element(_) => s.elements += 1,
+            AKind::Text(_) => s.texts += 1,
+            AKind::Stamp => s.stamps += 1,
+        }
+        if let Some(t) = &n.time {
+            s.explicit_times += 1;
+            s.intervals += t.run_count();
+        }
+        for &c in &n.children {
+            self.stats_rec(c, s);
+        }
+    }
+
+    /// Checks the structural invariants of the archive, returning a
+    /// description of the first violation (tests call this after every
+    /// merge):
+    ///
+    /// 1. a node's effective timestamp is a superset of every child's
+    ///    effective timestamp (the paper's §2 property);
+    /// 2. stamp nodes carry an explicit timestamp and appear only beneath
+    ///    frontier nodes (or beneath unkeyed fallback nodes);
+    /// 3. the root's timestamp is exactly `1..=latest`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root_time = self
+            .node(self.root)
+            .time
+            .clone()
+            .ok_or("root must carry a timestamp")?;
+        if self.latest > 0 && root_time != TimeSet::from_range(1, self.latest) {
+            return Err(format!(
+                "root timestamp {root_time} != 1-{}",
+                self.latest
+            ));
+        }
+        self.check_rec(self.root, &root_time)
+    }
+
+    fn check_rec(&self, id: ANodeId, inherited: &TimeSet) -> Result<(), String> {
+        let n = self.node(id);
+        let eff = match &n.time {
+            Some(t) => {
+                if !inherited.is_superset(t) {
+                    return Err(format!(
+                        "node {id:?}: time {t} not a subset of parent's {inherited}"
+                    ));
+                }
+                t.clone()
+            }
+            None => inherited.clone(),
+        };
+        if matches!(n.kind, AKind::Stamp) && n.time.is_none() {
+            return Err(format!("stamp node {id:?} without explicit timestamp"));
+        }
+        for &c in &n.children {
+            self.check_rec(c, &eff)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))").unwrap()
+    }
+
+    #[test]
+    fn new_archive_is_empty() {
+        let a = Archive::new(spec());
+        assert!(a.is_empty());
+        assert_eq!(a.latest(), 0);
+        assert_eq!(a.tag_name(a.root()), Some("root"));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn effective_time_inherits() {
+        let mut a = Archive::new(spec());
+        let root = a.root();
+        a.node_mut(root).time = Some(TimeSet::from_range(1, 4));
+        a.latest = 4;
+        let sym = a.intern("db");
+        let db = a.push_node(
+            root,
+            ANode {
+                kind: AKind::Element(sym),
+                parent: None,
+                children: Vec::new(),
+                attrs: Vec::new(),
+                time: None,
+                key: None,
+                class: NodeClass::Keyed,
+            },
+        );
+        assert_eq!(a.effective_time(db), TimeSet::from_range(1, 4));
+        assert!(a.exists_at(db, 2));
+        assert!(!a.exists_at(db, 5));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariant_catches_non_subset_child() {
+        let mut a = Archive::new(spec());
+        let root = a.root();
+        a.node_mut(root).time = Some(TimeSet::from_range(1, 2));
+        a.latest = 2;
+        let sym = a.intern("db");
+        let db = a.push_node(
+            root,
+            ANode {
+                kind: AKind::Element(sym),
+                parent: None,
+                children: Vec::new(),
+                attrs: Vec::new(),
+                time: Some(TimeSet::from_range(1, 9)),
+                key: None,
+                class: NodeClass::Keyed,
+            },
+        );
+        let _ = db;
+        assert!(a.check_invariants().is_err());
+    }
+
+    #[test]
+    fn stats_counts_kinds() {
+        let mut a = Archive::new(spec());
+        let root = a.root();
+        let sym = a.intern("db");
+        let db = a.push_node(
+            root,
+            ANode {
+                kind: AKind::Element(sym),
+                parent: None,
+                children: Vec::new(),
+                attrs: Vec::new(),
+                time: Some(TimeSet::from_version(1)),
+                key: None,
+                class: NodeClass::Keyed,
+            },
+        );
+        a.push_node(
+            db,
+            ANode {
+                kind: AKind::Text("x".into()),
+                parent: None,
+                children: Vec::new(),
+                attrs: Vec::new(),
+                time: None,
+                key: None,
+                class: NodeClass::BeyondFrontier,
+            },
+        );
+        let s = a.stats();
+        assert_eq!(s.elements, 2); // root + db
+        assert_eq!(s.texts, 1);
+        assert_eq!(s.explicit_times, 2); // root + db
+    }
+}

@@ -1,0 +1,145 @@
+//! Chunked archiving (§5).
+//!
+//! "To overcome the memory limitation, we hashed our experimental data into
+//! 'chunks' based on the values of keys. An incoming version is partitioned
+//! in the same manner, and we apply our archiver to the corresponding
+//! chunks of the archive and the incoming version. Since we never merge
+//! elements with different key values, we can obtain the archive of the
+//! whole data by merging the archive and the version chunk by chunk, and
+//! concatenating the results."
+//!
+//! [`ChunkedArchive`] partitions the *top-level keyed elements* (children
+//! of the document root, e.g. OMIM `Record`s) by a hash of their key value.
+//! Each chunk is an independent [`Archive`]; retrieval concatenates the
+//! chunks' contents. Integration tests verify the result is equivalent to
+//! whole-document archiving.
+
+use xarch_keys::{annotate, fingerprint, KeySpec};
+use xarch_xml::{Document, NodeId, NodeKind};
+
+use crate::archive::{Archive, MergeError};
+
+/// An archive split into hash-partitioned chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkedArchive {
+    chunks: Vec<Archive>,
+    spec: KeySpec,
+    root_tag: Option<String>,
+    latest: u32,
+}
+
+impl ChunkedArchive {
+    /// Creates a chunked archive with `n` chunks (n ≥ 1).
+    pub fn new(spec: KeySpec, n: usize) -> Self {
+        assert!(n >= 1, "need at least one chunk");
+        Self {
+            chunks: (0..n).map(|_| Archive::new(spec.clone())).collect(),
+            spec,
+            root_tag: None,
+            latest: 0,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The chunk archives (for inspection / size accounting).
+    pub fn chunks(&self) -> &[Archive] {
+        &self.chunks
+    }
+
+    /// Number of archived versions.
+    pub fn latest(&self) -> u32 {
+        self.latest
+    }
+
+    /// Partitions `doc`'s top-level keyed children by key hash and merges
+    /// each partition into its chunk.
+    pub fn add_version(&mut self, doc: &Document) -> Result<u32, MergeError> {
+        let ann = annotate(doc, &self.spec)?;
+        let root = doc.root();
+        let root_tag = doc.tag_name(root).to_owned();
+        if let Some(prev) = &self.root_tag {
+            debug_assert_eq!(prev, &root_tag, "root tag must be stable across versions");
+        }
+        self.root_tag = Some(root_tag.clone());
+
+        let n = self.chunks.len();
+        let mut parts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &c in doc.children(root) {
+            let idx = match (&doc.node(c).kind, ann.key(c)) {
+                (NodeKind::Element(s), Some(k)) => {
+                    let mut label = doc.syms().resolve(*s).to_owned();
+                    for p in &k.parts {
+                        label.push('|');
+                        label.push_str(&p.canon);
+                    }
+                    (fingerprint(&label) % n as u128) as usize
+                }
+                _ => 0,
+            };
+            parts[idx].push(c);
+        }
+        // Build one sub-document per chunk and merge it. Every chunk gets a
+        // version each round so version numbers stay aligned.
+        let mut assigned = None;
+        for (i, part) in parts.iter().enumerate() {
+            let mut sub = Document::new(&root_tag);
+            let sub_root = sub.root();
+            for (name, value) in doc
+                .attrs(root)
+                .iter()
+                .map(|(s, v)| (doc.syms().resolve(*s).to_owned(), v.clone()))
+                .collect::<Vec<_>>()
+            {
+                sub.set_attr(sub_root, &name, &value);
+            }
+            for &c in part {
+                sub.copy_subtree_from(doc, c, sub_root);
+            }
+            let v = self.chunks[i].add_version(&sub)?;
+            match assigned {
+                None => assigned = Some(v),
+                Some(prev) => debug_assert_eq!(prev, v, "chunk versions diverged"),
+            }
+        }
+        self.latest = assigned.expect("at least one chunk");
+        Ok(self.latest)
+    }
+
+    /// Retrieves version `v` by concatenating the chunks' contents.
+    pub fn retrieve(&self, v: u32) -> Option<Document> {
+        if v == 0 || v > self.latest {
+            return None;
+        }
+        let root_tag = self.root_tag.as_ref()?;
+        let mut out = Document::new(root_tag);
+        let out_root = out.root();
+        let mut any = false;
+        for chunk in &self.chunks {
+            if let Some(part) = chunk.retrieve(v) {
+                any = true;
+                let part_root = part.root();
+                for (name, value) in part
+                    .attrs(part_root)
+                    .iter()
+                    .map(|(s, val)| (part.syms().resolve(*s).to_owned(), val.clone()))
+                    .collect::<Vec<_>>()
+                {
+                    out.set_attr(out_root, &name, &value);
+                }
+                for &c in part.children(part_root) {
+                    out.copy_subtree_from(&part, c, out_root);
+                }
+            }
+        }
+        any.then_some(out)
+    }
+
+    /// Total size across chunks (pretty XML form).
+    pub fn size_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.size_bytes()).sum()
+    }
+}

@@ -1,0 +1,180 @@
+//! Temporal history of keyed elements (§7.2).
+//!
+//! "Given the key of an element, one might like to retrieve the temporal
+//! history of this element, i.e., the times at which this element exists.
+//! For example, the history of employee Joe given by the path
+//! `/db/dept[name=finance]/emp[fn=John, ln=Doe]` is `3,4`."
+//!
+//! A query is a sequence of [`KeyQuery`] steps, one per keyed level. The
+//! naive lookup here walks the archive level by level; `xarch-index`
+//! provides the sorted-list index that answers the same query in
+//! `O(l log d)`.
+
+use std::cmp::Ordering;
+
+use xarch_xml::escape::{escape_attr, escape_text};
+
+use crate::archive::{AKind, ANodeId, Archive};
+use crate::timeset::TimeSet;
+
+/// One step of a history query: a tag plus the expected key-part values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyQuery {
+    /// Element tag, e.g. `emp`.
+    pub tag: String,
+    /// `(key path, canonical value)` pairs, e.g.
+    /// `("fn", "<fn>John</fn>")`. Kept sorted by path.
+    pub parts: Vec<(String, String)>,
+}
+
+impl KeyQuery {
+    /// A step keyed by `{}` (at most one such child), e.g. `sal`.
+    pub fn new(tag: &str) -> Self {
+        Self {
+            tag: tag.to_owned(),
+            parts: Vec::new(),
+        }
+    }
+
+    /// Adds a key part whose value is a text-only element, e.g.
+    /// `.with_text("fn", "John")` for the key path `fn` ending at
+    /// `<fn>John</fn>`.
+    pub fn with_text(mut self, path: &str, text: &str) -> Self {
+        let last = path.rsplit('/').next().unwrap_or(path);
+        self.parts.push((
+            path.to_owned(),
+            format!("<{last}>{}</{last}>", escape_text(text)),
+        ));
+        self.sort();
+        self
+    }
+
+    /// Adds a key part that is an attribute, e.g. `.with_attr("id", "i1")`.
+    pub fn with_attr(mut self, name: &str, value: &str) -> Self {
+        self.parts
+            .push((name.to_owned(), format!("@{}=\"{}\"", name, escape_attr(value))));
+        self.sort();
+        self
+    }
+
+    /// Adds a key part with an explicit canonical value (for content keys
+    /// `{.}` or structured key-path values).
+    pub fn with_canon(mut self, path: &str, canon: &str) -> Self {
+        self.parts.push((path.to_owned(), canon.to_owned()));
+        self.sort();
+        self
+    }
+
+    fn sort(&mut self) {
+        self.parts.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    fn matches(&self, a: &Archive, id: ANodeId) -> bool {
+        let n = a.node(id);
+        let AKind::Element(s) = n.kind else {
+            return false;
+        };
+        if a.syms().resolve(s) != self.tag {
+            return false;
+        }
+        let Some(k) = &n.key else {
+            return false;
+        };
+        if k.parts.len() != self.parts.len() {
+            return false;
+        }
+        k.parts
+            .iter()
+            .zip(self.parts.iter())
+            .all(|(p, (qp, qv))| p.path == *qp && p.canon == *qv)
+    }
+}
+
+impl Archive {
+    /// Finds the archive node addressed by a key-query path. The first step
+    /// addresses the document root (e.g. `db`).
+    pub fn find(&self, steps: &[KeyQuery]) -> Option<ANodeId> {
+        let mut cur = self.root();
+        for step in steps {
+            cur = self
+                .children(cur)
+                .iter()
+                .copied()
+                .find(|&c| step.matches(self, c))?;
+        }
+        Some(cur)
+    }
+
+    /// The temporal history of the element addressed by `steps`: the set of
+    /// versions in which it exists. `None` if no such element was ever
+    /// archived.
+    pub fn history(&self, steps: &[KeyQuery]) -> Option<TimeSet> {
+        self.find(steps).map(|id| self.effective_time(id))
+    }
+
+    /// The history of a *frontier value*: the versions at which the element
+    /// addressed by `steps` had content value-equal to `canon` (canonical
+    /// form). Answers questions like "when did John's salary read 90K?".
+    pub fn value_history(&self, steps: &[KeyQuery], canon: &str) -> Option<TimeSet> {
+        let id = self.find(steps)?;
+        let eff = self.effective_time(id);
+        let children = self.children(id);
+        let has_stamps = children
+            .iter()
+            .any(|&c| matches!(self.node(c).kind, AKind::Stamp));
+        if !has_stamps {
+            // single alternative for the node's whole lifetime
+            let content = self.content_canonical(id);
+            return if content == canon { Some(eff) } else { Some(TimeSet::new()) };
+        }
+        let mut out = TimeSet::new();
+        for &c in children {
+            if matches!(self.node(c).kind, AKind::Stamp)
+                && self.content_canonical(c) == canon
+            {
+                out = out.union(self.node(c).time.as_ref().expect("stamp time"));
+            }
+        }
+        Some(out)
+    }
+
+    /// Canonical form of the (plain) content of a node.
+    fn content_canonical(&self, id: ANodeId) -> String {
+        let mut out = String::new();
+        for &c in self.children(id) {
+            out.push_str(&crate::merge::canonical_anode(self, c));
+        }
+        out
+    }
+
+    /// Compares a query step against a node label — exposed for the sorted
+    /// index in `xarch-index`.
+    pub fn query_cmp(&self, id: ANodeId, step: &KeyQuery) -> Ordering {
+        let n = self.node(id);
+        let AKind::Element(s) = n.kind else {
+            return Ordering::Less;
+        };
+        let tag = a_tag(self, s);
+        tag.cmp(step.tag.as_str()).then_with(|| {
+            let empty: &[xarch_keys::KeyPart] = &[];
+            let parts = n.key.as_ref().map_or(empty, |k| k.parts.as_slice());
+            parts.len().cmp(&step.parts.len()).then_with(|| {
+                for (p, (qp, qv)) in parts.iter().zip(step.parts.iter()) {
+                    let o = p.path.as_str().cmp(qp.as_str());
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                    let o = p.canon.as_str().cmp(qv.as_str());
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                Ordering::Equal
+            })
+        })
+    }
+}
+
+fn a_tag(a: &Archive, s: xarch_xml::Sym) -> &str {
+    a.syms().resolve(s)
+}

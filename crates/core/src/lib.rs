@@ -1,0 +1,39 @@
+//! # xarch-core
+//!
+//! The primary contribution of *Archiving Scientific Data* (Buneman,
+//! Khanna, Tajima, Tan; SIGMOD 2002 / TODS 2004): a **key-based, merging
+//! archiver** for hierarchical data. All versions of a database live in one
+//! tree; elements are identified across versions by their keys; timestamps
+//! (compact interval sets) record when each element exists.
+//!
+//! * [`timeset`] — interval-set timestamps (`t="1-3,5,7-9"`),
+//! * [`archive`] — the merged tree ([`Archive`]) with timestamp inheritance,
+//! * [`merge`] — **Nested Merge** (§4.2), entered via
+//!   [`Archive::add_version`],
+//! * [`weave`] — "further compaction" beneath frontier nodes (Fig 10),
+//! * [`retrieve`] — single-scan version retrieval (§7.1),
+//! * [`history`] — temporal history of keyed elements (§7.2),
+//! * [`changes`] — key-aware (semantically meaningful) change descriptions,
+//! * [`xmlrep`] — the `<T t="...">` XML representation (Fig 5) and its
+//!   inverse, making the archive "yet another XML document",
+//! * [`chunk`] — hash-partitioned chunked archiving (§5's memory
+//!   workaround),
+//! * [`equiv`] — key-aware document equivalence used to state correctness.
+
+pub mod archive;
+pub mod changes;
+pub mod chunk;
+pub mod equiv;
+pub mod history;
+pub mod merge;
+pub mod retrieve;
+pub mod timeset;
+pub mod weave;
+pub mod xmlrep;
+
+pub use archive::{AKind, ANode, ANodeId, Archive, ArchiveStats, Compaction, MergeError};
+pub use changes::{describe_changes, Change, ChangeKind};
+pub use chunk::ChunkedArchive;
+pub use equiv::equiv_modulo_key_order;
+pub use history::KeyQuery;
+pub use timeset::TimeSet;

@@ -1,0 +1,492 @@
+//! **Nested Merge** (§4.2): merging a new version into the archive.
+//!
+//! The algorithm recursively pairs archive nodes with version nodes that
+//! have the same *label* (tag + key value), starting from the root:
+//!
+//! * paired nodes (`XY`) are merged — the archive node's timestamp is
+//!   augmented with the new version number `i` and the recursion descends;
+//! * archive-only nodes (`X′`) are *terminated*: if they were inheriting
+//!   their timestamp they now get an explicit one excluding `i`;
+//! * version-only nodes (`Y′`) are copied into the archive with
+//!   timestamp `{i}`.
+//!
+//! At **frontier nodes** the key structure runs out, so matching switches
+//! to value equality: contents that differ across versions are held in
+//! `<T>` *stamp* alternatives (Fig 8), or woven SCCS-style under the
+//! "further compaction" mode (Fig 10, implemented in [`crate::weave`]).
+//!
+//! Children on both sides are sorted by the label order `≤lab` (tag, then
+//! key arity, then key-path names, then key-path values under `≤v`) and
+//! paired by a single merge pass, giving the paper's `O(αN log N)` bound.
+//!
+//! Above the frontier, children not covered by any key (mixed content,
+//! schema drift) fall back to whole-value matching — the "conventional diff
+//! techniques" escape hatch of §3, in its simplest form.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use xarch_keys::{annotate, Annotations, KeyValue, NodeClass};
+use xarch_xml::canon::canonical;
+use xarch_xml::{Document, NodeId, NodeKind};
+
+use crate::archive::{AKind, ANode, ANodeId, Archive, Compaction, MergeError};
+use crate::timeset::TimeSet;
+use crate::weave::weave_frontier;
+
+/// A child label: tag name plus key value (the paper's
+/// `l{p1=v1, ..., pk=vk}`).
+#[derive(Debug, Clone)]
+pub(crate) struct Label {
+    pub tag: String,
+    pub key: KeyValue,
+}
+
+impl Label {
+    pub(crate) fn cmp(&self, other: &Label) -> Ordering {
+        self.tag
+            .cmp(&other.tag)
+            .then_with(|| self.key.cmp_parts(&other.key))
+    }
+}
+
+impl Archive {
+    /// Annotates `doc` against the archive's key spec and merges it as the
+    /// next version. Returns the assigned version number.
+    pub fn add_version(&mut self, doc: &Document) -> Result<u32, MergeError> {
+        let ann = annotate(doc, self.spec())?;
+        self.add_annotated(doc, &ann)
+    }
+
+    /// Merges an already-annotated version (callers that annotate once and
+    /// reuse, e.g. the chunked archiver, use this entry point).
+    pub fn add_annotated(&mut self, doc: &Document, ann: &Annotations) -> Result<u32, MergeError> {
+        if !ann.is_keyed(doc.root()) {
+            return Err(MergeError::UnkeyedRoot(
+                doc.tag_name(doc.root()).to_owned(),
+            ));
+        }
+        let i = self.bump_version();
+        let root = self.root();
+        let t = self
+            .node_mut(root)
+            .time
+            .as_mut()
+            .expect("root carries a timestamp");
+        t.insert(i);
+        let t_cur = t.clone();
+        // The paper pairs the archive root rA with a virtual root rD whose
+        // only child is the document root; equivalently, merge the child
+        // lists directly.
+        merge_children(self, root, doc, ann, &[doc.root()], &t_cur, i);
+        Ok(i)
+    }
+
+    /// Archives an *empty* database as the next version (§2's footnote:
+    /// `root` keeps `t=[1-5]` while `db` ends at `t=[1-4]`).
+    pub fn add_empty_version(&mut self) -> u32 {
+        let i = self.bump_version();
+        let root = self.root();
+        let t = self
+            .node_mut(root)
+            .time
+            .as_mut()
+            .expect("root carries a timestamp");
+        t.insert(i);
+        let t_cur = t.clone();
+        for c in self.children(root).to_vec() {
+            terminate(self, c, &t_cur, i);
+        }
+        i
+    }
+}
+
+/// The recursive core: merge version node `y` into archive node `x`
+/// (their labels are equal by construction).
+fn nested_merge(
+    a: &mut Archive,
+    x: ANodeId,
+    doc: &Document,
+    ann: &Annotations,
+    y: NodeId,
+    inherited: &TimeSet,
+    i: u32,
+) {
+    // "If time(x) exists, then add i to time(x), let T be time(x)."
+    let t_cur = match a.node_mut(x).time.as_mut() {
+        Some(t) => {
+            t.insert(i);
+            t.clone()
+        }
+        None => inherited.clone(),
+    };
+    if ann.is_frontier(y) {
+        frontier_merge(a, x, doc, ann, y, &t_cur, i);
+    } else {
+        let y_children = doc.children(y).to_vec();
+        merge_children(a, x, doc, ann, &y_children, &t_cur, i);
+    }
+}
+
+/// Partitions the children of archive node `x` and the version child list
+/// into XY / X′ / Y′ and acts on each set.
+pub(crate) fn merge_children(
+    a: &mut Archive,
+    x: ANodeId,
+    doc: &Document,
+    ann: &Annotations,
+    y_children: &[NodeId],
+    t_cur: &TimeSet,
+    i: u32,
+) {
+    // Split both child lists into keyed and other nodes.
+    let mut kx: Vec<(Label, ANodeId)> = Vec::new();
+    let mut ox: Vec<ANodeId> = Vec::new();
+    for &c in a.children(x) {
+        let n = a.node(c);
+        debug_assert!(
+            !matches!(n.kind, AKind::Stamp),
+            "stamp nodes occur only beneath frontier nodes"
+        );
+        match (&n.kind, &n.key) {
+            (AKind::Element(s), Some(k)) => kx.push((
+                Label {
+                    tag: a.syms().resolve(*s).to_owned(),
+                    key: k.clone(),
+                },
+                c,
+            )),
+            _ => ox.push(c),
+        }
+    }
+    let mut ky: Vec<(Label, NodeId)> = Vec::new();
+    let mut oy: Vec<NodeId> = Vec::new();
+    for &c in y_children {
+        match (&doc.node(c).kind, ann.key(c)) {
+            (NodeKind::Element(s), Some(k)) => ky.push((
+                Label {
+                    tag: doc.syms().resolve(*s).to_owned(),
+                    key: k.clone(),
+                },
+                c,
+            )),
+            _ => oy.push(c),
+        }
+    }
+    kx.sort_by(|p, q| p.0.cmp(&q.0));
+    ky.sort_by(|p, q| p.0.cmp(&q.0));
+
+    // Merge pass over the two sorted lists.
+    let (mut ix, mut iy) = (0usize, 0usize);
+    while ix < kx.len() && iy < ky.len() {
+        match kx[ix].0.cmp(&ky[iy].0) {
+            Ordering::Equal => {
+                // action (a): recursive merge
+                nested_merge(a, kx[ix].1, doc, ann, ky[iy].1, t_cur, i);
+                ix += 1;
+                iy += 1;
+            }
+            Ordering::Less => {
+                // action (b): terminate the archive-only node
+                terminate(a, kx[ix].1, t_cur, i);
+                ix += 1;
+            }
+            Ordering::Greater => {
+                // action (c): new subtree
+                insert_new(a, x, doc, ann, ky[iy].1, i);
+                iy += 1;
+            }
+        }
+    }
+    for (_, xc) in &kx[ix..] {
+        terminate(a, *xc, t_cur, i);
+    }
+    for (_, yc) in &ky[iy..] {
+        insert_new(a, x, doc, ann, *yc, i);
+    }
+
+    match_unkeyed(a, x, &ox, doc, ann, &oy, t_cur, i);
+}
+
+/// Action (b): "If time(x′) does not exist, then let time(x′) be T − {i}."
+pub(crate) fn terminate(a: &mut Archive, xc: ANodeId, t_cur: &TimeSet, i: u32) {
+    if a.node(xc).time.is_none() {
+        let mut t = t_cur.clone();
+        t.remove(i);
+        a.node_mut(xc).time = Some(t);
+    }
+}
+
+/// Action (c): copy a version subtree into the archive with timestamp `{i}`.
+fn insert_new(a: &mut Archive, parent: ANodeId, doc: &Document, ann: &Annotations, y: NodeId, i: u32) {
+    let id = copy_subtree(a, doc, ann, y, parent);
+    a.node_mut(id).time = Some(TimeSet::from_version(i));
+}
+
+/// Deep-copies a version subtree into the archive, carrying over key values
+/// and node classes so future merges need not re-annotate the archive.
+pub(crate) fn copy_subtree(
+    a: &mut Archive,
+    doc: &Document,
+    ann: &Annotations,
+    y: NodeId,
+    parent: ANodeId,
+) -> ANodeId {
+    let node = match &doc.node(y).kind {
+        NodeKind::Element(s) => {
+            let tag = a.intern(doc.syms().resolve(*s));
+            let attrs = doc
+                .attrs(y)
+                .iter()
+                .map(|(s, v)| (doc.syms().resolve(*s).to_owned(), v.clone()))
+                .collect::<Vec<_>>();
+            let attrs = attrs
+                .into_iter()
+                .map(|(n, v)| (a.intern(&n), v))
+                .collect();
+            ANode {
+                kind: AKind::Element(tag),
+                parent: None,
+                children: Vec::new(),
+                attrs,
+                time: None,
+                key: ann.key(y).cloned(),
+                class: ann.class(y),
+            }
+        }
+        NodeKind::Text(t) => ANode {
+            kind: AKind::Text(t.clone()),
+            parent: None,
+            children: Vec::new(),
+            attrs: Vec::new(),
+            time: None,
+            key: None,
+            class: ann.class(y),
+        },
+    };
+    let id = a.push_node(parent, node);
+    for &c in doc.children(y) {
+        copy_subtree(a, doc, ann, c, id);
+    }
+    id
+}
+
+/// Frontier handling (§4.2): beneath the deepest keyed nodes, contents are
+/// matched by value.
+fn frontier_merge(
+    a: &mut Archive,
+    x: ANodeId,
+    doc: &Document,
+    ann: &Annotations,
+    y: NodeId,
+    t_cur: &TimeSet,
+    i: u32,
+) {
+    if a.compaction() == Compaction::Weave {
+        weave_frontier(a, x, doc, ann, y, t_cur, i);
+        return;
+    }
+    let y_children = doc.children(y).to_vec();
+    let has_stamps = a
+        .children(x)
+        .iter()
+        .any(|&c| matches!(a.node(c).kind, AKind::Stamp));
+    if !has_stamps {
+        // "If every node in children(x) is not a timestamp node":
+        if !content_equals(a, a.children(x), doc, &y_children) {
+            // split into two alternatives t1 = T−{i}, t2 = {i}
+            let old: Vec<ANodeId> = std::mem::take(&mut a.node_mut(x).children);
+            let mut t_old = t_cur.clone();
+            t_old.remove(i);
+            let t1 = a.alloc_detached(ANode {
+                kind: AKind::Stamp,
+                parent: None,
+                children: Vec::new(),
+                attrs: Vec::new(),
+                time: Some(t_old),
+                key: None,
+                class: NodeClass::BeyondFrontier,
+            });
+            for c in old {
+                a.attach(t1, c);
+            }
+            a.attach(x, t1);
+            push_alternative(a, x, doc, ann, &y_children, i);
+        }
+        // equal contents: nothing to do, children keep inheriting
+    } else {
+        // find an existing alternative with value-equal content
+        let stamp = a.children(x).to_vec().into_iter().find(|&sc| {
+            matches!(a.node(sc).kind, AKind::Stamp)
+                && content_equals(a, a.children(sc), doc, &y_children)
+        });
+        match stamp {
+            Some(sc) => {
+                a.node_mut(sc)
+                    .time
+                    .as_mut()
+                    .expect("stamps carry timestamps")
+                    .insert(i);
+            }
+            None => push_alternative(a, x, doc, ann, &y_children, i),
+        }
+    }
+}
+
+/// Appends a new `<T t="i">` alternative holding a copy of `y_children`.
+fn push_alternative(
+    a: &mut Archive,
+    x: ANodeId,
+    doc: &Document,
+    ann: &Annotations,
+    y_children: &[NodeId],
+    i: u32,
+) {
+    let t2 = a.alloc_detached(ANode {
+        kind: AKind::Stamp,
+        parent: None,
+        children: Vec::new(),
+        attrs: Vec::new(),
+        time: Some(TimeSet::from_version(i)),
+        key: None,
+        class: NodeClass::BeyondFrontier,
+    });
+    for &c in y_children {
+        copy_subtree(a, doc, ann, c, t2);
+    }
+    a.attach(x, t2);
+}
+
+/// Fallback matching for children not covered by keys: pair archive and
+/// version children with value-equal subtrees; augment matched timestamps,
+/// terminate unmatched archive children, insert unmatched version children.
+#[allow(clippy::too_many_arguments)]
+fn match_unkeyed(
+    a: &mut Archive,
+    x: ANodeId,
+    ox: &[ANodeId],
+    doc: &Document,
+    ann: &Annotations,
+    oy: &[NodeId],
+    t_cur: &TimeSet,
+    i: u32,
+) {
+    if ox.is_empty() && oy.is_empty() {
+        return;
+    }
+    let mut by_canon: HashMap<String, Vec<ANodeId>> = HashMap::new();
+    for &xc in ox {
+        by_canon.entry(canonical_anode(a, xc)).or_default().push(xc);
+    }
+    for &yc in oy {
+        let cy = canonical(doc, yc);
+        let matched = by_canon.get_mut(&cy).and_then(|v| v.pop());
+        match matched {
+            Some(xc) => {
+                if let Some(t) = a.node_mut(xc).time.as_mut() {
+                    t.insert(i);
+                }
+                // time == None: inherits, which already includes i
+            }
+            None => insert_new(a, x, doc, ann, yc, i),
+        }
+    }
+    for (_, rest) in by_canon {
+        for xc in rest {
+            terminate(a, xc, t_cur, i);
+        }
+    }
+}
+
+/// Canonical form of an archive subtree (no stamps may occur inside).
+pub(crate) fn canonical_anode(a: &Archive, id: ANodeId) -> String {
+    let mut out = String::new();
+    canonical_anode_into(a, id, &mut out);
+    out
+}
+
+fn canonical_anode_into(a: &Archive, id: ANodeId, out: &mut String) {
+    use xarch_xml::escape::{escape_attr_into, escape_text_into};
+    match &a.node(id).kind {
+        AKind::Text(t) => escape_text_into(t, out),
+        AKind::Element(s) => {
+            let tag = a.syms().resolve(*s).to_owned();
+            out.push('<');
+            out.push_str(&tag);
+            let mut attrs: Vec<(&str, &str)> = a
+                .node(id)
+                .attrs
+                .iter()
+                .map(|(s, v)| (a.syms().resolve(*s), v.as_str()))
+                .collect();
+            attrs.sort_unstable();
+            for (n, v) in attrs {
+                out.push(' ');
+                out.push_str(n);
+                out.push_str("=\"");
+                escape_attr_into(v, out);
+                out.push('"');
+            }
+            out.push('>');
+            for &c in a.children(id) {
+                canonical_anode_into(a, c, out);
+            }
+            out.push_str("</");
+            out.push_str(&tag);
+            out.push('>');
+        }
+        AKind::Stamp => {
+            debug_assert!(false, "canonical form of a stamp node is undefined");
+        }
+    }
+}
+
+/// Value equality between an archive child list (plain, no stamps) and a
+/// version child list — the `children(x′) =v children(y)` test.
+pub(crate) fn content_equals(
+    a: &Archive,
+    x_children: &[ANodeId],
+    doc: &Document,
+    y_children: &[NodeId],
+) -> bool {
+    if x_children.len() != y_children.len() {
+        return false;
+    }
+    x_children
+        .iter()
+        .zip(y_children.iter())
+        .all(|(&xc, &yc)| node_equals(a, xc, doc, yc))
+}
+
+fn node_equals(a: &Archive, xc: ANodeId, doc: &Document, yc: NodeId) -> bool {
+    match (&a.node(xc).kind, &doc.node(yc).kind) {
+        (AKind::Text(t1), NodeKind::Text(t2)) => t1 == t2,
+        (AKind::Element(s1), NodeKind::Element(s2)) => {
+            if a.syms().resolve(*s1) != doc.syms().resolve(*s2) {
+                return false;
+            }
+            // attrs as sets
+            let n1 = a.node(xc);
+            if n1.attrs.len() != doc.attrs(yc).len() {
+                return false;
+            }
+            let mut a1: Vec<(&str, &str)> = n1
+                .attrs
+                .iter()
+                .map(|(s, v)| (a.syms().resolve(*s), v.as_str()))
+                .collect();
+            let mut a2: Vec<(&str, &str)> = doc
+                .attrs(yc)
+                .iter()
+                .map(|(s, v)| (doc.syms().resolve(*s), v.as_str()))
+                .collect();
+            a1.sort_unstable();
+            a2.sort_unstable();
+            if a1 != a2 {
+                return false;
+            }
+            content_equals(a, a.children(xc), doc, doc.children(yc))
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,84 @@
+//! Version retrieval (§7.1): "a simple scan through the archive can
+//! retrieve any version" — whenever a timestamp is encountered, its content
+//! is emitted iff the requested version number lies in the timestamp.
+
+use xarch_xml::{Document, NodeId};
+
+use crate::archive::{AKind, ANodeId, Archive};
+
+impl Archive {
+    /// True if version `v` has been archived (it may still be an *empty*
+    /// version).
+    pub fn has_version(&self, v: u32) -> bool {
+        v >= 1 && v <= self.latest()
+    }
+
+    /// Reconstructs version `v` with a single scan. Returns `None` when `v`
+    /// was never archived *or* when the database was empty at `v` (use
+    /// [`Archive::has_version`] to distinguish).
+    pub fn retrieve(&self, v: u32) -> Option<Document> {
+        if !self.has_version(v) {
+            return None;
+        }
+        let root = self.root();
+        // Find the visible element child of the synthetic root — the
+        // document root of version v.
+        let doc_root = self.children(root).iter().copied().find(|&c| {
+            matches!(self.node(c).kind, AKind::Element(_)) && self.visible(c, v)
+        })?;
+        let tag = self.tag_name(doc_root).expect("element").to_owned();
+        let mut doc = Document::new(&tag);
+        let did = doc.root();
+        self.copy_attrs(doc_root, &mut doc, did);
+        self.emit_children(doc_root, v, &mut doc, did);
+        Some(doc)
+    }
+
+    /// Visibility of a node at version `v` given that its parent is
+    /// visible: explicit timestamp decides, otherwise inherited (= true).
+    fn visible(&self, id: ANodeId, v: u32) -> bool {
+        self.node(id).time.as_ref().map_or(true, |t| t.contains(v))
+    }
+
+    fn copy_attrs(&self, id: ANodeId, doc: &mut Document, did: NodeId) {
+        let attrs: Vec<(String, String)> = self
+            .node(id)
+            .attrs
+            .iter()
+            .map(|(s, v)| (self.syms().resolve(*s).to_owned(), v.clone()))
+            .collect();
+        for (n, v) in attrs {
+            doc.set_attr(did, &n, &v);
+        }
+    }
+
+    fn emit_children(&self, id: ANodeId, v: u32, doc: &mut Document, did: NodeId) {
+        for &c in self.children(id) {
+            if !self.visible(c, v) {
+                continue;
+            }
+            match &self.node(c).kind {
+                AKind::Stamp => {
+                    // transparent: emit the alternative's content in place
+                    self.emit_children(c, v, doc, did);
+                }
+                AKind::Element(s) => {
+                    let tag = self.syms().resolve(*s).to_owned();
+                    let e = doc.add_element(did, &tag);
+                    self.copy_attrs(c, doc, e);
+                    self.emit_children(c, v, doc, e);
+                }
+                AKind::Text(t) => {
+                    let t = t.clone();
+                    doc.add_text(did, &t);
+                }
+            }
+        }
+    }
+
+    /// Number of archive nodes touched by a full retrieval scan — the cost
+    /// the timestamp trees of §7.1 reduce.
+    pub fn scan_cost(&self) -> usize {
+        self.len()
+    }
+}

@@ -1,0 +1,408 @@
+//! Timestamps as compact interval sets (§2).
+//!
+//! A [`TimeSet`] is a set of version numbers stored as sorted, disjoint,
+//! non-adjacent *closed* intervals — the paper's `t="1-3,5,7-9"` notation.
+//! "Since changes to our database are largely accretive and an element is
+//! likely to exist for a long time, we can compactly represent its
+//! timestamp using time intervals rather than a sequence of version
+//! numbers" (§1).
+
+use std::fmt;
+
+/// A set of `u32` versions, run-length encoded as closed intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct TimeSet {
+    /// Sorted, disjoint, non-adjacent closed intervals `(lo, hi)`.
+    runs: Vec<(u32, u32)>,
+}
+
+/// Error parsing the textual `1-3,5,7-9` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeParseError(pub String);
+
+impl fmt::Display for TimeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid timestamp: {}", self.0)
+    }
+}
+
+impl std::error::Error for TimeParseError {}
+
+impl TimeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A singleton set `{v}`.
+    pub fn from_version(v: u32) -> Self {
+        Self { runs: vec![(v, v)] }
+    }
+
+    /// The full range `lo..=hi` (empty if `lo > hi`).
+    pub fn from_range(lo: u32, hi: u32) -> Self {
+        if lo > hi {
+            Self::new()
+        } else {
+            Self { runs: vec![(lo, hi)] }
+        }
+    }
+
+    /// True if the set contains no versions.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of versions in the set.
+    pub fn count(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|&(lo, hi)| (hi - lo) as u64 + 1)
+            .sum()
+    }
+
+    /// Number of intervals (the storage cost driver).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The intervals themselves.
+    pub fn intervals(&self) -> &[(u32, u32)] {
+        &self.runs
+    }
+
+    /// Smallest version, if any.
+    pub fn min(&self) -> Option<u32> {
+        self.runs.first().map(|&(lo, _)| lo)
+    }
+
+    /// Largest version, if any.
+    pub fn max(&self) -> Option<u32> {
+        self.runs.last().map(|&(_, hi)| hi)
+    }
+
+    /// Membership test (binary search over runs).
+    pub fn contains(&self, v: u32) -> bool {
+        self.runs
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Inserts one version, coalescing adjacent runs.
+    pub fn insert(&mut self, v: u32) {
+        // Find the first run with lo > v.
+        let pos = self.runs.partition_point(|&(lo, _)| lo <= v);
+        // Check the run before: may contain or be adjacent to v.
+        if pos > 0 {
+            let (lo, hi) = self.runs[pos - 1];
+            if v <= hi {
+                return; // already present
+            }
+            if v == hi + 1 {
+                self.runs[pos - 1].1 = v;
+                // maybe coalesce with the following run
+                if pos < self.runs.len() && self.runs[pos].0 == v + 1 {
+                    self.runs[pos - 1].1 = self.runs[pos].1;
+                    self.runs.remove(pos);
+                }
+                return;
+            }
+            let _ = lo;
+        }
+        // Check the run after: v may extend it downwards.
+        if pos < self.runs.len() && self.runs[pos].0 == v + 1 {
+            self.runs[pos].0 = v;
+            return;
+        }
+        self.runs.insert(pos, (v, v));
+    }
+
+    /// Removes one version, splitting a run if needed.
+    pub fn remove(&mut self, v: u32) {
+        let pos = match self.runs.binary_search_by(|&(lo, hi)| {
+            if v < lo {
+                std::cmp::Ordering::Greater
+            } else if v > hi {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let (lo, hi) = self.runs[pos];
+        match (v == lo, v == hi) {
+            (true, true) => {
+                self.runs.remove(pos);
+            }
+            (true, false) => self.runs[pos].0 = v + 1,
+            (false, true) => self.runs[pos].1 = v - 1,
+            (false, false) => {
+                self.runs[pos].1 = v - 1;
+                self.runs.insert(pos + 1, (v + 1, hi));
+            }
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &TimeSet) -> TimeSet {
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(self.runs.len() + other.runs.len());
+        let mut a = self.runs.iter().peekable();
+        let mut b = other.runs.iter().peekable();
+        let push = |out: &mut Vec<(u32, u32)>, r: (u32, u32)| {
+            if let Some(last) = out.last_mut() {
+                // coalesce overlapping or adjacent runs
+                if r.0 <= last.1.saturating_add(1) {
+                    last.1 = last.1.max(r.1);
+                    return;
+                }
+            }
+            out.push(r);
+        };
+        loop {
+            let next = match (a.peek(), b.peek()) {
+                (Some(&&x), Some(&&y)) => {
+                    if x.0 <= y.0 {
+                        a.next();
+                        x
+                    } else {
+                        b.next();
+                        y
+                    }
+                }
+                (Some(&&x), None) => {
+                    a.next();
+                    x
+                }
+                (None, Some(&&y)) => {
+                    b.next();
+                    y
+                }
+                (None, None) => break,
+            };
+            push(&mut out, next);
+        }
+        TimeSet { runs: out }
+    }
+
+    /// True if `self ⊇ other` — the paper's archive invariant is that a
+    /// node's timestamp is a superset of every descendant's.
+    pub fn is_superset(&self, other: &TimeSet) -> bool {
+        other.runs.iter().all(|&(lo, hi)| {
+            // find run containing lo, check it extends to hi
+            self.runs.iter().any(|&(slo, shi)| slo <= lo && hi <= shi)
+        })
+    }
+
+    /// Iterates all versions in ascending order.
+    pub fn versions(&self) -> impl Iterator<Item = u32> + '_ {
+        self.runs.iter().flat_map(|&(lo, hi)| lo..=hi)
+    }
+
+    /// Parses the paper's notation, e.g. `1-3,5,7-9`. An empty string is
+    /// the empty set.
+    pub fn parse(s: &str) -> Result<TimeSet, TimeParseError> {
+        let mut out = TimeSet::new();
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(out);
+        }
+        for part in s.split(',') {
+            let part = part.trim();
+            let (lo, hi) = match part.split_once('-') {
+                Some((a, b)) => {
+                    let lo = a.trim().parse::<u32>().map_err(|_| TimeParseError(s.into()))?;
+                    let hi = b.trim().parse::<u32>().map_err(|_| TimeParseError(s.into()))?;
+                    (lo, hi)
+                }
+                None => {
+                    let v = part.parse::<u32>().map_err(|_| TimeParseError(s.into()))?;
+                    (v, v)
+                }
+            };
+            if lo > hi {
+                return Err(TimeParseError(s.into()));
+            }
+            for v in lo..=hi {
+                out.insert(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Approximate serialized size of the timestamp in bytes (used by size
+    /// accounting before the archive is rendered to XML).
+    pub fn encoded_len(&self) -> usize {
+        self.to_string().len()
+    }
+}
+
+impl fmt::Display for TimeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &(lo, hi)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if lo == hi {
+                write!(f, "{lo}")?;
+            } else {
+                write!(f, "{lo}-{hi}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u32> for TimeSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut t = TimeSet::new();
+        for v in iter {
+            t.insert(v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn paper_example_notation() {
+        // "the time intervals [1-3,5,7-9] denotes the set {1,2,3,5,7,8,9}"
+        let t = TimeSet::parse("1-3,5,7-9").unwrap();
+        let got: Vec<u32> = t.versions().collect();
+        assert_eq!(got, vec![1, 2, 3, 5, 7, 8, 9]);
+        assert_eq!(t.to_string(), "1-3,5,7-9");
+        assert_eq!(t.count(), 7);
+        assert_eq!(t.run_count(), 3);
+    }
+
+    #[test]
+    fn insert_coalesces() {
+        let mut t = TimeSet::new();
+        for v in [1, 3, 2] {
+            t.insert(v);
+        }
+        assert_eq!(t.to_string(), "1-3");
+        t.insert(5);
+        assert_eq!(t.to_string(), "1-3,5");
+        t.insert(4);
+        assert_eq!(t.to_string(), "1-5");
+        t.insert(4); // idempotent
+        assert_eq!(t.to_string(), "1-5");
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut t = TimeSet::from_range(1, 5);
+        t.remove(3);
+        assert_eq!(t.to_string(), "1-2,4-5");
+        t.remove(1);
+        assert_eq!(t.to_string(), "2,4-5");
+        t.remove(2);
+        assert_eq!(t.to_string(), "4-5");
+        t.remove(9); // absent: no-op
+        assert_eq!(t.to_string(), "4-5");
+    }
+
+    #[test]
+    fn contains_works_across_runs() {
+        let t = TimeSet::parse("1-3,7,10-12").unwrap();
+        for v in [1, 2, 3, 7, 10, 11, 12] {
+            assert!(t.contains(v), "{v}");
+        }
+        for v in [0, 4, 6, 8, 9, 13] {
+            assert!(!t.contains(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn union_merges_and_coalesces() {
+        let a = TimeSet::parse("1-3,8").unwrap();
+        let b = TimeSet::parse("4-6,8,10").unwrap();
+        assert_eq!(a.union(&b).to_string(), "1-6,8,10");
+        assert_eq!(b.union(&a), a.union(&b));
+        assert_eq!(a.union(&TimeSet::new()), a);
+    }
+
+    #[test]
+    fn superset_relation() {
+        let parent = TimeSet::parse("1-10").unwrap();
+        let child = TimeSet::parse("2-4,7").unwrap();
+        assert!(parent.is_superset(&child));
+        assert!(!child.is_superset(&parent));
+        assert!(parent.is_superset(&TimeSet::new()));
+        let split = TimeSet::parse("1-4,6-10").unwrap();
+        assert!(!split.is_superset(&TimeSet::parse("4-6").unwrap()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TimeSet::parse("x").is_err());
+        assert!(TimeSet::parse("3-1").is_err());
+        assert!(TimeSet::parse("1,,2").is_err());
+        assert_eq!(TimeSet::parse("").unwrap(), TimeSet::new());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for s in ["1", "1-2", "1-3,5,7-9", "2,4,6,8", ""] {
+            let t = TimeSet::parse(s).unwrap();
+            assert_eq!(TimeSet::parse(&t.to_string()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn min_max() {
+        let t = TimeSet::parse("3-5,9").unwrap();
+        assert_eq!(t.min(), Some(3));
+        assert_eq!(t.max(), Some(9));
+        assert_eq!(TimeSet::new().max(), None);
+    }
+
+    /// Model-based check against BTreeSet over a deterministic op sequence.
+    #[test]
+    fn model_based_ops() {
+        let mut t = TimeSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..5000 {
+            let v = (next() % 60) as u32;
+            if next() % 3 == 0 {
+                t.remove(v);
+                model.remove(&v);
+            } else {
+                t.insert(v);
+                model.insert(v);
+            }
+            // invariants
+            for w in 0..60u32 {
+                assert_eq!(t.contains(w), model.contains(&w));
+            }
+        }
+        let got: Vec<u32> = t.versions().collect();
+        let want: Vec<u32> = model.into_iter().collect();
+        assert_eq!(got, want);
+        // runs are canonical: sorted, disjoint, non-adjacent
+        for w in t.intervals().windows(2) {
+            assert!(w[0].1 + 1 < w[1].0, "non-canonical runs: {:?}", t.intervals());
+        }
+    }
+}

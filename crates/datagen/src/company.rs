@@ -1,0 +1,58 @@
+//! The running example of §2 (Figure 2): four versions of a company
+//! database, plus its key specification (§3).
+
+use xarch_keys::KeySpec;
+use xarch_xml::{parse, Document};
+
+/// The key specification of the company database (§3).
+pub fn company_spec() -> KeySpec {
+    KeySpec::parse(
+        "(/, (db, {}))\n\
+         (/db, (dept, {name}))\n\
+         (/db/dept, (emp, {fn, ln}))\n\
+         (/db/dept/emp, (sal, {}))\n\
+         (/db/dept/emp, (tel, {.}))",
+    )
+    .expect("company spec is valid")
+}
+
+/// The four versions of Figure 2, in order.
+pub fn company_versions() -> Vec<Document> {
+    let v1 = "<db><dept><name>finance</name></dept></db>";
+    let v2 = "<db><dept><name>finance</name>\
+              <emp><fn>Jane</fn><ln>Smith</ln></emp></dept></db>";
+    let v3 = "<db>\
+              <dept><name>finance</name>\
+                <emp><fn>John</fn><ln>Doe</ln><sal>90K</sal><tel>123-4567</tel></emp></dept>\
+              <dept><name>marketing</name>\
+                <emp><fn>John</fn><ln>Doe</ln></emp></dept>\
+              </db>";
+    let v4 = "<db><dept><name>finance</name>\
+              <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal><tel>123-4567</tel></emp>\
+              <emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal><tel>123-6789</tel><tel>112-3456</tel></emp>\
+              </dept></db>";
+    [v1, v2, v3, v4]
+        .iter()
+        .map(|s| parse(s).expect("fixture parses"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_keys::validate;
+
+    #[test]
+    fn versions_satisfy_spec() {
+        let spec = company_spec();
+        for (i, v) in company_versions().iter().enumerate() {
+            let violations = validate(v, &spec);
+            assert!(violations.is_empty(), "version {}: {violations:?}", i + 1);
+        }
+    }
+
+    #[test]
+    fn four_versions() {
+        assert_eq!(company_versions().len(), 4);
+    }
+}

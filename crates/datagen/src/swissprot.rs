@@ -1,0 +1,259 @@
+//! A Swiss-Prot-like dataset (Appendix B.2) with the paper's measured
+//! change profile: deletion/insertion/modification ratios of roughly
+//! **14% / 26% / 1.2%** between consecutive releases (§5.3) — few versions,
+//! each much bigger than the last, which is what makes the archive size
+//! curve of Fig 11b/12b grow superlinearly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xarch_keys::KeySpec;
+use xarch_xml::{Document, NodeId};
+
+use crate::words;
+
+/// The key specification of Appendix B.2 (fields we generate).
+pub fn swissprot_spec() -> KeySpec {
+    KeySpec::parse(
+        "(/, (ROOT, {}))\n\
+         (/ROOT, (Record, {pac}))\n\
+         (/ROOT/Record, (id, {}))\n\
+         (/ROOT/Record, (class, {}))\n\
+         (/ROOT/Record, (type, {}))\n\
+         (/ROOT/Record, (slen, {}))\n\
+         (/ROOT/Record, (mod, {date, rel, comment}))\n\
+         (/ROOT/Record, (protein, {name}))\n\
+         (/ROOT/Record/protein, (from, {\\e}))\n\
+         (/ROOT/Record/protein, (taxo, {\\e}))\n\
+         (/ROOT/Record, (References, {}))\n\
+         (/ROOT/Record/References, (Ref, {num}))\n\
+         (/ROOT/Record/References/Ref, (pos, {}))\n\
+         (/ROOT/Record/References/Ref, (comment, {\\e}))\n\
+         (/ROOT/Record/References/Ref, (author, {\\e}))\n\
+         (/ROOT/Record/References/Ref, (title, {}))\n\
+         (/ROOT/Record/References/Ref, (in, {}))\n\
+         (/ROOT/Record, (comment, {\\e}))\n\
+         (/ROOT/Record, (keywords, {}))\n\
+         (/ROOT/Record/keywords, (word, {\\e}))\n\
+         (/ROOT/Record, (feature, {name, from, to}))\n\
+         (/ROOT/Record/feature, (desc, {}))\n\
+         (/ROOT/Record, (sequence, {}))\n\
+         (/ROOT/Record/sequence, (aacid, {}))\n\
+         (/ROOT/Record/sequence, (mweight, {}))\n\
+         (/ROOT/Record/sequence, (seq, {}))",
+    )
+    .expect("Swiss-Prot spec is valid")
+}
+
+/// Generator/evolver for Swiss-Prot-like releases.
+#[derive(Debug)]
+pub struct SwissProtGen {
+    rng: StdRng,
+    next_pac: u32,
+    /// Fraction of records deleted per release (paper: 0.14).
+    pub del_ratio: f64,
+    /// Fraction of records inserted per release (paper: 0.26).
+    pub ins_ratio: f64,
+    /// Fraction of records modified per release (paper: 0.012).
+    pub mod_ratio: f64,
+    /// Amino-acid sequence length range.
+    pub seq_len: (usize, usize),
+}
+
+impl SwissProtGen {
+    /// A generator with the paper's measured Swiss-Prot ratios.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            next_pac: 10_000,
+            del_ratio: 0.14,
+            ins_ratio: 0.26,
+            mod_ratio: 0.012,
+            seq_len: (120, 400),
+        }
+    }
+
+    /// Generates the first release with `n` records.
+    pub fn initial(&mut self, n: usize) -> Document {
+        let mut doc = Document::new("ROOT");
+        for _ in 0..n {
+            self.add_record(&mut doc);
+        }
+        doc
+    }
+
+    fn add_record(&mut self, doc: &mut Document) {
+        let root = doc.root();
+        let rec = doc.add_element(root, "Record");
+        let pac = self.next_pac;
+        self.next_pac += self.rng.gen_range(1..=9);
+        let (_, last) = words::person(&mut self.rng);
+        doc.add_text_element(rec, "id", &format!("{:03}K_{}", pac % 1000, last.to_uppercase()));
+        doc.add_text_element(rec, "class", "STANDARD");
+        doc.add_text_element(rec, "type", "PRT");
+        let seq_len = self.rng.gen_range(self.seq_len.0..=self.seq_len.1);
+        doc.add_text_element(rec, "slen", &seq_len.to_string());
+        doc.add_text_element(rec, "pac", &format!("Q{pac}"));
+        // modification history entries
+        for r in 0..self.rng.gen_range(1..=2usize) {
+            let m = doc.add_element(rec, "mod");
+            let (mo, da, yr) = words::date(&mut self.rng);
+            doc.add_text_element(m, "date", &format!("{da:02}-{mo:02}-{yr}"));
+            doc.add_text_element(m, "rel", &(30 + r).to_string());
+            doc.add_text_element(m, "comment", if r == 0 { "Created" } else { "Last modified" });
+        }
+        let protein = doc.add_element(rec, "protein");
+        let pname = words::sentence(&mut self.rng, 3).to_uppercase();
+        doc.add_text_element(protein, "name", &format!("{pname} (EC 6.3.2.-)."));
+        doc.add_text_element(protein, "from", "Rattus norvegicus (Rat).");
+        doc.add_text_element(protein, "taxo", "Eukaryota");
+        // references
+        let refs = doc.add_element(rec, "References");
+        for num in 1..=self.rng.gen_range(1..=3usize) {
+            let r = doc.add_element(refs, "Ref");
+            doc.add_text_element(r, "num", &num.to_string());
+            doc.add_text_element(r, "pos", "SEQUENCE FROM N.A.");
+            let (first, last) = words::person(&mut self.rng);
+            doc.add_text_element(r, "author", &format!("{last} {}.", &first[..1]));
+            let title = words::sentence(&mut self.rng, 6);
+            doc.add_text_element(r, "title", &format!("\"{title}\""));
+            doc.add_text_element(
+                r,
+                "in",
+                &format!("Nucleic Acids Res. {}:1471-1475({})", self.rng.gen_range(10..40), 1992),
+            );
+        }
+        let comment = words::paragraph(&mut self.rng, 25);
+        doc.add_text_element(rec, "comment", &comment);
+        // keywords
+        let kw = doc.add_element(rec, "keywords");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..self.rng.gen_range(1..=4usize) {
+            let w = words::sentence(&mut self.rng, 1);
+            if seen.insert(w.clone()) {
+                doc.add_text_element(kw, "word", &w);
+            }
+        }
+        // features
+        let mut used_spans = std::collections::HashSet::new();
+        for _ in 0..self.rng.gen_range(0..=3usize) {
+            let from = self.rng.gen_range(1..seq_len.max(2));
+            let to = (from + self.rng.gen_range(1..30)).min(seq_len);
+            if !used_spans.insert((from, to)) {
+                continue;
+            }
+            let f = doc.add_element(rec, "feature");
+            doc.add_text_element(f, "name", "DOMAIN");
+            doc.add_text_element(f, "from", &from.to_string());
+            doc.add_text_element(f, "to", &to.to_string());
+            doc.add_text_element(f, "desc", &words::sentence(&mut self.rng, 3).to_uppercase());
+        }
+        // sequence
+        let seq = doc.add_element(rec, "sequence");
+        doc.add_text_element(seq, "aacid", &seq_len.to_string());
+        doc.add_text_element(seq, "mweight", &(seq_len * 113).to_string());
+        doc.add_text_element(seq, "seq", &words::amino(&mut self.rng, seq_len));
+    }
+
+    /// Produces the next release: heavy insertion, substantial deletion,
+    /// light modification — each release much larger than the last.
+    pub fn evolve(&mut self, prev: &Document) -> Document {
+        let mut doc = prev.clone();
+        let root = doc.root();
+        let n = doc.child_elements(root, "Record").count().max(1);
+
+        let dels = (n as f64 * self.del_ratio).round() as usize;
+        for _ in 0..dels {
+            let children = doc.children(root);
+            if children.len() <= 1 {
+                break;
+            }
+            let pos = self.rng.gen_range(0..children.len());
+            doc.remove_child(root, pos);
+        }
+        let mods = (n as f64 * self.mod_ratio).round() as usize;
+        let records: Vec<NodeId> = doc.child_elements(root, "Record").collect();
+        for _ in 0..mods {
+            if records.is_empty() {
+                break;
+            }
+            let rec = records[self.rng.gen_range(0..records.len())];
+            if let Some(c) = doc.first_child_element(rec, "comment") {
+                let t = doc.children(c)[0];
+                let newc = words::paragraph(&mut self.rng, 25);
+                doc.set_text(t, &newc);
+            }
+        }
+        let inss = (n as f64 * self.ins_ratio).round() as usize;
+        for _ in 0..inss.max(1) {
+            self.add_record(&mut doc);
+        }
+        doc
+    }
+
+    /// A full release sequence.
+    pub fn sequence(&mut self, n: usize, versions: usize) -> Vec<Document> {
+        let mut out = Vec::with_capacity(versions);
+        out.push(self.initial(n));
+        for _ in 1..versions {
+            let next = self.evolve(out.last().expect("nonempty"));
+            out.push(next);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_keys::validate;
+
+    #[test]
+    fn initial_release_is_valid() {
+        let mut g = SwissProtGen::new(1);
+        let doc = g.initial(30);
+        let v = validate(&doc, &swissprot_spec());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn releases_grow_fast() {
+        let mut g = SwissProtGen::new(2);
+        let seq = g.sequence(50, 5);
+        let count = |d: &Document| d.child_elements(d.root(), "Record").count();
+        let first = count(&seq[0]);
+        let last = count(seq.last().unwrap());
+        // net growth ≈ (1 + 0.26 − 0.14)^4 ≈ 1.57×
+        assert!(last as f64 >= first as f64 * 1.3, "{first} -> {last}");
+        for (i, d) in seq.iter().enumerate() {
+            let v = validate(d, &swissprot_spec());
+            assert!(v.is_empty(), "release {i}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn archives_cleanly() {
+        let mut g = SwissProtGen::new(3);
+        let seq = g.sequence(15, 4);
+        let mut a = xarch_core::Archive::new(swissprot_spec());
+        for d in &seq {
+            a.add_version(d).unwrap();
+        }
+        a.check_invariants().unwrap();
+        for (i, d) in seq.iter().enumerate() {
+            let got = a.retrieve(i as u32 + 1).unwrap();
+            assert!(
+                xarch_core::equiv_modulo_key_order(&got, d, a.spec()),
+                "release {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SwissProtGen::new(5).initial(10);
+        let b = SwissProtGen::new(5).initial(10);
+        assert!(xarch_xml::value_equal(&a, a.root(), &b, b.root()));
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic text generators: words, names, titles, DNA sequences.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const WORDS: &[&str] = &[
+    "protein", "factor", "replication", "sequence", "binding", "domain", "kinase", "receptor",
+    "gene", "promoter", "transcription", "ligase", "ubiquitin", "enzyme", "pathway", "membrane",
+    "nuclear", "cytoplasmic", "conserved", "homolog", "variant", "mutation", "deletion",
+    "insertion", "expression", "regulation", "complex", "subunit", "terminal", "residue",
+    "alpha", "beta", "gamma", "delta", "phosphorylation", "signal", "transduction", "growth",
+    "tumor", "suppressor", "oncogene", "chromosome", "locus", "allele", "phenotype", "genotype",
+    "disorder", "syndrome", "deficiency", "autosomal",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "John", "Jane", "Paul", "Anna", "Victor", "Maria", "Keishi", "Wang", "Sanjeev", "Peter",
+    "Carmem", "Susan", "Wenfei", "Alin", "Dan", "Hartmut", "Rajeev", "Gerome", "Serge", "Laurent",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Doe", "Smith", "Converse", "Macke", "McKusick", "Tan", "Khanna", "Buneman", "Tajima",
+    "Davidson", "Fan", "Deutsch", "Suciu", "Liefke", "Motwani", "Abiteboul", "Marian", "Cobena",
+    "Chawathe", "Widom",
+];
+
+/// A pseudo-English sentence of `n` words.
+pub fn sentence(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+/// A paragraph of roughly `n` words with sentence structure.
+pub fn paragraph(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::new();
+    let mut left = n;
+    while left > 0 {
+        let len = rng.gen_range(5..=12).min(left);
+        let s = sentence(rng, len);
+        let mut chars = s.chars();
+        if let Some(c) = chars.next() {
+            out.push(c.to_ascii_uppercase());
+            out.push_str(chars.as_str());
+        }
+        out.push_str(". ");
+        left = left.saturating_sub(len);
+    }
+    out.trim_end().to_owned()
+}
+
+/// A person name `(first, last)`.
+pub fn person(rng: &mut StdRng) -> (String, String) {
+    (
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_owned(),
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_owned(),
+    )
+}
+
+/// A DNA-ish sequence of length `n`.
+pub fn dna(rng: &mut StdRng, n: usize) -> String {
+    const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+    (0..n).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// An amino-acid-ish sequence of length `n` (Swiss-Prot `seq` fields).
+pub fn amino(rng: &mut StdRng, n: usize) -> String {
+    const AA: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+    (0..n)
+        .map(|_| AA[rng.gen_range(0..AA.len())] as char)
+        .collect()
+}
+
+/// A date triple `(month, day, year)`.
+pub fn date(rng: &mut StdRng) -> (u32, u32, u32) {
+    (
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+        rng.gen_range(1990..=2002),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(sentence(&mut a, 10), sentence(&mut b, 10));
+        assert_eq!(dna(&mut a, 30), dna(&mut b, 30));
+    }
+
+    #[test]
+    fn lengths_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(dna(&mut rng, 50).len(), 50);
+        assert_eq!(amino(&mut rng, 64).len(), 64);
+        assert_eq!(sentence(&mut rng, 8).split(' ').count(), 8);
+    }
+
+    #[test]
+    fn paragraph_has_sentences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = paragraph(&mut rng, 40);
+        assert!(p.contains(". "));
+        assert!(p.split_whitespace().count() >= 35);
+    }
+
+    #[test]
+    fn date_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (m, d, y) = date(&mut rng);
+            assert!((1..=12).contains(&m));
+            assert!((1..=28).contains(&d));
+            assert!((1990..=2002).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! An XMark-like auction site (Schmidt et al., VLDB 2002) with the key
+//! specification of Appendix B.3 (the subset of the element inventory our
+//! generator emits), plus the two change simulators of §5.3:
+//!
+//! * [`XmarkGen::random_change`] — "creates a new version by deleting n% of
+//!   elements, inserting the same number of elements with random string
+//!   values, and modifying string values of n% of elements to random
+//!   strings" (Fig 13, App C.1);
+//! * [`XmarkGen::key_mutation`] — the archiver's worst case: "our change
+//!   simulator modifies part of key values for n% of elements instead of
+//!   deleting and inserting ... simulating deletion and insertion of highly
+//!   similar data at the exactly same location" (Fig 14, App C.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xarch_keys::KeySpec;
+use xarch_xml::{Document, NodeId};
+
+use crate::words;
+
+const REGIONS: [&str; 2] = ["africa", "asia"];
+
+/// The key specification (Appendix B.3, restricted to generated elements).
+pub fn xmark_spec() -> KeySpec {
+    let mut s = String::from(
+        "(/, (site, {}))\n\
+         (/site, (regions, {}))\n\
+         (/site, (categories, {}))\n\
+         (/site, (people, {}))\n\
+         (/site, (open_auctions, {}))\n\
+         (/site/categories, (category, {id}))\n\
+         (/site/categories/category, (name, {}))\n\
+         (/site/categories/category, (description, {\\e}))\n\
+         (/site/people, (person, {id}))\n\
+         (/site/people/person, (name, {}))\n\
+         (/site/people/person, (emailaddress, {\\e}))\n\
+         (/site/people/person, (phone, {\\e}))\n\
+         (/site/open_auctions, (open_auction, {id}))\n\
+         (/site/open_auctions/open_auction, (initial, {}))\n\
+         (/site/open_auctions/open_auction, (current, {}))\n\
+         (/site/open_auctions/open_auction, (quantity, {}))\n\
+         (/site/open_auctions/open_auction, (type, {}))\n\
+         (/site/open_auctions/open_auction, (bidder, {date, time, personref/person, increase}))\n\
+         (/site/open_auctions/open_auction/bidder, (personref, {}))\n",
+    );
+    for r in REGIONS {
+        s.push_str(&format!(
+            "(/site/regions, ({r}, {{}}))\n\
+             (/site/regions/{r}, (item, {{id}}))\n\
+             (/site/regions/{r}/item, (location, {{}}))\n\
+             (/site/regions/{r}/item, (quantity, {{}}))\n\
+             (/site/regions/{r}/item, (name, {{}}))\n\
+             (/site/regions/{r}/item, (payment, {{}}))\n\
+             (/site/regions/{r}/item, (description, {{}}))\n\
+             (/site/regions/{r}/item, (shipping, {{}}))\n\
+             (/site/regions/{r}/item, (incategory, {{category}}))\n\
+             (/site/regions/{r}/item, (mailbox, {{}}))\n\
+             (/site/regions/{r}/item/mailbox, (mail, {{from, to, date, text}}))\n"
+        ));
+    }
+    KeySpec::parse(&s).expect("XMark spec is valid")
+}
+
+/// The XMark-like generator and change simulator.
+#[derive(Debug)]
+pub struct XmarkGen {
+    rng: StdRng,
+    next_item: u32,
+    next_person: u32,
+    next_auction: u32,
+    next_category: u32,
+}
+
+impl XmarkGen {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            next_item: 0,
+            next_person: 0,
+            next_auction: 0,
+            next_category: 0,
+        }
+    }
+
+    /// Generates the initial auction site, sized by `n_items`.
+    pub fn generate(&mut self, n_items: usize) -> Document {
+        let mut doc = Document::new("site");
+        let site = doc.root();
+        let regions = doc.add_element(site, "regions");
+        let region_nodes: Vec<NodeId> = REGIONS
+            .iter()
+            .map(|r| doc.add_element(regions, r))
+            .collect();
+        let categories = doc.add_element(site, "categories");
+        for _ in 0..(n_items / 10).max(2) {
+            self.add_category(&mut doc, categories);
+        }
+        for _ in 0..n_items {
+            let region = region_nodes[self.rng.gen_range(0..region_nodes.len())];
+            self.add_item(&mut doc, region);
+        }
+        let people = doc.add_element(site, "people");
+        for _ in 0..(n_items / 2).max(2) {
+            self.add_person(&mut doc, people);
+        }
+        let auctions = doc.add_element(site, "open_auctions");
+        for _ in 0..(n_items / 2).max(1) {
+            self.add_auction(&mut doc, auctions);
+        }
+        doc
+    }
+
+    fn add_category(&mut self, doc: &mut Document, categories: NodeId) {
+        let c = doc.add_element(categories, "category");
+        let id = format!("category{}", self.next_category);
+        self.next_category += 1;
+        doc.set_attr(c, "id", &id);
+        doc.add_text_element(c, "name", &words::sentence(&mut self.rng, 2));
+        doc.add_text_element(c, "description", &words::sentence(&mut self.rng, 8));
+    }
+
+    fn add_item(&mut self, doc: &mut Document, region: NodeId) {
+        let item = doc.add_element(region, "item");
+        let id = format!("item{}", self.next_item);
+        self.next_item += 1;
+        doc.set_attr(item, "id", &id);
+        let countries = ["Moldova, Republic Of", "United States", "Japan", "Scotland", "Brazil"];
+        doc.add_text_element(item, "location", countries[self.rng.gen_range(0..countries.len())]);
+        doc.add_text_element(item, "quantity", &self.rng.gen_range(1..5u32).to_string());
+        doc.add_text_element(item, "name", &words::sentence(&mut self.rng, 2));
+        doc.add_text_element(item, "payment", "Money order, Creditcard, Cash");
+        let desc = doc.add_element(item, "description");
+        let text = doc.add_element(desc, "text");
+        let para = words::paragraph(&mut self.rng, 20);
+        doc.add_text(text, &para);
+        doc.add_text_element(item, "shipping", "Will ship only within country");
+        let n_cats = self.next_category.max(1);
+        let mut cats = std::collections::BTreeSet::new();
+        for _ in 0..self.rng.gen_range(1..=2usize) {
+            cats.insert(self.rng.gen_range(0..n_cats));
+        }
+        for c in cats {
+            let inc = doc.add_element(item, "incategory");
+            doc.set_attr(inc, "category", &format!("category{c}"));
+        }
+        if self.rng.gen_bool(0.5) {
+            let mb = doc.add_element(item, "mailbox");
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..self.rng.gen_range(1..=2usize) {
+                let (f1, l1) = words::person(&mut self.rng);
+                let (f2, l2) = words::person(&mut self.rng);
+                let (mo, da, yr) = words::date(&mut self.rng);
+                let key = (f1.clone(), l1.clone(), f2.clone(), l2.clone(), mo, da, yr);
+                if !seen.insert(key) {
+                    continue;
+                }
+                let mail = doc.add_element(mb, "mail");
+                doc.add_text_element(mail, "from", &format!("{f1} {l1} mailto:{l1}@example.org"));
+                doc.add_text_element(mail, "to", &format!("{f2} {l2} mailto:{l2}@example.org"));
+                doc.add_text_element(mail, "date", &format!("{mo:02}/{da:02}/{yr}"));
+                let body = words::paragraph(&mut self.rng, 12);
+                doc.add_text_element(mail, "text", &body);
+            }
+        }
+    }
+
+    fn add_person(&mut self, doc: &mut Document, people: NodeId) {
+        let p = doc.add_element(people, "person");
+        let id = format!("person{}", self.next_person);
+        self.next_person += 1;
+        doc.set_attr(p, "id", &id);
+        let (first, last) = words::person(&mut self.rng);
+        doc.add_text_element(p, "name", &format!("{first} {last}"));
+        doc.add_text_element(p, "emailaddress", &format!("mailto:{last}@example.org"));
+        if self.rng.gen_bool(0.4) {
+            doc.add_text_element(p, "phone", &format!("+1 ({}) 555-{:04}", self.rng.gen_range(200..999), self.rng.gen_range(0..9999)));
+        }
+    }
+
+    fn add_auction(&mut self, doc: &mut Document, auctions: NodeId) {
+        let a = doc.add_element(auctions, "open_auction");
+        let id = format!("open_auction{}", self.next_auction);
+        self.next_auction += 1;
+        doc.set_attr(a, "id", &id);
+        doc.add_text_element(a, "initial", &format!("{:.2}", self.rng.gen_range(1.0..200.0)));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..self.rng.gen_range(0..=3usize) {
+            let (mo, da, yr) = words::date(&mut self.rng);
+            let time = format!("{:02}:{:02}:{:02}", self.rng.gen_range(0..24), self.rng.gen_range(0..60), self.rng.gen_range(0..60));
+            let person = self.rng.gen_range(0..self.next_person.max(1));
+            let increase = format!("{:.2}", self.rng.gen_range(1.0..20.0));
+            let key = (mo, da, yr, time.clone(), person, increase.clone());
+            if !seen.insert(key) {
+                continue;
+            }
+            let b = doc.add_element(a, "bidder");
+            doc.add_text_element(b, "date", &format!("{mo:02}/{da:02}/{yr}"));
+            doc.add_text_element(b, "time", &time);
+            let pr = doc.add_element(b, "personref");
+            doc.set_attr(pr, "person", &format!("person{person}"));
+            doc.add_text_element(b, "increase", &increase);
+        }
+        doc.add_text_element(a, "current", &format!("{:.2}", self.rng.gen_range(1.0..500.0)));
+        doc.add_text_element(a, "quantity", &self.rng.gen_range(1..4u32).to_string());
+        doc.add_text_element(a, "type", if self.rng.gen_bool(0.5) { "Regular" } else { "Featured" });
+    }
+
+    /// All item nodes of a document, with their region parents.
+    fn items(doc: &Document) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        if let Some(regions) = doc.first_child_element(doc.root(), "regions") {
+            for r in REGIONS {
+                for region in doc.child_elements(regions, r) {
+                    for item in doc.child_elements(region, "item") {
+                        out.push((region, item));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// §5.3 random change: delete `pct`% of items, insert the same number
+    /// of fresh items, and rewrite the string content of `pct`% of items'
+    /// text fields.
+    pub fn random_change(&mut self, prev: &Document, pct: f64) -> Document {
+        let mut doc = prev.clone();
+        let items = Self::items(&doc);
+        let n = items.len();
+        let k = ((n as f64) * pct / 100.0).round() as usize;
+
+        // deletions
+        let mut chosen: Vec<usize> = (0..n).collect();
+        for _ in 0..k.min(n) {
+            let idx = self.rng.gen_range(0..chosen.len());
+            let (region, item) = items[chosen.swap_remove(idx)];
+            if let Some(pos) = doc.children(region).iter().position(|&c| c == item) {
+                doc.remove_child(region, pos);
+            }
+        }
+        // modifications (on survivors)
+        let survivors = Self::items(&doc);
+        for _ in 0..k.min(survivors.len()) {
+            let (_, item) = survivors[self.rng.gen_range(0..survivors.len())];
+            // rewrite the item's name and description text to random strings
+            if let Some(name) = doc.first_child_element(item, "name") {
+                let t = doc.children(name)[0];
+                let s = words::sentence(&mut self.rng, 2);
+                doc.set_text(t, &s);
+            }
+            if let Some(desc) = doc.first_child_element(item, "description") {
+                if let Some(text) = doc.first_child_element(desc, "text") {
+                    let t = doc.children(text)[0];
+                    let s = words::paragraph(&mut self.rng, 20);
+                    doc.set_text(t, &s);
+                }
+            }
+        }
+        // insertions
+        let regions = doc.first_child_element(doc.root(), "regions").expect("regions");
+        let region_nodes: Vec<NodeId> = REGIONS
+            .iter()
+            .filter_map(|r| doc.first_child_element(regions, r))
+            .collect();
+        for _ in 0..k {
+            let region = region_nodes[self.rng.gen_range(0..region_nodes.len())];
+            self.add_item(&mut doc, region);
+        }
+        doc
+    }
+
+    /// §5.3 worst case: rewrite the `id` key of `pct`% of items, leaving
+    /// their contents untouched — the archive must store each mutated item
+    /// twice while a diff stores only the one-line id change.
+    pub fn key_mutation(&mut self, prev: &Document, pct: f64) -> Document {
+        let mut doc = prev.clone();
+        let items = Self::items(&doc);
+        let n = items.len();
+        let k = ((n as f64) * pct / 100.0).round() as usize;
+        let mut chosen: Vec<usize> = (0..n).collect();
+        for _ in 0..k.min(n) {
+            let idx = self.rng.gen_range(0..chosen.len());
+            let (_, item) = items[chosen.swap_remove(idx)];
+            let id = format!("item{}", self.next_item);
+            self.next_item += 1;
+            doc.set_attr(item, "id", &id);
+        }
+        doc
+    }
+
+    /// A version sequence under random change.
+    pub fn random_change_sequence(&mut self, n_items: usize, versions: usize, pct: f64) -> Vec<Document> {
+        let mut out = vec![self.generate(n_items)];
+        for _ in 1..versions {
+            let next = self.random_change(out.last().expect("nonempty"), pct);
+            out.push(next);
+        }
+        out
+    }
+
+    /// A version sequence under key mutation.
+    pub fn key_mutation_sequence(&mut self, n_items: usize, versions: usize, pct: f64) -> Vec<Document> {
+        let mut out = vec![self.generate(n_items)];
+        for _ in 1..versions {
+            let next = self.key_mutation(out.last().expect("nonempty"), pct);
+            out.push(next);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_keys::validate;
+
+    #[test]
+    fn generated_site_is_valid() {
+        let mut g = XmarkGen::new(1);
+        let doc = g.generate(40);
+        let v = validate(&doc, &xmark_spec());
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(XmarkGen::items(&doc).len(), 40);
+    }
+
+    #[test]
+    fn random_change_keeps_validity_and_count() {
+        let mut g = XmarkGen::new(2);
+        let v1 = g.generate(60);
+        let v2 = g.random_change(&v1, 10.0);
+        let violations = validate(&v2, &xmark_spec());
+        assert!(violations.is_empty(), "{violations:?}");
+        // deleted k, inserted k → same item count
+        assert_eq!(XmarkGen::items(&v2).len(), 60);
+        // and some content actually changed
+        assert!(!xarch_xml::value_equal(&v1, v1.root(), &v2, v2.root()));
+    }
+
+    #[test]
+    fn key_mutation_changes_ids_only() {
+        let mut g = XmarkGen::new(3);
+        let v1 = g.generate(50);
+        let v2 = g.key_mutation(&v1, 10.0);
+        assert!(validate(&v2, &xmark_spec()).is_empty());
+        let ids = |d: &Document| -> std::collections::HashSet<String> {
+            XmarkGen::items(d)
+                .iter()
+                .map(|&(_, i)| d.attr(i, "id").unwrap().to_owned())
+                .collect()
+        };
+        let i1 = ids(&v1);
+        let i2 = ids(&v2);
+        assert_eq!(i1.len(), i2.len());
+        let changed = i1.difference(&i2).count();
+        assert_eq!(changed, 5, "10% of 50 items mutated");
+        // the textual change is tiny: only the mutated id lines differ
+        let p1 = xarch_xml::writer::to_pretty_string(&v1, 1);
+        let p2 = xarch_xml::writer::to_pretty_string(&v2, 1);
+        let l1: Vec<&str> = p1.lines().collect();
+        let l2: Vec<&str> = p2.lines().collect();
+        assert_eq!(l1.len(), l2.len(), "key mutation must not restructure");
+        let diff_lines = l1.iter().zip(l2.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(diff_lines, 5, "exactly one changed line per mutated item");
+    }
+
+    #[test]
+    fn archives_under_random_change() {
+        let mut g = XmarkGen::new(4);
+        let seq = g.random_change_sequence(20, 4, 10.0);
+        let mut a = xarch_core::Archive::new(xmark_spec());
+        for d in &seq {
+            a.add_version(d).unwrap();
+        }
+        a.check_invariants().unwrap();
+        for (i, d) in seq.iter().enumerate() {
+            let got = a.retrieve(i as u32 + 1).unwrap();
+            assert!(
+                xarch_core::equiv_modulo_key_order(&got, d, a.spec()),
+                "version {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = XmarkGen::new(9).generate(10);
+        let b = XmarkGen::new(9).generate(10);
+        assert!(xarch_xml::value_equal(&a, a.root(), &b, b.root()));
+    }
+}

@@ -1,0 +1,262 @@
+//! An SCCS-style weave (Rochkind 1975).
+//!
+//! The paper positions its archiver as a key-aware generalization of SCCS
+//! (§1, §8): SCCS merges all versions of a *text file* into one sequence
+//! where each line carries the interval of versions it exists in, and any
+//! version is retrieved by a single scan. The archiver does the same for
+//! *keyed trees*. We implement the weave both as the paper's point of
+//! comparison and as the mechanism behind "further compaction" beneath
+//! frontier nodes (§4.2) — `xarch-core` weaves child sequences the same way
+//! this module weaves lines.
+//!
+//! SCCS's known weakness (quoted in §8) is reproduced faithfully: a line
+//! that is deleted and later re-inserted appears twice in the weave, because
+//! lines have no keys.
+
+use crate::myers::{diff_texts, split_lines};
+
+/// One woven line: the text plus the half-open interval of versions in
+/// which the line is live. `deleted == None` means still live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeaveLine {
+    pub text: String,
+    /// Version that introduced the line (1-based).
+    pub inserted: u32,
+    /// First version in which the line is absent.
+    pub deleted: Option<u32>,
+}
+
+impl WeaveLine {
+    /// True if the line belongs to version `v`.
+    pub fn live_at(&self, v: u32) -> bool {
+        self.inserted <= v && self.deleted.map_or(true, |d| v < d)
+    }
+}
+
+/// An SCCS-style weave of all versions of a text.
+#[derive(Debug, Default, Clone)]
+pub struct Weave {
+    lines: Vec<WeaveLine>,
+    versions: u32,
+}
+
+impl Weave {
+    /// Creates an empty weave.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of archived versions.
+    pub fn versions(&self) -> u32 {
+        self.versions
+    }
+
+    /// The woven lines (for inspection and size accounting).
+    pub fn lines(&self) -> &[WeaveLine] {
+        &self.lines
+    }
+
+    /// Adds the next version of the text.
+    pub fn add_version(&mut self, text: &str) {
+        self.versions += 1;
+        let v = self.versions;
+        if v == 1 {
+            for line in split_lines(text) {
+                self.lines.push(WeaveLine {
+                    text: line.to_owned(),
+                    inserted: 1,
+                    deleted: None,
+                });
+            }
+            return;
+        }
+        let prev = self.retrieve(v - 1).expect("previous version exists");
+        let script = diff_texts(&prev, text);
+
+        // Rebuild the weave, applying the script relative to the positions
+        // of lines live at v-1.
+        let mut out: Vec<WeaveLine> = Vec::with_capacity(self.lines.len() + script.edit_cost());
+        let mut live_idx = 0usize; // position among lines live at v-1
+        let mut edits = script.edits.iter().peekable();
+        for mut line in self.lines.drain(..) {
+            let was_live = line.live_at(v - 1);
+            if was_live {
+                // Pure insertions land *before* the live line at a_start.
+                while let Some(e) = edits.peek() {
+                    if e.a_start == live_idx && e.a_len == 0 {
+                        for b in &e.b_lines {
+                            out.push(WeaveLine {
+                                text: b.clone(),
+                                inserted: v,
+                                deleted: None,
+                            });
+                        }
+                        edits.next();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(e) = edits.peek() {
+                    if e.a_start <= live_idx && live_idx < e.a_start + e.a_len {
+                        line.deleted = Some(v);
+                        let is_last_deleted = live_idx == e.a_start + e.a_len - 1;
+                        out.push(line);
+                        if is_last_deleted {
+                            for b in &e.b_lines {
+                                out.push(WeaveLine {
+                                    text: b.clone(),
+                                    inserted: v,
+                                    deleted: None,
+                                });
+                            }
+                            edits.next();
+                        }
+                        live_idx += 1;
+                        continue;
+                    }
+                }
+                out.push(line);
+                live_idx += 1;
+            } else {
+                out.push(line);
+            }
+        }
+        // Trailing insertion at end of file.
+        for e in edits {
+            debug_assert_eq!(e.a_len, 0, "only a trailing insert may remain");
+            for b in &e.b_lines {
+                out.push(WeaveLine {
+                    text: b.clone(),
+                    inserted: v,
+                    deleted: None,
+                });
+            }
+        }
+        self.lines = out;
+    }
+
+    /// Retrieves version `v` with a single scan of the weave.
+    pub fn retrieve(&self, v: u32) -> Option<String> {
+        if v == 0 || v > self.versions {
+            return None;
+        }
+        let lines: Vec<&str> = self
+            .lines
+            .iter()
+            .filter(|l| l.live_at(v))
+            .map(|l| l.text.as_str())
+            .collect();
+        Some(lines.join("\n"))
+    }
+
+    /// Serializes the weave in an SCCS-like block format: runs of lines with
+    /// identical (inserted, deleted) marks share `^AI`/`^AD` control lines.
+    pub fn serialized(&self) -> String {
+        let mut out = String::new();
+        let mut current: Option<(u32, Option<u32>)> = None;
+        for line in &self.lines {
+            let mark = (line.inserted, line.deleted);
+            if current != Some(mark) {
+                match mark.1 {
+                    Some(d) => out.push_str(&format!("\x01I {} D {}\n", mark.0, d)),
+                    None => out.push_str(&format!("\x01I {}\n", mark.0)),
+                }
+                current = Some(mark);
+            }
+            out.push_str(&line.text);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Byte size of the serialized weave.
+    pub fn size_bytes(&self) -> usize {
+        self.serialized().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_version_round_trip() {
+        let mut w = Weave::new();
+        w.add_version("a\nb\nc");
+        assert_eq!(w.retrieve(1).as_deref(), Some("a\nb\nc"));
+    }
+
+    #[test]
+    fn all_versions_retrievable() {
+        let vs = ["a\nb\nc", "a\nx\nc", "a\nx\nc\nd", "x\nc\nd", "a\nx\nc\nd"];
+        let mut w = Weave::new();
+        for v in &vs {
+            w.add_version(v);
+        }
+        for (i, v) in vs.iter().enumerate() {
+            assert_eq!(w.retrieve(i as u32 + 1).as_deref(), Some(*v), "version {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn shared_lines_stored_once() {
+        let mut w = Weave::new();
+        w.add_version("keep\nchange1");
+        w.add_version("keep\nchange2");
+        w.add_version("keep\nchange3");
+        let keeps = w.lines().iter().filter(|l| l.text == "keep").count();
+        assert_eq!(keeps, 1);
+    }
+
+    #[test]
+    fn reinsertion_duplicates_lines() {
+        // The SCCS weakness §8 describes: delete then re-insert the same
+        // line and it is stored twice.
+        let mut w = Weave::new();
+        w.add_version("a\nflicker\nb");
+        w.add_version("a\nb");
+        w.add_version("a\nflicker\nb");
+        let flickers = w.lines().iter().filter(|l| l.text == "flicker").count();
+        assert_eq!(flickers, 2);
+        assert_eq!(w.retrieve(3).as_deref(), Some("a\nflicker\nb"));
+        assert_eq!(w.retrieve(2).as_deref(), Some("a\nb"));
+    }
+
+    #[test]
+    fn empty_versions_handled() {
+        let mut w = Weave::new();
+        w.add_version("");
+        w.add_version("a");
+        w.add_version("");
+        assert_eq!(w.retrieve(1).as_deref(), Some(""));
+        assert_eq!(w.retrieve(2).as_deref(), Some("a"));
+        assert_eq!(w.retrieve(3).as_deref(), Some(""));
+    }
+
+    #[test]
+    fn serialized_groups_blocks() {
+        let mut w = Weave::new();
+        w.add_version("a\nb");
+        w.add_version("a\nb\nc\nd");
+        let s = w.serialized();
+        // one block for v1 lines, one for v2 insertions
+        assert_eq!(s.matches('\x01').count(), 2);
+    }
+
+    #[test]
+    fn growing_file_weave_size_near_last_version() {
+        // Accretive growth: weave stores each line once, so its size stays
+        // close to the size of the last version.
+        let mut w = Weave::new();
+        let mut lines: Vec<String> = (0..50).map(|i| format!("rec{i}")).collect();
+        w.add_version(&lines.join("\n"));
+        for v in 0..10 {
+            for j in 0..5 {
+                lines.push(format!("rec-new-{v}-{j}"));
+            }
+            w.add_version(&lines.join("\n"));
+        }
+        let last = lines.join("\n").len();
+        assert!(w.size_bytes() < last + last / 5, "weave should stay near last version size");
+    }
+}

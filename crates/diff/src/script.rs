@@ -1,0 +1,204 @@
+//! Edit scripts over line sequences.
+//!
+//! A [`Script`] is an ordered, non-overlapping list of replace-[`Edit`]s
+//! against the source sequence. Scripts can be applied, inverted (given the
+//! source they were computed from), and serialized to the `diff` *normal
+//! format* — the byte size of that serialization is what the paper's size
+//! series measure for delta repositories.
+
+use std::fmt::Write as _;
+
+/// One edit: replace `a[a_start .. a_start + a_len]` with `b_lines`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Start position in the source sequence.
+    pub a_start: usize,
+    /// Number of source lines replaced (0 = pure insertion before `a_start`).
+    pub a_len: usize,
+    /// Replacement lines (empty = pure deletion).
+    pub b_lines: Vec<String>,
+}
+
+/// A minimal edit script: edits sorted by `a_start`, non-overlapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Script {
+    pub edits: Vec<Edit>,
+}
+
+impl Script {
+    /// True if the script changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Total deleted + inserted line count (the Myers edit distance `D`).
+    pub fn edit_cost(&self) -> usize {
+        self.edits.iter().map(|e| e.a_len + e.b_lines.len()).sum()
+    }
+
+    /// Applies the script to `a`, producing the target sequence.
+    pub fn apply(&self, a: &[&str]) -> Vec<String> {
+        let mut out = Vec::with_capacity(a.len());
+        let mut pos = 0usize;
+        for e in &self.edits {
+            debug_assert!(e.a_start >= pos, "edits must be sorted and disjoint");
+            out.extend(a[pos..e.a_start].iter().map(|s| (*s).to_owned()));
+            out.extend(e.b_lines.iter().cloned());
+            pos = e.a_start + e.a_len;
+        }
+        out.extend(a[pos..].iter().map(|s| (*s).to_owned()));
+        out
+    }
+
+    /// Applies the script to a text, treating it as newline-separated lines.
+    pub fn apply_text(&self, a: &str) -> String {
+        let lines = crate::myers::split_lines(a);
+        self.apply(&lines).join("\n")
+    }
+
+    /// Inverts the script relative to the source `a` it was computed from:
+    /// applying the result to `apply(a)` yields `a` again. This is how the
+    /// backward-delta variants of §5 are obtained.
+    pub fn invert(&self, a: &[&str]) -> Script {
+        let mut edits = Vec::with_capacity(self.edits.len());
+        // Track the offset between source and target positions.
+        let mut shift = 0isize;
+        for e in &self.edits {
+            let b_start = (e.a_start as isize + shift) as usize;
+            edits.push(Edit {
+                a_start: b_start,
+                a_len: e.b_lines.len(),
+                b_lines: a[e.a_start..e.a_start + e.a_len]
+                    .iter()
+                    .map(|s| (*s).to_owned())
+                    .collect(),
+            });
+            shift += e.b_lines.len() as isize - e.a_len as isize;
+        }
+        Script { edits }
+    }
+
+    /// Serializes in `diff` normal format (`5,7c5,6` / `3a4` / `8,9d7`
+    /// commands with `< ` / `---` / `> ` payload lines). The source lines
+    /// `a` are needed to print deletions.
+    pub fn to_normal_format(&self, a: &[&str]) -> String {
+        let mut out = String::new();
+        let mut shift = 0isize;
+        for e in &self.edits {
+            let b_start = (e.a_start as isize + shift) as usize;
+            let range = |start: usize, len: usize| -> String {
+                // diff numbers lines from 1; empty ranges print the line
+                // *before* the gap.
+                if len == 0 {
+                    format!("{}", start)
+                } else if len == 1 {
+                    format!("{}", start + 1)
+                } else {
+                    format!("{},{}", start + 1, start + len)
+                }
+            };
+            let ar = range(e.a_start, e.a_len);
+            let br = range(b_start, e.b_lines.len());
+            if e.a_len == 0 {
+                let _ = writeln!(out, "{ar}a{br}");
+            } else if e.b_lines.is_empty() {
+                let _ = writeln!(out, "{ar}d{br}");
+            } else {
+                let _ = writeln!(out, "{ar}c{br}");
+            }
+            for line in &a[e.a_start..e.a_start + e.a_len] {
+                let _ = writeln!(out, "< {line}");
+            }
+            if e.a_len > 0 && !e.b_lines.is_empty() {
+                out.push_str("---\n");
+            }
+            for line in &e.b_lines {
+                let _ = writeln!(out, "> {line}");
+            }
+            shift += e.b_lines.len() as isize - e.a_len as isize;
+        }
+        out
+    }
+
+    /// Byte size of the normal-format serialization (the repository size
+    /// contribution of this delta).
+    pub fn size_bytes(&self, a: &[&str]) -> usize {
+        self.to_normal_format(a).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::myers::{diff_texts, split_lines};
+
+    #[test]
+    fn invert_round_trips() {
+        let a = "one\ntwo\nthree\nfour";
+        let b = "one\n2\n2.5\nthree";
+        let s = diff_texts(a, b);
+        let al = split_lines(a);
+        let bl_owned = s.apply(&al);
+        let bl: Vec<&str> = bl_owned.iter().map(|s| s.as_str()).collect();
+        let inv = s.invert(&al);
+        assert_eq!(inv.apply(&bl), al);
+    }
+
+    #[test]
+    fn invert_of_invert_is_original_effect() {
+        let a = "a\nb\nc";
+        let b = "x\nb\ny\nz";
+        let s = diff_texts(a, b);
+        let al = split_lines(a);
+        let bl_owned = s.apply(&al);
+        let bl: Vec<&str> = bl_owned.iter().map(|s| s.as_str()).collect();
+        let inv2 = s.invert(&al).invert(&bl);
+        assert_eq!(inv2.apply(&al), bl_owned);
+    }
+
+    #[test]
+    fn normal_format_change() {
+        let a = "keep\nold1\nold2\nkeep2";
+        let b = "keep\nnew1\nkeep2";
+        let s = diff_texts(a, b);
+        let f = s.to_normal_format(&split_lines(a));
+        assert_eq!(f, "2,3c2\n< old1\n< old2\n---\n> new1\n");
+    }
+
+    #[test]
+    fn normal_format_add_and_delete() {
+        let a = "a\nb";
+        let b = "a\nx\nb";
+        let s = diff_texts(a, b);
+        assert_eq!(s.to_normal_format(&split_lines(a)), "1a2\n> x\n");
+
+        let s2 = diff_texts(b, a);
+        assert_eq!(s2.to_normal_format(&split_lines(b)), "2d1\n< x\n");
+    }
+
+    #[test]
+    fn size_counts_payload() {
+        let a = "a";
+        let b = "a\nlonger line here";
+        let s = diff_texts(a, b);
+        assert!(s.size_bytes(&split_lines(a)) >= "longer line here".len());
+    }
+
+    #[test]
+    fn edit_cost_sums_both_sides() {
+        let s = Script {
+            edits: vec![Edit {
+                a_start: 0,
+                a_len: 2,
+                b_lines: vec!["x".into(), "y".into(), "z".into()],
+            }],
+        };
+        assert_eq!(s.edit_cost(), 5);
+    }
+
+    #[test]
+    fn apply_text_convenience() {
+        let s = diff_texts("a\nb", "a\nc");
+        assert_eq!(s.apply_text("a\nb"), "a\nc");
+    }
+}

@@ -1,0 +1,390 @@
+//! The external-memory archiver facade and the streaming merge of §6.3.
+//!
+//! "This step is very much like [the sort] except that frontier nodes are
+//! handled differently ... Initially x is the root of A′ and y is a virtual
+//! root of D′ with the same key as x, and x and y proceed through A′ and D′
+//! in document order. If label(x) < label(y), we output x and its entire
+//! subtree and attach the current timestamp ... If label(x) > label(y) we
+//! output y and its entire subtree and attach timestamp i ... Otherwise we
+//! output x [with i added] ... Since this step makes one pass through the
+//! archive and version, it incurs O(N/B) I/Os."
+
+use xarch_core::TimeSet;
+use xarch_keys::{annotate, KeySpec};
+use xarch_xml::Document;
+
+use crate::etree::{insert_new, merge_tree, terminate, EKind, ETree};
+use crate::events::{
+    encode_small, encode_spine_close, encode_spine_open, Peeked, SpineHeader, StreamCursor,
+    StreamError,
+};
+use crate::io::{IoConfig, IoStats, PagedWriter};
+use crate::sort::write_sorted_version;
+
+type Result<T> = std::result::Result<T, StreamError>;
+
+/// The external-memory archive: a sorted event stream plus I/O accounting.
+#[derive(Debug)]
+pub struct ExtArchive {
+    spec: KeySpec,
+    cfg: IoConfig,
+    data: Vec<u8>,
+    latest: u32,
+    stats: IoStats,
+}
+
+impl ExtArchive {
+    /// Creates an empty external archive.
+    pub fn new(spec: KeySpec, cfg: IoConfig) -> Self {
+        // the empty archive: a root spine with an empty timestamp
+        let mut data = Vec::new();
+        encode_spine_open(
+            &SpineHeader {
+                tag: "root".into(),
+                attrs: Vec::new(),
+                sort_key: Some("root\u{0}".into()),
+                time: Some(TimeSet::new()),
+            },
+            &mut data,
+        );
+        encode_spine_close(&mut data);
+        Self {
+            spec,
+            cfg,
+            data,
+            latest: 0,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Number of archived versions.
+    pub fn latest(&self) -> u32 {
+        self.latest
+    }
+
+    /// Size of the archive stream in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Cumulative I/O statistics across all operations.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The raw archive stream (diagnostics).
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Archives the next version: annotate → external sort → one merge pass.
+    pub fn add_version(&mut self, doc: &Document) -> Result<u32> {
+        let ann = annotate(doc, &self.spec).map_err(|e| StreamError(e.to_string()))?;
+        let (sorted, sort_stats) = write_sorted_version(doc, &ann, &self.cfg)?;
+        self.stats.add(sort_stats);
+        let i = self.latest + 1;
+
+        let mut ar = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let mut vr = StreamCursor::new(&sorted, self.cfg.page_bytes);
+        let mut out = PagedWriter::new(self.cfg.page_bytes);
+        merge_spines(&mut ar, &mut vr, &mut out, &TimeSet::new(), i)?;
+        self.stats.page_reads += ar.pages_read() + vr.pages_read();
+        let (bytes, writes) = out.finish();
+        self.stats.page_writes += writes;
+        self.data = bytes;
+        self.latest = i;
+        Ok(i)
+    }
+
+    /// Retrieves version `v` with one streaming pass.
+    pub fn retrieve(&mut self, v: u32) -> Result<Option<Document>> {
+        if v == 0 || v > self.latest {
+            return Ok(None);
+        }
+        let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let root = read_visible(&mut cur, v, None)?;
+        self.stats.page_reads += cur.pages_read();
+        // root is the synthetic "root"; its children hold the document root
+        let Some(root) = root else {
+            return Ok(None);
+        };
+        let doc_root = root.children.into_iter().find(|c| {
+            matches!(c.kind, EKind::Element { .. })
+        });
+        let Some(tree) = doc_root else {
+            return Ok(None); // empty version
+        };
+        Ok(Some(tree_to_doc(&tree)))
+    }
+}
+
+/// Reads the next entry (spine or small) as a *version-v* filtered ETree.
+/// Returns `None` when the entry is not visible at `v`.
+fn read_visible(cur: &mut StreamCursor<'_>, v: u32, _inherited: Option<&TimeSet>) -> Result<Option<ETree>> {
+    match cur.peek()? {
+        Peeked::Small(_) => {
+            let t = cur.take_small()?;
+            Ok(filter_tree(&t, v, true))
+        }
+        Peeked::Spine(_) => {
+            let h = cur.take_spine_open()?;
+            let visible = h.time.as_ref().map_or(true, |t| t.contains(v));
+            let mut children = Vec::new();
+            loop {
+                match cur.peek()? {
+                    Peeked::Close => {
+                        cur.take_spine_close()?;
+                        break;
+                    }
+                    Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+                    _ => {
+                        if let Some(c) = read_visible(cur, v, None)? {
+                            if visible {
+                                children.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            if !visible {
+                return Ok(None);
+            }
+            Ok(Some(ETree {
+                kind: EKind::Element {
+                    tag: h.tag,
+                    attrs: h.attrs,
+                },
+                sort_key: h.sort_key,
+                frontier: false,
+                time: h.time,
+                children,
+            }))
+        }
+        Peeked::Close | Peeked::Eof => Err(StreamError("expected an entry".into())),
+    }
+}
+
+/// Filters an in-memory fragment to the content visible at version `v`.
+/// `parent_visible` reflects timestamp inheritance.
+fn filter_tree(t: &ETree, v: u32, parent_visible: bool) -> Option<ETree> {
+    let visible = match &t.time {
+        Some(ts) => ts.contains(v),
+        None => parent_visible,
+    };
+    if !visible {
+        return None;
+    }
+    match &t.kind {
+        EKind::Stamp => {
+            // transparent: hoist the alternative's children
+            let children: Vec<ETree> = t
+                .children
+                .iter()
+                .filter_map(|c| filter_tree(c, v, true))
+                .collect();
+            Some(ETree {
+                kind: EKind::Stamp,
+                sort_key: None,
+                frontier: false,
+                time: None,
+                children,
+            })
+        }
+        _ => {
+            let mut children = Vec::new();
+            for c in &t.children {
+                if let Some(fc) = filter_tree(c, v, true) {
+                    if matches!(fc.kind, EKind::Stamp) {
+                        children.extend(fc.children);
+                    } else {
+                        children.push(fc);
+                    }
+                }
+            }
+            Some(ETree {
+                kind: t.kind.clone(),
+                sort_key: t.sort_key.clone(),
+                frontier: t.frontier,
+                time: None,
+                children,
+            })
+        }
+    }
+}
+
+fn tree_to_doc(t: &ETree) -> Document {
+    let EKind::Element { tag, attrs } = &t.kind else {
+        panic!("document root must be an element");
+    };
+    let mut doc = Document::new(tag);
+    let root = doc.root();
+    for (a, v) in attrs {
+        doc.set_attr(root, a, v);
+    }
+    for c in &t.children {
+        add_tree(&mut doc, root, c);
+    }
+    doc
+}
+
+fn add_tree(doc: &mut Document, parent: xarch_xml::NodeId, t: &ETree) {
+    match &t.kind {
+        EKind::Text(s) => {
+            doc.add_text(parent, s);
+        }
+        EKind::Stamp => {
+            for c in &t.children {
+                add_tree(doc, parent, c);
+            }
+        }
+        EKind::Element { tag, attrs } => {
+            let e = doc.add_element(parent, tag);
+            for (a, v) in attrs {
+                doc.set_attr(e, a, v);
+            }
+            for c in &t.children {
+                add_tree(doc, e, c);
+            }
+        }
+    }
+}
+
+/// The streaming merge: both cursors are positioned at spine-open markers
+/// with equal labels.
+fn merge_spines(
+    ar: &mut StreamCursor<'_>,
+    vr: &mut StreamCursor<'_>,
+    out: &mut PagedWriter,
+    inherited: &TimeSet,
+    i: u32,
+) -> Result<()> {
+    let mut ah = ar.take_spine_open()?;
+    let vh = vr.take_spine_open()?;
+    debug_assert_eq!(ah.sort_key, vh.sort_key, "spine labels must match");
+    let t_cur = match ah.time.as_mut() {
+        Some(t) => {
+            t.insert(i);
+            t.clone()
+        }
+        None => inherited.clone(),
+    };
+    let mut header = Vec::new();
+    encode_spine_open(&ah, &mut header);
+    out.write(&header);
+
+    let mut t_term = t_cur.clone();
+    t_term.remove(i);
+    let t_new = TimeSet::from_version(i);
+
+    loop {
+        let pa = ar.peek()?;
+        let pv = vr.peek()?;
+        let ka = match &pa {
+            Peeked::Small(Some(k)) | Peeked::Spine(Some(k)) => Some(k.clone()),
+            Peeked::Close => None,
+            _ => return Err(StreamError("unexpected entry in archive spine".into())),
+        };
+        let kv = match &pv {
+            Peeked::Small(Some(k)) | Peeked::Spine(Some(k)) => Some(k.clone()),
+            Peeked::Close => None,
+            _ => return Err(StreamError("unexpected entry in version spine".into())),
+        };
+        match (ka, kv) {
+            (None, None) => {
+                ar.take_spine_close()?;
+                vr.take_spine_close()?;
+                let mut close = Vec::new();
+                encode_spine_close(&mut close);
+                out.write(&close);
+                return Ok(());
+            }
+            (Some(_), None) => {
+                // archive-only: output with terminated timestamp
+                ar.copy_entry(out, Some(&t_term))?;
+            }
+            (None, Some(_)) => {
+                // version-only: output with timestamp {i}
+                vr.copy_entry(out, Some(&t_new))?;
+            }
+            (Some(a_key), Some(v_key)) => match a_key.cmp(&v_key) {
+                std::cmp::Ordering::Less => {
+                    ar.copy_entry(out, Some(&t_term))?;
+                }
+                std::cmp::Ordering::Greater => {
+                    vr.copy_entry(out, Some(&t_new))?;
+                }
+                std::cmp::Ordering::Equal => {
+                    match (matches!(pa, Peeked::Spine(_)), matches!(pv, Peeked::Spine(_))) {
+                        (true, true) => merge_spines(ar, vr, out, &t_cur, i)?,
+                        (false, false) => {
+                            let mut x = ar.take_small()?;
+                            let y = vr.take_small()?;
+                            merge_tree(&mut x, &y, &t_cur, i);
+                            let mut bytes = Vec::new();
+                            encode_small(&x, &mut bytes);
+                            out.write(&bytes);
+                        }
+                        // A node crossed the size threshold between
+                        // versions: materialize both sides (rare; bounded
+                        // by one subtree).
+                        (a_spine, _) => {
+                            let mut x = if a_spine {
+                                materialize_spine(ar)?
+                            } else {
+                                ar.take_small()?
+                            };
+                            let y = if a_spine {
+                                vr.take_small()?
+                            } else {
+                                materialize_spine(vr)?
+                            };
+                            merge_tree(&mut x, &y, &t_cur, i);
+                            let mut bytes = Vec::new();
+                            encode_small(&x, &mut bytes);
+                            out.write(&bytes);
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Loads a whole spine into memory (only for size-threshold crossings).
+fn materialize_spine(cur: &mut StreamCursor<'_>) -> Result<ETree> {
+    let h = cur.take_spine_open()?;
+    let mut children = Vec::new();
+    loop {
+        match cur.peek()? {
+            Peeked::Close => {
+                cur.take_spine_close()?;
+                break;
+            }
+            Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+            Peeked::Small(_) => children.push(cur.take_small()?),
+            Peeked::Spine(_) => children.push(materialize_spine(cur)?),
+        }
+    }
+    Ok(ETree {
+        kind: EKind::Element {
+            tag: h.tag,
+            attrs: h.attrs,
+        },
+        sort_key: h.sort_key,
+        frontier: false,
+        time: h.time,
+        children,
+    })
+}
+
+/// Archive-side termination used by spine copies.
+#[allow(dead_code)]
+fn terminate_tree(x: &mut ETree, t_cur: &TimeSet, i: u32) {
+    terminate(x, t_cur, i);
+}
+
+/// Version-side insertion used by spine copies.
+#[allow(dead_code)]
+fn insert_tree(y: &ETree, i: u32) -> ETree {
+    insert_new(y, i)
+}

@@ -1,0 +1,111 @@
+//! Differential testing: the external archiver must produce, version for
+//! version, the same database as the in-memory archiver — under memory
+//! budgets small enough to force spines, runs and multi-pass merges.
+
+use xarch_core::{equiv_modulo_key_order, Archive};
+use xarch_datagen::omim::{omim_spec, OmimGen};
+use xarch_extmem::{ExtArchive, IoConfig, IoStats};
+use xarch_keys::KeySpec;
+use xarch_xml::parse;
+
+fn small_cfg() -> IoConfig {
+    IoConfig {
+        mem_bytes: 2 << 10, // 2 KiB: forces the record list to stream
+        page_bytes: 256,
+    }
+}
+
+#[test]
+fn external_matches_in_memory_on_company() {
+    let spec = xarch_datagen::company::company_spec();
+    let versions = xarch_datagen::company_versions();
+    let mut mem = Archive::new(spec.clone());
+    let mut ext = ExtArchive::new(spec.clone(), small_cfg());
+    for d in &versions {
+        mem.add_version(d).unwrap();
+        ext.add_version(d).unwrap();
+    }
+    for (i, _) in versions.iter().enumerate() {
+        let v = i as u32 + 1;
+        let a = mem.retrieve(v).unwrap();
+        let b = ext.retrieve(v).unwrap().unwrap();
+        assert!(equiv_modulo_key_order(&a, &b, &spec), "version {v}");
+    }
+}
+
+#[test]
+fn external_matches_in_memory_on_omim() {
+    let spec = omim_spec();
+    let mut g = OmimGen::new(77);
+    // crank up the change ratios so all code paths fire
+    g.del_ratio = 0.05;
+    g.ins_ratio = 0.10;
+    g.mod_ratio = 0.05;
+    let versions = g.sequence(40, 6);
+    let mut mem = Archive::new(spec.clone());
+    let mut ext = ExtArchive::new(spec.clone(), small_cfg());
+    for d in &versions {
+        mem.add_version(d).unwrap();
+        ext.add_version(d).unwrap();
+    }
+    assert_eq!(ext.latest(), 6);
+    for v in 1..=6u32 {
+        let a = mem.retrieve(v).unwrap();
+        let b = ext.retrieve(v).unwrap().unwrap();
+        assert!(equiv_modulo_key_order(&a, &b, &spec), "version {v}");
+    }
+    // real I/O was charged
+    let s: IoStats = ext.stats();
+    assert!(s.page_reads > 10, "{s:?}");
+    assert!(s.page_writes > 10, "{s:?}");
+}
+
+#[test]
+fn io_scales_with_page_size() {
+    let spec = omim_spec();
+    let versions = OmimGen::new(5).sequence(60, 3);
+    let run = |page: usize| -> u64 {
+        let cfg = IoConfig {
+            mem_bytes: 4 << 10,
+            page_bytes: page,
+        };
+        let mut ext = ExtArchive::new(spec.clone(), cfg);
+        for d in &versions {
+            ext.add_version(d).unwrap();
+        }
+        ext.stats().total()
+    };
+    let io_small_pages = run(128);
+    let io_big_pages = run(2048);
+    assert!(
+        io_big_pages < io_small_pages,
+        "bigger pages mean fewer I/Os: {io_big_pages} vs {io_small_pages}"
+    );
+}
+
+#[test]
+fn element_reappearance_round_trips() {
+    let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap();
+    let v1 = parse("<db><rec><id>1</id><val>a</val></rec><rec><id>2</id><val>b</val></rec></db>").unwrap();
+    let v2 = parse("<db><rec><id>2</id><val>b</val></rec></db>").unwrap();
+    let v3 = parse("<db><rec><id>1</id><val>a2</val></rec><rec><id>2</id><val>b</val></rec></db>").unwrap();
+    let mut mem = Archive::new(spec.clone());
+    let mut ext = ExtArchive::new(spec.clone(), small_cfg());
+    for d in [&v1, &v2, &v3] {
+        mem.add_version(d).unwrap();
+        ext.add_version(d).unwrap();
+    }
+    for v in 1..=3u32 {
+        let a = mem.retrieve(v).unwrap();
+        let b = ext.retrieve(v).unwrap().unwrap();
+        assert!(equiv_modulo_key_order(&a, &b, &spec), "version {v}");
+    }
+}
+
+#[test]
+fn invalid_version_is_none() {
+    let spec = omim_spec();
+    let mut ext = ExtArchive::new(spec, small_cfg());
+    assert!(ext.retrieve(0).unwrap().is_none());
+    assert!(ext.retrieve(1).unwrap().is_none());
+}

@@ -1,0 +1,245 @@
+//! The history index of §7.2: "maintain, for each keyed node in the
+//! archive, a sorted list of key values of children nodes" — a binary
+//! search per level answers a temporal-history query in `O(l log d)`
+//! comparisons, where `l` is the key-path length and `d` the maximum
+//! degree.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use xarch_core::{ANodeId, Archive, KeyQuery, TimeSet};
+
+/// One record of a sorted child list: the child id plus, per the paper,
+/// an "index offset" (here: the child's own list lives in the same map)
+/// and a "timestamp offset" (here: the resolved effective timestamp).
+#[derive(Debug, Clone)]
+struct Entry {
+    child: ANodeId,
+    time: TimeSet,
+}
+
+/// Sorted child-key lists for every keyed node.
+#[derive(Debug, Clone)]
+pub struct HistoryIndex {
+    lists: HashMap<ANodeId, Vec<Entry>>,
+    comparisons: Cell<usize>,
+}
+
+impl HistoryIndex {
+    /// Builds the index with a single scan of the archive ("all key values
+    /// of children nodes of any node x are known by the time x is exited").
+    pub fn build(archive: &Archive) -> Self {
+        let mut lists: HashMap<ANodeId, Vec<Entry>> = HashMap::new();
+        let root_time = archive.effective_time(archive.root());
+        build_rec(archive, archive.root(), &root_time, &mut lists);
+        Self {
+            lists,
+            comparisons: Cell::new(0),
+        }
+    }
+
+    /// Answers a temporal-history query by one binary search per step.
+    /// Returns the element's effective timestamp.
+    pub fn history(&self, archive: &Archive, steps: &[KeyQuery]) -> Option<TimeSet> {
+        let mut cur = archive.root();
+        let mut time = None;
+        for step in steps {
+            let list = self.lists.get(&cur)?;
+            let mut lo = 0usize;
+            let mut hi = list.len();
+            let mut found = None;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                self.comparisons.set(self.comparisons.get() + 1);
+                match archive.query_cmp(list[mid].child, step) {
+                    Ordering::Less => lo = mid + 1,
+                    Ordering::Greater => hi = mid,
+                    Ordering::Equal => {
+                        found = Some(mid);
+                        break;
+                    }
+                }
+            }
+            let idx = found?;
+            time = Some(list[idx].time.clone());
+            cur = list[idx].child;
+        }
+        time
+    }
+
+    /// Comparison counter (reset with [`HistoryIndex::reset`]).
+    pub fn comparisons(&self) -> usize {
+        self.comparisons.get()
+    }
+
+    /// Resets the comparison counter.
+    pub fn reset(&self) {
+        self.comparisons.set(0);
+    }
+
+    /// Maximum list length `d` (for the `O(l log d)` bound).
+    pub fn max_degree(&self) -> usize {
+        self.lists.values().map(|l| l.len()).max().unwrap_or(0)
+    }
+}
+
+fn build_rec(
+    archive: &Archive,
+    id: ANodeId,
+    inherited: &TimeSet,
+    lists: &mut HashMap<ANodeId, Vec<Entry>>,
+) {
+    let mut entries: Vec<Entry> = Vec::new();
+    for &c in archive.children(id) {
+        let eff = archive
+            .node(c)
+            .time
+            .clone()
+            .unwrap_or_else(|| inherited.clone());
+        if archive.node(c).key.is_some() {
+            entries.push(Entry {
+                child: c,
+                time: eff.clone(),
+            });
+        }
+        build_rec(archive, c, &eff, lists);
+    }
+    if !entries.is_empty() {
+        // sort by (tag, key value) — the same order query_cmp probes
+        entries.sort_by(|a, b| cmp_children(archive, a.child, b.child));
+        lists.insert(id, entries);
+    }
+}
+
+fn cmp_children(archive: &Archive, a: ANodeId, b: ANodeId) -> Ordering {
+    let ta = archive.tag_name(a).unwrap_or("");
+    let tb = archive.tag_name(b).unwrap_or("");
+    ta.cmp(tb).then_with(|| {
+        match (&archive.node(a).key, &archive.node(b).key) {
+            (Some(ka), Some(kb)) => ka.cmp_parts(kb),
+            _ => Ordering::Equal,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_keys::KeySpec;
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse(
+            "(/, (db, {}))\n(/db, (dept, {name}))\n(/db/dept, (emp, {fn, ln}))\n\
+             (/db/dept/emp, (sal, {}))",
+        )
+        .unwrap()
+    }
+
+    fn sample() -> Archive {
+        let mut a = Archive::new(spec());
+        let v1 = parse(
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>90K</sal></emp></dept></db>",
+        )
+        .unwrap();
+        let v2 = parse(
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp>\
+             <emp><fn>Jane</fn><ln>Smith</ln><sal>80K</sal></emp></dept>\
+             <dept><name>marketing</name></dept></db>",
+        )
+        .unwrap();
+        a.add_version(&v1).unwrap();
+        a.add_version(&v2).unwrap();
+        a
+    }
+
+    #[test]
+    fn indexed_history_matches_naive() {
+        let a = sample();
+        let idx = HistoryIndex::build(&a);
+        let queries: Vec<Vec<KeyQuery>> = vec![
+            vec![KeyQuery::new("db")],
+            vec![
+                KeyQuery::new("db"),
+                KeyQuery::new("dept").with_text("name", "finance"),
+            ],
+            vec![
+                KeyQuery::new("db"),
+                KeyQuery::new("dept").with_text("name", "finance"),
+                KeyQuery::new("emp").with_text("fn", "Jane").with_text("ln", "Smith"),
+            ],
+            vec![
+                KeyQuery::new("db"),
+                KeyQuery::new("dept").with_text("name", "marketing"),
+            ],
+        ];
+        for q in &queries {
+            assert_eq!(idx.history(&a, q), a.history(q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn missing_element_is_none() {
+        let a = sample();
+        let idx = HistoryIndex::build(&a);
+        let q = vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("dept").with_text("name", "hr"),
+        ];
+        assert_eq!(idx.history(&a, &q), None);
+        assert_eq!(a.history(&q), None);
+    }
+
+    #[test]
+    fn comparison_count_is_logarithmic() {
+        // Wide sibling list: lookups must do ~log2(d) comparisons per level.
+        let mut s = String::from("<db><dept><name>finance</name>");
+        for i in 0..256 {
+            s.push_str(&format!("<emp><fn>F{i:03}</fn><ln>L{i:03}</ln></emp>"));
+        }
+        s.push_str("</dept></db>");
+        let mut a = Archive::new(spec());
+        a.add_version(&parse(&s).unwrap()).unwrap();
+        let idx = HistoryIndex::build(&a);
+        idx.reset();
+        let q = vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("dept").with_text("name", "finance"),
+            KeyQuery::new("emp").with_text("fn", "F100").with_text("ln", "L100"),
+        ];
+        let t = idx.history(&a, &q).unwrap();
+        assert_eq!(t.to_string(), "1");
+        // 3 levels, d ≤ 257 → well under 3 * (log2(257)+1) ≈ 27
+        assert!(idx.comparisons() <= 30, "comparisons = {}", idx.comparisons());
+        assert!(idx.max_degree() >= 256);
+    }
+
+    #[test]
+    fn history_reflects_reappearance() {
+        let mut a = sample();
+        // v3: Jane disappears, v4: Jane returns
+        let v3 = parse(
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp></dept></db>",
+        )
+        .unwrap();
+        let v4 = parse(
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp>\
+             <emp><fn>Jane</fn><ln>Smith</ln><sal>85K</sal></emp></dept></db>",
+        )
+        .unwrap();
+        a.add_version(&v3).unwrap();
+        a.add_version(&v4).unwrap();
+        let idx = HistoryIndex::build(&a);
+        let q = vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("dept").with_text("name", "finance"),
+            KeyQuery::new("emp").with_text("fn", "Jane").with_text("ln", "Smith"),
+        ];
+        assert_eq!(idx.history(&a, &q).unwrap().to_string(), "2,4");
+    }
+}

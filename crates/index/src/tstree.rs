@@ -1,0 +1,357 @@
+//! Timestamp trees (§7.1, Fig 15).
+//!
+//! For each archive node with `k` children, a complete-ish binary tree is
+//! built bottom-up by pairing children repeatedly; each internal node holds
+//! the union of its children's timestamps. To find the children relevant to
+//! version `v`, search down from the tree root, pruning subtrees whose
+//! union does not contain `v`. Following the paper, the search also counts
+//! probes and falls back to scanning all `k` leaves once `k` tree nodes
+//! have been probed, bounding the worst case at `2k` probes.
+
+use std::collections::HashMap;
+
+use xarch_core::{ANodeId, Archive, TimeSet};
+
+/// One node of a timestamp binary tree.
+#[derive(Debug, Clone)]
+enum TsNode {
+    Leaf {
+        time: TimeSet,
+        /// "offset to the corresponding child node in the archive"
+        child: ANodeId,
+    },
+    Inner {
+        time: TimeSet,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// The timestamp tree of one archive node's children.
+#[derive(Debug, Clone, Default)]
+pub struct TsTree {
+    nodes: Vec<TsNode>,
+    root: Option<usize>,
+    k: usize,
+}
+
+impl TsTree {
+    /// Builds the tree for `parent`'s children ("pairing nodes repeatedly
+    /// in a bottom-up manner and taking the union of timestamps").
+    fn build(archive: &Archive, parent: ANodeId, inherited: &TimeSet) -> Self {
+        let mut nodes = Vec::new();
+        let mut level: Vec<usize> = Vec::new();
+        for &c in archive.children(parent) {
+            let time = archive
+                .node(c)
+                .time
+                .clone()
+                .unwrap_or_else(|| inherited.clone());
+            nodes.push(TsNode::Leaf { time, child: c });
+            level.push(nodes.len() - 1);
+        }
+        let k = level.len();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if let [l, r] = pair {
+                    let time = nodes[*l].time().union(nodes[*r].time());
+                    nodes.push(TsNode::Inner {
+                        time,
+                        left: *l,
+                        right: *r,
+                    });
+                    next.push(nodes.len() - 1);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        TsTree {
+            root: level.first().copied(),
+            nodes,
+            k,
+        }
+    }
+
+    /// Children relevant to version `v`, plus the number of tree nodes
+    /// probed. Falls back to scanning all leaves after `k` probes.
+    pub fn relevant(&self, v: u32) -> (Vec<ANodeId>, usize) {
+        let Some(root) = self.root else {
+            return (Vec::new(), 0);
+        };
+        let mut out = Vec::new();
+        let mut probes = 0usize;
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            probes += 1;
+            if probes > self.k {
+                // cut-off: scan all leaves instead (≤ 2k total probes)
+                out.clear();
+                for node in &self.nodes {
+                    if let TsNode::Leaf { time, child } = node {
+                        probes += 1;
+                        if time.contains(v) {
+                            out.push(*child);
+                        }
+                    }
+                }
+                // restore document order
+                out.sort_unstable();
+                return (out, probes);
+            }
+            match &self.nodes[n] {
+                TsNode::Leaf { time, child } => {
+                    if time.contains(v) {
+                        out.push(*child);
+                    }
+                }
+                TsNode::Inner { time, left, right } => {
+                    if time.contains(v) {
+                        // push right first so left is visited first
+                        stack.push(*right);
+                        stack.push(*left);
+                    }
+                }
+            }
+        }
+        (out, probes)
+    }
+
+    /// Number of children (`k`).
+    pub fn fanout(&self) -> usize {
+        self.k
+    }
+}
+
+impl TsNode {
+    fn time(&self) -> &TimeSet {
+        match self {
+            TsNode::Leaf { time, .. } | TsNode::Inner { time, .. } => time,
+        }
+    }
+}
+
+/// Timestamp trees for every internal archive node, built with one scan.
+#[derive(Debug, Clone)]
+pub struct TimestampIndex {
+    trees: HashMap<ANodeId, TsTree>,
+    /// Total probes across the most recent `relevant_children` calls
+    /// (reset with [`TimestampIndex::reset_probes`]).
+    probes: std::cell::Cell<usize>,
+}
+
+impl TimestampIndex {
+    /// Builds the index ("the timestamp trees are created each time a new
+    /// version arrives and after nested merge is applied").
+    pub fn build(archive: &Archive) -> Self {
+        let mut trees = HashMap::new();
+        let root_time = archive.effective_time(archive.root());
+        build_rec(archive, archive.root(), &root_time, &mut trees);
+        Self {
+            trees,
+            probes: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The children of `parent` relevant to version `v`, using the tree.
+    pub fn relevant_children(&self, parent: ANodeId, v: u32) -> Vec<ANodeId> {
+        match self.trees.get(&parent) {
+            Some(t) => {
+                let (out, p) = t.relevant(v);
+                self.probes.set(self.probes.get() + p);
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Probe counter since the last reset.
+    pub fn probes(&self) -> usize {
+        self.probes.get()
+    }
+
+    /// Resets the probe counter.
+    pub fn reset_probes(&self) {
+        self.probes.set(0);
+    }
+
+    /// The tree of one node (for inspection).
+    pub fn tree(&self, parent: ANodeId) -> Option<&TsTree> {
+        self.trees.get(&parent)
+    }
+
+    /// Retrieves version `v` via the index: only relevant subtrees are
+    /// visited. Returns the document plus the probe count consumed.
+    pub fn retrieve(&self, archive: &Archive, v: u32) -> (Option<xarch_xml::Document>, usize) {
+        self.reset_probes();
+        if !archive.has_version(v) {
+            return (None, 0);
+        }
+        let vis = self.relevant_children(archive.root(), v);
+        let doc_root = vis
+            .into_iter()
+            .find(|&c| matches!(archive.node(c).kind, xarch_core::AKind::Element(_)));
+        let Some(doc_root) = doc_root else {
+            return (None, self.probes());
+        };
+        let tag = archive.tag_name(doc_root).expect("element").to_owned();
+        let mut doc = xarch_xml::Document::new(&tag);
+        let did = doc.root();
+        copy_attrs(archive, doc_root, &mut doc, did);
+        self.emit(archive, doc_root, v, &mut doc, did);
+        (Some(doc), self.probes())
+    }
+
+    fn emit(
+        &self,
+        archive: &Archive,
+        id: ANodeId,
+        v: u32,
+        doc: &mut xarch_xml::Document,
+        did: xarch_xml::NodeId,
+    ) {
+        for c in self.relevant_children(id, v) {
+            match &archive.node(c).kind {
+                xarch_core::AKind::Stamp => self.emit(archive, c, v, doc, did),
+                xarch_core::AKind::Element(s) => {
+                    let tag = archive.syms().resolve(*s).to_owned();
+                    let e = doc.add_element(did, &tag);
+                    copy_attrs(archive, c, doc, e);
+                    self.emit(archive, c, v, doc, e);
+                }
+                xarch_core::AKind::Text(t) => {
+                    let t = t.clone();
+                    doc.add_text(did, &t);
+                }
+            }
+        }
+    }
+}
+
+fn copy_attrs(
+    archive: &Archive,
+    id: ANodeId,
+    doc: &mut xarch_xml::Document,
+    did: xarch_xml::NodeId,
+) {
+    let attrs: Vec<(String, String)> = archive
+        .node(id)
+        .attrs
+        .iter()
+        .map(|(s, v)| (archive.syms().resolve(*s).to_owned(), v.clone()))
+        .collect();
+    for (n, v) in attrs {
+        doc.set_attr(did, &n, &v);
+    }
+}
+
+fn build_rec(
+    archive: &Archive,
+    id: ANodeId,
+    inherited: &TimeSet,
+    trees: &mut HashMap<ANodeId, TsTree>,
+) {
+    if archive.children(id).is_empty() {
+        return;
+    }
+    trees.insert(id, TsTree::build(archive, id, inherited));
+    for &c in archive.children(id) {
+        let eff = archive
+            .node(c)
+            .time
+            .clone()
+            .unwrap_or_else(|| inherited.clone());
+        build_rec(archive, c, &eff, trees);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_core::{equiv_modulo_key_order, Archive};
+    use xarch_keys::KeySpec;
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+    }
+
+    fn doc_with(ids: &[u32]) -> xarch_xml::Document {
+        let mut s = String::from("<db>");
+        for i in ids {
+            s.push_str(&format!("<rec><id>{i}</id><val>v{i}</val></rec>"));
+        }
+        s.push_str("</db>");
+        parse(&s).unwrap()
+    }
+
+    fn sample_archive() -> (Archive, Vec<xarch_xml::Document>) {
+        let mut a = Archive::new(spec());
+        // growing database, one record added per version
+        let versions: Vec<_> = (1..=8u32)
+            .map(|v| doc_with(&(0..v).collect::<Vec<_>>()))
+            .collect();
+        for d in &versions {
+            a.add_version(d).unwrap();
+        }
+        (a, versions)
+    }
+
+    #[test]
+    fn indexed_retrieval_matches_scan() {
+        let (a, versions) = sample_archive();
+        let idx = TimestampIndex::build(&a);
+        for (i, want) in versions.iter().enumerate() {
+            let v = i as u32 + 1;
+            let (got, probes) = idx.retrieve(&a, v);
+            let got = got.expect("version exists");
+            assert!(equiv_modulo_key_order(&got, want, a.spec()), "version {v}");
+            assert!(probes > 0);
+        }
+    }
+
+    #[test]
+    fn early_versions_probe_fewer_nodes() {
+        // Version 1 touches 1/8 of the records: pruning must show.
+        let (a, _) = sample_archive();
+        let idx = TimestampIndex::build(&a);
+        let (_, probes_v1) = idx.retrieve(&a, 1);
+        let (_, probes_v8) = idx.retrieve(&a, 8);
+        assert!(
+            probes_v1 < probes_v8,
+            "v1 probes {probes_v1} should be < v8 probes {probes_v8}"
+        );
+    }
+
+    #[test]
+    fn probe_bound_respected() {
+        let (a, _) = sample_archive();
+        let idx = TimestampIndex::build(&a);
+        // for each node with fanout k, probes ≤ 2k + 1 on any version
+        let db = a.children(a.root())[0];
+        let tree = idx.tree(db).expect("db has children");
+        let k = tree.fanout();
+        for v in 1..=8 {
+            let (_, p) = tree.relevant(v);
+            assert!(p <= 2 * k + 1, "version {v}: {p} probes for k={k}");
+        }
+    }
+
+    #[test]
+    fn missing_version_is_none() {
+        let (a, _) = sample_archive();
+        let idx = TimestampIndex::build(&a);
+        assert!(idx.retrieve(&a, 0).0.is_none());
+        assert!(idx.retrieve(&a, 99).0.is_none());
+    }
+
+    #[test]
+    fn empty_node_has_no_tree() {
+        let (a, _) = sample_archive();
+        let idx = TimestampIndex::build(&a);
+        // leaf text nodes have no trees
+        assert!(idx.relevant_children(ANodeId(u32::MAX - 1), 1).is_empty());
+    }
+}

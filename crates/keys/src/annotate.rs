@@ -1,0 +1,587 @@
+//! The **Annotate Keys** module (§4.1).
+//!
+//! Given a document and a key specification, computes for every keyed node
+//! its *key value* — the list of values found at the ends of its key paths —
+//! together with a classification of every node relative to the frontier.
+//! This is the information Nested Merge needs to pair corresponding nodes
+//! between an archive and an incoming version.
+//!
+//! The paper formulates the algorithm as a single document-order scan with
+//! a stack per active key path; we traverse the arena recursively (the call
+//! stack plays the role of the paper's main stack `M`) and resolve key paths
+//! directly against the tree, which performs the same `O(N·h·(Σmᵢ+q))` work
+//! with the "pointer" representation of key-path values the paper's analysis
+//! assumes. Values are canonicalized and fingerprinted on extraction.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+use xarch_xml::canon::canonical;
+use xarch_xml::escape::escape_attr;
+use xarch_xml::{Document, NodeId, NodeKind, Path};
+
+use crate::fingerprint::Fingerprinter;
+use crate::spec::KeySpec;
+
+/// One component of a key value: the key path, the canonical form of the
+/// value found at its end, and the fingerprint of that canonical form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPart {
+    /// The key path, e.g. `fn` or `Date/Month` (`.` for the empty path).
+    pub path: String,
+    /// Canonical form of the key-path value (attribute values are encoded
+    /// as `@name="value"` so they can never collide with element content).
+    pub canon: String,
+    /// Fingerprint of `canon`.
+    pub fp: u128,
+}
+
+/// A node's key value: its key parts sorted by key-path name (the paper's
+/// `≤lab` assumes lexicographically ordered `pᵢ`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyValue {
+    pub parts: Vec<KeyPart>,
+}
+
+impl KeyValue {
+    /// The empty key value (for `{}` keys — "at most one such node").
+    pub fn unit() -> Self {
+        Self { parts: Vec::new() }
+    }
+
+    /// Compares two key values as `≤lab` does after equal tags: by arity,
+    /// then per part by path name, then by value.
+    ///
+    /// Fingerprints short-circuit the common unequal case; on fingerprint
+    /// equality the canonical values are compared — this is the §4.3
+    /// collision-verification protocol, so a weak fingerprinter can never
+    /// cause two distinct keys to be treated as equal.
+    pub fn cmp_parts(&self, other: &Self) -> Ordering {
+        self.parts.len().cmp(&other.parts.len()).then_with(|| {
+            for (a, b) in self.parts.iter().zip(other.parts.iter()) {
+                let o = a.path.cmp(&b.path);
+                if o != Ordering::Equal {
+                    return o;
+                }
+                if a.fp != b.fp || a.canon != b.canon {
+                    let o = a.canon.cmp(&b.canon);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+            }
+            Ordering::Equal
+        })
+    }
+}
+
+impl fmt::Display for KeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", p.path, p.canon)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Classification of a node relative to the key structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Keyed, and some keyed path extends below it.
+    Keyed,
+    /// Keyed and deepest — a frontier node (§3).
+    Frontier,
+    /// Below a frontier node (matched by value, not by key).
+    BeyondFrontier,
+    /// An element above the frontier not covered by any key (the archiver
+    /// falls back to value-based matching for these, per §3's discussion).
+    Unkeyed,
+    /// A text node above the frontier.
+    Text,
+}
+
+/// An error raised while extracting key values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyError {
+    /// Slash-joined label path of the offending node.
+    pub at: String,
+    pub message: String,
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key error at /{}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// Per-node key annotations for one document.
+#[derive(Debug, Clone)]
+pub struct Annotations {
+    classes: Vec<NodeClass>,
+    keys: Vec<Option<KeyValue>>,
+}
+
+impl Annotations {
+    /// The classification of `id`.
+    pub fn class(&self, id: NodeId) -> NodeClass {
+        self.classes[id.index()]
+    }
+
+    /// The key value of `id` (None unless keyed/frontier).
+    pub fn key(&self, id: NodeId) -> Option<&KeyValue> {
+        self.keys[id.index()].as_ref()
+    }
+
+    /// True if `id` is keyed (including frontier nodes).
+    pub fn is_keyed(&self, id: NodeId) -> bool {
+        matches!(self.class(id), NodeClass::Keyed | NodeClass::Frontier)
+    }
+
+    /// True if `id` is a frontier node.
+    pub fn is_frontier(&self, id: NodeId) -> bool {
+        self.class(id) == NodeClass::Frontier
+    }
+
+    /// Number of keyed nodes (diagnostics).
+    pub fn keyed_count(&self) -> usize {
+        self.keys.iter().filter(|k| k.is_some()).count()
+    }
+}
+
+/// Runs Annotate Keys over `doc` with the default (128-bit) fingerprinter.
+pub fn annotate(doc: &Document, spec: &KeySpec) -> Result<Annotations, KeyError> {
+    annotate_with(doc, spec, Fingerprinter::default())
+}
+
+/// Runs Annotate Keys with an explicit fingerprinter (tests use narrow
+/// widths to force collisions).
+pub fn annotate_with(
+    doc: &Document,
+    spec: &KeySpec,
+    fper: Fingerprinter,
+) -> Result<Annotations, KeyError> {
+    let mut ann = Annotations {
+        classes: vec![NodeClass::Text; doc.len()],
+        keys: vec![None; doc.len()],
+    };
+    // Map absolute keyed path -> key index, plus the frontier set.
+    let mut keyed: HashMap<Vec<String>, usize> = HashMap::new();
+    for (i, k) in spec.keys().iter().enumerate() {
+        keyed.insert(k.keyed_path().steps().to_vec(), i);
+    }
+    let frontier: Vec<Vec<String>> = spec
+        .frontier_paths()
+        .iter()
+        .map(|p| p.steps().to_vec())
+        .collect();
+    let mut labels: Vec<String> = Vec::new();
+    walk(
+        doc,
+        doc.root(),
+        spec,
+        &keyed,
+        &frontier,
+        &fper,
+        &mut labels,
+        false,
+        &mut ann,
+    )?;
+    Ok(ann)
+}
+
+/// Lenient annotation used by [`crate::validate`]: key-extraction failures
+/// are recorded as violations instead of aborting, and the offending node is
+/// left key-less (it will also not participate in sibling-uniqueness checks).
+pub(crate) fn annotate_lenient(
+    doc: &Document,
+    spec: &KeySpec,
+    violations: &mut Vec<crate::validate::Violation>,
+) -> Annotations {
+    use crate::validate::{Violation, ViolationKind};
+    let mut ann = Annotations {
+        classes: vec![NodeClass::Text; doc.len()],
+        keys: vec![None; doc.len()],
+    };
+    let mut keyed: HashMap<Vec<String>, usize> = HashMap::new();
+    for (i, k) in spec.keys().iter().enumerate() {
+        keyed.insert(k.keyed_path().steps().to_vec(), i);
+    }
+    let frontier: Vec<Vec<String>> = spec
+        .frontier_paths()
+        .iter()
+        .map(|p| p.steps().to_vec())
+        .collect();
+    let fper = Fingerprinter::default();
+    // Iterative preorder with explicit label stack and per-node classification.
+    let mut labels: Vec<String> = Vec::new();
+    fn rec(
+        doc: &Document,
+        id: NodeId,
+        spec: &KeySpec,
+        keyed: &HashMap<Vec<String>, usize>,
+        frontier: &[Vec<String>],
+        fper: &Fingerprinter,
+        labels: &mut Vec<String>,
+        beyond: bool,
+        ann: &mut Annotations,
+        violations: &mut Vec<Violation>,
+    ) {
+        let tag = match &doc.node(id).kind {
+            NodeKind::Text(_) => {
+                ann.classes[id.index()] = if beyond {
+                    NodeClass::BeyondFrontier
+                } else {
+                    NodeClass::Text
+                };
+                return;
+            }
+            NodeKind::Element(s) => doc.syms().resolve(*s).to_owned(),
+        };
+        labels.push(tag);
+        let mut child_beyond = beyond;
+        if beyond {
+            ann.classes[id.index()] = NodeClass::BeyondFrontier;
+        } else if let Some(&ki) = keyed.get(labels.as_slice()) {
+            let key = &spec.keys()[ki];
+            match extract_key_value(doc, id, &key.key_paths, fper, labels) {
+                Ok(kv) => ann.keys[id.index()] = Some(kv),
+                Err(e) => {
+                    let kind = if e.message.contains("not unique") {
+                        ViolationKind::DuplicateKeyPath
+                    } else {
+                        ViolationKind::MissingKeyPath
+                    };
+                    violations.push(Violation {
+                        kind,
+                        at: e.at,
+                        detail: e.message,
+                    });
+                }
+            }
+            let is_frontier = frontier.iter().any(|f| f == labels);
+            ann.classes[id.index()] = if is_frontier {
+                child_beyond = true;
+                NodeClass::Frontier
+            } else {
+                NodeClass::Keyed
+            };
+        } else {
+            ann.classes[id.index()] = NodeClass::Unkeyed;
+        }
+        for &c in doc.children(id) {
+            rec(doc, c, spec, keyed, frontier, fper, labels, child_beyond, ann, violations);
+        }
+        labels.pop();
+    }
+    rec(
+        doc,
+        doc.root(),
+        spec,
+        &keyed,
+        &frontier,
+        &fper,
+        &mut labels,
+        false,
+        &mut ann,
+        violations,
+    );
+    ann
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    doc: &Document,
+    id: NodeId,
+    spec: &KeySpec,
+    keyed: &HashMap<Vec<String>, usize>,
+    frontier: &[Vec<String>],
+    fper: &Fingerprinter,
+    labels: &mut Vec<String>,
+    beyond: bool,
+    ann: &mut Annotations,
+) -> Result<(), KeyError> {
+    let tag = match &doc.node(id).kind {
+        NodeKind::Text(_) => {
+            ann.classes[id.index()] = if beyond {
+                NodeClass::BeyondFrontier
+            } else {
+                NodeClass::Text
+            };
+            return Ok(());
+        }
+        NodeKind::Element(s) => doc.syms().resolve(*s).to_owned(),
+    };
+    labels.push(tag);
+    let mut child_beyond = beyond;
+    if beyond {
+        ann.classes[id.index()] = NodeClass::BeyondFrontier;
+    } else if let Some(&ki) = keyed.get(labels.as_slice()) {
+        let key = &spec.keys()[ki];
+        let kv = extract_key_value(doc, id, &key.key_paths, fper, labels)?;
+        ann.keys[id.index()] = Some(kv);
+        let is_frontier = frontier.iter().any(|f| f == labels);
+        ann.classes[id.index()] = if is_frontier {
+            child_beyond = true;
+            NodeClass::Frontier
+        } else {
+            NodeClass::Keyed
+        };
+    } else {
+        ann.classes[id.index()] = NodeClass::Unkeyed;
+    }
+    for &c in doc.children(id) {
+        walk(doc, c, spec, keyed, frontier, fper, labels, child_beyond, ann)?;
+    }
+    labels.pop();
+    Ok(())
+}
+
+/// Extracts the key value of the keyed node `id`: resolves every key path to
+/// a unique node (or attribute) and canonicalizes the value found there.
+fn extract_key_value(
+    doc: &Document,
+    id: NodeId,
+    key_paths: &[Path],
+    fper: &Fingerprinter,
+    labels: &[String],
+) -> Result<KeyValue, KeyError> {
+    let mut parts = Vec::with_capacity(key_paths.len());
+    for p in key_paths {
+        let canon = resolve_key_path(doc, id, p, labels)?;
+        let fp = fper.fp(&canon);
+        parts.push(KeyPart {
+            path: p.to_string(),
+            canon,
+            fp,
+        });
+    }
+    // ≤lab assumes key paths sorted lexicographically by path name.
+    parts.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(KeyValue { parts })
+}
+
+/// Resolves one key path from `id`, returning the canonical value string.
+fn resolve_key_path(
+    doc: &Document,
+    id: NodeId,
+    path: &Path,
+    labels: &[String],
+) -> Result<String, KeyError> {
+    let err = |msg: String| KeyError {
+        at: labels.join("/"),
+        message: msg,
+    };
+    if path.is_empty() {
+        // `{.}`: the node is identified by its own value.
+        return Ok(canonical(doc, id));
+    }
+    let mut cur = id;
+    let steps = path.steps();
+    for (i, step) in steps.iter().enumerate() {
+        let matches: Vec<NodeId> = doc.child_elements(cur, step).collect();
+        match matches.len() {
+            1 => cur = matches[0],
+            0 => {
+                // The final step may name an attribute (paths consist of
+                // "node and attribute names", Appendix A.2).
+                if i == steps.len() - 1 {
+                    if let Some(v) = doc.attr(cur, step) {
+                        return Ok(format!("@{}=\"{}\"", step, escape_attr(v)));
+                    }
+                }
+                return Err(err(format!("key path `{path}`: step `{step}` not found")));
+            }
+            n => {
+                return Err(err(format!(
+                    "key path `{path}`: step `{step}` is not unique ({n} matches)"
+                )))
+            }
+        }
+    }
+    Ok(canonical(doc, cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_xml::parse;
+
+    fn company_spec() -> KeySpec {
+        KeySpec::parse(
+            "(/, (db, {}))\n\
+             (/db, (dept, {name}))\n\
+             (/db/dept, (emp, {fn, ln}))\n\
+             (/db/dept/emp, (sal, {}))\n\
+             (/db/dept/emp, (tel, {.}))",
+        )
+        .unwrap()
+    }
+
+    /// Version 4 of the paper's Figure 2.
+    fn version4() -> Document {
+        parse(
+            "<db><dept><name>finance</name>\
+               <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal><tel>123-4567</tel></emp>\
+               <emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal><tel>123-6789</tel><tel>112-3456</tel></emp>\
+             </dept></db>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn annotates_figure_3() {
+        let doc = version4();
+        let spec = company_spec();
+        let ann = annotate(&doc, &spec).unwrap();
+        let dept = doc.first_child_element(doc.root(), "dept").unwrap();
+        let kv = ann.key(dept).unwrap();
+        assert_eq!(kv.parts.len(), 1);
+        assert_eq!(kv.parts[0].path, "name");
+        assert_eq!(kv.parts[0].canon, "<name>finance</name>");
+
+        let emps: Vec<NodeId> = doc.child_elements(dept, "emp").collect();
+        let john = ann.key(emps[0]).unwrap();
+        assert_eq!(john.to_string(), "{fn=<fn>John</fn>, ln=<ln>Doe</ln>}");
+        let jane = ann.key(emps[1]).unwrap();
+        assert_ne!(john.cmp_parts(jane), Ordering::Equal);
+    }
+
+    #[test]
+    fn classes_match_paper() {
+        let doc = version4();
+        let ann = annotate(&doc, &company_spec()).unwrap();
+        let dept = doc.first_child_element(doc.root(), "dept").unwrap();
+        let emp = doc.first_child_element(dept, "emp").unwrap();
+        let sal = doc.first_child_element(emp, "sal").unwrap();
+        let tel = doc.first_child_element(emp, "tel").unwrap();
+        let fnn = doc.first_child_element(emp, "fn").unwrap();
+        assert_eq!(ann.class(doc.root()), NodeClass::Keyed);
+        assert_eq!(ann.class(dept), NodeClass::Keyed);
+        assert_eq!(ann.class(emp), NodeClass::Keyed);
+        assert_eq!(ann.class(sal), NodeClass::Frontier);
+        assert_eq!(ann.class(tel), NodeClass::Frontier);
+        // fn is a key-path node: the implied key (/db/dept/emp, (fn, {}))
+        // makes it a frontier node, exactly as §3 lists /db/dept/emp/fn
+        // among the frontier paths.
+        assert_eq!(ann.class(fnn), NodeClass::Frontier);
+        // text under sal is beyond the frontier
+        let sal_text = doc.children(sal)[0];
+        assert_eq!(ann.class(sal_text), NodeClass::BeyondFrontier);
+    }
+
+    #[test]
+    fn tel_keyed_by_own_content() {
+        let doc = version4();
+        let ann = annotate(&doc, &company_spec()).unwrap();
+        let dept = doc.first_child_element(doc.root(), "dept").unwrap();
+        let jane = doc.child_elements(dept, "emp").nth(1).unwrap();
+        let tels: Vec<NodeId> = doc.child_elements(jane, "tel").collect();
+        let k1 = ann.key(tels[0]).unwrap();
+        let k2 = ann.key(tels[1]).unwrap();
+        assert_ne!(k1.cmp_parts(k2), Ordering::Equal);
+        assert!(k1.parts[0].canon.contains("123-6789"));
+    }
+
+    #[test]
+    fn sal_has_unit_key() {
+        let doc = version4();
+        let ann = annotate(&doc, &company_spec()).unwrap();
+        let dept = doc.first_child_element(doc.root(), "dept").unwrap();
+        let emp = doc.first_child_element(dept, "emp").unwrap();
+        let sal = doc.first_child_element(emp, "sal").unwrap();
+        assert_eq!(ann.key(sal).unwrap(), &KeyValue::unit());
+    }
+
+    #[test]
+    fn attribute_key_paths() {
+        let spec = KeySpec::parse("(/, (site, {}))\n(/site, (item, {id}))").unwrap();
+        let doc = parse(r#"<site><item id="i1"/><item id="i2"/></site>"#).unwrap();
+        let ann = annotate(&doc, &spec).unwrap();
+        let items: Vec<NodeId> = doc.child_elements(doc.root(), "item").collect();
+        let k1 = ann.key(items[0]).unwrap();
+        assert_eq!(k1.parts[0].canon, "@id=\"i1\"");
+        assert_ne!(
+            k1.cmp_parts(ann.key(items[1]).unwrap()),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn missing_key_path_is_error() {
+        let spec = company_spec();
+        let doc = parse("<db><dept><emp><fn>J</fn><ln>D</ln></emp></dept></db>").unwrap();
+        let e = annotate(&doc, &spec).unwrap_err();
+        assert!(e.message.contains("name"));
+        assert_eq!(e.at, "db/dept");
+    }
+
+    #[test]
+    fn duplicate_key_path_is_error() {
+        let spec = company_spec();
+        let doc = parse("<db><dept><name>a</name><name>b</name></dept></db>").unwrap();
+        let e = annotate(&doc, &spec).unwrap_err();
+        assert!(e.message.contains("not unique"));
+    }
+
+    #[test]
+    fn multi_step_key_paths() {
+        let spec = KeySpec::parse(
+            "(/, (ROOT, {}))\n(/ROOT, (Contributors, {Name, Date/Month, Date/Year}))",
+        )
+        .unwrap();
+        let doc = parse(
+            "<ROOT><Contributors><Name>Paul</Name>\
+             <Date><Month>11</Month><Year>2000</Year></Date></Contributors></ROOT>",
+        )
+        .unwrap();
+        let ann = annotate(&doc, &spec).unwrap();
+        let c = doc.first_child_element(doc.root(), "Contributors").unwrap();
+        let kv = ann.key(c).unwrap();
+        assert_eq!(kv.parts.len(), 3);
+        // parts sorted by path name
+        assert_eq!(kv.parts[0].path, "Date/Month");
+        assert_eq!(kv.parts[1].path, "Date/Year");
+        assert_eq!(kv.parts[2].path, "Name");
+    }
+
+    #[test]
+    fn key_value_ordering_is_total_and_consistent() {
+        let doc = version4();
+        let ann = annotate(&doc, &company_spec()).unwrap();
+        let dept = doc.first_child_element(doc.root(), "dept").unwrap();
+        let emps: Vec<NodeId> = doc.child_elements(dept, "emp").collect();
+        let a = ann.key(emps[0]).unwrap();
+        let b = ann.key(emps[1]).unwrap();
+        assert_eq!(a.cmp_parts(b), b.cmp_parts(a).reverse());
+        assert_eq!(a.cmp_parts(a), Ordering::Equal);
+    }
+
+    #[test]
+    fn weak_fingerprints_never_merge_distinct_keys() {
+        // With a 1-bit fingerprinter nearly all fingerprints collide; the
+        // verification step must still distinguish distinct key values.
+        let doc = version4();
+        let spec = company_spec();
+        let ann = annotate_with(&doc, &spec, Fingerprinter::with_bits(1)).unwrap();
+        let dept = doc.first_child_element(doc.root(), "dept").unwrap();
+        let emps: Vec<NodeId> = doc.child_elements(dept, "emp").collect();
+        let a = ann.key(emps[0]).unwrap();
+        let b = ann.key(emps[1]).unwrap();
+        assert_ne!(a.cmp_parts(b), Ordering::Equal);
+    }
+
+    #[test]
+    fn keyed_count_counts_all_keyed_nodes() {
+        let doc = version4();
+        let ann = annotate(&doc, &company_spec()).unwrap();
+        // db, dept, name, 2×emp, 2×fn, 2×ln, 2×sal, 3×tel = 14
+        assert_eq!(ann.keyed_count(), 14);
+    }
+}

@@ -1,0 +1,426 @@
+//! Key specifications and their textual syntax.
+//!
+//! The paper writes a relative key as `(Q, (Q', {P1, ..., Pk}))`, e.g.
+//!
+//! ```text
+//! (/db/dept, (emp, {fn, ln}))
+//! (/db/dept/emp, (tel, {.}))      # "." (or \e) is the empty key path
+//! (/ROOT, (Record, {Num}))
+//! ```
+//!
+//! [`KeySpec::parse`] accepts one key per line with `#` comments, which is
+//! the format the Appendix B specs are written in.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use xarch_xml::Path;
+
+/// One relative key `(context, (target, {key paths}))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    /// Context path `Q`, anchored at the root (the paper writes a leading `/`).
+    pub context: Path,
+    /// Target path `Q'`, relative to the context.
+    pub target: Path,
+    /// Key paths `P1..Pk`, relative to the target. An empty key path means
+    /// "identified by content"; an empty *list* means "at most one".
+    pub key_paths: Vec<Path>,
+    /// True for keys synthesized by the implied-keys rule of §3: "whenever a
+    /// key `(Q, (Q', {P1..Pk}))` exists, the keys `(Q/Q', (Pi, {}))` are
+    /// implied ... we shall always assume that they are part of the key
+    /// specification".
+    pub implied: bool,
+}
+
+impl Key {
+    /// The keyed path `Q/Q'` — the absolute label path of nodes this key
+    /// constrains.
+    pub fn keyed_path(&self) -> Path {
+        self.context.concat(&self.target)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ctx = if self.context.is_empty() {
+            "/".to_owned()
+        } else {
+            format!("/{}", self.context)
+        };
+        let paths: Vec<String> = self.key_paths.iter().map(|p| p.to_string()).collect();
+        write!(f, "({}, ({}, {{{}}}))", ctx, self.target, paths.join(", "))
+    }
+}
+
+/// Errors raised while parsing or checking a key specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number in the spec source (0 when not line-specific).
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key spec error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete key specification: a list of relative keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KeySpec {
+    keys: Vec<Key>,
+}
+
+impl KeySpec {
+    /// Builds a spec from keys, adding the implied keys of §3 and checking
+    /// the structural assumptions.
+    pub fn new(keys: Vec<Key>) -> Result<Self, SpecError> {
+        let mut spec = Self { keys };
+        spec.add_implied_keys();
+        spec.check_assumptions()?;
+        Ok(spec)
+    }
+
+    /// Synthesizes the implied keys: for every explicit key
+    /// `(Q, (Q', {..., Pi, ...}))` with a non-empty key path
+    /// `Pi = p1/.../pm`, each node along `Q/Q'/p1/.../pj` exists uniquely,
+    /// so the unit keys `(Q/Q'/p1/../p(j-1), (pj, {}))` hold. These make
+    /// key-path nodes (e.g. `fn`, `name`) *frontier nodes* — exactly the
+    /// frontier the paper lists for the company database in §3.
+    fn add_implied_keys(&mut self) {
+        let mut have: HashSet<Path> = self.keys.iter().map(|k| k.keyed_path()).collect();
+        let mut extra = Vec::new();
+        for k in &self.keys {
+            for p in &k.key_paths {
+                let mut ctx = k.keyed_path();
+                for step in p.steps() {
+                    let kp = ctx.child(step);
+                    if have.insert(kp) {
+                        extra.push(Key {
+                            context: ctx.clone(),
+                            target: Path::from_steps([step.clone()]),
+                            key_paths: Vec::new(),
+                            implied: true,
+                        });
+                    }
+                    ctx = ctx.child(step);
+                }
+            }
+        }
+        self.keys.extend(extra);
+    }
+
+    /// Parses the paper's line-oriented syntax. Blank lines and `#` comments
+    /// are ignored.
+    pub fn parse(src: &str) -> Result<Self, SpecError> {
+        let mut keys = Vec::new();
+        for (i, raw) in src.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            keys.push(parse_key(line).map_err(|m| SpecError {
+                line: i + 1,
+                message: m,
+            })?);
+        }
+        Self::new(keys)
+    }
+
+    /// The keys, in declaration order.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Number of keys `q`.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the spec has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// All keyed paths `Q/Q'` (with duplicates removed, declaration order).
+    pub fn keyed_paths(&self) -> Vec<Path> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for k in &self.keys {
+            let p = k.keyed_path();
+            if seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// The **frontier paths** (§3): keyed paths that are not a proper prefix
+    /// of any other keyed path. Frontier nodes are the deepest keyed nodes;
+    /// beneath them, Nested Merge switches to value-based matching.
+    pub fn frontier_paths(&self) -> Vec<Path> {
+        let all = self.keyed_paths();
+        all.iter()
+            .filter(|p| !all.iter().any(|q| p.is_proper_prefix_of(q)))
+            .cloned()
+            .collect()
+    }
+
+    /// Finds the key whose keyed path equals `path` (the key that governs a
+    /// node at that label path). The paper's assumptions guarantee at most
+    /// one.
+    pub fn key_for_path(&self, path: &Path) -> Option<&Key> {
+        self.keys.iter().find(|k| &k.keyed_path() == path)
+    }
+
+    /// True if `path` is a keyed path of this spec.
+    pub fn is_keyed_path(&self, path: &Path) -> bool {
+        self.key_for_path(path).is_some()
+    }
+
+    /// True if `path` is a frontier path of this spec.
+    pub fn is_frontier_path(&self, path: &Path) -> bool {
+        self.is_keyed_path(path)
+            && !self
+                .keyed_paths()
+                .iter()
+                .any(|q| path.is_proper_prefix_of(q))
+    }
+
+    /// Checks the structural assumptions of §3:
+    ///
+    /// 1. **insertion-friendly**: every key's context is either the root or
+    ///    itself a keyed path (keys are relative to the parent's key);
+    /// 2. keyed paths are unique (one key per target path);
+    /// 3. no keyed path lies strictly beneath a *key path* of another key —
+    ///    nodes inside key values must not themselves be keyed (the paper's
+    ///    third restriction).
+    fn check_assumptions(&self) -> Result<(), SpecError> {
+        let keyed: Vec<Path> = self.keyed_paths();
+        let mut seen: HashSet<Path> = HashSet::new();
+        for k in &self.keys {
+            let kp = k.keyed_path();
+            if !seen.insert(kp.clone()) {
+                return Err(SpecError {
+                    line: 0,
+                    message: format!("duplicate key for path {kp}"),
+                });
+            }
+            if !k.context.is_empty() && !keyed.iter().any(|p| p == &k.context) {
+                return Err(SpecError {
+                    line: 0,
+                    message: format!(
+                        "key {k} is not insertion-friendly: context {} is not itself keyed",
+                        k.context
+                    ),
+                });
+            }
+        }
+        // restriction 3: nothing keyed strictly below a key path
+        for k in &self.keys {
+            for p in &k.key_paths {
+                if p.is_empty() {
+                    continue;
+                }
+                let full = k.keyed_path().concat(p);
+                for other in &keyed {
+                    if full.is_proper_prefix_of(other) {
+                        return Err(SpecError {
+                            line: 0,
+                            message: format!(
+                                "keyed path {other} lies beneath key path {full} of {k}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a single `(/ctx, (target, {p1, p2}))` line.
+fn parse_key(line: &str) -> Result<Key, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or("key must be wrapped in ( ... )")?;
+    // split at the first comma that is at depth 0
+    let mut depth = 0usize;
+    let mut split = None;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' | '{' => depth += 1,
+            ')' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                split = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let split = split.ok_or("expected `,` between context and (target, {..})")?;
+    let ctx_str = inner[..split].trim();
+    let rest = inner[split + 1..].trim();
+    let rest = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or("expected `(target, {key paths})`")?;
+    let brace = rest.find('{').ok_or("expected `{`")?;
+    let target_str = rest[..brace].trim().trim_end_matches(',').trim();
+    let paths_str = rest[brace..]
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("expected `{key paths}`")?;
+    let key_paths: Vec<Path> = if paths_str.trim().is_empty() {
+        Vec::new()
+    } else {
+        paths_str.split(',').map(Path::parse).collect()
+    };
+    if target_str.is_empty() {
+        return Err("empty target path".into());
+    }
+    Ok(Key {
+        context: Path::parse(ctx_str),
+        target: Path::parse(target_str),
+        key_paths,
+        implied: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The company-database key spec of §3.
+    pub(crate) fn company_spec() -> KeySpec {
+        KeySpec::parse(
+            "(/, (db, {}))\n\
+             (/db, (dept, {name}))\n\
+             (/db/dept, (emp, {fn, ln}))\n\
+             (/db/dept/emp, (sal, {}))\n\
+             (/db/dept/emp, (tel, {.}))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_company_spec() {
+        let spec = company_spec();
+        // 5 explicit keys + implied keys for the key-path nodes name, fn, ln
+        assert_eq!(spec.keys().iter().filter(|k| !k.implied).count(), 5);
+        assert_eq!(spec.len(), 8);
+        let emp = spec.key_for_path(&Path::parse("db/dept/emp")).unwrap();
+        assert_eq!(emp.key_paths.len(), 2);
+        assert_eq!(emp.key_paths[0].to_string(), "fn");
+        let tel = spec.key_for_path(&Path::parse("db/dept/emp/tel")).unwrap();
+        assert_eq!(tel.key_paths, vec![Path::empty()]);
+        let db = spec.key_for_path(&Path::parse("db")).unwrap();
+        assert!(db.key_paths.is_empty());
+    }
+
+    #[test]
+    fn frontier_paths_of_company_spec() {
+        // §3: "the key specification for the company database has frontier
+        // paths /db/dept/name, /db/dept/emp/fn, /db/dept/emp/ln,
+        // /db/dept/emp/sal, and /db/dept/emp/tel."
+        let spec = company_spec();
+        let mut f: Vec<String> = spec.frontier_paths().iter().map(|p| p.to_string()).collect();
+        f.sort();
+        assert_eq!(
+            f,
+            vec![
+                "db/dept/emp/fn",
+                "db/dept/emp/ln",
+                "db/dept/emp/sal",
+                "db/dept/emp/tel",
+                "db/dept/name",
+            ]
+        );
+        assert!(spec.is_frontier_path(&Path::parse("db/dept/emp/tel")));
+        assert!(!spec.is_frontier_path(&Path::parse("db/dept")));
+        assert!(!spec.is_frontier_path(&Path::parse("db/dept/emp")));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = KeySpec::parse("# header\n\n(/, (db, {}))  # root key\n").unwrap();
+        assert_eq!(spec.len(), 1);
+    }
+
+    #[test]
+    fn backslash_e_empty_path() {
+        let spec = KeySpec::parse("(/, (ROOT, {}))\n(/ROOT, (word, {\\e}))").unwrap();
+        let k = spec.key_for_path(&Path::parse("ROOT/word")).unwrap();
+        assert_eq!(k.key_paths, vec![Path::empty()]);
+    }
+
+    #[test]
+    fn rejects_non_insertion_friendly() {
+        // context db/dept is never declared as a keyed path
+        let err = KeySpec::parse("(/db/dept, (emp, {fn}))").unwrap_err();
+        assert!(err.message.contains("insertion-friendly"));
+    }
+
+    #[test]
+    fn rejects_duplicate_keyed_paths() {
+        let err = KeySpec::parse("(/, (db, {}))\n(/, (db, {x}))").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_keyed_nodes_beneath_key_paths() {
+        // emp is keyed by fn, but fn/inner is itself declared keyed
+        let err = KeySpec::parse(
+            "(/, (db, {}))\n(/db, (emp, {fn}))\n(/db/emp, (fn, {}))\n(/db/emp/fn, (inner, {}))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("beneath key path"));
+    }
+
+    #[test]
+    fn implied_key_paths_are_allowed() {
+        // (Q/Q', (Pi, {})) implied keys may be stated explicitly (the paper
+        // always assumes them); a key path with an *empty-path* key on the
+        // same node is the (tel, {.}) pattern.
+        let spec = KeySpec::parse("(/, (db, {}))\n(/db, (emp, {fn}))\n(/db/emp, (fn, {}))").unwrap();
+        assert!(spec.is_keyed_path(&Path::parse("db/emp/fn")));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let spec = company_spec();
+        for k in spec.keys().iter().filter(|k| !k.implied) {
+            let printed = k.to_string();
+            let reparsed = parse_key(&printed).unwrap();
+            assert_eq!(&reparsed, k);
+        }
+    }
+
+    #[test]
+    fn appendix_b1_omim_spec_parses() {
+        let spec = KeySpec::parse(
+            "(/, (ROOT, {}))\n\
+             (/ROOT, (Record, {Num}))\n\
+             (/ROOT/Record, (Title, {}))\n\
+             (/ROOT/Record, (AlternativeTitle, {\\e}))\n\
+             (/ROOT/Record, (Text, {}))\n\
+             (/ROOT/Record, (Contributors, {Name, CNtype, Date/Month, Date/Day, Date/Year}))\n\
+             (/ROOT/Record/Contributors, (Date, {}))\n\
+             (/ROOT/Record, (Creation_Date, {Name, Date/Month, Date/Day, Date/Year}))\n\
+             (/ROOT/Record/Creation_Date, (Date, {}))",
+        )
+        .unwrap();
+        assert_eq!(spec.keys().iter().filter(|k| !k.implied).count(), 9);
+        let c = spec.key_for_path(&Path::parse("ROOT/Record/Contributors")).unwrap();
+        assert_eq!(c.key_paths[2].to_string(), "Date/Month");
+        // implied keys cover the key-path interior, e.g. Contributors/Date/Month
+        assert!(spec.is_keyed_path(&Path::parse("ROOT/Record/Contributors/Date/Month")));
+        assert!(spec.is_frontier_path(&Path::parse("ROOT/Record/Contributors/Date/Month")));
+    }
+}

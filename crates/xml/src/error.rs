@@ -1,0 +1,49 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error raised while parsing an XML document, with 1-based line and
+/// column of the offending input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes from start of line).
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: u32, col: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 7, "unexpected '<'");
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("unexpected"));
+    }
+}

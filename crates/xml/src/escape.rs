@@ -1,0 +1,140 @@
+//! Escaping and unescaping of XML character data and attribute values.
+//!
+//! Supports the five predefined entities (`&lt; &gt; &amp; &quot; &apos;`)
+//! and decimal / hexadecimal character references (`&#65;`, `&#x41;`).
+
+/// Escapes text content: `& < >` are replaced by entities.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_text_into(s, &mut out);
+    out
+}
+
+/// Appends the escaped form of `s` (text-content rules) to `out`.
+pub fn escape_text_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value for inclusion in double quotes:
+/// `& < > "` are replaced by entities.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_attr_into(s, &mut out);
+    out
+}
+
+/// Appends the escaped form of `s` (attribute rules, double quotes) to `out`.
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Resolves a single entity name (the part between `&` and `;`).
+///
+/// Returns `None` for unknown entities.
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = name.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+/// Unescapes character data, resolving entities. Unknown entities are left
+/// verbatim (lenient mode, used only in tests); the parser rejects them.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.char_indices();
+    while let Some((i, c)) = it.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        // find terminating ';'
+        if let Some(end) = s[i + 1..].find(';') {
+            let name = &s[i + 1..i + 1 + end];
+            if let Some(ch) = resolve_entity(name) {
+                out.push(ch);
+                // skip name and ';'
+                for _ in 0..name.len() + 1 {
+                    it.next();
+                }
+                continue;
+            }
+        }
+        out.push('&');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip_text() {
+        let orig = "a < b && c > d";
+        assert_eq!(unescape(&escape_text(orig)), orig);
+    }
+
+    #[test]
+    fn escape_round_trip_attr() {
+        let orig = "he said \"x < y\" & left";
+        assert_eq!(unescape(&escape_attr(orig)), orig);
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('😀'));
+        assert_eq!(resolve_entity("#xZZ"), None);
+    }
+
+    #[test]
+    fn predefined_entities() {
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("nbsp"), None);
+    }
+
+    #[test]
+    fn unescape_lenient_on_unknown() {
+        assert_eq!(unescape("a &unknown; b"), "a &unknown; b");
+        assert_eq!(unescape("dangling &"), "dangling &");
+    }
+
+    #[test]
+    fn unescape_mixed() {
+        assert_eq!(unescape("&lt;tag&gt; &#38; more"), "<tag> & more");
+    }
+}

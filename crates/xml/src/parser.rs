@@ -1,0 +1,502 @@
+//! A hand-written, dependency-free XML parser.
+//!
+//! Supports the subset of XML needed by the paper's datasets and archives:
+//! prolog, comments, processing instructions, DOCTYPE (skipped), elements,
+//! attributes (single or double quoted), CDATA sections, predefined and
+//! numeric character references. Namespaces are treated lexically (a tag
+//! `T:emp` is just a name containing a colon, which is how the paper's
+//! timestamp namespace is handled).
+//!
+//! By default, whitespace-only text nodes between elements are dropped —
+//! the paper's value model ignores inter-element whitespace (§4.3 fn. 3).
+
+use crate::error::{ParseError, Result};
+use crate::escape::resolve_entity;
+use crate::model::{Document, NodeId};
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Drop text nodes that consist solely of whitespace (default: true).
+    pub ignore_whitespace: bool,
+    /// Trim leading/trailing whitespace of retained text nodes
+    /// (default: false).
+    pub trim_text: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        Self {
+            ignore_whitespace: true,
+            trim_text: false,
+        }
+    }
+}
+
+/// Parses `input` with default options.
+pub fn parse(input: &str) -> Result<Document> {
+    parse_with_options(input, ParseOptions::default())
+}
+
+/// Parses `input` with explicit options.
+pub fn parse_with_options(input: &str, opts: ParseOptions) -> Result<Document> {
+    let mut p = Parser::new(input, opts);
+    p.parse_document()
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    opts: ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, opts: ParseOptions) -> Self {
+        Self {
+            src: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            opts,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col, msg)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    #[inline]
+    #[allow(dead_code)]
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn consume(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.consume(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Skips until (and including) the terminator string `end`.
+    fn skip_until(&mut self, end: &str, what: &str) -> Result<()> {
+        while self.pos < self.src.len() {
+            if self.consume(end) {
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.err(format!("unterminated {what}")))
+    }
+
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.consume("<!--");
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<?") {
+                self.consume("<?");
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.consume("<!DOCTYPE");
+                // skip to matching '>' allowing one level of [...] internal subset
+                let mut depth = 0i32;
+                loop {
+                    match self.bump() {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth -= 1,
+                        Some(b'>') if depth <= 0 => break,
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated DOCTYPE")),
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.bump();
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_entity(&mut self) -> Result<char> {
+        // positioned just after '&'
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in entity"))?
+                    .to_owned();
+                self.bump(); // ';'
+                return resolve_entity(&name)
+                    .ok_or_else(|| self.err(format!("unknown entity `&{name};`")));
+            }
+            if b == b'<' || b == b'&' || self.pos - start > 12 {
+                break;
+            }
+            self.bump();
+        }
+        Err(self.err("malformed entity reference"))
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => {
+                    self.bump();
+                    out.push(self.parse_entity()?);
+                }
+                Some(b'<') => return Err(self.err("`<` not allowed in attribute value")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' || b == b'<' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Document> {
+        // optional UTF-8 BOM
+        if self.src.starts_with(&[0xEF, 0xBB, 0xBF]) {
+            self.pos = 3;
+        }
+        self.skip_misc()?;
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected root element"));
+        }
+        self.bump(); // '<'
+        let root_tag = self.parse_name()?;
+        let mut doc = Document::new(&root_tag);
+        let root = doc.root();
+        self.parse_attrs_and_content(&mut doc, root, &root_tag)?;
+        self.skip_misc()?;
+        if self.pos < self.src.len() {
+            return Err(self.err("content after root element"));
+        }
+        Ok(doc)
+    }
+
+    /// Parses attributes, then either `/>` or `> content </tag>`, for the
+    /// already-created element `el` whose `<name` has been consumed.
+    fn parse_attrs_and_content(&mut self, doc: &mut Document, el: NodeId, tag: &str) -> Result<()> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    self.expect(">")?;
+                    return Ok(());
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b) if Self::is_name_start(b) => {
+                    let name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if doc.attr(el, &name).is_some() {
+                        return Err(self.err(format!("duplicate attribute `{name}`")));
+                    }
+                    doc.set_attr(el, &name, &value);
+                }
+                _ => return Err(self.err("malformed start tag")),
+            }
+        }
+        // content
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("unexpected EOF inside <{tag}>"))),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.flush_text(doc, el, &mut text);
+                        self.consume("</");
+                        let close = self.parse_name()?;
+                        if close != tag {
+                            return Err(
+                                self.err(format!("mismatched close tag </{close}> for <{tag}>"))
+                            );
+                        }
+                        self.skip_ws();
+                        self.expect(">")?;
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        self.consume("<!--");
+                        self.skip_until("-->", "comment")?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.consume("<![CDATA[");
+                        let start = self.pos;
+                        loop {
+                            if self.starts_with("]]>") {
+                                text.push_str(
+                                    std::str::from_utf8(&self.src[start..self.pos])
+                                        .map_err(|_| self.err("invalid UTF-8 in CDATA"))?,
+                                );
+                                self.consume("]]>");
+                                break;
+                            }
+                            if self.bump().is_none() {
+                                return Err(self.err("unterminated CDATA section"));
+                            }
+                        }
+                    } else if self.starts_with("<?") {
+                        self.consume("<?");
+                        self.skip_until("?>", "processing instruction")?;
+                    } else {
+                        self.flush_text(doc, el, &mut text);
+                        self.bump(); // '<'
+                        let child_tag = self.parse_name()?;
+                        let child = doc.add_element(el, &child_tag);
+                        self.parse_attrs_and_content(doc, child, &child_tag)?;
+                    }
+                }
+                Some(b'&') => {
+                    self.bump();
+                    text.push(self.parse_entity()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    text.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in text"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn flush_text(&mut self, doc: &mut Document, el: NodeId, text: &mut String) {
+        if text.is_empty() {
+            return;
+        }
+        let keep = if self.opts.ignore_whitespace {
+            !text.chars().all(char::is_whitespace)
+        } else {
+            true
+        };
+        if keep {
+            if self.opts.trim_text {
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    doc.add_text(el, trimmed);
+                }
+            } else {
+                doc.add_text(el, text);
+            }
+        }
+        text.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure_1() {
+        let doc = parse(
+            "<genes><gene><id>6230</id><name>GRTM</name><seq>GTCG...</seq>\
+             <pos>11A52</pos></gene></genes>",
+        )
+        .unwrap();
+        let gene = doc.first_child_element(doc.root(), "gene").unwrap();
+        let id = doc.first_child_element(gene, "id").unwrap();
+        assert_eq!(doc.text_content(id), "6230");
+    }
+
+    #[test]
+    fn ignores_interelement_whitespace() {
+        let doc = parse("<db>\n  <dept>\n    <name>finance</name>\n  </dept>\n</db>").unwrap();
+        let s = doc.stats();
+        assert_eq!(s.elements, 3);
+        assert_eq!(s.texts, 1);
+    }
+
+    #[test]
+    fn keeps_whitespace_when_asked() {
+        let opts = ParseOptions {
+            ignore_whitespace: false,
+            trim_text: false,
+        };
+        let doc = parse_with_options("<a> <b/> </a>", opts).unwrap();
+        assert_eq!(doc.stats().texts, 2);
+    }
+
+    #[test]
+    fn attributes_and_self_close() {
+        let doc = parse(r#"<site><item id="item1" featured='yes'/></site>"#).unwrap();
+        let item = doc.first_child_element(doc.root(), "item").unwrap();
+        assert_eq!(doc.attr(item, "id"), Some("item1"));
+        assert_eq!(doc.attr(item, "featured"), Some("yes"));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let doc = parse(r#"<a k="&lt;&amp;&gt;">&quot;x&quot; &#65;&#x42;</a>"#).unwrap();
+        assert_eq!(doc.attr(doc.root(), "k"), Some("<&>"));
+        assert_eq!(doc.text_content(doc.root()), "\"x\" AB");
+    }
+
+    #[test]
+    fn cdata_kept_verbatim() {
+        let doc = parse("<a><![CDATA[<not> & parsed]]></a>").unwrap();
+        assert_eq!(doc.text_content(doc.root()), "<not> & parsed");
+    }
+
+    #[test]
+    fn prolog_comments_doctype() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?><!-- hi --><!DOCTYPE db [<!ELEMENT db ANY>]><db/><!-- bye -->",
+        )
+        .unwrap();
+        assert_eq!(doc.tag_name(doc.root()), "db");
+    }
+
+    #[test]
+    fn namespaced_tags_are_plain_names() {
+        let doc = parse(r#"<T t="1-4"><db/></T>"#).unwrap();
+        assert_eq!(doc.tag_name(doc.root()), "T");
+        assert_eq!(doc.attr(doc.root(), "t"), Some("1-4"));
+    }
+
+    #[test]
+    fn error_mismatched_tags() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn error_duplicate_attr() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn error_trailing_garbage() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn error_unknown_entity() {
+        assert!(parse("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let e = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push_str("<d>");
+        }
+        s.push_str("x");
+        for _ in 0..200 {
+            s.push_str("</d>");
+        }
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.stats().height, 201);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let doc = parse("<p>hello <b>world</b> bye</p>").unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 3);
+        assert_eq!(doc.text_content(doc.root()), "hello world bye");
+    }
+}

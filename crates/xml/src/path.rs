@@ -1,0 +1,149 @@
+//! Label-path expressions (§3, Appendix A.2).
+//!
+//! The paper's path language is deliberately tiny: the empty path, a node
+//! name, and concatenation `P/Q`. We write the empty path as `.` (as in §3's
+//! `(tel, {.})`) and also accept the appendix spelling `\e`.
+
+use std::fmt;
+
+/// A path: a (possibly empty) sequence of node-name steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Path {
+    steps: Vec<String>,
+}
+
+impl Path {
+    /// The empty path (the paper's `.` / `\e`).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a path from name steps.
+    pub fn from_steps<I, S>(steps: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            steps: steps.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Parses `db/dept/emp`, `/db/dept`, `.` or `\e`. A leading `/` is
+    /// tolerated (the paper anchors context paths at the root with `/`).
+    pub fn parse(s: &str) -> Self {
+        let s = s.trim();
+        if s.is_empty() || s == "." || s == "\\e" || s == "/" {
+            return Self::empty();
+        }
+        let s = s.strip_prefix('/').unwrap_or(s);
+        Self {
+            steps: s.split('/').map(|p| p.trim().to_owned()).collect(),
+        }
+    }
+
+    /// The name steps.
+    pub fn steps(&self) -> &[String] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty path.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Concatenation `self/other`.
+    pub fn concat(&self, other: &Path) -> Path {
+        let mut steps = self.steps.clone();
+        steps.extend(other.steps.iter().cloned());
+        Path { steps }
+    }
+
+    /// Appends one step.
+    pub fn child(&self, step: &str) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(step.to_owned());
+        Path { steps }
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.steps.len() >= self.steps.len() && other.steps[..self.steps.len()] == self.steps[..]
+    }
+
+    /// True if `self` is a strict prefix of `other`.
+    pub fn is_proper_prefix_of(&self, other: &Path) -> bool {
+        other.steps.len() > self.steps.len() && self.is_prefix_of(other)
+    }
+
+    /// True if this path equals the given sequence of tag names.
+    pub fn matches(&self, labels: &[String]) -> bool {
+        self.steps.len() == labels.len()
+            && self.steps.iter().zip(labels.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            write!(f, ".")
+        } else {
+            write!(f, "{}", self.steps.join("/"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_forms() {
+        assert!(Path::parse(".").is_empty());
+        assert!(Path::parse("\\e").is_empty());
+        assert!(Path::parse("").is_empty());
+        assert!(Path::parse("/").is_empty());
+        assert_eq!(Path::parse("/db/dept").steps(), &["db", "dept"]);
+        assert_eq!(Path::parse("db/dept").steps(), &["db", "dept"]);
+    }
+
+    #[test]
+    fn concat_and_child() {
+        let q = Path::parse("/db/dept");
+        let qp = q.concat(&Path::parse("emp/fn"));
+        assert_eq!(qp.to_string(), "db/dept/emp/fn");
+        assert_eq!(q.child("emp").to_string(), "db/dept/emp");
+        assert_eq!(q.concat(&Path::empty()), q);
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let a = Path::parse("db/dept");
+        let b = Path::parse("db/dept/emp");
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_proper_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!a.is_proper_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(Path::empty().is_prefix_of(&a));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in ["db/dept/emp", "."] {
+            assert_eq!(Path::parse(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn matches_label_sequence() {
+        let p = Path::parse("db/dept/name");
+        assert!(p.matches(&["db".into(), "dept".into(), "name".into()]));
+        assert!(!p.matches(&["db".into(), "dept".into()]));
+    }
+}

@@ -1,0 +1,137 @@
+//! String interning for tag and attribute names.
+//!
+//! Scientific datasets have a tiny vocabulary of element names relative to
+//! their node count (OMIM: tens of names over ~200k nodes), so interning
+//! turns all hot-path label comparisons into `u32` compares and shrinks the
+//! arena nodes considerably.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name. Only meaningful together with the [`SymbolTable`]
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Index into the owning table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Interned strings are never freed; lookups are O(1) amortised in both
+/// directions (`intern` via a hash map, `resolve` via a vector).
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was produced by a different table and is out of range.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("gene");
+        let b = t.intern("gene");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let names = ["db", "dept", "emp", "fn", "ln", "sal", "tel"];
+        let syms: Vec<Sym> = names.iter().map(|n| t.intern(n)).collect();
+        for (s, n) in syms.iter().zip(names.iter()) {
+            assert_eq!(t.resolve(*s), *n);
+        }
+        assert_eq!(t.len(), names.len());
+    }
+
+    #[test]
+    fn distinct_names_distinct_syms() {
+        let mut t = SymbolTable::new();
+        assert_ne!(t.intern("a"), t.intern("b"));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("x").is_none());
+        t.intern("x");
+        assert!(t.get("x").is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let v: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(v, vec!["a", "b"]);
+    }
+}

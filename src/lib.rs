@@ -1,0 +1,49 @@
+//! # xarch — archiving scientific data
+//!
+//! A Rust reproduction of Buneman, Khanna, Tajima & Tan, *Archiving
+//! Scientific Data* (SIGMOD 2002 / ACM TODS 29(1), 2004): a key-based,
+//! merging archiver for hierarchical (XML) databases, plus every substrate
+//! its evaluation depends on.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`xml`] — XML model, parser, writers, value order, canonical form;
+//! * [`keys`] — keys for XML, Annotate Keys, fingerprints, validation;
+//! * [`diff`] — Myers line diff, delta repositories, SCCS weave;
+//! * [`core`] — the archiver: Nested Merge, timestamps, retrieval,
+//!   temporal history, change description, chunking, the Fig-5 XML form;
+//! * [`compress`] — LZSS (gzip-class) and XMill-style compressors;
+//! * [`extmem`] — the external-memory archiver with I/O accounting;
+//! * [`index`] — timestamp trees and the history index;
+//! * [`datagen`] — OMIM/Swiss-Prot/XMark-like generators and the paper's
+//!   change simulators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xarch::core::{Archive, KeyQuery};
+//! use xarch::keys::KeySpec;
+//! use xarch::xml::parse;
+//!
+//! let spec = KeySpec::parse("(/, (db, {}))\n(/db, (gene, {id}))\n(/db/gene, (seq, {}))")?;
+//! let mut archive = Archive::new(spec);
+//! archive.add_version(&parse("<db><gene><id>6230</id><seq>GTCG</seq></gene></db>")?)?;
+//! archive.add_version(&parse("<db><gene><id>6230</id><seq>GTCA</seq></gene></db>")?)?;
+//!
+//! // retrieve any version…
+//! let v1 = archive.retrieve(1).unwrap();
+//! assert!(xarch::xml::writer::to_compact_string(&v1).contains("GTCG"));
+//! // …and ask for an element's temporal history
+//! let q = [KeyQuery::new("db"), KeyQuery::new("gene").with_text("id", "6230")];
+//! assert_eq!(archive.history(&q).unwrap().to_string(), "1-2");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use xarch_compress as compress;
+pub use xarch_core as core;
+pub use xarch_datagen as datagen;
+pub use xarch_diff as diff;
+pub use xarch_extmem as extmem;
+pub use xarch_index as index;
+pub use xarch_keys as keys;
+pub use xarch_xml as xml;

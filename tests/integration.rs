@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: the whole pipeline — generate → validate
+//! → archive → serialize → compress → retrieve → query — on all three
+//! datasets, plus the figure-level sanity properties.
+
+use xarch::core::{equiv_modulo_key_order, Archive, ChunkedArchive, Compaction};
+use xarch::datagen::omim::{omim_spec, OmimGen};
+use xarch::datagen::swissprot::{swissprot_spec, SwissProtGen};
+use xarch::datagen::xmark::{xmark_spec, XmarkGen};
+use xarch::diff::{IncrementalRepo, Weave};
+use xarch::keys::validate;
+use xarch::xml::writer::to_pretty_string;
+use xarch::xml::{parse, Document};
+
+fn pipeline(versions: &[Document], spec: &xarch::keys::KeySpec) {
+    // validate every version
+    for (i, d) in versions.iter().enumerate() {
+        let v = validate(d, spec);
+        assert!(v.is_empty(), "version {} violates keys: {v:?}", i + 1);
+    }
+    // archive (both compaction modes) and a chunked variant
+    for mode in [Compaction::Alternatives, Compaction::Weave] {
+        let mut a = Archive::with_compaction(spec.clone(), mode);
+        for d in versions {
+            a.add_version(d).unwrap();
+            a.check_invariants().unwrap();
+        }
+        for (i, d) in versions.iter().enumerate() {
+            let got = a.retrieve(i as u32 + 1).unwrap();
+            assert!(
+                equiv_modulo_key_order(&got, d, spec),
+                "{mode:?}: version {} mismatch",
+                i + 1
+            );
+        }
+        // the archive is XML: serialize, reparse, rebuild, retrieve again
+        if mode == Compaction::Alternatives {
+            let xml_text = a.to_xml_pretty();
+            let reparsed = parse(&xml_text).unwrap();
+            let b = xarch::core::xmlrep::from_xml(&reparsed, spec).unwrap();
+            for (i, d) in versions.iter().enumerate() {
+                let got = b.retrieve(i as u32 + 1).unwrap();
+                assert!(
+                    equiv_modulo_key_order(&got, d, spec),
+                    "XML round trip: version {}",
+                    i + 1
+                );
+            }
+            // and it compresses losslessly with the XMill-style codec
+            let doc = a.to_xml();
+            let compressed = xarch::compress::xml_compress(&doc);
+            let back = xarch::compress::xml_decompress(&compressed).unwrap();
+            assert!(xarch::xml::value_equal(&doc, doc.root(), &back, back.root()));
+        }
+    }
+    let mut c = ChunkedArchive::new(spec.clone(), 3);
+    for d in versions {
+        c.add_version(d).unwrap();
+    }
+    for (i, d) in versions.iter().enumerate() {
+        let got = c.retrieve(i as u32 + 1).unwrap();
+        assert!(equiv_modulo_key_order(&got, d, spec), "chunked: version {}", i + 1);
+    }
+    // diff repositories agree on the texts (normalized to no trailing
+    // newline — the repositories are line-based)
+    let mut inc = IncrementalRepo::new();
+    let mut weave = Weave::new();
+    let texts: Vec<String> = versions
+        .iter()
+        .map(|d| to_pretty_string(d, 0).trim_end().to_owned())
+        .collect();
+    for t in &texts {
+        inc.add_version(t);
+        weave.add_version(t);
+    }
+    for (i, t) in texts.iter().enumerate() {
+        assert_eq!(inc.retrieve(i + 1).as_deref(), Some(t.as_str()));
+        assert_eq!(weave.retrieve(i as u32 + 1).as_deref(), Some(t.as_str()));
+    }
+}
+
+#[test]
+fn omim_pipeline() {
+    let mut g = OmimGen::new(101);
+    g.del_ratio = 0.02;
+    g.ins_ratio = 0.05;
+    g.mod_ratio = 0.02;
+    pipeline(&g.sequence(40, 6), &omim_spec());
+}
+
+#[test]
+fn swissprot_pipeline() {
+    pipeline(&SwissProtGen::new(102).sequence(12, 4), &swissprot_spec());
+}
+
+#[test]
+fn xmark_random_change_pipeline() {
+    let mut g = XmarkGen::new(103);
+    pipeline(&g.random_change_sequence(25, 5, 10.0), &xmark_spec());
+}
+
+#[test]
+fn xmark_key_mutation_pipeline() {
+    let mut g = XmarkGen::new(104);
+    pipeline(&g.key_mutation_sequence(25, 5, 10.0), &xmark_spec());
+}
+
+#[test]
+fn figure_sanity_properties_hold() {
+    // The figure-level shapes the paper reports, at test scale: cumulative
+    // diffs dominate incremental; xmill(archive) beats gzip(inc diffs).
+    let scale = xarch_bench_scale();
+    xarch_bench::figures::sanity(&scale).unwrap();
+}
+
+fn xarch_bench_scale() -> xarch_bench::figures::Scale {
+    // large enough that the compression margin (which grows with version
+    // count) is decisive, small enough for test time
+    xarch_bench::figures::Scale {
+        omim_records: 250,
+        omim_versions: 40,
+        sp_records: 10,
+        sp_versions: 5,
+        xmark_items: 30,
+        xmark_versions: 5,
+    }
+}
+
+#[test]
+fn worst_case_shape_archive_larger_than_diffs() {
+    // Fig 14's premise: under key mutation the archive stores mutated items
+    // twice while the diff repository stores a one-line change.
+    let mut g = XmarkGen::new(105);
+    let versions = g.key_mutation_sequence(60, 8, 10.0);
+    let mut a = Archive::new(xmark_spec());
+    let mut inc = IncrementalRepo::new();
+    for d in &versions {
+        a.add_version(d).unwrap();
+        inc.add_version(&to_pretty_string(d, 0));
+    }
+    assert!(
+        a.size_bytes() > inc.size_bytes() * 5 / 4,
+        "archive {} should clearly exceed inc diffs {} in the worst case",
+        a.size_bytes(),
+        inc.size_bytes()
+    );
+}
+
+#[test]
+fn accretive_shape_archive_competitive_with_diffs() {
+    // Fig 11a/12a's premise: on accretive data the archive tracks the
+    // incremental-diff repository closely.
+    let versions = OmimGen::new(106).sequence(60, 12);
+    let mut a = Archive::new(omim_spec());
+    let mut inc = IncrementalRepo::new();
+    for d in &versions {
+        a.add_version(d).unwrap();
+        inc.add_version(&to_pretty_string(d, 0));
+    }
+    let ratio = a.size_bytes() as f64 / inc.size_bytes() as f64;
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "archive/inc ratio {ratio} out of the accretive band"
+    );
+}

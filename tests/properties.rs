@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) for the system's core invariants.
+
+use proptest::prelude::*;
+
+use xarch::core::{equiv_modulo_key_order, Archive, TimeSet};
+use xarch::diff::diff_lines;
+use xarch::keys::KeySpec;
+use xarch::xml::{parse, Document};
+
+// ---------- TimeSet vs a BTreeSet model ----------
+
+proptest! {
+    #[test]
+    fn timeset_matches_model(ops in proptest::collection::vec((0u32..80, any::<bool>()), 0..200)) {
+        let mut t = TimeSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (v, insert) in ops {
+            if insert {
+                t.insert(v);
+                model.insert(v);
+            } else {
+                t.remove(v);
+                model.remove(&v);
+            }
+        }
+        let got: Vec<u32> = t.versions().collect();
+        let want: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        // canonical run representation
+        for w in t.intervals().windows(2) {
+            prop_assert!(w[0].1 + 1 < w[1].0);
+        }
+        // display/parse round trip
+        prop_assert_eq!(TimeSet::parse(&t.to_string()).unwrap(), t);
+    }
+
+    #[test]
+    fn timeset_union_is_set_union(a in proptest::collection::btree_set(0u32..60, 0..40),
+                                  b in proptest::collection::btree_set(0u32..60, 0..40)) {
+        let ta: TimeSet = a.iter().copied().collect();
+        let tb: TimeSet = b.iter().copied().collect();
+        let tu = ta.union(&tb);
+        let want: Vec<u32> = a.union(&b).copied().collect();
+        let got: Vec<u32> = tu.versions().collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(tu.is_superset(&ta));
+        prop_assert!(tu.is_superset(&tb));
+    }
+}
+
+// ---------- Myers diff ----------
+
+proptest! {
+    #[test]
+    fn diff_apply_reaches_target(a in proptest::collection::vec("[a-d]{0,3}", 0..30),
+                                 b in proptest::collection::vec("[a-d]{0,3}", 0..30)) {
+        let ar: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+        let br: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+        let script = diff_lines(&ar, &br);
+        prop_assert_eq!(script.apply(&ar), br);
+        // inversion restores the source
+        let inv = script.invert(&ar);
+        let b_owned = script.apply(&ar);
+        let b_refs: Vec<&str> = b_owned.iter().map(|s| s.as_str()).collect();
+        prop_assert_eq!(inv.apply(&b_refs), ar);
+    }
+}
+
+// ---------- compressors ----------
+
+proptest! {
+    #[test]
+    fn lzss_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let c = xarch::compress::compress(&data);
+        let back = xarch::compress::decompress(&c);
+        prop_assert_eq!(back.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn lzss_round_trips_repetitive(seed in proptest::collection::vec(any::<u8>(), 1..40),
+                                   reps in 1usize..60) {
+        let data: Vec<u8> = seed.iter().cycle().take(seed.len() * reps).copied().collect();
+        let c = xarch::compress::compress(&data);
+        let back = xarch::compress::decompress(&c);
+        prop_assert_eq!(back.as_deref(), Some(&data[..]));
+    }
+}
+
+// ---------- archiver correctness over random version sequences ----------
+
+/// A generated mini database: records keyed by id, each with one mutable
+/// value field and a variable tel-like multi-set keyed by content.
+fn build_version(recs: &[(u8, String, Vec<u8>)]) -> Document {
+    let mut doc = Document::new("db");
+    for (id, val, tels) in recs {
+        let r = doc.add_element(doc.root(), "rec");
+        doc.add_text_element(r, "id", &id.to_string());
+        doc.add_text_element(r, "val", val);
+        let mut seen = std::collections::BTreeSet::new();
+        for t in tels {
+            if seen.insert(*t) {
+                doc.add_text_element(r, "tel", &t.to_string());
+            }
+        }
+    }
+    doc
+}
+
+fn mini_spec() -> KeySpec {
+    KeySpec::parse(
+        "(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))\n(/db/rec, (tel, {.}))",
+    )
+    .unwrap()
+}
+
+/// One version = a set of records with distinct ids.
+fn version_strategy() -> impl Strategy<Value = Vec<(u8, String, Vec<u8>)>> {
+    proptest::collection::btree_map(
+        0u8..12,
+        ("[a-c]{0,4}", proptest::collection::vec(0u8..6, 0..3)),
+        0..8,
+    )
+    .prop_map(|m| m.into_iter().map(|(id, (val, tels))| (id, val, tels)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn archive_retrieves_every_random_version(
+        versions in proptest::collection::vec(version_strategy(), 1..8)
+    ) {
+        let spec = mini_spec();
+        let docs: Vec<Document> = versions.iter().map(|v| build_version(v)).collect();
+        let mut a = Archive::new(spec.clone());
+        for d in &docs {
+            a.add_version(d).unwrap();
+            a.check_invariants().unwrap();
+        }
+        for (i, d) in docs.iter().enumerate() {
+            let got = a.retrieve(i as u32 + 1).expect("archived version");
+            prop_assert!(
+                equiv_modulo_key_order(&got, d, &spec),
+                "version {} not reconstructed", i + 1
+            );
+        }
+        // XML round trip preserves everything too
+        let xml_text = a.to_xml_pretty();
+        let reparsed = parse(&xml_text).unwrap();
+        let b = xarch::core::xmlrep::from_xml(&reparsed, &spec).unwrap();
+        for (i, d) in docs.iter().enumerate() {
+            let got = b.retrieve(i as u32 + 1).expect("archived version");
+            prop_assert!(equiv_modulo_key_order(&got, d, &spec));
+        }
+    }
+
+    #[test]
+    fn canonical_equality_iff_value_equality(
+        a in version_strategy(),
+        b in version_strategy()
+    ) {
+        let da = build_version(&a);
+        let db = build_version(&b);
+        let ca = xarch::xml::canon::canonical(&da, da.root());
+        let cb = xarch::xml::canon::canonical(&db, db.root());
+        let veq = xarch::xml::value_equal(&da, da.root(), &db, db.root());
+        prop_assert_eq!(ca == cb, veq);
+    }
+}
