@@ -72,9 +72,7 @@ fn bench_retrieval(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("history_lookup");
     group.bench_function("naive_walk", |b| b.iter(|| a.history(&q).unwrap()));
-    group.bench_function("sorted_index", |b| {
-        b.iter(|| hidx.history(&a, &q).unwrap())
-    });
+    group.bench_function("sorted_index", |b| b.iter(|| hidx.history(&a, &q).unwrap()));
     group.finish();
 }
 

@@ -4,6 +4,7 @@
 //! *shapes* are what reproduce, see `EXPERIMENTS.md`), computes the series,
 //! and prints CSV to stdout. `run(fig)` dispatches by experiment id.
 
+use xarch::{ArchiveBuilder, Backend, VersionStore};
 use xarch_core::{Archive, KeyQuery};
 use xarch_datagen::omim::{omim_spec, OmimGen};
 use xarch_datagen::swissprot::{swissprot_spec, SwissProtGen};
@@ -62,8 +63,14 @@ pub fn fig7(scale: &Scale) {
     println!("dataset,size_bytes,nodes,height");
     let rows: Vec<(&str, Document)> = vec![
         ("OMIM-like", omim_versions(scale).pop().expect("versions")),
-        ("SwissProt-like", sp_versions(scale).pop().expect("versions")),
-        ("XMark-like", XmarkGen::new(0xC0DE).generate(scale.xmark_items)),
+        (
+            "SwissProt-like",
+            sp_versions(scale).pop().expect("versions"),
+        ),
+        (
+            "XMark-like",
+            XmarkGen::new(0xC0DE).generate(scale.xmark_items),
+        ),
     ];
     for (name, doc) in rows {
         let s = doc.stats();
@@ -112,7 +119,10 @@ pub fn fig12a(scale: &Scale) {
             with_concat: true,
         },
     );
-    print_series("Figure 12a: OMIM with incremental diffs + compression", &rows);
+    print_series(
+        "Figure 12a: OMIM with incremental diffs + compression",
+        &rows,
+    );
 }
 
 /// Figure 12b: Swiss-Prot with compression.
@@ -126,11 +136,14 @@ pub fn fig12b(scale: &Scale) {
             with_concat: true,
         },
     );
-    print_series("Figure 12b: Swiss-Prot with incremental diffs + compression", &rows);
+    print_series(
+        "Figure 12b: Swiss-Prot with incremental diffs + compression",
+        &rows,
+    );
 }
 
 fn xmark_series(scale: &Scale, pct: f64, mutate_keys: bool, title: &str) {
-    let mut g = XmarkGen::new(0xF00D + pct.to_bits() as u64 + mutate_keys as u64);
+    let mut g = XmarkGen::new(0xF00D + pct.to_bits() + mutate_keys as u64);
     let versions = if mutate_keys {
         g.key_mutation_sequence(scale.xmark_items, scale.xmark_versions, pct)
     } else {
@@ -156,20 +169,50 @@ pub fn fig13(scale: &Scale) {
 
 /// Figure 14: XMark worst case — key mutation (a: 1.66%, b: 10%).
 pub fn fig14(scale: &Scale) {
-    xmark_series(scale, 1.66, true, "Figure 14a: XMark, 1.66% key mutation (worst case)");
-    xmark_series(scale, 10.0, true, "Figure 14b: XMark, 10% key mutation (worst case)");
+    xmark_series(
+        scale,
+        1.66,
+        true,
+        "Figure 14a: XMark, 1.66% key mutation (worst case)",
+    );
+    xmark_series(
+        scale,
+        10.0,
+        true,
+        "Figure 14b: XMark, 10% key mutation (worst case)",
+    );
 }
 
 /// Appendix C.1: XMark random change at 3.33% / 6.66%.
 pub fn fig_c1(scale: &Scale) {
-    xmark_series(scale, 3.33, false, "Appendix C.1a: XMark, 3.33% random change");
-    xmark_series(scale, 6.66, false, "Appendix C.1b: XMark, 6.66% random change");
+    xmark_series(
+        scale,
+        3.33,
+        false,
+        "Appendix C.1a: XMark, 3.33% random change",
+    );
+    xmark_series(
+        scale,
+        6.66,
+        false,
+        "Appendix C.1b: XMark, 6.66% random change",
+    );
 }
 
 /// Appendix C.2: key mutation at 3.33% / 6.66%.
 pub fn fig_c2(scale: &Scale) {
-    xmark_series(scale, 3.33, true, "Appendix C.2a: XMark, 3.33% key mutation");
-    xmark_series(scale, 6.66, true, "Appendix C.2b: XMark, 6.66% key mutation");
+    xmark_series(
+        scale,
+        3.33,
+        true,
+        "Appendix C.2a: XMark, 3.33% key mutation",
+    );
+    xmark_series(
+        scale,
+        6.66,
+        true,
+        "Appendix C.2b: XMark, 6.66% key mutation",
+    );
 }
 
 /// §1/§5 headline claims, derived from the OMIM series:
@@ -205,7 +248,8 @@ pub fn claims(scale: &Scale) {
 }
 
 /// §6: external archiver I/O as a function of memory budget M and page
-/// size B.
+/// size B. The archiver is driven through the `VersionStore` contract;
+/// only the I/O counters come from the concrete type.
 pub fn fig_extmem(scale: &Scale) {
     println!("## §6: external archiver I/O (OMIM-like, 5 versions)");
     println!("mem_bytes,page_bytes,page_reads,page_writes,total_io");
@@ -224,11 +268,52 @@ pub fn fig_extmem(scale: &Scale) {
                 page_bytes: b,
             },
         );
+        let store: &mut dyn VersionStore = &mut ext;
         for d in &versions {
-            ext.add_version(d).expect("merge");
+            store.add_version(d).expect("merge");
         }
-        let s = ext.stats();
+        let s = ext.io_stats();
         println!("{m},{b},{},{},{}", s.page_reads, s.page_writes, s.total());
+    }
+    println!();
+}
+
+/// Cross-backend comparison: the same workload archived by every storage
+/// tier the builder offers, reported through the unified `stats()` surface
+/// — the §4.2 / §5 / §6.3 implementations side by side.
+pub fn fig_backends(scale: &Scale) {
+    let versions = OmimGen::new(0xBEEF).sequence(scale.omim_records / 2, 8);
+    let spec = omim_spec();
+    let backends: Vec<(&str, Box<dyn VersionStore>)> = vec![
+        (
+            "in-memory (§4.2)",
+            ArchiveBuilder::new(spec.clone()).build(),
+        ),
+        (
+            "chunked(8) (§5)",
+            ArchiveBuilder::new(spec.clone()).chunks(8).build(),
+        ),
+        (
+            "extmem (§6.3)",
+            ArchiveBuilder::new(spec.clone())
+                .backend(Backend::ExtMem(IoConfig {
+                    mem_bytes: 8 << 10,
+                    page_bytes: 1024,
+                }))
+                .build(),
+        ),
+    ];
+    println!("## Backends: one workload, every storage tier (OMIM-like, 8 versions)");
+    println!("backend,versions,elements,texts,stamps,size_bytes");
+    for (label, mut store) in backends {
+        for d in &versions {
+            store.add_version(d).expect("merge");
+        }
+        let s = store.stats().expect("stats");
+        println!(
+            "{label},{},{},{},{},{}",
+            s.versions, s.elements, s.texts, s.stamps, s.size_bytes
+        );
     }
     println!();
 }
@@ -309,7 +394,7 @@ pub fn fig_index(scale: &Scale) {
 pub fn fig_ablation(scale: &Scale) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use xarch_core::{ChunkedArchive, Compaction};
+    use xarch_core::Compaction;
 
     let spec =
         xarch_keys::KeySpec::parse("(/, (db, {}))\n(/db, (doc, {id}))\n(/db/doc, (Text, {}))")
@@ -352,30 +437,29 @@ pub fn fig_ablation(scale: &Scale) {
         ("alternatives", Compaction::Alternatives),
         ("weave", Compaction::Weave),
     ] {
-        let mut a = Archive::with_compaction(spec.clone(), mode);
+        let mut a = ArchiveBuilder::new(spec.clone()).compaction(mode).build();
         for d in &versions {
             a.add_version(d).expect("merge");
         }
-        println!("{name},{}", a.size_bytes());
+        println!("{name},{}", a.stats().expect("stats").size_bytes);
     }
     println!();
 
     let mut g = XmarkGen::new(0xAB1A);
-    let xversions =
-        g.random_change_sequence(scale.xmark_items, scale.xmark_versions.min(10), 10.0);
+    let xversions = g.random_change_sequence(scale.xmark_items, scale.xmark_versions.min(10), 10.0);
     let xspec = xmark_spec();
     println!("## Ablation: chunked vs whole archiving (XMark, 10% change)");
     println!("variant,archive_bytes");
-    let mut whole = Archive::new(xspec.clone());
-    for d in &xversions {
-        whole.add_version(d).expect("merge");
+    for (name, builder) in [
+        ("whole", ArchiveBuilder::new(xspec.clone())),
+        ("chunked(4)", ArchiveBuilder::new(xspec.clone()).chunks(4)),
+    ] {
+        let mut store = builder.build();
+        for d in &xversions {
+            store.add_version(d).expect("merge");
+        }
+        println!("{name},{}", store.stats().expect("stats").size_bytes);
     }
-    println!("whole,{}", whole.size_bytes());
-    let mut c = ChunkedArchive::new(xspec.clone(), 4);
-    for d in &xversions {
-        c.add_version(d).expect("merge");
-    }
-    println!("chunked(4),{}", c.size_bytes());
     println!();
 }
 
@@ -394,12 +478,13 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
         "c2" => fig_c2(scale),
         "claims" => claims(scale),
         "extmem" => fig_extmem(scale),
+        "backends" => fig_backends(scale),
         "index" => fig_index(scale),
         "ablation" => fig_ablation(scale),
         "all" => {
             for f in [
                 "7", "11a", "11b", "12a", "12b", "13", "14", "c1", "c2", "claims", "extmem",
-                "index", "ablation",
+                "backends", "index", "ablation",
             ] {
                 run(f, scale);
             }

@@ -105,16 +105,14 @@ pub fn size_series(versions: &[Document], spec: &KeySpec, opts: SeriesOptions) -
         }
 
         let sample = opts.compress_every > 0
-            && (v as usize % opts.compress_every == 0 || idx + 1 == versions.len());
+            && ((v as usize).is_multiple_of(opts.compress_every) || idx + 1 == versions.len());
         let (gzip_inc, gzip_cumu, xmill_archive, xmill_concat) = if sample {
             let gi = Some(lzss::compress(inc.serialized().as_bytes()).len());
             let gc = opts
                 .with_cumulative
                 .then(|| lzss::compress(cumu.serialized().as_bytes()).len());
             let xa = Some(xmill::xml_compress(&archive.to_xml()).len());
-            let xc = opts
-                .with_concat
-                .then(|| xmill::xml_compress(&concat).len());
+            let xc = opts.with_concat.then(|| xmill::xml_compress(&concat).len());
             (gi, gc, xa, xc)
         } else {
             (None, None, None, None)
@@ -125,7 +123,11 @@ pub fn size_series(versions: &[Document], spec: &KeySpec, opts: SeriesOptions) -
             version_bytes: text.len(),
             archive_bytes: archive.size_bytes(),
             inc_bytes: inc.size_bytes(),
-            cumu_bytes: if opts.with_cumulative { cumu.size_bytes() } else { 0 },
+            cumu_bytes: if opts.with_cumulative {
+                cumu.size_bytes()
+            } else {
+                0
+            },
             gzip_inc,
             gzip_cumu,
             xmill_archive,

@@ -57,7 +57,11 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0, bit: 0 }
+        Self {
+            buf,
+            pos: 0,
+            bit: 0,
+        }
     }
 
     /// Reads `n` bits (n ≤ 32); `None` at end of input.
@@ -143,7 +147,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip() {
-        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut buf = Vec::new();
         for &v in &values {
             write_varint(&mut buf, v);

@@ -51,7 +51,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             while len < max_len && data[cand + len] == data[i + len] {
                 len += 1;
             }
-            if len >= MIN_MATCH && best.map_or(true, |(bl, _)| len > bl) {
+            if len >= MIN_MATCH && best.is_none_or(|(bl, _)| len > bl) {
                 best = Some((len, i - cand));
                 if len == max_len {
                     break;
@@ -190,7 +190,9 @@ mod tests {
     fn xml_like_text_compresses() {
         let mut s = String::new();
         for i in 0..500 {
-            s.push_str(&format!("<emp><fn>Name{i}</fn><ln>Surname{i}</ln><sal>90K</sal></emp>\n"));
+            s.push_str(&format!(
+                "<emp><fn>Name{i}</fn><ln>Surname{i}</ln><sal>90K</sal></emp>\n"
+            ));
         }
         let c = round_trip(s.as_bytes());
         assert!(c < s.len() / 3, "{} vs {}", c, s.len());

@@ -65,11 +65,7 @@ pub fn xml_compress(doc: &Document) -> Vec<u8> {
     let mut containers = Containers::default();
     let mut path: Vec<String> = Vec::new();
 
-    fn name_id(
-        names: &mut Vec<String>,
-        ids: &mut HashMap<String, u64>,
-        name: &str,
-    ) -> u64 {
+    fn name_id(names: &mut Vec<String>, ids: &mut HashMap<String, u64>, name: &str) -> u64 {
         if let Some(&i) = ids.get(name) {
             return i;
         }
@@ -163,7 +159,9 @@ pub fn xml_decompress(buf: &[u8]) -> Option<Document> {
     let mut containers: HashMap<String, (Vec<u8>, usize)> = HashMap::new();
     for _ in 0..n_containers {
         let plen = read_varint(buf, &mut pos)? as usize;
-        let cpath = std::str::from_utf8(buf.get(pos..pos + plen)?).ok()?.to_owned();
+        let cpath = std::str::from_utf8(buf.get(pos..pos + plen)?)
+            .ok()?
+            .to_owned();
         pos += plen;
         let clen = read_varint(buf, &mut pos)? as usize;
         let data = lzss::decompress(buf.get(pos..pos + clen)?)?;

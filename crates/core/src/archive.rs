@@ -316,10 +316,7 @@ impl Archive {
             .clone()
             .ok_or("root must carry a timestamp")?;
         if self.latest > 0 && root_time != TimeSet::from_range(1, self.latest) {
-            return Err(format!(
-                "root timestamp {root_time} != 1-{}",
-                self.latest
-            ));
+            return Err(format!("root timestamp {root_time} != 1-{}", self.latest));
         }
         self.check_rec(self.root, &root_time)
     }

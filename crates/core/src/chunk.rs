@@ -14,10 +14,15 @@
 //! chunks' contents. Integration tests verify the result is equivalent to
 //! whole-document archiving.
 
+use std::io::{self, Write};
+
 use xarch_keys::{annotate, fingerprint, KeySpec};
+use xarch_xml::escape::escape_attr;
 use xarch_xml::{Document, NodeId, NodeKind};
 
-use crate::archive::{Archive, MergeError};
+use crate::archive::{AKind, Archive, ArchiveStats, Compaction, MergeError};
+use crate::history::KeyQuery;
+use crate::timeset::TimeSet;
 
 /// An archive split into hash-partitioned chunks.
 #[derive(Debug, Clone)]
@@ -31,13 +36,26 @@ pub struct ChunkedArchive {
 impl ChunkedArchive {
     /// Creates a chunked archive with `n` chunks (n ≥ 1).
     pub fn new(spec: KeySpec, n: usize) -> Self {
+        Self::with_compaction(spec, n, Compaction::default())
+    }
+
+    /// Creates a chunked archive whose chunks use an explicit frontier
+    /// compaction mode.
+    pub fn with_compaction(spec: KeySpec, n: usize, compaction: Compaction) -> Self {
         assert!(n >= 1, "need at least one chunk");
         Self {
-            chunks: (0..n).map(|_| Archive::new(spec.clone())).collect(),
+            chunks: (0..n)
+                .map(|_| Archive::with_compaction(spec.clone(), compaction))
+                .collect(),
             spec,
             root_tag: None,
             latest: 0,
         }
+    }
+
+    /// The governing key specification.
+    pub fn spec(&self) -> &KeySpec {
+        &self.spec
     }
 
     /// Number of chunks.
@@ -55,16 +73,41 @@ impl ChunkedArchive {
         self.latest
     }
 
+    /// True if version `v` has been archived (it may still be an *empty*
+    /// version) — the same contract as [`Archive::has_version`].
+    pub fn has_version(&self, v: u32) -> bool {
+        v >= 1 && v <= self.latest
+    }
+
+    /// Archives an *empty* database as the next version: every chunk
+    /// terminates its contents while the synthetic roots keep ticking, so
+    /// `has_version` answers `true` and `retrieve` answers `None` — the
+    /// distinction documented in `crate::retrieve`.
+    pub fn add_empty_version(&mut self) -> u32 {
+        let mut assigned = 0;
+        for chunk in &mut self.chunks {
+            assigned = chunk.add_empty_version();
+        }
+        self.latest = assigned;
+        self.latest
+    }
+
     /// Partitions `doc`'s top-level keyed children by key hash and merges
     /// each partition into its chunk.
     pub fn add_version(&mut self, doc: &Document) -> Result<u32, MergeError> {
         let ann = annotate(doc, &self.spec)?;
         let root = doc.root();
+        // Reject unkeyed roots here, before any chunk or the root tag is
+        // touched — a failed add must leave the store unchanged (the chunk
+        // merges below cannot fail once the whole document annotated and
+        // its root is keyed).
+        if !ann.is_keyed(root) {
+            return Err(MergeError::UnkeyedRoot(doc.tag_name(root).to_owned()));
+        }
         let root_tag = doc.tag_name(root).to_owned();
         if let Some(prev) = &self.root_tag {
             debug_assert_eq!(prev, &root_tag, "root tag must be stable across versions");
         }
-        self.root_tag = Some(root_tag.clone());
 
         let n = self.chunks.len();
         let mut parts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
@@ -105,6 +148,7 @@ impl ChunkedArchive {
                 Some(prev) => debug_assert_eq!(prev, v, "chunk versions diverged"),
             }
         }
+        self.root_tag = Some(root_tag);
         self.latest = assigned.expect("at least one chunk");
         Ok(self.latest)
     }
@@ -138,8 +182,160 @@ impl ChunkedArchive {
         any.then_some(out)
     }
 
+    /// Streaming retrieval of version `v`: splices every chunk's visible
+    /// contents under one document root, written to `out` as compact XML.
+    /// Returns `true` iff a document was written (same `None`-for-empty
+    /// contract as [`ChunkedArchive::retrieve`]).
+    pub fn retrieve_into<W: Write + ?Sized>(&self, v: u32, out: &mut W) -> io::Result<bool> {
+        if !self.has_version(v) {
+            return Ok(false);
+        }
+        let Some(root_tag) = self.root_tag.as_ref() else {
+            return Ok(false);
+        };
+        // Chunk doc roots visible at v (an empty version leaves none).
+        let visible: Vec<(usize, crate::archive::ANodeId)> = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.children(c.root())
+                    .iter()
+                    .copied()
+                    .find(|&dr| matches!(c.node(dr).kind, AKind::Element(_)) && c.visible(dr, v))
+                    .map(|dr| (i, dr))
+            })
+            .collect();
+        let Some(&(first, first_root)) = visible.first() else {
+            return Ok(false);
+        };
+        write!(out, "<{root_tag}")?;
+        let fc = &self.chunks[first];
+        for (a, val) in &fc.node(first_root).attrs {
+            write!(out, " {}=\"{}\"", fc.syms().resolve(*a), escape_attr(val))?;
+        }
+        if visible
+            .iter()
+            .any(|&(i, dr)| self.chunks[i].has_visible_content(dr, v))
+        {
+            write!(out, ">")?;
+            for &(i, dr) in &visible {
+                self.chunks[i].write_visible_children(dr, v, out)?;
+            }
+            write!(out, "</{root_tag}>")?;
+        } else {
+            write!(out, "/>")?;
+        }
+        Ok(true)
+    }
+
+    /// The temporal history of the element addressed by `steps` (§7.2).
+    /// An element lives in exactly one chunk; paths shared by every chunk
+    /// (the document root) carry the same timestamp in each, so the union
+    /// over chunks answers both cases.
+    pub fn history(&self, steps: &[KeyQuery]) -> Option<TimeSet> {
+        let mut found = None;
+        for chunk in &self.chunks {
+            if let Some(t) = chunk.history(steps) {
+                found = Some(match found {
+                    None => t,
+                    Some(prev) => t.union(&prev),
+                });
+            }
+        }
+        found
+    }
+
+    /// Aggregate statistics summed over chunks. Each chunk carries its own
+    /// synthetic root and document root, so element counts describe
+    /// storage rather than the logical document tree.
+    pub fn stats(&self) -> ArchiveStats {
+        let mut total = ArchiveStats {
+            elements: 0,
+            texts: 0,
+            stamps: 0,
+            explicit_times: 0,
+            intervals: 0,
+        };
+        for chunk in &self.chunks {
+            let s = chunk.stats();
+            total.elements += s.elements;
+            total.texts += s.texts;
+            total.stamps += s.stamps;
+            total.explicit_times += s.explicit_times;
+            total.intervals += s.intervals;
+        }
+        total
+    }
+
     /// Total size across chunks (pretty XML form).
     pub fn size_bytes(&self) -> usize {
         self.chunks.iter().map(|c| c.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::equiv_modulo_key_order;
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+    }
+
+    #[test]
+    fn empty_version_reported_like_whole_archive() {
+        let doc = parse("<db><rec><id>1</id><val>x</val></rec></db>").unwrap();
+        let mut whole = Archive::new(spec());
+        let mut chunked = ChunkedArchive::new(spec(), 3);
+        whole.add_version(&doc).unwrap();
+        chunked.add_version(&doc).unwrap();
+        whole.add_empty_version();
+        chunked.add_empty_version();
+
+        for v in [1u32, 2, 3] {
+            assert_eq!(whole.has_version(v), chunked.has_version(v), "v{v}");
+            assert_eq!(
+                whole.retrieve(v).is_some(),
+                chunked.retrieve(v).is_some(),
+                "v{v}"
+            );
+        }
+        // archived-but-empty: v2 exists yet yields no document
+        assert!(chunked.has_version(2));
+        assert!(chunked.retrieve(2).is_none());
+        // a later version still archives and retrieves
+        chunked.add_version(&doc).unwrap();
+        assert!(equiv_modulo_key_order(
+            &chunked.retrieve(3).unwrap(),
+            &doc,
+            &spec()
+        ));
+    }
+
+    #[test]
+    fn history_routes_across_chunks() {
+        let mut c = ChunkedArchive::new(spec(), 4);
+        c.add_version(&parse("<db><rec><id>1</id><val>x</val></rec></db>").unwrap())
+            .unwrap();
+        c.add_version(
+            &parse("<db><rec><id>1</id><val>x</val></rec><rec><id>2</id><val>y</val></rec></db>")
+                .unwrap(),
+        )
+        .unwrap();
+        let q = |id: &str| {
+            [
+                KeyQuery::new("db"),
+                KeyQuery::new("rec").with_text("id", id),
+            ]
+        };
+        assert_eq!(c.history(&q("1")).unwrap().to_string(), "1-2");
+        assert_eq!(c.history(&q("2")).unwrap().to_string(), "2");
+        assert!(c.history(&q("9")).is_none());
+        assert_eq!(
+            c.history(&[KeyQuery::new("db")]).unwrap().to_string(),
+            "1-2"
+        );
     }
 }

@@ -154,10 +154,8 @@ mod tests {
 
     #[test]
     fn missing_element_is_not_equivalent() {
-        let a = parse(
-            "<db><dept><name>f</name><emp><fn>A</fn><ln>X</ln></emp></dept></db>",
-        )
-        .unwrap();
+        let a =
+            parse("<db><dept><name>f</name><emp><fn>A</fn><ln>X</ln></emp></dept></db>").unwrap();
         let b = parse("<db><dept><name>f</name></dept></db>").unwrap();
         assert!(!equiv_modulo_key_order(&a, &b, &spec()));
         assert!(!equiv_modulo_key_order(&b, &a, &spec()));

@@ -51,8 +51,10 @@ impl KeyQuery {
 
     /// Adds a key part that is an attribute, e.g. `.with_attr("id", "i1")`.
     pub fn with_attr(mut self, name: &str, value: &str) -> Self {
-        self.parts
-            .push((name.to_owned(), format!("@{}=\"{}\"", name, escape_attr(value))));
+        self.parts.push((
+            name.to_owned(),
+            format!("@{}=\"{}\"", name, escape_attr(value)),
+        ));
         self.sort();
         self
     }
@@ -125,13 +127,15 @@ impl Archive {
         if !has_stamps {
             // single alternative for the node's whole lifetime
             let content = self.content_canonical(id);
-            return if content == canon { Some(eff) } else { Some(TimeSet::new()) };
+            return if content == canon {
+                Some(eff)
+            } else {
+                Some(TimeSet::new())
+            };
         }
         let mut out = TimeSet::new();
         for &c in children {
-            if matches!(self.node(c).kind, AKind::Stamp)
-                && self.content_canonical(c) == canon
-            {
+            if matches!(self.node(c).kind, AKind::Stamp) && self.content_canonical(c) == canon {
                 out = out.union(self.node(c).time.as_ref().expect("stamp time"));
             }
         }

@@ -11,7 +11,10 @@
 //! * [`merge`] — **Nested Merge** (§4.2), entered via
 //!   [`Archive::add_version`],
 //! * [`weave`] — "further compaction" beneath frontier nodes (Fig 10),
-//! * [`retrieve`] — single-scan version retrieval (§7.1),
+//! * [`retrieve`] — single-scan version retrieval (§7.1), materializing or
+//!   streaming to any `io::Write` sink,
+//! * [`store`] — the [`VersionStore`] trait: the archiver contract every
+//!   storage backend (in-memory, chunked, external-memory) implements,
 //! * [`history`] — temporal history of keyed elements (§7.2),
 //! * [`changes`] — key-aware (semantically meaningful) change descriptions,
 //! * [`xmlrep`] — the `<T t="...">` XML representation (Fig 5) and its
@@ -27,6 +30,7 @@ pub mod equiv;
 pub mod history;
 pub mod merge;
 pub mod retrieve;
+pub mod store;
 pub mod timeset;
 pub mod weave;
 pub mod xmlrep;
@@ -36,4 +40,5 @@ pub use changes::{describe_changes, Change, ChangeKind};
 pub use chunk::ChunkedArchive;
 pub use equiv::equiv_modulo_key_order;
 pub use history::KeyQuery;
+pub use store::{StoreError, StoreStats, VersionStore};
 pub use timeset::TimeSet;

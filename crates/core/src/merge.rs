@@ -62,9 +62,7 @@ impl Archive {
     /// reuse, e.g. the chunked archiver, use this entry point).
     pub fn add_annotated(&mut self, doc: &Document, ann: &Annotations) -> Result<u32, MergeError> {
         if !ann.is_keyed(doc.root()) {
-            return Err(MergeError::UnkeyedRoot(
-                doc.tag_name(doc.root()).to_owned(),
-            ));
+            return Err(MergeError::UnkeyedRoot(doc.tag_name(doc.root()).to_owned()));
         }
         let i = self.bump_version();
         let root = self.root();
@@ -218,7 +216,14 @@ pub(crate) fn terminate(a: &mut Archive, xc: ANodeId, t_cur: &TimeSet, i: u32) {
 }
 
 /// Action (c): copy a version subtree into the archive with timestamp `{i}`.
-fn insert_new(a: &mut Archive, parent: ANodeId, doc: &Document, ann: &Annotations, y: NodeId, i: u32) {
+fn insert_new(
+    a: &mut Archive,
+    parent: ANodeId,
+    doc: &Document,
+    ann: &Annotations,
+    y: NodeId,
+    i: u32,
+) {
     let id = copy_subtree(a, doc, ann, y, parent);
     a.node_mut(id).time = Some(TimeSet::from_version(i));
 }
@@ -240,10 +245,7 @@ pub(crate) fn copy_subtree(
                 .iter()
                 .map(|(s, v)| (doc.syms().resolve(*s).to_owned(), v.clone()))
                 .collect::<Vec<_>>();
-            let attrs = attrs
-                .into_iter()
-                .map(|(n, v)| (a.intern(&n), v))
-                .collect();
+            let attrs = attrs.into_iter().map(|(n, v)| (a.intern(&n), v)).collect();
             ANode {
                 kind: AKind::Element(tag),
                 parent: None,

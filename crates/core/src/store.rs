@@ -1,0 +1,284 @@
+//! The polymorphic archiver contract: one archiving *model*, many storage
+//! tiers.
+//!
+//! The paper contributes a single archiving model — key-based nested merge
+//! with interval-set timestamps — and then describes three ways of running
+//! it: wholly in memory (§4.2), hash-partitioned into chunks when the data
+//! outgrows memory (§5), and as a streaming external-memory pipeline
+//! (§6.3). [`VersionStore`] captures the contract all three share, so
+//! callers (tests, benches, services) are written once and the storage
+//! tier becomes a configuration choice — the separation of logical archive
+//! from physical tier that production cold-storage archives make.
+//!
+//! The trait is object-safe: `Box<dyn VersionStore>` is the unit the
+//! `xarch::ArchiveBuilder` facade hands out. Methods that *read* take
+//! `&mut self` because external-memory backends charge I/O accounting on
+//! every pass.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use xarch_keys::KeySpec;
+use xarch_xml::Document;
+
+use crate::archive::{Archive, ArchiveStats, MergeError};
+use crate::chunk::ChunkedArchive;
+use crate::history::KeyQuery;
+use crate::timeset::TimeSet;
+
+/// Unified error type across storage backends.
+///
+/// In-memory merges fail with [`MergeError`]; external-memory backends
+/// fail while encoding/decoding their event streams (absorbed as
+/// [`StoreError::Backend`] — `xarch_extmem` provides
+/// `From<StreamError> for StoreError`); streaming retrieval can fail in
+/// the caller's sink ([`StoreError::Io`]).
+#[derive(Debug)]
+pub enum StoreError {
+    /// The incoming version could not be merged (key violation etc.).
+    Merge(MergeError),
+    /// The storage backend failed (corrupt or truncated event stream).
+    Backend(String),
+    /// The caller's output sink failed during streaming retrieval.
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Merge(e) => write!(f, "merge error: {e}"),
+            StoreError::Backend(m) => write!(f, "backend error: {m}"),
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Merge(e) => Some(e),
+            StoreError::Backend(_) => None,
+            StoreError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<MergeError> for StoreError {
+    fn from(e: MergeError) -> Self {
+        StoreError::Merge(e)
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Backend-independent aggregate statistics.
+///
+/// For partitioned backends the node counts sum over partitions (each
+/// chunk carries its own synthetic root and document root), so they
+/// describe *storage*, not the logical document tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of archived versions (= `latest()`).
+    pub versions: u32,
+    /// Element nodes stored, including synthetic roots.
+    pub elements: usize,
+    /// Text nodes stored.
+    pub texts: usize,
+    /// `<T>` stamp alternatives beneath frontier nodes.
+    pub stamps: usize,
+    /// Serialized size of the archive in bytes (pretty XML for in-memory
+    /// backends, raw event stream for external-memory ones).
+    pub size_bytes: usize,
+}
+
+impl StoreStats {
+    /// Folds an in-memory [`ArchiveStats`] into the unified shape.
+    pub fn from_archive(s: ArchiveStats, versions: u32, size_bytes: usize) -> Self {
+        Self {
+            versions,
+            elements: s.elements,
+            texts: s.texts,
+            stamps: s.stamps,
+            size_bytes,
+        }
+    }
+}
+
+/// The full archiver contract shared by every storage backend.
+///
+/// | backend | paper | crate |
+/// |---|---|---|
+/// | [`Archive`] | §4.2 in-memory nested merge | `xarch_core` |
+/// | [`ChunkedArchive`] | §5 hash-partitioned chunks | `xarch_core` |
+/// | `ExtArchive` | §6.3 external-memory streams | `xarch_extmem` |
+pub trait VersionStore {
+    /// The governing key specification.
+    fn spec(&self) -> &KeySpec;
+
+    /// Merges `doc` as the next version; returns its version number.
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError>;
+
+    /// Archives an *empty* database as the next version (§2's footnote:
+    /// the synthetic root keeps ticking while every element terminates).
+    fn add_empty_version(&mut self) -> Result<u32, StoreError>;
+
+    /// Number of archived versions.
+    fn latest(&self) -> u32;
+
+    /// True if version `v` has been archived — it may still be an *empty*
+    /// version, for which [`VersionStore::retrieve`] returns `None`.
+    fn has_version(&self, v: u32) -> bool {
+        v >= 1 && v <= self.latest()
+    }
+
+    /// Reconstructs version `v`. Returns `None` when `v` was never
+    /// archived *or* the database was empty at `v` (use
+    /// [`VersionStore::has_version`] to distinguish).
+    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError>;
+
+    /// Streaming retrieval: serializes the nodes visible at version `v`
+    /// directly into `out` as compact XML, without materializing a
+    /// [`Document`]. Returns `true` iff a document was written — the same
+    /// `None`-for-empty contract as [`VersionStore::retrieve`].
+    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError>;
+
+    /// The temporal history of the element addressed by `steps` (§7.2):
+    /// the set of versions in which it exists, or `None` if no such
+    /// element was ever archived.
+    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError>;
+
+    /// Aggregate statistics of the stored archive.
+    fn stats(&mut self) -> Result<StoreStats, StoreError>;
+}
+
+impl VersionStore for Archive {
+    fn spec(&self) -> &KeySpec {
+        Archive::spec(self)
+    }
+
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        Ok(Archive::add_version(self, doc)?)
+    }
+
+    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        Ok(Archive::add_empty_version(self))
+    }
+
+    fn latest(&self) -> u32 {
+        Archive::latest(self)
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        Archive::has_version(self, v)
+    }
+
+    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
+        Ok(Archive::retrieve(self, v))
+    }
+
+    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        Ok(Archive::retrieve_into(self, v, out)?)
+    }
+
+    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        Ok(Archive::history(self, steps))
+    }
+
+    fn stats(&mut self) -> Result<StoreStats, StoreError> {
+        Ok(StoreStats::from_archive(
+            Archive::stats(self),
+            self.latest(),
+            self.size_bytes(),
+        ))
+    }
+}
+
+impl VersionStore for ChunkedArchive {
+    fn spec(&self) -> &KeySpec {
+        ChunkedArchive::spec(self)
+    }
+
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        Ok(ChunkedArchive::add_version(self, doc)?)
+    }
+
+    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        Ok(ChunkedArchive::add_empty_version(self))
+    }
+
+    fn latest(&self) -> u32 {
+        ChunkedArchive::latest(self)
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        ChunkedArchive::has_version(self, v)
+    }
+
+    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
+        Ok(ChunkedArchive::retrieve(self, v))
+    }
+
+    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        Ok(ChunkedArchive::retrieve_into(self, v, out)?)
+    }
+
+    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        Ok(ChunkedArchive::history(self, steps))
+    }
+
+    fn stats(&mut self) -> Result<StoreStats, StoreError> {
+        Ok(StoreStats::from_archive(
+            ChunkedArchive::stats(self),
+            self.latest(),
+            self.size_bytes(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe_and_uniform() {
+        let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))").unwrap();
+        let mut stores: Vec<Box<dyn VersionStore>> = vec![
+            Box::new(Archive::new(spec.clone())),
+            Box::new(ChunkedArchive::new(spec.clone(), 3)),
+        ];
+        let doc = xarch_xml::parse("<db><rec><id>1</id><val>x</val></rec></db>").unwrap();
+        for s in &mut stores {
+            assert_eq!(s.add_version(&doc).unwrap(), 1);
+            assert!(s.has_version(1));
+            assert!(!s.has_version(2));
+            let got = s.retrieve(1).unwrap().unwrap();
+            assert!(crate::equiv_modulo_key_order(&got, &doc, s.spec()));
+            let mut bytes = Vec::new();
+            assert!(s.retrieve_into(1, &mut bytes).unwrap());
+            let reparsed = xarch_xml::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+            assert!(crate::equiv_modulo_key_order(&reparsed, &doc, s.spec()));
+            let stats = s.stats().unwrap();
+            assert_eq!(stats.versions, 1);
+            assert!(stats.elements > 0 && stats.size_bytes > 0);
+            let q = [
+                KeyQuery::new("db"),
+                KeyQuery::new("rec").with_text("id", "1"),
+            ];
+            assert_eq!(s.history(&q).unwrap().unwrap().to_string(), "1");
+        }
+    }
+
+    #[test]
+    fn store_error_displays_sources() {
+        let e = StoreError::from(MergeError::UnkeyedRoot("x".into()));
+        assert!(e.to_string().contains("merge error"));
+        let e = StoreError::Backend("truncated".into());
+        assert!(e.to_string().contains("backend error"));
+        let e = StoreError::from(io::Error::other("sink"));
+        assert!(e.to_string().contains("i/o error"));
+    }
+}

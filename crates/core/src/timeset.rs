@@ -44,7 +44,9 @@ impl TimeSet {
         if lo > hi {
             Self::new()
         } else {
-            Self { runs: vec![(lo, hi)] }
+            Self {
+                runs: vec![(lo, hi)],
+            }
         }
     }
 
@@ -55,10 +57,7 @@ impl TimeSet {
 
     /// Number of versions in the set.
     pub fn count(&self) -> u64 {
-        self.runs
-            .iter()
-            .map(|&(lo, hi)| (hi - lo) as u64 + 1)
-            .sum()
+        self.runs.iter().map(|&(lo, hi)| (hi - lo) as u64 + 1).sum()
     }
 
     /// Number of intervals (the storage cost driver).
@@ -220,8 +219,14 @@ impl TimeSet {
             let part = part.trim();
             let (lo, hi) = match part.split_once('-') {
                 Some((a, b)) => {
-                    let lo = a.trim().parse::<u32>().map_err(|_| TimeParseError(s.into()))?;
-                    let hi = b.trim().parse::<u32>().map_err(|_| TimeParseError(s.into()))?;
+                    let lo = a
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| TimeParseError(s.into()))?;
+                    let hi = b
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| TimeParseError(s.into()))?;
                     (lo, hi)
                 }
                 None => {
@@ -402,7 +407,11 @@ mod tests {
         assert_eq!(got, want);
         // runs are canonical: sorted, disjoint, non-adjacent
         for w in t.intervals().windows(2) {
-            assert!(w[0].1 + 1 < w[1].0, "non-canonical runs: {:?}", t.intervals());
+            assert!(
+                w[0].1 + 1 < w[1].0,
+                "non-canonical runs: {:?}",
+                t.intervals()
+            );
         }
     }
 }

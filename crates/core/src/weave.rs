@@ -41,11 +41,7 @@ pub(crate) fn weave_frontier(
     let live: Vec<bool> = old_children
         .iter()
         .map(|&c| match prev {
-            Some(p) => a
-                .node(c)
-                .time
-                .as_ref()
-                .map_or(true, |t| t.contains(p)),
+            Some(p) => a.node(c).time.as_ref().is_none_or(|t| t.contains(p)),
             None => false,
         })
         .collect();

@@ -144,7 +144,9 @@ pub fn from_xml(doc: &Document, spec: &KeySpec) -> Result<Archive, XmlRepError> 
         .filter(|&c| matches!(doc.node(c).kind, NodeKind::Element(_)))
         .collect();
     let [root_el] = inner.as_slice() else {
-        return Err(XmlRepError("top-level <T> must hold exactly one element".into()));
+        return Err(XmlRepError(
+            "top-level <T> must hold exactly one element".into(),
+        ));
     };
     if doc.tag_name(*root_el) != "root" {
         return Err(XmlRepError(format!(
@@ -171,7 +173,17 @@ pub fn from_xml(doc: &Document, spec: &KeySpec) -> Result<Archive, XmlRepError> 
         .collect();
     let mut labels: Vec<String> = Vec::new();
     for &c in doc.children(*root_el) {
-        build(doc, c, &mut a, root_aid, spec, &keyed, &frontier, &mut labels, false)?;
+        build(
+            doc,
+            c,
+            &mut a,
+            root_aid,
+            spec,
+            &keyed,
+            &frontier,
+            &mut labels,
+            false,
+        )?;
     }
     Ok(a)
 }

@@ -101,10 +101,14 @@ fn figure_4_timestamps() {
     let t = a.history(&[db.clone(), marketing.clone()]).unwrap();
     assert_eq!(t.to_string(), "3");
     // emp{John Doe} in finance: t=[3-4]
-    let t = a.history(&[db.clone(), finance.clone(), john.clone()]).unwrap();
+    let t = a
+        .history(&[db.clone(), finance.clone(), john.clone()])
+        .unwrap();
     assert_eq!(t.to_string(), "3-4");
     // emp{Jane Smith}: t=[2,4]  — the paper's re-appearing employee
-    let t = a.history(&[db.clone(), finance.clone(), jane.clone()]).unwrap();
+    let t = a
+        .history(&[db.clone(), finance.clone(), jane.clone()])
+        .unwrap();
     assert_eq!(t.to_string(), "2,4");
     // Jane's tel{123-6789}: t=[4]
     let tel = KeyQuery::new("tel").with_canon(".", "<tel>123-6789</tel>");
@@ -117,7 +121,13 @@ fn figure_4_timestamps() {
     assert_eq!(t.to_string(), "3");
     // nonexistent employee
     assert!(a
-        .history(&[db, finance, KeyQuery::new("emp").with_text("fn", "Bob").with_text("ln", "Hope")])
+        .history(&[
+            db,
+            finance,
+            KeyQuery::new("emp")
+                .with_text("fn", "Bob")
+                .with_text("ln", "Hope")
+        ])
         .is_none());
 }
 
@@ -129,7 +139,9 @@ fn salary_alternatives_match_figure_4() {
     let path = [
         KeyQuery::new("db"),
         KeyQuery::new("dept").with_text("name", "finance"),
-        KeyQuery::new("emp").with_text("fn", "John").with_text("ln", "Doe"),
+        KeyQuery::new("emp")
+            .with_text("fn", "John")
+            .with_text("ln", "Doe"),
         KeyQuery::new("sal"),
     ];
     let t90 = a.value_history(&path, "90K").unwrap();
@@ -197,23 +209,29 @@ fn changes_are_semantically_meaningful() {
     // v3 -> v4: marketing dept deleted; Jane re-added; John's sal changed.
     let ch = describe_changes(&a, 3, 4);
     let find = |needle: &str, kind: ChangeKind| {
-        ch.iter()
-            .any(|c| c.kind == kind && c.path.contains(needle))
+        ch.iter().any(|c| c.kind == kind && c.path.contains(needle))
     };
     assert!(find("marketing", ChangeKind::Deleted), "{ch:#?}");
     assert!(find("Jane", ChangeKind::Added), "{ch:#?}");
     let sal = ch
         .iter()
-        .find(|c| c.kind == ChangeKind::Modified && c.path.contains("John") && c.path.ends_with("/sal"))
+        .find(|c| {
+            c.kind == ChangeKind::Modified && c.path.contains("John") && c.path.ends_with("/sal")
+        })
         .expect("salary change");
     let (from, to) = sal.detail.clone().unwrap();
     assert_eq!(from, "90K");
     assert_eq!(to, "95K");
     // John himself is NOT added/deleted — his continuity is preserved.
-    assert!(!ch.iter().any(|c| {
-        c.path.contains("John") && c.path.contains("finance") && c.kind != ChangeKind::Modified
-            && !c.path.ends_with("/sal")
-    }), "{ch:#?}");
+    assert!(
+        !ch.iter().any(|c| {
+            c.path.contains("John")
+                && c.path.contains("finance")
+                && c.kind != ChangeKind::Modified
+                && !c.path.ends_with("/sal")
+        }),
+        "{ch:#?}"
+    );
 }
 
 #[test]
@@ -246,8 +264,12 @@ fn gene_swap_example_of_figure_1() {
     assert!(ch.iter().all(|c| c.kind == ChangeKind::Modified), "{ch:#?}");
     // Each gene's seq and pos changed (2 genes × 2 fields).
     assert_eq!(ch.len(), 4, "{ch:#?}");
-    assert!(ch.iter().any(|c| c.path.contains("6230") && c.path.ends_with("/seq")));
-    assert!(ch.iter().any(|c| c.path.contains("2953") && c.path.ends_with("/pos")));
+    assert!(ch
+        .iter()
+        .any(|c| c.path.contains("6230") && c.path.ends_with("/seq")));
+    assert!(ch
+        .iter()
+        .any(|c| c.path.contains("2953") && c.path.ends_with("/pos")));
     // names did NOT change
     assert!(!ch.iter().any(|c| c.path.ends_with("/name")));
 }

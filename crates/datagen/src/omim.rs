@@ -179,7 +179,11 @@ mod tests {
     fn evolution_is_accretive() {
         let mut g = OmimGen::new(7);
         let seq = g.sequence(100, 10);
-        let first = seq.first().unwrap().child_elements(seq[0].root(), "Record").count();
+        let first = seq
+            .first()
+            .unwrap()
+            .child_elements(seq[0].root(), "Record")
+            .count();
         let last_doc = seq.last().unwrap();
         let last = last_doc.child_elements(last_doc.root(), "Record").count();
         assert!(last >= first, "records should grow: {first} -> {last}");

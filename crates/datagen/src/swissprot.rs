@@ -88,7 +88,11 @@ impl SwissProtGen {
         let pac = self.next_pac;
         self.next_pac += self.rng.gen_range(1..=9);
         let (_, last) = words::person(&mut self.rng);
-        doc.add_text_element(rec, "id", &format!("{:03}K_{}", pac % 1000, last.to_uppercase()));
+        doc.add_text_element(
+            rec,
+            "id",
+            &format!("{:03}K_{}", pac % 1000, last.to_uppercase()),
+        );
         doc.add_text_element(rec, "class", "STANDARD");
         doc.add_text_element(rec, "type", "PRT");
         let seq_len = self.rng.gen_range(self.seq_len.0..=self.seq_len.1);
@@ -100,7 +104,11 @@ impl SwissProtGen {
             let (mo, da, yr) = words::date(&mut self.rng);
             doc.add_text_element(m, "date", &format!("{da:02}-{mo:02}-{yr}"));
             doc.add_text_element(m, "rel", &(30 + r).to_string());
-            doc.add_text_element(m, "comment", if r == 0 { "Created" } else { "Last modified" });
+            doc.add_text_element(
+                m,
+                "comment",
+                if r == 0 { "Created" } else { "Last modified" },
+            );
         }
         let protein = doc.add_element(rec, "protein");
         let pname = words::sentence(&mut self.rng, 3).to_uppercase();
@@ -120,7 +128,11 @@ impl SwissProtGen {
             doc.add_text_element(
                 r,
                 "in",
-                &format!("Nucleic Acids Res. {}:1471-1475({})", self.rng.gen_range(10..40), 1992),
+                &format!(
+                    "Nucleic Acids Res. {}:1471-1475({})",
+                    self.rng.gen_range(10..40),
+                    1992
+                ),
             );
         }
         let comment = words::paragraph(&mut self.rng, 25);

@@ -4,13 +4,56 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const WORDS: &[&str] = &[
-    "protein", "factor", "replication", "sequence", "binding", "domain", "kinase", "receptor",
-    "gene", "promoter", "transcription", "ligase", "ubiquitin", "enzyme", "pathway", "membrane",
-    "nuclear", "cytoplasmic", "conserved", "homolog", "variant", "mutation", "deletion",
-    "insertion", "expression", "regulation", "complex", "subunit", "terminal", "residue",
-    "alpha", "beta", "gamma", "delta", "phosphorylation", "signal", "transduction", "growth",
-    "tumor", "suppressor", "oncogene", "chromosome", "locus", "allele", "phenotype", "genotype",
-    "disorder", "syndrome", "deficiency", "autosomal",
+    "protein",
+    "factor",
+    "replication",
+    "sequence",
+    "binding",
+    "domain",
+    "kinase",
+    "receptor",
+    "gene",
+    "promoter",
+    "transcription",
+    "ligase",
+    "ubiquitin",
+    "enzyme",
+    "pathway",
+    "membrane",
+    "nuclear",
+    "cytoplasmic",
+    "conserved",
+    "homolog",
+    "variant",
+    "mutation",
+    "deletion",
+    "insertion",
+    "expression",
+    "regulation",
+    "complex",
+    "subunit",
+    "terminal",
+    "residue",
+    "alpha",
+    "beta",
+    "gamma",
+    "delta",
+    "phosphorylation",
+    "signal",
+    "transduction",
+    "growth",
+    "tumor",
+    "suppressor",
+    "oncogene",
+    "chromosome",
+    "locus",
+    "allele",
+    "phenotype",
+    "genotype",
+    "disorder",
+    "syndrome",
+    "deficiency",
+    "autosomal",
 ];
 
 const FIRST_NAMES: &[&str] = &[
@@ -19,9 +62,26 @@ const FIRST_NAMES: &[&str] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Doe", "Smith", "Converse", "Macke", "McKusick", "Tan", "Khanna", "Buneman", "Tajima",
-    "Davidson", "Fan", "Deutsch", "Suciu", "Liefke", "Motwani", "Abiteboul", "Marian", "Cobena",
-    "Chawathe", "Widom",
+    "Doe",
+    "Smith",
+    "Converse",
+    "Macke",
+    "McKusick",
+    "Tan",
+    "Khanna",
+    "Buneman",
+    "Tajima",
+    "Davidson",
+    "Fan",
+    "Deutsch",
+    "Suciu",
+    "Liefke",
+    "Motwani",
+    "Abiteboul",
+    "Marian",
+    "Cobena",
+    "Chawathe",
+    "Widom",
 ];
 
 /// A pseudo-English sentence of `n` words.

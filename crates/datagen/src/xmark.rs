@@ -125,8 +125,18 @@ impl XmarkGen {
         let id = format!("item{}", self.next_item);
         self.next_item += 1;
         doc.set_attr(item, "id", &id);
-        let countries = ["Moldova, Republic Of", "United States", "Japan", "Scotland", "Brazil"];
-        doc.add_text_element(item, "location", countries[self.rng.gen_range(0..countries.len())]);
+        let countries = [
+            "Moldova, Republic Of",
+            "United States",
+            "Japan",
+            "Scotland",
+            "Brazil",
+        ];
+        doc.add_text_element(
+            item,
+            "location",
+            countries[self.rng.gen_range(0..countries.len())],
+        );
         doc.add_text_element(item, "quantity", &self.rng.gen_range(1..5u32).to_string());
         doc.add_text_element(item, "name", &words::sentence(&mut self.rng, 2));
         doc.add_text_element(item, "payment", "Money order, Creditcard, Cash");
@@ -174,7 +184,15 @@ impl XmarkGen {
         doc.add_text_element(p, "name", &format!("{first} {last}"));
         doc.add_text_element(p, "emailaddress", &format!("mailto:{last}@example.org"));
         if self.rng.gen_bool(0.4) {
-            doc.add_text_element(p, "phone", &format!("+1 ({}) 555-{:04}", self.rng.gen_range(200..999), self.rng.gen_range(0..9999)));
+            doc.add_text_element(
+                p,
+                "phone",
+                &format!(
+                    "+1 ({}) 555-{:04}",
+                    self.rng.gen_range(200..999),
+                    self.rng.gen_range(0..9999)
+                ),
+            );
         }
     }
 
@@ -183,11 +201,20 @@ impl XmarkGen {
         let id = format!("open_auction{}", self.next_auction);
         self.next_auction += 1;
         doc.set_attr(a, "id", &id);
-        doc.add_text_element(a, "initial", &format!("{:.2}", self.rng.gen_range(1.0..200.0)));
+        doc.add_text_element(
+            a,
+            "initial",
+            &format!("{:.2}", self.rng.gen_range(1.0..200.0)),
+        );
         let mut seen = std::collections::HashSet::new();
         for _ in 0..self.rng.gen_range(0..=3usize) {
             let (mo, da, yr) = words::date(&mut self.rng);
-            let time = format!("{:02}:{:02}:{:02}", self.rng.gen_range(0..24), self.rng.gen_range(0..60), self.rng.gen_range(0..60));
+            let time = format!(
+                "{:02}:{:02}:{:02}",
+                self.rng.gen_range(0..24),
+                self.rng.gen_range(0..60),
+                self.rng.gen_range(0..60)
+            );
             let person = self.rng.gen_range(0..self.next_person.max(1));
             let increase = format!("{:.2}", self.rng.gen_range(1.0..20.0));
             let key = (mo, da, yr, time.clone(), person, increase.clone());
@@ -201,9 +228,21 @@ impl XmarkGen {
             doc.set_attr(pr, "person", &format!("person{person}"));
             doc.add_text_element(b, "increase", &increase);
         }
-        doc.add_text_element(a, "current", &format!("{:.2}", self.rng.gen_range(1.0..500.0)));
+        doc.add_text_element(
+            a,
+            "current",
+            &format!("{:.2}", self.rng.gen_range(1.0..500.0)),
+        );
         doc.add_text_element(a, "quantity", &self.rng.gen_range(1..4u32).to_string());
-        doc.add_text_element(a, "type", if self.rng.gen_bool(0.5) { "Regular" } else { "Featured" });
+        doc.add_text_element(
+            a,
+            "type",
+            if self.rng.gen_bool(0.5) {
+                "Regular"
+            } else {
+                "Featured"
+            },
+        );
     }
 
     /// All item nodes of a document, with their region parents.
@@ -258,7 +297,9 @@ impl XmarkGen {
             }
         }
         // insertions
-        let regions = doc.first_child_element(doc.root(), "regions").expect("regions");
+        let regions = doc
+            .first_child_element(doc.root(), "regions")
+            .expect("regions");
         let region_nodes: Vec<NodeId> = REGIONS
             .iter()
             .filter_map(|r| doc.first_child_element(regions, r))
@@ -290,7 +331,12 @@ impl XmarkGen {
     }
 
     /// A version sequence under random change.
-    pub fn random_change_sequence(&mut self, n_items: usize, versions: usize, pct: f64) -> Vec<Document> {
+    pub fn random_change_sequence(
+        &mut self,
+        n_items: usize,
+        versions: usize,
+        pct: f64,
+    ) -> Vec<Document> {
         let mut out = vec![self.generate(n_items)];
         for _ in 1..versions {
             let next = self.random_change(out.last().expect("nonempty"), pct);
@@ -300,7 +346,12 @@ impl XmarkGen {
     }
 
     /// A version sequence under key mutation.
-    pub fn key_mutation_sequence(&mut self, n_items: usize, versions: usize, pct: f64) -> Vec<Document> {
+    pub fn key_mutation_sequence(
+        &mut self,
+        n_items: usize,
+        versions: usize,
+        pct: f64,
+    ) -> Vec<Document> {
         let mut out = vec![self.generate(n_items)];
         for _ in 1..versions {
             let next = self.key_mutation(out.last().expect("nonempty"), pct);

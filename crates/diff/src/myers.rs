@@ -130,7 +130,7 @@ fn middle_snake(a: &[u32], b: &[u32]) -> (usize, (usize, usize, usize, usize)) {
                 y += 1;
             }
             vf[idx(k)] = x;
-            if odd && (k - delta).abs() <= d - 1 {
+            if odd && (k - delta).abs() < d {
                 // Overlap with the furthest reverse (d-1)-path on the same
                 // diagonal: reverse diagonal is delta - k.
                 let xr = vb[idx(delta - k)];
@@ -279,6 +279,7 @@ mod tests {
     }
 
     /// Reference O(N·M) DP edit distance (insert/delete unit cost).
+    #[allow(clippy::needless_range_loop)]
     fn dp_distance(a: &[&str], b: &[&str]) -> usize {
         let n = a.len();
         let m = b.len();

@@ -220,15 +220,17 @@ mod tests {
     fn cumulative_grows_faster_on_drifting_data() {
         // As versions drift from V1, cumulative deltas each repeat the whole
         // drift while incremental deltas stay small (Fig 11's shape).
-        let mut text = (0..200).map(|i| format!("line{i}")).collect::<Vec<_>>().join("\n");
+        let mut text = (0..200)
+            .map(|i| format!("line{i}"))
+            .collect::<Vec<_>>()
+            .join("\n");
         let mut inc = IncrementalRepo::new();
         let mut cum = CumulativeRepo::new();
         inc.add_version(&text);
         cum.add_version(&text);
         for v in 0..10 {
             // change a few lines each version, cumulatively
-            let mut lines: Vec<String> =
-                text.split('\n').map(|s| s.to_owned()).collect();
+            let mut lines: Vec<String> = text.split('\n').map(|s| s.to_owned()).collect();
             for j in 0..5 {
                 let idx = (v * 5 + j) % lines.len();
                 lines[idx] = format!("changed-{v}-{j}");

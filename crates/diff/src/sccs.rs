@@ -29,7 +29,7 @@ pub struct WeaveLine {
 impl WeaveLine {
     /// True if the line belongs to version `v`.
     pub fn live_at(&self, v: u32) -> bool {
-        self.inserted <= v && self.deleted.map_or(true, |d| v < d)
+        self.inserted <= v && self.deleted.is_none_or(|d| v < d)
     }
 }
 
@@ -194,7 +194,12 @@ mod tests {
             w.add_version(v);
         }
         for (i, v) in vs.iter().enumerate() {
-            assert_eq!(w.retrieve(i as u32 + 1).as_deref(), Some(*v), "version {}", i + 1);
+            assert_eq!(
+                w.retrieve(i as u32 + 1).as_deref(),
+                Some(*v),
+                "version {}",
+                i + 1
+            );
         }
     }
 
@@ -257,6 +262,9 @@ mod tests {
             w.add_version(&lines.join("\n"));
         }
         let last = lines.join("\n").len();
-        assert!(w.size_bytes() < last + last / 5, "weave should stay near last version size");
+        assert!(
+            w.size_bytes() < last + last / 5,
+            "weave should stay near last version size"
+        );
     }
 }

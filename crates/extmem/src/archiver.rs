@@ -9,8 +9,12 @@
 //! output x [with i added] ... Since this step makes one pass through the
 //! archive and version, it incurs O(N/B) I/Os."
 
-use xarch_core::TimeSet;
+use std::io::Write;
+
+use xarch_core::store::{StoreError, StoreStats, VersionStore};
+use xarch_core::{KeyQuery, TimeSet};
 use xarch_keys::{annotate, KeySpec};
+use xarch_xml::escape::{escape_attr, escape_text};
 use xarch_xml::Document;
 
 use crate::etree::{insert_new, merge_tree, terminate, EKind, ETree};
@@ -57,9 +61,20 @@ impl ExtArchive {
         }
     }
 
+    /// The governing key specification.
+    pub fn spec(&self) -> &KeySpec {
+        &self.spec
+    }
+
     /// Number of archived versions.
     pub fn latest(&self) -> u32 {
         self.latest
+    }
+
+    /// True if version `v` has been archived (it may still be an *empty*
+    /// version) — the same contract as the in-memory archiver.
+    pub fn has_version(&self, v: u32) -> bool {
+        v >= 1 && v <= self.latest
     }
 
     /// Size of the archive stream in bytes.
@@ -68,7 +83,7 @@ impl ExtArchive {
     }
 
     /// Cumulative I/O statistics across all operations.
-    pub fn stats(&self) -> IoStats {
+    pub fn io_stats(&self) -> IoStats {
         self.stats
     }
 
@@ -80,6 +95,15 @@ impl ExtArchive {
     /// Archives the next version: annotate → external sort → one merge pass.
     pub fn add_version(&mut self, doc: &Document) -> Result<u32> {
         let ann = annotate(doc, &self.spec).map_err(|e| StreamError(e.to_string()))?;
+        // Same contract as the in-memory archiver: an unkeyed document root
+        // is rejected up front (the merge would otherwise fail mid-stream
+        // with an opaque decode error).
+        if !ann.is_keyed(doc.root()) {
+            return Err(StreamError(format!(
+                "document root <{}> has no root-level key in the spec",
+                doc.tag_name(doc.root())
+            )));
+        }
         let (sorted, sort_stats) = write_sorted_version(doc, &ann, &self.cfg)?;
         self.stats.add(sort_stats);
         let i = self.latest + 1;
@@ -96,6 +120,142 @@ impl ExtArchive {
         Ok(i)
     }
 
+    /// Archives an *empty* database as the next version: one merge pass
+    /// against a version stream holding only the virtual root, so every
+    /// archived element is terminated while the root keeps ticking —
+    /// `has_version` then answers `true` and `retrieve` answers `None`,
+    /// matching the in-memory archiver's contract.
+    pub fn add_empty_version(&mut self) -> Result<u32> {
+        let i = self.latest + 1;
+        let mut version = Vec::new();
+        encode_spine_open(
+            &SpineHeader {
+                tag: "root".into(),
+                attrs: Vec::new(),
+                sort_key: Some("root\u{0}".into()),
+                time: None,
+            },
+            &mut version,
+        );
+        encode_spine_close(&mut version);
+        let mut ar = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let mut vr = StreamCursor::new(&version, self.cfg.page_bytes);
+        let mut out = PagedWriter::new(self.cfg.page_bytes);
+        merge_spines(&mut ar, &mut vr, &mut out, &TimeSet::new(), i)?;
+        self.stats.page_reads += ar.pages_read() + vr.pages_read();
+        let (bytes, writes) = out.finish();
+        self.stats.page_writes += writes;
+        self.data = bytes;
+        self.latest = i;
+        Ok(i)
+    }
+
+    /// Streaming retrieval: one pass over the event stream writing the
+    /// nodes visible at `v` directly into `out` as compact XML — no
+    /// [`Document`] and no whole-archive [`ETree`] are materialized (small
+    /// entries are decoded one record at a time). Returns `true` iff a
+    /// document was written.
+    pub fn retrieve_into<W: Write + ?Sized>(
+        &mut self,
+        v: u32,
+        out: &mut W,
+    ) -> std::result::Result<bool, StoreError> {
+        if !self.has_version(v) {
+            return Ok(false);
+        }
+        let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let result = Self::emit_root(&mut cur, v, out);
+        self.stats.page_reads += cur.pages_read();
+        result
+    }
+
+    /// Consumes the synthetic root spine, emitting the first visible
+    /// document root (mirrors [`ExtArchive::retrieve`]'s selection).
+    fn emit_root<W: Write + ?Sized>(
+        cur: &mut StreamCursor<'_>,
+        v: u32,
+        out: &mut W,
+    ) -> std::result::Result<bool, StoreError> {
+        let _root = cur.take_spine_open()?;
+        let mut wrote = false;
+        loop {
+            match cur.peek()? {
+                Peeked::Close => {
+                    cur.take_spine_close()?;
+                    return Ok(wrote);
+                }
+                Peeked::Eof => return Err(StreamError("unterminated root spine".into()).into()),
+                Peeked::Small(_) => {
+                    let t = cur.take_small()?;
+                    if !wrote {
+                        if let Some(ft) = filter_tree(&t, v, true) {
+                            if matches!(ft.kind, EKind::Element { .. }) {
+                                write_etree(&ft, out)?;
+                                wrote = true;
+                            }
+                        }
+                    }
+                }
+                Peeked::Spine(_) => {
+                    let h = cur.take_spine_open()?;
+                    let visible = h.time.as_ref().is_none_or(|t| t.contains(v));
+                    if visible && !wrote {
+                        emit_spine(cur, &h, v, out)?;
+                        wrote = true;
+                    } else {
+                        skip_spine(cur)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The temporal history of the element addressed by `steps` (§7.2),
+    /// answered with one partial scan of the event stream: each level is
+    /// scanned until the step's label sort key matches, then the walk
+    /// descends (into the spine, or in memory once a small record is
+    /// reached). Timestamp inheritance follows the spine headers.
+    pub fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>> {
+        let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let root = cur.take_spine_open()?;
+        let root_time = root.time.clone().unwrap_or_else(TimeSet::new);
+        let result = if steps.is_empty() {
+            Ok(Some(root_time))
+        } else {
+            history_in_spine(&mut cur, steps, 0, &root_time)
+        };
+        self.stats.page_reads += cur.pages_read();
+        result
+    }
+
+    /// Aggregate statistics, computed with one pass over the stream.
+    pub fn store_stats(&mut self) -> Result<StoreStats> {
+        let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let mut s = StoreStats {
+            versions: self.latest,
+            size_bytes: self.data.len(),
+            ..StoreStats::default()
+        };
+        loop {
+            match cur.peek()? {
+                Peeked::Eof => break,
+                Peeked::Close => {
+                    cur.take_spine_close()?;
+                }
+                Peeked::Spine(_) => {
+                    cur.take_spine_open()?;
+                    s.elements += 1;
+                }
+                Peeked::Small(_) => {
+                    let t = cur.take_small()?;
+                    count_tree(&t, &mut s);
+                }
+            }
+        }
+        self.stats.page_reads += cur.pages_read();
+        Ok(s)
+    }
+
     /// Retrieves version `v` with one streaming pass.
     pub fn retrieve(&mut self, v: u32) -> Result<Option<Document>> {
         if v == 0 || v > self.latest {
@@ -108,9 +268,10 @@ impl ExtArchive {
         let Some(root) = root else {
             return Ok(None);
         };
-        let doc_root = root.children.into_iter().find(|c| {
-            matches!(c.kind, EKind::Element { .. })
-        });
+        let doc_root = root
+            .children
+            .into_iter()
+            .find(|c| matches!(c.kind, EKind::Element { .. }));
         let Some(tree) = doc_root else {
             return Ok(None); // empty version
         };
@@ -118,9 +279,229 @@ impl ExtArchive {
     }
 }
 
+impl VersionStore for ExtArchive {
+    fn spec(&self) -> &KeySpec {
+        ExtArchive::spec(self)
+    }
+
+    fn add_version(&mut self, doc: &Document) -> std::result::Result<u32, StoreError> {
+        Ok(ExtArchive::add_version(self, doc)?)
+    }
+
+    fn add_empty_version(&mut self) -> std::result::Result<u32, StoreError> {
+        Ok(ExtArchive::add_empty_version(self)?)
+    }
+
+    fn latest(&self) -> u32 {
+        ExtArchive::latest(self)
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        ExtArchive::has_version(self, v)
+    }
+
+    fn retrieve(&mut self, v: u32) -> std::result::Result<Option<Document>, StoreError> {
+        Ok(ExtArchive::retrieve(self, v)?)
+    }
+
+    fn retrieve_into(
+        &mut self,
+        v: u32,
+        out: &mut dyn Write,
+    ) -> std::result::Result<bool, StoreError> {
+        ExtArchive::retrieve_into(self, v, out)
+    }
+
+    fn history(&mut self, steps: &[KeyQuery]) -> std::result::Result<Option<TimeSet>, StoreError> {
+        Ok(ExtArchive::history(self, steps)?)
+    }
+
+    fn stats(&mut self) -> std::result::Result<StoreStats, StoreError> {
+        Ok(ExtArchive::store_stats(self)?)
+    }
+}
+
+/// The label sort key a [`KeyQuery`] step addresses — the same encoding
+/// [`ETree::from_doc`] attaches to keyed elements:
+/// `tag \x00 (path \x01 canon \x02)*`.
+fn sort_key_of(step: &KeyQuery) -> String {
+    let mut s = step.tag.clone();
+    s.push('\u{0}');
+    for (path, canon) in &step.parts {
+        s.push_str(path);
+        s.push('\u{1}');
+        s.push_str(canon);
+        s.push('\u{2}');
+    }
+    s
+}
+
+/// Scans the current spine's children for `steps[depth]`, descending when
+/// found. `inherited` is the enclosing spine's effective timestamp.
+fn history_in_spine(
+    cur: &mut StreamCursor<'_>,
+    steps: &[KeyQuery],
+    depth: usize,
+    inherited: &TimeSet,
+) -> Result<Option<TimeSet>> {
+    let want = sort_key_of(&steps[depth]);
+    loop {
+        match cur.peek()? {
+            Peeked::Close => {
+                cur.take_spine_close()?;
+                return Ok(None);
+            }
+            Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+            Peeked::Small(k) => {
+                let matched = k.as_deref() == Some(want.as_str());
+                let t = cur.take_small()?;
+                if matched {
+                    return Ok(history_in_tree(&t, steps, depth, inherited));
+                }
+            }
+            Peeked::Spine(k) => {
+                let matched = k.as_deref() == Some(want.as_str());
+                let h = cur.take_spine_open()?;
+                if matched {
+                    let eff = h.time.clone().unwrap_or_else(|| inherited.clone());
+                    if depth + 1 == steps.len() {
+                        return Ok(Some(eff));
+                    }
+                    return history_in_spine(cur, steps, depth + 1, &eff);
+                }
+                skip_spine(cur)?;
+            }
+        }
+    }
+}
+
+/// Finishes a history walk inside an in-memory fragment.
+fn history_in_tree(
+    t: &ETree,
+    steps: &[KeyQuery],
+    depth: usize,
+    inherited: &TimeSet,
+) -> Option<TimeSet> {
+    let eff = t.time.clone().unwrap_or_else(|| inherited.clone());
+    if depth + 1 == steps.len() {
+        return Some(eff);
+    }
+    let want = sort_key_of(&steps[depth + 1]);
+    t.children
+        .iter()
+        .find(|c| c.sort_key.as_deref() == Some(want.as_str()))
+        .and_then(|c| history_in_tree(c, steps, depth + 1, &eff))
+}
+
+/// Consumes a spine's remaining children and its close marker, discarding
+/// everything.
+fn skip_spine(cur: &mut StreamCursor<'_>) -> Result<()> {
+    loop {
+        match cur.peek()? {
+            Peeked::Close => {
+                cur.take_spine_close()?;
+                return Ok(());
+            }
+            Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+            Peeked::Small(_) => {
+                cur.take_small()?;
+            }
+            Peeked::Spine(_) => {
+                cur.take_spine_open()?;
+                skip_spine(cur)?;
+            }
+        }
+    }
+}
+
+/// Streams one visible spine: open tag, visible children, close tag. The
+/// open marker has already been consumed into `h`.
+fn emit_spine<W: Write + ?Sized>(
+    cur: &mut StreamCursor<'_>,
+    h: &SpineHeader,
+    v: u32,
+    out: &mut W,
+) -> std::result::Result<(), StoreError> {
+    write!(out, "<{}", h.tag).map_err(StoreError::Io)?;
+    for (a, val) in &h.attrs {
+        write!(out, " {}=\"{}\"", a, escape_attr(val)).map_err(StoreError::Io)?;
+    }
+    write!(out, ">").map_err(StoreError::Io)?;
+    loop {
+        match cur.peek()? {
+            Peeked::Close => {
+                cur.take_spine_close()?;
+                write!(out, "</{}>", h.tag).map_err(StoreError::Io)?;
+                return Ok(());
+            }
+            Peeked::Eof => return Err(StreamError("unterminated spine".into()).into()),
+            Peeked::Small(_) => {
+                let t = cur.take_small()?;
+                if let Some(ft) = filter_tree(&t, v, true) {
+                    write_etree(&ft, out)?;
+                }
+            }
+            Peeked::Spine(_) => {
+                let ch = cur.take_spine_open()?;
+                let visible = ch.time.as_ref().is_none_or(|t| t.contains(v));
+                if visible {
+                    emit_spine(cur, &ch, v, out)?;
+                } else {
+                    skip_spine(cur)?;
+                }
+            }
+        }
+    }
+}
+
+/// Writes an already-filtered fragment as compact XML (stamps are
+/// transparent).
+fn write_etree<W: Write + ?Sized>(t: &ETree, out: &mut W) -> std::io::Result<()> {
+    match &t.kind {
+        EKind::Text(s) => write!(out, "{}", escape_text(s)),
+        EKind::Stamp => {
+            for c in &t.children {
+                write_etree(c, out)?;
+            }
+            Ok(())
+        }
+        EKind::Element { tag, attrs } => {
+            write!(out, "<{tag}")?;
+            for (a, val) in attrs {
+                write!(out, " {}=\"{}\"", a, escape_attr(val))?;
+            }
+            if t.children.is_empty() {
+                write!(out, "/>")
+            } else {
+                write!(out, ">")?;
+                for c in &t.children {
+                    write_etree(c, out)?;
+                }
+                write!(out, "</{tag}>")
+            }
+        }
+    }
+}
+
+/// Counts one fragment's nodes into the unified statistics.
+fn count_tree(t: &ETree, s: &mut StoreStats) {
+    match &t.kind {
+        EKind::Element { .. } => s.elements += 1,
+        EKind::Text(_) => s.texts += 1,
+        EKind::Stamp => s.stamps += 1,
+    }
+    for c in &t.children {
+        count_tree(c, s);
+    }
+}
+
 /// Reads the next entry (spine or small) as a *version-v* filtered ETree.
 /// Returns `None` when the entry is not visible at `v`.
-fn read_visible(cur: &mut StreamCursor<'_>, v: u32, _inherited: Option<&TimeSet>) -> Result<Option<ETree>> {
+fn read_visible(
+    cur: &mut StreamCursor<'_>,
+    v: u32,
+    _inherited: Option<&TimeSet>,
+) -> Result<Option<ETree>> {
     match cur.peek()? {
         Peeked::Small(_) => {
             let t = cur.take_small()?;
@@ -128,7 +509,7 @@ fn read_visible(cur: &mut StreamCursor<'_>, v: u32, _inherited: Option<&TimeSet>
         }
         Peeked::Spine(_) => {
             let h = cur.take_spine_open()?;
-            let visible = h.time.as_ref().map_or(true, |t| t.contains(v));
+            let visible = h.time.as_ref().is_none_or(|t| t.contains(v));
             let mut children = Vec::new();
             loop {
                 match cur.peek()? {
@@ -314,7 +695,10 @@ fn merge_spines(
                     vr.copy_entry(out, Some(&t_new))?;
                 }
                 std::cmp::Ordering::Equal => {
-                    match (matches!(pa, Peeked::Spine(_)), matches!(pv, Peeked::Spine(_))) {
+                    match (
+                        matches!(pa, Peeked::Spine(_)),
+                        matches!(pv, Peeked::Spine(_)),
+                    ) {
                         (true, true) => merge_spines(ar, vr, out, &t_cur, i)?,
                         (false, false) => {
                             let mut x = ar.take_small()?;

@@ -20,7 +20,10 @@ use xarch_xml::{Document, NodeId, NodeKind};
 /// Node kinds of an external-archive fragment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EKind {
-    Element { tag: String, attrs: Vec<(String, String)> },
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+    },
     Text(String),
     /// A `<T>` alternative beneath a frontier node.
     Stamp,
@@ -183,7 +186,11 @@ pub fn merge_tree(x: &mut ETree, y: &ETree, inherited: &TimeSet, i: u32) {
     loop {
         match (xi.peek(), yi.peek()) {
             (Some(xc), Some(yc)) => {
-                let ord = xc.sort_key.as_ref().unwrap().cmp(yc.sort_key.as_ref().unwrap());
+                let ord = xc
+                    .sort_key
+                    .as_ref()
+                    .unwrap()
+                    .cmp(yc.sort_key.as_ref().unwrap());
                 match ord {
                     std::cmp::Ordering::Equal => {
                         let mut xc = xi.next().unwrap();
@@ -215,10 +222,8 @@ pub fn merge_tree(x: &mut ETree, y: &ETree, inherited: &TimeSet, i: u32) {
         }
     }
     // Unkeyed fallback: value matching on canonical forms.
-    let mut remaining: Vec<(String, ETree)> = unkeyed_x
-        .into_iter()
-        .map(|c| (c.canonical(), c))
-        .collect();
+    let mut remaining: Vec<(String, ETree)> =
+        unkeyed_x.into_iter().map(|c| (c.canonical(), c)).collect();
     for yc in unkeyed_y {
         let cy = yc.canonical();
         if let Some(pos) = remaining.iter().position(|(c, _)| *c == cy) {
@@ -318,9 +323,15 @@ mod tests {
         let t = tree("<db><rec><id>2</id><val>x</val></rec><rec><id>1</id><val>y</val></rec></db>");
         assert_eq!(t.children.len(), 2);
         // sorted by key: rec{1} before rec{2}
-        assert!(t.children[0].sort_key.as_ref().unwrap() < t.children[1].sort_key.as_ref().unwrap());
+        assert!(
+            t.children[0].sort_key.as_ref().unwrap() < t.children[1].sort_key.as_ref().unwrap()
+        );
         let rec = &t.children[0];
-        let val = rec.children.iter().find(|c| matches!(&c.kind, EKind::Element{tag,..} if tag=="val")).unwrap();
+        let val = rec
+            .children
+            .iter()
+            .find(|c| matches!(&c.kind, EKind::Element{tag,..} if tag=="val"))
+            .unwrap();
         assert!(val.frontier);
     }
 
@@ -328,7 +339,8 @@ mod tests {
     fn merge_tree_matches_expectations() {
         let mut a = tree("<db><rec><id>1</id><val>x</val></rec></db>");
         a.time = Some(TimeSet::from_version(1));
-        let v2 = tree("<db><rec><id>1</id><val>y</val></rec><rec><id>2</id><val>z</val></rec></db>");
+        let v2 =
+            tree("<db><rec><id>1</id><val>y</val></rec><rec><id>2</id><val>z</val></rec></db>");
         let inherited = TimeSet::from_range(1, 2);
         merge_tree(&mut a, &v2, &inherited, 2);
         assert_eq!(a.time.clone().unwrap().to_string(), "1-2");

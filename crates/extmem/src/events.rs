@@ -42,6 +42,14 @@ impl std::fmt::Display for StreamError {
 
 impl std::error::Error for StreamError {}
 
+/// Stream failures surface through the unified store error as backend
+/// errors, so `Box<dyn VersionStore>` callers handle one error type.
+impl From<StreamError> for xarch_core::StoreError {
+    fn from(e: StreamError) -> Self {
+        xarch_core::StoreError::Backend(e.to_string())
+    }
+}
+
 type Result<T> = std::result::Result<T, StreamError>;
 
 fn err<T>(msg: impl Into<String>) -> Result<T> {
@@ -178,8 +186,8 @@ pub fn decode_small(buf: &[u8], pos: &mut usize) -> Result<ETree> {
             if end > buf.len() {
                 return err("truncated stamp body");
             }
-            let time = TimeSet::parse(&get_str(buf, pos)?)
-                .map_err(|e| StreamError(e.to_string()))?;
+            let time =
+                TimeSet::parse(&get_str(buf, pos)?).map_err(|e| StreamError(e.to_string()))?;
             let mut children = Vec::new();
             while *pos < end {
                 children.push(decode_small(buf, pos)?);
@@ -216,10 +224,7 @@ pub fn decode_small(buf: &[u8], pos: &mut usize) -> Result<ETree> {
                 attrs.push((a, v));
             }
             let time = if flags & FLAG_TIME != 0 {
-                Some(
-                    TimeSet::parse(&get_str(buf, pos)?)
-                        .map_err(|e| StreamError(e.to_string()))?,
-                )
+                Some(TimeSet::parse(&get_str(buf, pos)?).map_err(|e| StreamError(e.to_string()))?)
             } else {
                 None
             };
@@ -387,7 +392,9 @@ impl<'a> StreamCursor<'a> {
         let mut pos = start;
         let tree = decode_small(self.buf, &mut pos)?;
         let len = pos - start;
-        self.reader.read(len).ok_or_else(|| StreamError("EOF".into()))?;
+        self.reader
+            .read(len)
+            .ok_or_else(|| StreamError("EOF".into()))?;
         Ok(tree)
     }
 
@@ -400,7 +407,9 @@ impl<'a> StreamCursor<'a> {
         let mut pos = start + 1;
         let h = decode_spine_header(self.buf, &mut pos)?;
         let len = pos - start;
-        self.reader.read(len).ok_or_else(|| StreamError("EOF".into()))?;
+        self.reader
+            .read(len)
+            .ok_or_else(|| StreamError("EOF".into()))?;
         Ok(h)
     }
 
@@ -409,7 +418,9 @@ impl<'a> StreamCursor<'a> {
         if self.buf.get(self.reader.position()) != Some(&KIND_SPINE_CLOSE) {
             return err("expected spine close");
         }
-        self.reader.read(1).ok_or_else(|| StreamError("EOF".into()))?;
+        self.reader
+            .read(1)
+            .ok_or_else(|| StreamError("EOF".into()))?;
         Ok(())
     }
 
@@ -538,7 +549,8 @@ mod tests {
         assert_eq!(a, leaf("rec", "a"));
         // copy the second entry with a time override
         let mut out = PagedWriter::new(64);
-        cur.copy_entry(&mut out, Some(&TimeSet::from_version(9))).unwrap();
+        cur.copy_entry(&mut out, Some(&TimeSet::from_version(9)))
+            .unwrap();
         assert!(matches!(cur.peek().unwrap(), Peeked::Close));
         cur.take_spine_close().unwrap();
         assert!(matches!(cur.peek().unwrap(), Peeked::Eof));
@@ -557,7 +569,8 @@ mod tests {
         encode_small(&t, &mut buf);
         let mut cur = StreamCursor::new(&buf, 64);
         let mut out = PagedWriter::new(64);
-        cur.copy_entry(&mut out, Some(&TimeSet::from_version(7))).unwrap();
+        cur.copy_entry(&mut out, Some(&TimeSet::from_version(7)))
+            .unwrap();
         let (bytes, _) = out.finish();
         let mut pos = 0;
         let copied = decode_small(&bytes, &mut pos).unwrap();

@@ -83,7 +83,9 @@ impl PagedWriter {
 
     /// Finishes the file, charging the final partial page.
     pub fn finish(mut self) -> (Vec<u8>, u64) {
-        if self.buf.len() % self.page != 0 || (self.buf.is_empty() && self.pages_written == 0) {
+        if !self.buf.len().is_multiple_of(self.page)
+            || (self.buf.is_empty() && self.pages_written == 0)
+        {
             self.pages_written += 1;
         }
         (self.buf, self.pages_written)

@@ -29,4 +29,5 @@ pub mod io;
 pub mod sort;
 
 pub use archiver::ExtArchive;
+pub use events::StreamError;
 pub use io::{IoConfig, IoStats};

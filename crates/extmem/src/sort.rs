@@ -138,21 +138,23 @@ fn emit_sorted(
     let mut runs: Vec<Vec<u8>> = Vec::new();
     let mut run: Vec<(String, Vec<u8>)> = Vec::new();
     let mut run_bytes = 0usize;
-    let flush =
-        |run: &mut Vec<(String, Vec<u8>)>, run_bytes: &mut usize, runs: &mut Vec<Vec<u8>>, stats: &mut IoStats| {
-            if run.is_empty() {
-                return;
-            }
-            run.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut w = PagedWriter::new(cfg.page_bytes);
-            for (_, bytes) in run.drain(..) {
-                w.write(&bytes);
-            }
-            let (bytes, writes) = w.finish();
-            stats.page_writes += writes;
-            runs.push(bytes);
-            *run_bytes = 0;
-        };
+    let flush = |run: &mut Vec<(String, Vec<u8>)>,
+                 run_bytes: &mut usize,
+                 runs: &mut Vec<Vec<u8>>,
+                 stats: &mut IoStats| {
+        if run.is_empty() {
+            return;
+        }
+        run.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut w = PagedWriter::new(cfg.page_bytes);
+        for (_, bytes) in run.drain(..) {
+            w.write(&bytes);
+        }
+        let (bytes, writes) = w.finish();
+        stats.page_writes += writes;
+        runs.push(bytes);
+        *run_bytes = 0;
+    };
     for &c in doc.children(id) {
         if matches!(doc.node(c).kind, NodeKind::Text(_)) || ann.key(c).is_none() {
             return Err(StreamError(

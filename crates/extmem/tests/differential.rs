@@ -55,7 +55,7 @@ fn external_matches_in_memory_on_omim() {
         assert!(equiv_modulo_key_order(&a, &b, &spec), "version {v}");
     }
     // real I/O was charged
-    let s: IoStats = ext.stats();
+    let s: IoStats = ext.io_stats();
     assert!(s.page_reads > 10, "{s:?}");
     assert!(s.page_writes > 10, "{s:?}");
 }
@@ -73,7 +73,7 @@ fn io_scales_with_page_size() {
         for d in &versions {
             ext.add_version(d).unwrap();
         }
-        ext.stats().total()
+        ext.io_stats().total()
     };
     let io_small_pages = run(128);
     let io_big_pages = run(2048);
@@ -86,9 +86,11 @@ fn io_scales_with_page_size() {
 #[test]
 fn element_reappearance_round_trips() {
     let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap();
-    let v1 = parse("<db><rec><id>1</id><val>a</val></rec><rec><id>2</id><val>b</val></rec></db>").unwrap();
+    let v1 = parse("<db><rec><id>1</id><val>a</val></rec><rec><id>2</id><val>b</val></rec></db>")
+        .unwrap();
     let v2 = parse("<db><rec><id>2</id><val>b</val></rec></db>").unwrap();
-    let v3 = parse("<db><rec><id>1</id><val>a2</val></rec><rec><id>2</id><val>b</val></rec></db>").unwrap();
+    let v3 = parse("<db><rec><id>1</id><val>a2</val></rec><rec><id>2</id><val>b</val></rec></db>")
+        .unwrap();
     let mut mem = Archive::new(spec.clone());
     let mut ext = ExtArchive::new(spec.clone(), small_cfg());
     for d in [&v1, &v2, &v3] {
@@ -108,4 +110,127 @@ fn invalid_version_is_none() {
     let mut ext = ExtArchive::new(spec, small_cfg());
     assert!(ext.retrieve(0).unwrap().is_none());
     assert!(ext.retrieve(1).unwrap().is_none());
+}
+
+#[test]
+fn empty_version_reported_like_in_memory() {
+    let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))").unwrap();
+    let doc = parse("<db><rec><id>1</id></rec></db>").unwrap();
+    let mut mem = Archive::new(spec.clone());
+    let mut ext = ExtArchive::new(spec.clone(), small_cfg());
+    mem.add_version(&doc).unwrap();
+    ext.add_version(&doc).unwrap();
+    mem.add_empty_version();
+    ext.add_empty_version().unwrap();
+
+    assert!(ext.has_version(2));
+    assert!(!ext.has_version(3));
+    // archived-but-empty: the version exists yet yields no document…
+    assert!(ext.retrieve(2).unwrap().is_none());
+    let mut bytes = Vec::new();
+    assert!(!ext.retrieve_into(2, &mut bytes).unwrap());
+    assert!(bytes.is_empty());
+    // …and the archive keeps working afterwards, like the in-memory one.
+    mem.add_version(&doc).unwrap();
+    ext.add_version(&doc).unwrap();
+    let a = mem.retrieve(3).unwrap();
+    let b = ext.retrieve(3).unwrap().unwrap();
+    assert!(equiv_modulo_key_order(&a, &b, &spec));
+}
+
+#[test]
+fn streaming_retrieval_matches_materialized() {
+    let spec = omim_spec();
+    let mut g = OmimGen::new(91);
+    g.del_ratio = 0.05;
+    g.ins_ratio = 0.10;
+    g.mod_ratio = 0.05;
+    let versions = g.sequence(30, 4);
+    let mut ext = ExtArchive::new(spec.clone(), small_cfg());
+    for d in &versions {
+        ext.add_version(d).unwrap();
+    }
+    for v in 1..=4u32 {
+        let materialized = ext.retrieve(v).unwrap().unwrap();
+        let mut bytes = Vec::new();
+        assert!(ext.retrieve_into(v, &mut bytes).unwrap());
+        let reparsed = parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert!(
+            equiv_modulo_key_order(&reparsed, &materialized, &spec),
+            "streamed v{v} diverged"
+        );
+    }
+}
+
+#[test]
+fn history_matches_in_memory() {
+    use xarch_core::KeyQuery;
+
+    let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap();
+    let v1 = parse("<db><rec><id>1</id><val>a</val></rec><rec><id>2</id><val>b</val></rec></db>")
+        .unwrap();
+    let v2 = parse("<db><rec><id>2</id><val>b</val></rec></db>").unwrap();
+    let v3 = parse("<db><rec><id>1</id><val>a</val></rec><rec><id>2</id><val>b</val></rec></db>")
+        .unwrap();
+    let mut mem = Archive::new(spec.clone());
+    let mut ext = ExtArchive::new(spec.clone(), small_cfg());
+    for d in [&v1, &v2, &v3] {
+        mem.add_version(d).unwrap();
+        ext.add_version(d).unwrap();
+    }
+    let queries = [
+        vec![KeyQuery::new("db")],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "2"),
+        ],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "9"),
+        ],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+            KeyQuery::new("val"),
+        ],
+    ];
+    for q in &queries {
+        assert_eq!(mem.history(q), ext.history(q).unwrap(), "query {q:?}");
+    }
+    // spine-forcing workload too
+    let spec = omim_spec();
+    let versions = OmimGen::new(13).sequence(25, 3);
+    let mut mem = Archive::new(spec.clone());
+    let mut ext = ExtArchive::new(spec, small_cfg());
+    for d in &versions {
+        mem.add_version(d).unwrap();
+        ext.add_version(d).unwrap();
+    }
+    let d0 = &versions[0];
+    let rec = d0.child_elements(d0.root(), "Record").next().unwrap();
+    let num = d0.text_content(d0.first_child_element(rec, "Num").unwrap());
+    let q = vec![
+        KeyQuery::new("ROOT"),
+        KeyQuery::new("Record").with_text("Num", &num),
+    ];
+    assert_eq!(mem.history(&q), ext.history(&q).unwrap());
+}
+
+#[test]
+fn store_stats_reflect_stream() {
+    let spec = omim_spec();
+    let versions = OmimGen::new(17).sequence(15, 3);
+    let mut ext = ExtArchive::new(spec, small_cfg());
+    for d in &versions {
+        ext.add_version(d).unwrap();
+    }
+    let s = ext.store_stats().unwrap();
+    assert_eq!(s.versions, 3);
+    assert!(s.elements > 15, "{s:?}");
+    assert!(s.texts > 0, "{s:?}");
+    assert_eq!(s.size_bytes, ext.size_bytes());
 }

@@ -115,12 +115,11 @@ fn build_rec(
 fn cmp_children(archive: &Archive, a: ANodeId, b: ANodeId) -> Ordering {
     let ta = archive.tag_name(a).unwrap_or("");
     let tb = archive.tag_name(b).unwrap_or("");
-    ta.cmp(tb).then_with(|| {
-        match (&archive.node(a).key, &archive.node(b).key) {
+    ta.cmp(tb)
+        .then_with(|| match (&archive.node(a).key, &archive.node(b).key) {
             (Some(ka), Some(kb)) => ka.cmp_parts(kb),
             _ => Ordering::Equal,
-        }
-    })
+        })
 }
 
 #[cfg(test)]
@@ -169,7 +168,9 @@ mod tests {
             vec![
                 KeyQuery::new("db"),
                 KeyQuery::new("dept").with_text("name", "finance"),
-                KeyQuery::new("emp").with_text("fn", "Jane").with_text("ln", "Smith"),
+                KeyQuery::new("emp")
+                    .with_text("fn", "Jane")
+                    .with_text("ln", "Smith"),
             ],
             vec![
                 KeyQuery::new("db"),
@@ -208,12 +209,18 @@ mod tests {
         let q = vec![
             KeyQuery::new("db"),
             KeyQuery::new("dept").with_text("name", "finance"),
-            KeyQuery::new("emp").with_text("fn", "F100").with_text("ln", "L100"),
+            KeyQuery::new("emp")
+                .with_text("fn", "F100")
+                .with_text("ln", "L100"),
         ];
         let t = idx.history(&a, &q).unwrap();
         assert_eq!(t.to_string(), "1");
         // 3 levels, d ≤ 257 → well under 3 * (log2(257)+1) ≈ 27
-        assert!(idx.comparisons() <= 30, "comparisons = {}", idx.comparisons());
+        assert!(
+            idx.comparisons() <= 30,
+            "comparisons = {}",
+            idx.comparisons()
+        );
         assert!(idx.max_degree() >= 256);
     }
 
@@ -238,7 +245,9 @@ mod tests {
         let q = vec![
             KeyQuery::new("db"),
             KeyQuery::new("dept").with_text("name", "finance"),
-            KeyQuery::new("emp").with_text("fn", "Jane").with_text("ln", "Smith"),
+            KeyQuery::new("emp")
+                .with_text("fn", "Jane")
+                .with_text("ln", "Smith"),
         ];
         assert_eq!(idx.history(&a, &q).unwrap().to_string(), "2,4");
     }

@@ -221,6 +221,7 @@ pub(crate) fn annotate_lenient(
     let fper = Fingerprinter::default();
     // Iterative preorder with explicit label stack and per-node classification.
     let mut labels: Vec<String> = Vec::new();
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         doc: &Document,
         id: NodeId,
@@ -276,7 +277,18 @@ pub(crate) fn annotate_lenient(
             ann.classes[id.index()] = NodeClass::Unkeyed;
         }
         for &c in doc.children(id) {
-            rec(doc, c, spec, keyed, frontier, fper, labels, child_beyond, ann, violations);
+            rec(
+                doc,
+                c,
+                spec,
+                keyed,
+                frontier,
+                fper,
+                labels,
+                child_beyond,
+                ann,
+                violations,
+            );
         }
         labels.pop();
     }
@@ -337,7 +349,17 @@ fn walk(
         ann.classes[id.index()] = NodeClass::Unkeyed;
     }
     for &c in doc.children(id) {
-        walk(doc, c, spec, keyed, frontier, fper, labels, child_beyond, ann)?;
+        walk(
+            doc,
+            c,
+            spec,
+            keyed,
+            frontier,
+            fper,
+            labels,
+            child_beyond,
+            ann,
+        )?;
     }
     labels.pop();
     Ok(())
@@ -507,10 +529,7 @@ mod tests {
         let items: Vec<NodeId> = doc.child_elements(doc.root(), "item").collect();
         let k1 = ann.key(items[0]).unwrap();
         assert_eq!(k1.parts[0].canon, "@id=\"i1\"");
-        assert_ne!(
-            k1.cmp_parts(ann.key(items[1]).unwrap()),
-            Ordering::Equal
-        );
+        assert_ne!(k1.cmp_parts(ann.key(items[1]).unwrap()), Ordering::Equal);
     }
 
     #[test]

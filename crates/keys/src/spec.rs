@@ -330,7 +330,11 @@ mod tests {
         // paths /db/dept/name, /db/dept/emp/fn, /db/dept/emp/ln,
         // /db/dept/emp/sal, and /db/dept/emp/tel."
         let spec = company_spec();
-        let mut f: Vec<String> = spec.frontier_paths().iter().map(|p| p.to_string()).collect();
+        let mut f: Vec<String> = spec
+            .frontier_paths()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
         f.sort();
         assert_eq!(
             f,
@@ -388,7 +392,8 @@ mod tests {
         // (Q/Q', (Pi, {})) implied keys may be stated explicitly (the paper
         // always assumes them); a key path with an *empty-path* key on the
         // same node is the (tel, {.}) pattern.
-        let spec = KeySpec::parse("(/, (db, {}))\n(/db, (emp, {fn}))\n(/db/emp, (fn, {}))").unwrap();
+        let spec =
+            KeySpec::parse("(/, (db, {}))\n(/db, (emp, {fn}))\n(/db/emp, (fn, {}))").unwrap();
         assert!(spec.is_keyed_path(&Path::parse("db/emp/fn")));
     }
 
@@ -417,7 +422,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(spec.keys().iter().filter(|k| !k.implied).count(), 9);
-        let c = spec.key_for_path(&Path::parse("ROOT/Record/Contributors")).unwrap();
+        let c = spec
+            .key_for_path(&Path::parse("ROOT/Record/Contributors"))
+            .unwrap();
         assert_eq!(c.key_paths[2].to_string(), "Date/Month");
         // implied keys cover the key-path interior, e.g. Contributors/Date/Month
         assert!(spec.is_keyed_path(&Path::parse("ROOT/Record/Contributors/Date/Month")));

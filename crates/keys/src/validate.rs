@@ -68,18 +68,17 @@ pub fn validate(doc: &Document, spec: &KeySpec) -> Vec<Violation> {
             continue;
         }
         match ann.class(id) {
-            NodeClass::Unkeyed => {
+            NodeClass::Unkeyed
                 // Key-path nodes (e.g. `fn` under `emp`) are implicitly keyed
                 // by the paper's "implied keys" convention; only flag nodes
                 // that are not part of any parent's key value.
-                if !is_key_path_node(doc, id, spec) {
+                if !is_key_path_node(doc, id, spec) => {
                     out.push(Violation {
                         kind: ViolationKind::CoverageGap,
                         at: doc.label_path(id).join("/"),
                         detail: "element above the frontier is not keyed".into(),
                     });
                 }
-            }
             NodeClass::Keyed | NodeClass::Frontier => {
                 check_sibling_uniqueness(doc, id, &ann, &mut out);
             }
@@ -229,17 +228,16 @@ mod tests {
         )
         .unwrap();
         let v = validate(&doc, &company_spec());
-        assert!(v.iter().any(|x| x.kind == ViolationKind::CoverageGap
-            && x.at == "db/dept/mystery"));
+        assert!(v
+            .iter()
+            .any(|x| x.kind == ViolationKind::CoverageGap && x.at == "db/dept/mystery"));
     }
 
     #[test]
     fn key_path_nodes_are_not_gaps() {
         // name/fn/ln are key-path nodes — they must not be flagged.
-        let doc = parse(
-            "<db><dept><name>f</name><emp><fn>J</fn><ln>D</ln></emp></dept></db>",
-        )
-        .unwrap();
+        let doc =
+            parse("<db><dept><name>f</name><emp><fn>J</fn><ln>D</ln></emp></dept></db>").unwrap();
         let v = validate(&doc, &company_spec());
         assert!(v.is_empty(), "{v:?}");
     }

@@ -280,9 +280,10 @@ impl Document {
         name: &str,
     ) -> impl Iterator<Item = NodeId> + 'a {
         let want = self.syms.get(name);
-        self.children(id).iter().copied().filter(move |&c| {
-            matches!(self.node(c).kind, NodeKind::Element(s) if Some(s) == want)
-        })
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| matches!(self.node(c).kind, NodeKind::Element(s) if Some(s) == want))
     }
 
     /// First child element named `name`.

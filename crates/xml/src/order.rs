@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn attr_sets_compare_by_size_then_content() {
-        assert_eq!(cmp_docs(r#"<a x="1"/>"#, r#"<a x="1" y="1"/>"#), Ordering::Less);
+        assert_eq!(
+            cmp_docs(r#"<a x="1"/>"#, r#"<a x="1" y="1"/>"#),
+            Ordering::Less
+        );
         assert_eq!(cmp_docs(r#"<a x="1"/>"#, r#"<a x="2"/>"#), Ordering::Less);
         assert_eq!(cmp_docs(r#"<a x="1"/>"#, r#"<a y="0"/>"#), Ordering::Less);
     }

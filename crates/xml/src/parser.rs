@@ -485,7 +485,7 @@ mod tests {
         for _ in 0..200 {
             s.push_str("<d>");
         }
-        s.push_str("x");
+        s.push('x');
         for _ in 0..200 {
             s.push_str("</d>");
         }

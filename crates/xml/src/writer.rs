@@ -123,11 +123,17 @@ mod tests {
 
     #[test]
     fn compact_round_trip() {
-        let src = r#"<db><dept><name>finance</name><emp x="1&amp;2"><fn>John</fn></emp></dept></db>"#;
+        let src =
+            r#"<db><dept><name>finance</name><emp x="1&amp;2"><fn>John</fn></emp></dept></db>"#;
         let doc = parse(src).unwrap();
         let s = to_compact_string(&doc);
         let doc2 = parse(&s).unwrap();
-        assert!(crate::order::value_equal(&doc, doc.root(), &doc2, doc2.root()));
+        assert!(crate::order::value_equal(
+            &doc,
+            doc.root(),
+            &doc2,
+            doc2.root()
+        ));
         assert_eq!(s, to_compact_string(&doc2));
     }
 
@@ -142,7 +148,16 @@ mod tests {
         let doc = parse("<db><dept><name>finance</name></dept></db>").unwrap();
         let s = to_pretty_string(&doc, 2);
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines, vec!["<db>", "  <dept>", "    <name>finance</name>", "  </dept>", "</db>"]);
+        assert_eq!(
+            lines,
+            vec![
+                "<db>",
+                "  <dept>",
+                "    <name>finance</name>",
+                "  </dept>",
+                "</db>"
+            ]
+        );
     }
 
     #[test]
@@ -151,7 +166,12 @@ mod tests {
         let doc = parse(src).unwrap();
         let pretty = to_pretty_string(&doc, 2);
         let doc2 = parse(&pretty).unwrap();
-        assert!(crate::order::value_equal(&doc, doc.root(), &doc2, doc2.root()));
+        assert!(crate::order::value_equal(
+            &doc,
+            doc.root(),
+            &doc2,
+            doc2.root()
+        ));
     }
 
     #[test]

@@ -26,11 +26,23 @@ fn run(label: &str, versions: &[xarch::xml::Document]) -> Result<(), Box<dyn std
     let inc_gzip = lzss::compress(inc.serialized().as_bytes()).len();
     println!("--- {label} ---");
     println!("archive            {archive_raw:>9} bytes");
-    println!("V1+inc diffs       {inc_raw:>9} bytes  (raw winner: {})",
-        if archive_raw <= inc_raw { "archive" } else { "diffs" });
+    println!(
+        "V1+inc diffs       {inc_raw:>9} bytes  (raw winner: {})",
+        if archive_raw <= inc_raw {
+            "archive"
+        } else {
+            "diffs"
+        }
+    );
     println!("xmill(archive)     {archive_xmill:>9} bytes");
-    println!("gzip(V1+inc diffs) {inc_gzip:>9} bytes  (compressed winner: {})",
-        if archive_xmill <= inc_gzip { "archive" } else { "diffs" });
+    println!(
+        "gzip(V1+inc diffs) {inc_gzip:>9} bytes  (compressed winner: {})",
+        if archive_xmill <= inc_gzip {
+            "archive"
+        } else {
+            "diffs"
+        }
+    );
     println!();
     Ok(())
 }
@@ -45,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // archive must store near-identical items twice, diffs store one line.
     let mut g = XmarkGen::new(7);
     let worst = g.key_mutation_sequence(120, 12, 10.0);
-    run("key mutation, 10% per version (Fig 14b, worst case)", &worst)?;
+    run(
+        "key mutation, 10% per version (Fig 14b, worst case)",
+        &worst,
+    )?;
 
     println!(
         "expected shapes: diffs win raw storage in the worst case by a wide\n\

@@ -22,13 +22,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 4's timestamps, reproduced:
     let db = KeyQuery::new("db");
     let finance = KeyQuery::new("dept").with_text("name", "finance");
-    let john = KeyQuery::new("emp").with_text("fn", "John").with_text("ln", "Doe");
-    let jane = KeyQuery::new("emp").with_text("fn", "Jane").with_text("ln", "Smith");
+    let john = KeyQuery::new("emp")
+        .with_text("fn", "John")
+        .with_text("ln", "Doe");
+    let jane = KeyQuery::new("emp")
+        .with_text("fn", "Jane")
+        .with_text("ln", "Smith");
 
     let h = |steps: &[KeyQuery]| archive.history(steps).map(|t| t.to_string());
-    println!("finance dept:        t={}", h(&[db.clone(), finance.clone()]).unwrap());
-    println!("John Doe (finance):  t={}", h(&[db.clone(), finance.clone(), john.clone()]).unwrap());
-    println!("Jane Smith:          t={}", h(&[db.clone(), finance.clone(), jane]).unwrap());
+    println!(
+        "finance dept:        t={}",
+        h(&[db.clone(), finance.clone()]).unwrap()
+    );
+    println!(
+        "John Doe (finance):  t={}",
+        h(&[db.clone(), finance.clone(), john.clone()]).unwrap()
+    );
+    println!(
+        "Jane Smith:          t={}",
+        h(&[db.clone(), finance.clone(), jane]).unwrap()
+    );
 
     // John's salary history: 90K at version 3, 95K at version 4.
     let sal_path = [db, finance, john, KeyQuery::new("sal")];

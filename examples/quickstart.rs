@@ -1,5 +1,7 @@
-//! Quickstart: archive a tiny gene database across three versions, then
-//! retrieve old versions and query an element's temporal history.
+//! Quickstart: configure an archive with [`xarch::ArchiveBuilder`], feed
+//! it three versions of a tiny gene database, then retrieve old versions
+//! (materialized and streamed) and query an element's temporal history —
+//! all through the backend-independent [`xarch::VersionStore`] contract.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -8,6 +10,7 @@
 use xarch::core::{describe_changes, Archive, KeyQuery};
 use xarch::keys::KeySpec;
 use xarch::xml::parse;
+use xarch::{ArchiveBuilder, Backend};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Declare the key structure: genes are identified by their <id>.
@@ -17,40 +20,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (/db/gene, (name, {}))\n\
          (/db/gene, (seq, {}))",
     )?;
-    let mut archive = Archive::new(spec);
 
-    // 2. Archive versions as they are published.
-    archive.add_version(&parse(
+    // 2. Pick a storage tier. The default is the in-memory archiver of
+    //    §4.2; `.chunks(n)` (§5) or `.backend(Backend::ExtMem(..))` (§6.3)
+    //    select the scale-out backends without changing any code below.
+    let mut store = ArchiveBuilder::new(spec.clone())
+        .backend(Backend::InMemory)
+        .build();
+
+    // 3. Archive versions as they are published.
+    let versions = [
         "<db><gene><id>6230</id><name>GRTM</name><seq>GTCG</seq></gene></db>",
-    )?)?;
-    archive.add_version(&parse(
         "<db><gene><id>6230</id><name>GRTM</name><seq>GTCA</seq></gene>\
              <gene><id>2953</id><name>ACV2</name><seq>AGTT</seq></gene></db>",
-    )?)?;
-    archive.add_version(&parse(
         "<db><gene><id>2953</id><name>ACV2</name><seq>AGTT</seq></gene></db>",
-    )?)?;
+    ];
+    for src in versions {
+        store.add_version(&parse(src)?)?;
+    }
 
-    // 3. Retrieve any past version with a single scan.
-    let v1 = archive.retrieve(1).expect("version 1 exists");
+    // 4. Retrieve any past version with a single scan — materialized…
+    let v1 = store.retrieve(1)?.expect("version 1 exists");
     println!("version 1: {}", xarch::xml::writer::to_compact_string(&v1));
+    // …or streamed directly into any io::Write sink.
+    let mut bytes = Vec::new();
+    store.retrieve_into(2, &mut bytes)?;
+    println!("version 2 (streamed): {}", String::from_utf8(bytes)?);
 
-    // 4. Ask when a gene existed — the semantic continuity diff can't give.
+    // 5. Ask when a gene existed — the question a text diff can't answer.
     let gene = |id: &str| {
         vec![
             KeyQuery::new("db"),
             KeyQuery::new("gene").with_text("id", id),
         ]
     };
-    println!("gene 6230 existed at versions {}", archive.history(&gene("6230")).unwrap());
-    println!("gene 2953 existed at versions {}", archive.history(&gene("2953")).unwrap());
+    for id in ["6230", "2953"] {
+        println!(
+            "gene {id} existed at versions {}",
+            store.history(&gene(id))?.expect("archived")
+        );
+    }
+    println!("store stats: {:?}", store.stats()?);
 
-    // 5. Describe changes between versions, grouped by element.
+    // 6. The in-memory backend additionally offers change description and
+    //    the Fig-5 XML form of the archive itself.
+    let mut archive = Archive::new(spec);
+    for src in versions {
+        archive.add_version(&parse(src)?)?;
+    }
     for change in describe_changes(&archive, 1, 2) {
         println!("v1 -> v2: {change}");
     }
-
-    // 6. The archive itself is XML (Fig 5 of the paper).
     println!("--- archive ---\n{}", archive.to_xml_pretty());
     Ok(())
 }

@@ -5,39 +5,66 @@
 //! merging archiver for hierarchical (XML) databases, plus every substrate
 //! its evaluation depends on.
 //!
-//! This facade crate re-exports the workspace:
+//! The paper contributes one archiving *model* — all versions merged into
+//! a single tree, elements identified across versions by their keys,
+//! interval-set timestamps recording when each element exists — and three
+//! ways of running it. This crate exposes all three behind one trait,
+//! [`VersionStore`], configured through [`ArchiveBuilder`]:
+//!
+//! ```
+//! use xarch::core::KeyQuery;
+//! use xarch::keys::KeySpec;
+//! use xarch::xml::parse;
+//! use xarch::ArchiveBuilder;
+//!
+//! let spec = KeySpec::parse("(/, (db, {}))\n(/db, (gene, {id}))\n(/db/gene, (seq, {}))")?;
+//! let mut store = ArchiveBuilder::new(spec).build();
+//! store.add_version(&parse("<db><gene><id>6230</id><seq>GTCG</seq></gene></db>")?)?;
+//! store.add_version(&parse("<db><gene><id>6230</id><seq>GTCA</seq></gene></db>")?)?;
+//!
+//! // retrieve any version, materialized…
+//! let v1 = store.retrieve(1)?.expect("archived");
+//! assert!(xarch::xml::writer::to_compact_string(&v1).contains("GTCG"));
+//! // …or streamed straight into any `io::Write` sink
+//! let mut bytes = Vec::new();
+//! assert!(store.retrieve_into(1, &mut bytes)?);
+//! assert!(String::from_utf8(bytes)?.contains("GTCG"));
+//! // …and ask for an element's temporal history
+//! let q = [KeyQuery::new("db"), KeyQuery::new("gene").with_text("id", "6230")];
+//! assert_eq!(store.history(&q)?.expect("exists").to_string(), "1-2");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Choosing a backend
+//!
+//! Every backend implements the same [`VersionStore`] contract and
+//! produces version-for-version equivalent databases (the integration
+//! suite verifies this); they differ in where the merge's working set
+//! lives:
+//!
+//! | builder call | backend | paper | when to use |
+//! |---|---|---|---|
+//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries |
+//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk |
+//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting |
+//!
+//! `.compaction(Compaction::Weave)` additionally selects Fig 10's
+//! "further compaction" beneath frontier nodes for the in-memory and
+//! chunked backends.
+//!
+//! ## Workspace layout
 //!
 //! * [`xml`] — XML model, parser, writers, value order, canonical form;
 //! * [`keys`] — keys for XML, Annotate Keys, fingerprints, validation;
 //! * [`diff`] — Myers line diff, delta repositories, SCCS weave;
 //! * [`core`] — the archiver: Nested Merge, timestamps, retrieval,
-//!   temporal history, change description, chunking, the Fig-5 XML form;
+//!   temporal history, change description, chunking, the Fig-5 XML form,
+//!   and the [`VersionStore`] trait;
 //! * [`compress`] — LZSS (gzip-class) and XMill-style compressors;
 //! * [`extmem`] — the external-memory archiver with I/O accounting;
 //! * [`index`] — timestamp trees and the history index;
 //! * [`datagen`] — OMIM/Swiss-Prot/XMark-like generators and the paper's
 //!   change simulators.
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use xarch::core::{Archive, KeyQuery};
-//! use xarch::keys::KeySpec;
-//! use xarch::xml::parse;
-//!
-//! let spec = KeySpec::parse("(/, (db, {}))\n(/db, (gene, {id}))\n(/db/gene, (seq, {}))")?;
-//! let mut archive = Archive::new(spec);
-//! archive.add_version(&parse("<db><gene><id>6230</id><seq>GTCG</seq></gene></db>")?)?;
-//! archive.add_version(&parse("<db><gene><id>6230</id><seq>GTCA</seq></gene></db>")?)?;
-//!
-//! // retrieve any version…
-//! let v1 = archive.retrieve(1).unwrap();
-//! assert!(xarch::xml::writer::to_compact_string(&v1).contains("GTCG"));
-//! // …and ask for an element's temporal history
-//! let q = [KeyQuery::new("db"), KeyQuery::new("gene").with_text("id", "6230")];
-//! assert_eq!(archive.history(&q).unwrap().to_string(), "1-2");
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
 
 pub use xarch_compress as compress;
 pub use xarch_core as core;
@@ -47,3 +74,8 @@ pub use xarch_extmem as extmem;
 pub use xarch_index as index;
 pub use xarch_keys as keys;
 pub use xarch_xml as xml;
+
+mod store;
+
+pub use store::{ArchiveBuilder, Backend};
+pub use xarch_core::{StoreError, StoreStats, VersionStore};

@@ -1,0 +1,135 @@
+//! The builder facade: configure an archive once, get back a
+//! [`Box<dyn VersionStore>`] for whichever storage tier fits the workload.
+//!
+//! ```
+//! use xarch::{ArchiveBuilder, Backend};
+//! use xarch::core::Compaction;
+//! use xarch::extmem::IoConfig;
+//! use xarch::keys::KeySpec;
+//!
+//! let spec = KeySpec::parse("(/, (db, {}))")?;
+//! let mut store = ArchiveBuilder::new(spec)
+//!     .compaction(Compaction::Weave)
+//!     .chunks(16)
+//!     .backend(Backend::ExtMem(IoConfig::default()))
+//!     .build();
+//! assert_eq!(store.latest(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use xarch_core::{Archive, ChunkedArchive, Compaction, VersionStore};
+use xarch_extmem::{ExtArchive, IoConfig};
+use xarch_keys::KeySpec;
+
+/// The storage tier behind a [`VersionStore`].
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Backend {
+    /// §4.2: the whole archive lives in memory (fastest; bounded by RAM).
+    #[default]
+    InMemory,
+    /// §5: hash-partitioned chunks, each an independent in-memory archive
+    /// (bounds the per-merge working set; the value is the chunk count).
+    Chunked(usize),
+    /// §6.3: sorted event streams merged in one pass with paged I/O
+    /// accounting (external-memory; bounded by disk).
+    ExtMem(IoConfig),
+}
+
+/// Configures and constructs an archive over any [`Backend`].
+///
+/// Later calls win: `.chunks(16)` selects [`Backend::Chunked`], and a
+/// subsequent `.backend(..)` replaces it.
+#[derive(Debug, Clone)]
+pub struct ArchiveBuilder {
+    spec: KeySpec,
+    compaction: Compaction,
+    backend: Backend,
+}
+
+impl ArchiveBuilder {
+    /// Starts a builder for an archive governed by `spec`, defaulting to
+    /// the in-memory backend with stamp-alternative compaction.
+    pub fn new(spec: KeySpec) -> Self {
+        Self {
+            spec,
+            compaction: Compaction::default(),
+            backend: Backend::default(),
+        }
+    }
+
+    /// Sets the frontier compaction mode (§4.2's alternatives vs Fig 10's
+    /// weave). The external-memory backend manages frontier contents in
+    /// its event stream and ignores this knob.
+    pub fn compaction(mut self, compaction: Compaction) -> Self {
+        self.compaction = compaction;
+        self
+    }
+
+    /// Selects the chunked backend with `n` hash partitions.
+    pub fn chunks(mut self, n: usize) -> Self {
+        self.backend = Backend::Chunked(n);
+        self
+    }
+
+    /// Selects the storage backend explicitly.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builds the configured store.
+    pub fn build(self) -> Box<dyn VersionStore> {
+        match self.backend {
+            Backend::InMemory => Box::new(Archive::with_compaction(self.spec, self.compaction)),
+            Backend::Chunked(n) => Box::new(ChunkedArchive::with_compaction(
+                self.spec,
+                n,
+                self.compaction,
+            )),
+            Backend::ExtMem(cfg) => Box::new(ExtArchive::new(self.spec, cfg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_core::equiv_modulo_key_order;
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))").unwrap()
+    }
+
+    #[test]
+    fn builder_constructs_every_backend() {
+        let doc = parse("<db><rec><id>1</id></rec></db>").unwrap();
+        let builders = [
+            ArchiveBuilder::new(spec()),
+            ArchiveBuilder::new(spec()).chunks(4),
+            ArchiveBuilder::new(spec()).backend(Backend::ExtMem(IoConfig::default())),
+            ArchiveBuilder::new(spec())
+                .compaction(Compaction::Weave)
+                .chunks(16)
+                .backend(Backend::ExtMem(IoConfig::default())),
+        ];
+        for b in builders {
+            let mut store = b.build();
+            store.add_version(&doc).unwrap();
+            let got = store.retrieve(1).unwrap().unwrap();
+            assert!(equiv_modulo_key_order(&got, &doc, store.spec()));
+        }
+    }
+
+    #[test]
+    fn later_backend_calls_win() {
+        let b = ArchiveBuilder::new(spec())
+            .chunks(8)
+            .backend(Backend::InMemory);
+        assert!(matches!(b.backend, Backend::InMemory));
+        let b = ArchiveBuilder::new(spec())
+            .backend(Backend::InMemory)
+            .chunks(8);
+        assert!(matches!(b.backend, Backend::Chunked(8)));
+    }
+}

@@ -1,0 +1,205 @@
+//! The `VersionStore` conformance suite: one generic set of contract
+//! checks, run against every backend `ArchiveBuilder` can produce. This is
+//! where the trait's behavioural fine print lives — version numbering,
+//! the `has_version` vs `retrieve -> None` distinction for archived-but-
+//! empty versions, history lookups, statistics, and the equivalence of
+//! materialized and streamed retrieval.
+
+use xarch::core::{equiv_modulo_key_order, Compaction, KeyQuery};
+use xarch::datagen::omim::{omim_spec, OmimGen};
+use xarch::extmem::IoConfig;
+use xarch::keys::KeySpec;
+use xarch::xml::parse;
+use xarch::{ArchiveBuilder, Backend, VersionStore};
+
+fn spec() -> KeySpec {
+    KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+}
+
+fn small_ext_cfg() -> IoConfig {
+    IoConfig {
+        mem_bytes: 2 << 10,
+        page_bytes: 256,
+    }
+}
+
+/// Every backend, built from the facade, as the acceptance criteria
+/// require.
+fn all_backends(spec: &KeySpec) -> Vec<(&'static str, Box<dyn VersionStore>)> {
+    vec![
+        ("in-memory", ArchiveBuilder::new(spec.clone()).build()),
+        (
+            "in-memory/weave",
+            ArchiveBuilder::new(spec.clone())
+                .compaction(Compaction::Weave)
+                .build(),
+        ),
+        (
+            "chunked(4)",
+            ArchiveBuilder::new(spec.clone()).chunks(4).build(),
+        ),
+        (
+            "extmem",
+            ArchiveBuilder::new(spec.clone())
+                .backend(Backend::ExtMem(small_ext_cfg()))
+                .build(),
+        ),
+    ]
+}
+
+#[test]
+fn version_numbering_and_bounds() {
+    for (label, mut s) in all_backends(&spec()) {
+        assert_eq!(s.latest(), 0, "{label}");
+        assert!(!s.has_version(0), "{label}");
+        assert!(!s.has_version(1), "{label}");
+        assert!(s.retrieve(0).unwrap().is_none(), "{label}");
+        assert!(s.retrieve(1).unwrap().is_none(), "{label}");
+
+        let v1 = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+        let v2 = parse("<db><rec><id>1</id><val>b</val></rec></db>").unwrap();
+        assert_eq!(s.add_version(&v1).unwrap(), 1, "{label}");
+        assert_eq!(s.add_version(&v2).unwrap(), 2, "{label}");
+        assert_eq!(s.latest(), 2, "{label}");
+        assert!(s.has_version(1) && s.has_version(2), "{label}");
+        assert!(!s.has_version(3), "{label}");
+        assert!(s.retrieve(3).unwrap().is_none(), "{label}");
+    }
+}
+
+#[test]
+fn archived_but_empty_versions_are_distinguishable() {
+    let doc = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+    for (label, mut s) in all_backends(&spec()) {
+        s.add_version(&doc).unwrap();
+        assert_eq!(s.add_empty_version().unwrap(), 2, "{label}");
+        // v2 exists…
+        assert!(s.has_version(2), "{label}");
+        // …but holds no document: retrieve is None, retrieve_into writes
+        // nothing — exactly the `Archive::retrieve` contract.
+        assert!(s.retrieve(2).unwrap().is_none(), "{label}");
+        let mut bytes = Vec::new();
+        assert!(!s.retrieve_into(2, &mut bytes).unwrap(), "{label}");
+        assert!(bytes.is_empty(), "{label}");
+        // the element's history ends at version 1
+        let q = [
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ];
+        assert_eq!(s.history(&q).unwrap().unwrap().to_string(), "1", "{label}");
+        // archiving resumes cleanly after the gap
+        assert_eq!(s.add_version(&doc).unwrap(), 3, "{label}");
+        let got = s.retrieve(3).unwrap().expect("resumed");
+        assert!(equiv_modulo_key_order(&got, &doc, s.spec()), "{label}");
+    }
+}
+
+#[test]
+fn failed_add_leaves_store_unchanged() {
+    // Regression: a rejected document (unkeyed root) must not mutate the
+    // store — the chunked backend used to record the bad root tag before
+    // merging, poisoning every later add.
+    let good = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+    let bad = parse("<nope><rec><id>1</id></rec></nope>").unwrap();
+    for (label, mut s) in all_backends(&spec()) {
+        assert!(s.add_version(&bad).is_err(), "{label}");
+        assert_eq!(s.latest(), 0, "{label}: failed add burned a version");
+        // the store still works, with the correct root
+        assert_eq!(s.add_version(&good).unwrap(), 1, "{label}");
+        assert!(s.add_version(&bad).is_err(), "{label}");
+        assert_eq!(s.latest(), 1, "{label}");
+        let got = s.retrieve(1).unwrap().expect("archived");
+        assert!(equiv_modulo_key_order(&got, &good, s.spec()), "{label}");
+    }
+}
+
+#[test]
+fn history_answers_match_across_backends() {
+    let versions = [
+        "<db><rec><id>1</id><val>a</val></rec></db>",
+        "<db><rec><id>1</id><val>a</val></rec><rec><id>2</id><val>b</val></rec></db>",
+        "<db><rec><id>2</id><val>b</val></rec></db>",
+    ];
+    let queries: Vec<(Vec<KeyQuery>, Option<&str>)> = vec![
+        (vec![KeyQuery::new("db")], Some("1-3")),
+        (
+            vec![
+                KeyQuery::new("db"),
+                KeyQuery::new("rec").with_text("id", "1"),
+            ],
+            Some("1-2"),
+        ),
+        (
+            vec![
+                KeyQuery::new("db"),
+                KeyQuery::new("rec").with_text("id", "2"),
+            ],
+            Some("2-3"),
+        ),
+        (
+            vec![
+                KeyQuery::new("db"),
+                KeyQuery::new("rec").with_text("id", "1"),
+                KeyQuery::new("val"),
+            ],
+            Some("1-2"),
+        ),
+        (
+            vec![
+                KeyQuery::new("db"),
+                KeyQuery::new("rec").with_text("id", "9"),
+            ],
+            None,
+        ),
+    ];
+    for (label, mut s) in all_backends(&spec()) {
+        for src in versions {
+            s.add_version(&parse(src).unwrap()).unwrap();
+        }
+        for (q, want) in &queries {
+            let got = s.history(q).unwrap().map(|t| t.to_string());
+            assert_eq!(got.as_deref(), *want, "{label}: query {q:?}");
+        }
+    }
+}
+
+#[test]
+fn stats_report_storage() {
+    let doc = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+    for (label, mut s) in all_backends(&spec()) {
+        let empty = s.stats().unwrap();
+        s.add_version(&doc).unwrap();
+        let one = s.stats().unwrap();
+        assert_eq!(one.versions, 1, "{label}");
+        assert!(one.elements > empty.elements, "{label}: {one:?}");
+        assert!(one.texts >= 2, "{label}: {one:?}"); // id + val text nodes
+        assert!(one.size_bytes > 0, "{label}");
+    }
+}
+
+#[test]
+fn streamed_retrieval_equivalent_on_omim_workload() {
+    // Acceptance criterion: retrieve_into ≡ retrieve (modulo key order) on
+    // a datagen workload, for every backend built from the facade.
+    let spec = omim_spec();
+    let mut g = OmimGen::new(733);
+    g.del_ratio = 0.04;
+    g.ins_ratio = 0.08;
+    g.mod_ratio = 0.04;
+    let versions = g.sequence(25, 5);
+    for (label, mut s) in all_backends(&spec) {
+        for d in &versions {
+            s.add_version(d).unwrap();
+        }
+        for v in 1..=versions.len() as u32 {
+            let materialized = s.retrieve(v).unwrap().expect("archived");
+            let mut bytes = Vec::new();
+            assert!(s.retrieve_into(v, &mut bytes).unwrap(), "{label} v{v}");
+            let reparsed = parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+            assert!(
+                equiv_modulo_key_order(&reparsed, &materialized, s.spec()),
+                "{label}: streamed v{v} diverged from materialized"
+            );
+        }
+    }
+}

@@ -4,8 +4,10 @@ use proptest::prelude::*;
 
 use xarch::core::{equiv_modulo_key_order, Archive, TimeSet};
 use xarch::diff::diff_lines;
+use xarch::extmem::IoConfig;
 use xarch::keys::KeySpec;
 use xarch::xml::{parse, Document};
+use xarch::{ArchiveBuilder, Backend, VersionStore};
 
 // ---------- TimeSet vs a BTreeSet model ----------
 
@@ -107,10 +109,8 @@ fn build_version(recs: &[(u8, String, Vec<u8>)]) -> Document {
 }
 
 fn mini_spec() -> KeySpec {
-    KeySpec::parse(
-        "(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))\n(/db/rec, (tel, {.}))",
-    )
-    .unwrap()
+    KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))\n(/db/rec, (tel, {.}))")
+        .unwrap()
 }
 
 /// One version = a set of records with distinct ids.
@@ -120,7 +120,11 @@ fn version_strategy() -> impl Strategy<Value = Vec<(u8, String, Vec<u8>)>> {
         ("[a-c]{0,4}", proptest::collection::vec(0u8..6, 0..3)),
         0..8,
     )
-    .prop_map(|m| m.into_iter().map(|(id, (val, tels))| (id, val, tels)).collect())
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(id, (val, tels))| (id, val, tels))
+            .collect()
+    })
 }
 
 proptest! {
@@ -150,6 +154,50 @@ proptest! {
         for (i, d) in docs.iter().enumerate() {
             let got = b.retrieve(i as u32 + 1).expect("archived version");
             prop_assert!(equiv_modulo_key_order(&got, d, &spec));
+        }
+    }
+
+    #[test]
+    fn streamed_retrieval_matches_materialized_on_every_backend(
+        versions in proptest::collection::vec(version_strategy(), 1..6)
+    ) {
+        // retrieve_into's bytes parse back to a document equivalent
+        // (modulo key order) to retrieve's output — on all three backends.
+        let spec = mini_spec();
+        let docs: Vec<Document> = versions.iter().map(|v| build_version(v)).collect();
+        let backends: Vec<(&str, Box<dyn VersionStore>)> = vec![
+            ("in-memory", ArchiveBuilder::new(spec.clone()).build()),
+            ("chunked(3)", ArchiveBuilder::new(spec.clone()).chunks(3).build()),
+            (
+                "extmem",
+                ArchiveBuilder::new(spec.clone())
+                    .backend(Backend::ExtMem(IoConfig {
+                        mem_bytes: 1 << 10,
+                        page_bytes: 128,
+                    }))
+                    .build(),
+            ),
+        ];
+        for (label, mut store) in backends {
+            for d in &docs {
+                store.add_version(d).unwrap();
+            }
+            for (i, d) in docs.iter().enumerate() {
+                let v = i as u32 + 1;
+                let materialized = store.retrieve(v).unwrap().expect("archived version");
+                prop_assert!(
+                    equiv_modulo_key_order(&materialized, d, &spec),
+                    "{} v{}: materialized mismatch", label, v
+                );
+                let mut bytes = Vec::new();
+                prop_assert!(store.retrieve_into(v, &mut bytes).unwrap());
+                let reparsed = parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+                prop_assert!(
+                    equiv_modulo_key_order(&reparsed, &materialized, &spec),
+                    "{} v{}: streamed bytes diverged: {}",
+                    label, v, String::from_utf8_lossy(&bytes)
+                );
+            }
         }
     }
 

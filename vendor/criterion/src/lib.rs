@@ -1,0 +1,119 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim implements
+//! the benchmark-harness surface `microbench.rs` uses: groups, per-group
+//! sample sizes, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Timing is a
+//! plain mean over `sample_size` timed batches — enough to compare the
+//! relative cost of operations, with none of upstream's statistics.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named parameter for `bench_with_input`.
+#[derive(Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        Self(p.to_string())
+    }
+
+    pub fn new<D: Display>(name: &str, p: D) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { nanos: Vec::new() };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = if b.nanos.is_empty() {
+            0
+        } else {
+            b.nanos.iter().sum::<u128>() / b.nanos.len() as u128
+        };
+        println!("  {name}: {} ns/iter (mean of {})", mean, b.nanos.len());
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.nanos.push(start.elapsed().as_nanos());
+    }
+}
+
+/// Builds a function running each benchmark in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Builds the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
