@@ -463,8 +463,94 @@ pub fn fig_ablation(scale: &Scale) {
     println!();
 }
 
+/// Durability: what persistence costs and what reopen buys.
+///
+/// Two series: (1) add_version wall-clock throughput, in-memory vs the
+/// durable wrapper (uncompressed vs LZSS blocks, fsync on every commit);
+/// (2) reopen (replay) time and segment size as a function of version
+/// count — the recovery path the ephemeral backends don't have.
+pub fn fig_durability(scale: &Scale) {
+    use std::time::Instant;
+    use xarch::storage::{scratch_path, DurableOptions};
+    use xarch_compress::BlockCodec;
+
+    let spec = omim_spec();
+    let versions = OmimGen::new(0xD15C).sequence(scale.omim_records / 2, 10);
+
+    println!("## Durability: add_version cost of the journal (OMIM-like, 10 versions)");
+    println!("backend,total_add_ms,adds_per_sec,journal_bytes");
+    let configs: Vec<(&str, Option<DurableOptions>)> = vec![
+        ("in-memory", None),
+        (
+            "durable/raw",
+            Some(DurableOptions {
+                compression: BlockCodec::Raw,
+                sync: true,
+            }),
+        ),
+        (
+            "durable/lzss",
+            Some(DurableOptions {
+                compression: BlockCodec::Lzss,
+                sync: true,
+            }),
+        ),
+    ];
+    for (label, durable) in configs {
+        let path = scratch_path("bench-durability");
+        let mut store = match durable {
+            None => ArchiveBuilder::new(spec.clone()).build(),
+            Some(opts) => ArchiveBuilder::new(spec.clone())
+                .durable_with(&path, opts)
+                .try_build()
+                .expect("durable store"),
+        };
+        let start = Instant::now();
+        for d in &versions {
+            store.add_version(d).expect("merge");
+        }
+        let elapsed = start.elapsed();
+        let journal = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "{label},{:.2},{:.0},{journal}",
+            elapsed.as_secs_f64() * 1e3,
+            versions.len() as f64 / elapsed.as_secs_f64()
+        );
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+    println!();
+
+    println!("## Durability: reopen (replay) time vs version count");
+    println!("versions,reopen_ms,journal_bytes");
+    for n in [2usize, 5, 10] {
+        let path = scratch_path("bench-reopen");
+        {
+            let mut store = ArchiveBuilder::new(spec.clone())
+                .durable(&path)
+                .try_build()
+                .expect("durable store");
+            for d in versions.iter().take(n) {
+                store.add_version(d).expect("merge");
+            }
+        }
+        let start = Instant::now();
+        let store = ArchiveBuilder::new(spec.clone())
+            .durable(&path)
+            .try_build()
+            .expect("reopen");
+        let elapsed = start.elapsed();
+        assert_eq!(store.latest(), n as u32);
+        let journal = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!("{n},{:.2},{journal}", elapsed.as_secs_f64() * 1e3);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+    println!();
+}
+
 /// Runs one experiment by id ("7", "11a", ..., "claims", "extmem",
-/// "index", "ablation") or "all".
+/// "index", "ablation", "durability") or "all".
 pub fn run(fig: &str, scale: &Scale) -> bool {
     match fig {
         "7" => fig7(scale),
@@ -481,10 +567,24 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
         "backends" => fig_backends(scale),
         "index" => fig_index(scale),
         "ablation" => fig_ablation(scale),
+        "durability" => fig_durability(scale),
         "all" => {
             for f in [
-                "7", "11a", "11b", "12a", "12b", "13", "14", "c1", "c2", "claims", "extmem",
-                "backends", "index", "ablation",
+                "7",
+                "11a",
+                "11b",
+                "12a",
+                "12b",
+                "13",
+                "14",
+                "c1",
+                "c2",
+                "claims",
+                "extmem",
+                "backends",
+                "index",
+                "ablation",
+                "durability",
             ] {
                 run(f, scale);
             }

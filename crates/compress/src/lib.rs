@@ -19,8 +19,10 @@
 //! they produce are honest measurements, not estimates.
 
 pub mod bitio;
+pub mod codec;
 pub mod lzss;
 pub mod xmill;
 
+pub use codec::BlockCodec;
 pub use lzss::{compress, decompress};
 pub use xmill::{xml_compress, xml_decompress};

@@ -28,18 +28,30 @@ use crate::timeset::TimeSet;
 
 /// Unified error type across storage backends.
 ///
-/// In-memory merges fail with [`MergeError`]; external-memory backends
-/// fail while encoding/decoding their event streams (absorbed as
-/// [`StoreError::Backend`] — `xarch_extmem` provides
-/// `From<StreamError> for StoreError`); streaming retrieval can fail in
-/// the caller's sink ([`StoreError::Io`]).
+/// In-memory merges fail with [`MergeError`]; external-memory and durable
+/// backends fail while encoding/decoding their serialized representations
+/// (surfaced as [`StoreError::Corrupt`] with the byte offset of the bad
+/// data — `xarch_extmem` provides `From<StreamError> for StoreError`);
+/// other backend failures (configuration, key-spec mismatch) are
+/// [`StoreError::Backend`]; streaming retrieval and durable journaling can
+/// fail in the operating system ([`StoreError::Io`]).
 #[derive(Debug)]
 pub enum StoreError {
     /// The incoming version could not be merged (key violation etc.).
     Merge(MergeError),
-    /// The storage backend failed (corrupt or truncated event stream).
+    /// The storage backend failed (bad configuration, key-spec mismatch).
     Backend(String),
-    /// The caller's output sink failed during streaming retrieval.
+    /// Stored data failed to decode: a checksum mismatch, a truncated or
+    /// malformed event stream, an impossible block header. `offset` is the
+    /// byte position of the bad data within the backend's serialized form
+    /// (0 when the failure is not position-specific).
+    Corrupt {
+        /// Byte offset of the corruption within the stream or file.
+        offset: u64,
+        /// What failed to decode.
+        reason: String,
+    },
+    /// The caller's output sink or the backing file failed.
     Io(io::Error),
 }
 
@@ -48,6 +60,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Merge(e) => write!(f, "merge error: {e}"),
             StoreError::Backend(m) => write!(f, "backend error: {m}"),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt archive data at byte {offset}: {reason}")
+            }
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -57,7 +72,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Merge(e) => Some(e),
-            StoreError::Backend(_) => None,
+            StoreError::Backend(_) | StoreError::Corrupt { .. } => None,
             StoreError::Io(e) => Some(e),
         }
     }
@@ -115,6 +130,7 @@ impl StoreStats {
 /// | [`Archive`] | §4.2 in-memory nested merge | `xarch_core` |
 /// | [`ChunkedArchive`] | §5 hash-partitioned chunks | `xarch_core` |
 /// | `ExtArchive` | §6.3 external-memory streams | `xarch_extmem` |
+/// | `DurableArchive` | durable segmented journal over any of the above | `xarch_storage` |
 pub trait VersionStore {
     /// The governing key specification.
     fn spec(&self) -> &KeySpec;
@@ -278,7 +294,15 @@ mod tests {
         assert!(e.to_string().contains("merge error"));
         let e = StoreError::Backend("truncated".into());
         assert!(e.to_string().contains("backend error"));
+        let e = StoreError::Corrupt {
+            offset: 42,
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("byte 42"));
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(std::error::Error::source(&e).is_none());
         let e = StoreError::from(io::Error::other("sink"));
         assert!(e.to_string().contains("i/o error"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

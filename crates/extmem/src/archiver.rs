@@ -94,12 +94,12 @@ impl ExtArchive {
 
     /// Archives the next version: annotate → external sort → one merge pass.
     pub fn add_version(&mut self, doc: &Document) -> Result<u32> {
-        let ann = annotate(doc, &self.spec).map_err(|e| StreamError(e.to_string()))?;
+        let ann = annotate(doc, &self.spec).map_err(|e| StreamError::new(e.to_string()))?;
         // Same contract as the in-memory archiver: an unkeyed document root
         // is rejected up front (the merge would otherwise fail mid-stream
         // with an opaque decode error).
         if !ann.is_keyed(doc.root()) {
-            return Err(StreamError(format!(
+            return Err(StreamError::new(format!(
                 "document root <{}> has no root-level key in the spec",
                 doc.tag_name(doc.root())
             )));
@@ -184,7 +184,7 @@ impl ExtArchive {
                     cur.take_spine_close()?;
                     return Ok(wrote);
                 }
-                Peeked::Eof => return Err(StreamError("unterminated root spine".into()).into()),
+                Peeked::Eof => return Err(StreamError::new("unterminated root spine").into()),
                 Peeked::Small(_) => {
                     let t = cur.take_small()?;
                     if !wrote {
@@ -351,7 +351,7 @@ fn history_in_spine(
                 cur.take_spine_close()?;
                 return Ok(None);
             }
-            Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+            Peeked::Eof => return Err(StreamError::new("unterminated spine")),
             Peeked::Small(k) => {
                 let matched = k.as_deref() == Some(want.as_str());
                 let t = cur.take_small()?;
@@ -402,7 +402,7 @@ fn skip_spine(cur: &mut StreamCursor<'_>) -> Result<()> {
                 cur.take_spine_close()?;
                 return Ok(());
             }
-            Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+            Peeked::Eof => return Err(StreamError::new("unterminated spine")),
             Peeked::Small(_) => {
                 cur.take_small()?;
             }
@@ -434,7 +434,7 @@ fn emit_spine<W: Write + ?Sized>(
                 write!(out, "</{}>", h.tag).map_err(StoreError::Io)?;
                 return Ok(());
             }
-            Peeked::Eof => return Err(StreamError("unterminated spine".into()).into()),
+            Peeked::Eof => return Err(StreamError::new("unterminated spine").into()),
             Peeked::Small(_) => {
                 let t = cur.take_small()?;
                 if let Some(ft) = filter_tree(&t, v, true) {
@@ -517,7 +517,7 @@ fn read_visible(
                         cur.take_spine_close()?;
                         break;
                     }
-                    Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+                    Peeked::Eof => return Err(StreamError::new("unterminated spine")),
                     _ => {
                         if let Some(c) = read_visible(cur, v, None)? {
                             if visible {
@@ -541,7 +541,7 @@ fn read_visible(
                 children,
             }))
         }
-        Peeked::Close | Peeked::Eof => Err(StreamError("expected an entry".into())),
+        Peeked::Close | Peeked::Eof => Err(StreamError::new("expected an entry")),
     }
 }
 
@@ -663,12 +663,12 @@ fn merge_spines(
         let ka = match &pa {
             Peeked::Small(Some(k)) | Peeked::Spine(Some(k)) => Some(k.clone()),
             Peeked::Close => None,
-            _ => return Err(StreamError("unexpected entry in archive spine".into())),
+            _ => return Err(StreamError::new("unexpected entry in archive spine")),
         };
         let kv = match &pv {
             Peeked::Small(Some(k)) | Peeked::Spine(Some(k)) => Some(k.clone()),
             Peeked::Close => None,
-            _ => return Err(StreamError("unexpected entry in version spine".into())),
+            _ => return Err(StreamError::new("unexpected entry in version spine")),
         };
         match (ka, kv) {
             (None, None) => {
@@ -744,7 +744,7 @@ fn materialize_spine(cur: &mut StreamCursor<'_>) -> Result<ETree> {
                 cur.take_spine_close()?;
                 break;
             }
-            Peeked::Eof => return Err(StreamError("unterminated spine".into())),
+            Peeked::Eof => return Err(StreamError::new("unterminated spine")),
             Peeked::Small(_) => children.push(cur.take_small()?),
             Peeked::Spine(_) => children.push(materialize_spine(cur)?),
         }

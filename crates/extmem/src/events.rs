@@ -32,28 +32,72 @@ const FLAG_FRONTIER: u8 = 4;
 
 /// Errors raised while decoding a stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StreamError(pub String);
+pub struct StreamError {
+    /// What failed to decode.
+    pub reason: String,
+    /// Byte offset into the stream where decoding failed, when known.
+    pub offset: Option<u64>,
+}
+
+impl StreamError {
+    /// A decoding failure with no specific position.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+            offset: None,
+        }
+    }
+
+    /// A decoding failure at byte `offset` of the stream.
+    pub fn at(offset: usize, reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+            offset: Some(offset as u64),
+        }
+    }
+}
 
 impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event stream error: {}", self.0)
+        match self.offset {
+            Some(o) => write!(f, "event stream error at byte {o}: {}", self.reason),
+            None => write!(f, "event stream error: {}", self.reason),
+        }
     }
 }
 
 impl std::error::Error for StreamError {}
 
-/// Stream failures surface through the unified store error as backend
-/// errors, so `Box<dyn VersionStore>` callers handle one error type.
+/// Stream failures surface through the unified store error so
+/// `Box<dyn VersionStore>` callers handle one error type. Positioned
+/// errors are genuine decode failures and map to [`StoreError::Corrupt`]
+/// with their byte offset; position-less ones are input/validation
+/// rejections (unkeyed root, oversized node) and stay
+/// [`StoreError::Backend`] — telling a caller whose *document* was bad
+/// that their *archive* is corrupt would be worse than useless.
+///
+/// [`StoreError::Corrupt`]: xarch_core::StoreError::Corrupt
+/// [`StoreError::Backend`]: xarch_core::StoreError::Backend
 impl From<StreamError> for xarch_core::StoreError {
     fn from(e: StreamError) -> Self {
-        xarch_core::StoreError::Backend(e.to_string())
+        match e.offset {
+            Some(offset) => xarch_core::StoreError::Corrupt {
+                offset,
+                reason: e.reason,
+            },
+            None => xarch_core::StoreError::Backend(e.reason),
+        }
     }
 }
 
 type Result<T> = std::result::Result<T, StreamError>;
 
 fn err<T>(msg: impl Into<String>) -> Result<T> {
-    Err(StreamError(msg.into()))
+    Err(StreamError::new(msg))
+}
+
+fn err_at<T>(offset: usize, msg: impl Into<String>) -> Result<T> {
+    Err(StreamError::at(offset, msg))
 }
 
 // ---------- primitive encoding ----------
@@ -75,7 +119,7 @@ pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut shift = 0u32;
     loop {
         let Some(&b) = buf.get(*pos) else {
-            return err("truncated varint");
+            return err_at(*pos, "truncated varint");
         };
         *pos += 1;
         v |= ((b & 0x7f) as u64) << shift;
@@ -84,7 +128,7 @@ pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
         }
         shift += 7;
         if shift >= 64 {
-            return err("varint overflow");
+            return err_at(*pos, "varint overflow");
         }
     }
 }
@@ -96,13 +140,17 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 
 fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
     let len = get_varint(buf, pos)? as usize;
-    let Some(bytes) = buf.get(*pos..*pos + len) else {
-        return err("truncated string");
+    let start = *pos;
+    // checked: a crafted length near usize::MAX must error, not overflow
+    let Some(bytes) = start.checked_add(len).and_then(|end| buf.get(start..end)) else {
+        return err_at(start, "truncated string");
     };
     *pos += len;
     match std::str::from_utf8(bytes) {
         Ok(s) => Ok(s.to_owned()),
-        Err(_) => err("invalid utf-8"),
+        // report the *start* of the bad string — the offset a maintainer
+        // will inspect — not the already-advanced cursor
+        Err(_) => err_at(start, "invalid utf-8"),
     }
 }
 
@@ -166,7 +214,7 @@ pub fn encode_small(tree: &ETree, out: &mut Vec<u8>) {
 /// Decodes one small entry from a raw buffer, advancing `pos`.
 pub fn decode_small(buf: &[u8], pos: &mut usize) -> Result<ETree> {
     let Some(&kind) = buf.get(*pos) else {
-        return err("truncated entry");
+        return err_at(*pos, "truncated entry");
     };
     *pos += 1;
     match kind {
@@ -182,12 +230,11 @@ pub fn decode_small(buf: &[u8], pos: &mut usize) -> Result<ETree> {
         }
         KIND_STAMP => {
             let body_len = get_varint(buf, pos)? as usize;
-            let end = *pos + body_len;
-            if end > buf.len() {
-                return err("truncated stamp body");
-            }
+            let Some(end) = pos.checked_add(body_len).filter(|&e| e <= buf.len()) else {
+                return err_at(*pos, "truncated stamp body");
+            };
             let time =
-                TimeSet::parse(&get_str(buf, pos)?).map_err(|e| StreamError(e.to_string()))?;
+                TimeSet::parse(&get_str(buf, pos)?).map_err(|e| StreamError::new(e.to_string()))?;
             let mut children = Vec::new();
             while *pos < end {
                 children.push(decode_small(buf, pos)?);
@@ -202,14 +249,13 @@ pub fn decode_small(buf: &[u8], pos: &mut usize) -> Result<ETree> {
         }
         KIND_SMALL => {
             let Some(&flags) = buf.get(*pos) else {
-                return err("truncated flags");
+                return err_at(*pos, "truncated flags");
             };
             *pos += 1;
             let body_len = get_varint(buf, pos)? as usize;
-            let end = *pos + body_len;
-            if end > buf.len() {
-                return err("truncated node body");
-            }
+            let Some(end) = pos.checked_add(body_len).filter(|&e| e <= buf.len()) else {
+                return err_at(*pos, "truncated node body");
+            };
             let sort_key = if flags & FLAG_KEY != 0 {
                 Some(get_str(buf, pos)?)
             } else {
@@ -224,7 +270,10 @@ pub fn decode_small(buf: &[u8], pos: &mut usize) -> Result<ETree> {
                 attrs.push((a, v));
             }
             let time = if flags & FLAG_TIME != 0 {
-                Some(TimeSet::parse(&get_str(buf, pos)?).map_err(|e| StreamError(e.to_string()))?)
+                Some(
+                    TimeSet::parse(&get_str(buf, pos)?)
+                        .map_err(|e| StreamError::new(e.to_string()))?,
+                )
             } else {
                 None
             };
@@ -240,7 +289,10 @@ pub fn decode_small(buf: &[u8], pos: &mut usize) -> Result<ETree> {
                 children,
             })
         }
-        k => err(format!("unexpected entry kind {k} in small context")),
+        k => err_at(
+            *pos - 1,
+            format!("unexpected entry kind {k} in small context"),
+        ),
     }
 }
 
@@ -287,7 +339,7 @@ pub fn encode_spine_close(out: &mut Vec<u8>) {
 
 fn decode_spine_header(buf: &[u8], pos: &mut usize) -> Result<SpineHeader> {
     let Some(&flags) = buf.get(*pos) else {
-        return err("truncated spine flags");
+        return err_at(*pos, "truncated spine flags");
     };
     *pos += 1;
     let sort_key = if flags & FLAG_KEY != 0 {
@@ -304,7 +356,7 @@ fn decode_spine_header(buf: &[u8], pos: &mut usize) -> Result<SpineHeader> {
         attrs.push((a, v));
     }
     let time = if flags & FLAG_TIME != 0 {
-        Some(TimeSet::parse(&get_str(buf, pos)?).map_err(|e| StreamError(e.to_string()))?)
+        Some(TimeSet::parse(&get_str(buf, pos)?).map_err(|e| StreamError::new(e.to_string()))?)
     } else {
         None
     };
@@ -357,7 +409,7 @@ impl<'a> StreamCursor<'a> {
             KIND_SMALL => {
                 let mut p = pos + 1;
                 let Some(&flags) = self.buf.get(p) else {
-                    return err("truncated flags");
+                    return err_at(p, "truncated flags");
                 };
                 p += 1;
                 let _body = get_varint(self.buf, &mut p)?;
@@ -372,7 +424,7 @@ impl<'a> StreamCursor<'a> {
             KIND_SPINE_OPEN => {
                 let mut p = pos + 1;
                 let Some(&flags) = self.buf.get(p) else {
-                    return err("truncated spine flags");
+                    return err_at(p, "truncated spine flags");
                 };
                 p += 1;
                 let key = if flags & FLAG_KEY != 0 {
@@ -394,7 +446,7 @@ impl<'a> StreamCursor<'a> {
         let len = pos - start;
         self.reader
             .read(len)
-            .ok_or_else(|| StreamError("EOF".into()))?;
+            .ok_or_else(|| StreamError::new("EOF"))?;
         Ok(tree)
     }
 
@@ -402,25 +454,23 @@ impl<'a> StreamCursor<'a> {
     pub fn take_spine_open(&mut self) -> Result<SpineHeader> {
         let start = self.reader.position();
         if self.buf.get(start) != Some(&KIND_SPINE_OPEN) {
-            return err("expected spine open");
+            return err_at(start, "expected spine open");
         }
         let mut pos = start + 1;
         let h = decode_spine_header(self.buf, &mut pos)?;
         let len = pos - start;
         self.reader
             .read(len)
-            .ok_or_else(|| StreamError("EOF".into()))?;
+            .ok_or_else(|| StreamError::new("EOF"))?;
         Ok(h)
     }
 
     /// Consumes a spine-close marker.
     pub fn take_spine_close(&mut self) -> Result<()> {
         if self.buf.get(self.reader.position()) != Some(&KIND_SPINE_CLOSE) {
-            return err("expected spine close");
+            return err_at(self.reader.position(), "expected spine close");
         }
-        self.reader
-            .read(1)
-            .ok_or_else(|| StreamError("EOF".into()))?;
+        self.reader.read(1).ok_or_else(|| StreamError::new("EOF"))?;
         Ok(())
     }
 
@@ -583,5 +633,35 @@ mod tests {
         assert!(decode_small(&[], &mut 0).is_err());
         let cur = StreamCursor::new(&[KIND_SPINE_CLOSE], 8);
         assert!(matches!(cur.peek().unwrap(), Peeked::Close));
+    }
+
+    #[test]
+    fn crafted_huge_lengths_error_instead_of_overflowing() {
+        // a text entry whose declared string length is near u64::MAX: the
+        // bounds check must fail cleanly, not overflow `pos + len`
+        let mut buf = vec![KIND_TEXT];
+        put_varint(&mut buf, u64::MAX - 1);
+        assert!(decode_small(&buf, &mut 0).is_err());
+        // same for a stamp body length
+        let mut buf = vec![KIND_STAMP];
+        put_varint(&mut buf, u64::MAX - 1);
+        assert!(decode_small(&buf, &mut 0).is_err());
+        // and a small-node body length
+        let mut buf = vec![KIND_SMALL, 0];
+        put_varint(&mut buf, u64::MAX - 1);
+        assert!(decode_small(&buf, &mut 0).is_err());
+    }
+
+    #[test]
+    fn store_error_taxonomy_tracks_offsets() {
+        // positioned decode failures are corruption with their offset…
+        let e: xarch_core::StoreError = StreamError::at(17, "truncated string").into();
+        assert!(
+            matches!(e, xarch_core::StoreError::Corrupt { offset: 17, .. }),
+            "{e}"
+        );
+        // …while position-less input rejections stay backend errors
+        let e: xarch_core::StoreError = StreamError::new("document root has no key").into();
+        assert!(matches!(e, xarch_core::StoreError::Backend(_)), "{e}");
     }
 }

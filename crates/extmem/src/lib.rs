@@ -29,5 +29,6 @@ pub mod io;
 pub mod sort;
 
 pub use archiver::ExtArchive;
-pub use events::StreamError;
+pub use etree::{EKind, ETree};
+pub use events::{decode_small, encode_small, get_varint, put_varint, StreamError};
 pub use io::{IoConfig, IoStats};

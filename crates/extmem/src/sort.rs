@@ -98,12 +98,12 @@ fn emit_sorted(
     }
     // spine node: must be a keyed, non-frontier element
     let NodeKind::Element(sym) = &doc.node(id).kind else {
-        return Err(StreamError("oversized text node".into()));
+        return Err(StreamError::new("oversized text node"));
     };
     match ann.class(id) {
         NodeClass::Keyed => {}
         c => {
-            return Err(StreamError(format!(
+            return Err(StreamError::new(format!(
                 "node <{}> exceeds the memory budget but is {c:?}; the external \
                  archiver streams only keyed non-frontier nodes",
                 doc.syms().resolve(*sym)
@@ -157,8 +157,8 @@ fn emit_sorted(
     };
     for &c in doc.children(id) {
         if matches!(doc.node(c).kind, NodeKind::Text(_)) || ann.key(c).is_none() {
-            return Err(StreamError(
-                "unkeyed child of a streamed (spine) node — cover it with a key".into(),
+            return Err(StreamError::new(
+                "unkeyed child of a streamed (spine) node — cover it with a key",
             ));
         }
         if sizes[c.index()] <= cfg.mem_bytes {
@@ -222,13 +222,9 @@ fn merge_group(group: &[Vec<u8>], cfg: &IoConfig, stats: &mut IoStats) -> Result
             let key = match cur.peek()? {
                 Peeked::Eof => continue,
                 Peeked::Small(Some(k)) | Peeked::Spine(Some(k)) => k,
-                Peeked::Small(None) => {
-                    return Err(StreamError("unkeyed entry in sorted run".into()))
-                }
-                Peeked::Spine(None) => {
-                    return Err(StreamError("unkeyed spine in sorted run".into()))
-                }
-                Peeked::Close => return Err(StreamError("stray close in run".into())),
+                Peeked::Small(None) => return Err(StreamError::new("unkeyed entry in sorted run")),
+                Peeked::Spine(None) => return Err(StreamError::new("unkeyed spine in sorted run")),
+                Peeked::Close => return Err(StreamError::new("stray close in run")),
             };
             match &best {
                 Some((_, bk)) if *bk <= key => {}

@@ -15,11 +15,11 @@
 //! * the key-specification model and textual parser ([`spec`]) in exactly
 //!   the paper's syntax — the specs of Appendix B parse verbatim;
 //! * frontier-path computation ([`spec::KeySpec::frontier_paths`]);
-//! * document validation against a spec ([`validate`]);
-//! * the **Annotate Keys** stack machine of §4.1 ([`annotate`]), producing
+//! * document validation against a spec ([`mod@validate`]);
+//! * the **Annotate Keys** stack machine of §4.1 ([`mod@annotate`]), producing
 //!   per-node key values;
 //! * canonical-form **fingerprints** with the collision-verification
-//!   protocol of §4.3 ([`fingerprint`]).
+//!   protocol of §4.3 ([`mod@fingerprint`]).
 
 pub mod annotate;
 pub mod fingerprint;

@@ -1,0 +1,429 @@
+//! [`DurableArchive`]: persistence as a `VersionStore` wrapper.
+//!
+//! The inner store (in-memory, chunked, or external-memory) holds the
+//! merged archive; the segment file journals every committed version.
+//! `add_version` runs the merge first (so a rejected document leaves both
+//! layers untouched), then appends one checksummed block and syncs before
+//! acknowledging — after which the version survives a `kill -9`. On open,
+//! the journaled version documents are replayed through the same
+//! deterministic merge, rebuilding exactly the pre-crash archive.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use xarch_compress::BlockCodec;
+use xarch_core::{KeyQuery, StoreError, StoreStats, TimeSet, VersionStore};
+use xarch_keys::KeySpec;
+use xarch_xml::Document;
+
+use crate::block::{BlockKind, BLOCK_HEADER_LEN, MAX_PAYLOAD};
+use crate::payload::{bytes_to_doc, doc_to_bytes};
+use crate::segment::{RecoveryStats, Segment};
+
+/// Tuning knobs for a [`DurableArchive`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// Preferred payload codec. [`BlockCodec::Lzss`] trades commit CPU for
+    /// smaller segments; blocks it cannot shrink are stored raw.
+    pub compression: BlockCodec,
+    /// Sync the file after every commit (default). Disabling trades
+    /// crash safety for throughput: after a power loss, pages may persist
+    /// out of append order, leaving an *interior* block corrupt — which
+    /// reopen refuses to repair (it cannot be distinguished from bit rot
+    /// on committed data). Use `false` only for rebuildable archives,
+    /// tests, and benchmarks, or where the platform guarantees ordered
+    /// writeback.
+    pub sync: bool,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        Self {
+            compression: BlockCodec::Raw,
+            sync: true,
+        }
+    }
+}
+
+/// A crash-safe, persistent [`VersionStore`] wrapping any other backend.
+pub struct DurableArchive {
+    inner: Box<dyn VersionStore>,
+    segment: Segment,
+    options: DurableOptions,
+    recovery: RecoveryStats,
+    /// Set when a journal append failed *after* the inner merge committed:
+    /// memory is then ahead of disk, so further commits are refused until
+    /// the store is reopened (reads stay available).
+    poisoned: Option<String>,
+}
+
+impl std::fmt::Debug for DurableArchive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableArchive")
+            .field("path", &self.segment.path())
+            .field("latest", &self.inner.latest())
+            .field("options", &self.options)
+            .field("recovery", &self.recovery)
+            .finish()
+    }
+}
+
+impl DurableArchive {
+    /// Opens (or creates) the segment at `path` with default options,
+    /// replaying any journaled versions into `inner`.
+    pub fn open(path: impl AsRef<Path>, inner: Box<dyn VersionStore>) -> Result<Self, StoreError> {
+        Self::open_with(path, DurableOptions::default(), inner)
+    }
+
+    /// Opens (or creates) the segment at `path`, replaying any journaled
+    /// versions into `inner` — which must be freshly built (zero versions)
+    /// and carry the same [`KeySpec`] the segment was created under.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        options: DurableOptions,
+        inner: Box<dyn VersionStore>,
+    ) -> Result<Self, StoreError> {
+        let path: PathBuf = path.as_ref().to_owned();
+        let mut inner = inner;
+        if inner.latest() != 0 {
+            return Err(StoreError::Backend(format!(
+                "durable wrapper requires a fresh inner store (it already holds {} versions)",
+                inner.latest()
+            )));
+        }
+        let file_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let expected_superblock = crate::superblock::encode(inner.spec());
+        // A file shorter than its superblock *and* byte-identical to a
+        // prefix of it is a create() torn by a crash: the superblock never
+        // completed, so no version can have been committed — recreating is
+        // safe. Anything else short-but-different is corruption and falls
+        // through to Segment::open's loud failure.
+        let torn_create = file_len > 0
+            && (file_len as usize) < expected_superblock.len()
+            && expected_superblock.starts_with(&std::fs::read(&path)?);
+        if file_len == 0 || torn_create {
+            let segment = Segment::create(&path, inner.spec(), options.sync)?;
+            return Ok(Self {
+                inner,
+                segment,
+                options,
+                recovery: RecoveryStats {
+                    truncated_bytes: if torn_create { file_len } else { 0 },
+                    ..RecoveryStats::default()
+                },
+                poisoned: None,
+            });
+        }
+        let spec = inner.spec().clone();
+        // replay happens inside the scan callback, so only one block's
+        // payload is ever materialized — reopening stays within the inner
+        // backend's working set even for external-memory stores
+        let (segment, recovery) = Segment::open(&path, &spec, options.sync, |b| {
+            let crate::block::ScannedBlock {
+                header,
+                payload,
+                offset,
+            } = b;
+            let replayed = match header.kind {
+                BlockKind::Empty => inner.add_empty_version()?,
+                BlockKind::Version => {
+                    // raw blocks are already the decoded bytes — reuse the
+                    // scan's allocation instead of copying a third time
+                    let raw = match header.codec {
+                        BlockCodec::Raw => payload,
+                        codec => codec.decode(&payload).ok_or_else(|| StoreError::Corrupt {
+                            offset: offset + BLOCK_HEADER_LEN as u64,
+                            reason: "block payload failed to decompress".into(),
+                        })?,
+                    };
+                    if raw.len() as u64 != header.raw_len {
+                        return Err(StoreError::Corrupt {
+                            offset,
+                            reason: format!(
+                                "decompressed payload is {} bytes, header says {}",
+                                raw.len(),
+                                header.raw_len
+                            ),
+                        });
+                    }
+                    let doc = bytes_to_doc(&raw).map_err(|e| {
+                        // e.offset addresses the *decoded* payload, which
+                        // only coincides with file bytes for raw blocks —
+                        // keep the block's file offset and say where the
+                        // decode failed in the reason
+                        let reason = match e.offset {
+                            Some(p) => {
+                                format!("{} (byte {p} of the decoded payload)", e.reason)
+                            }
+                            None => e.reason,
+                        };
+                        StoreError::Corrupt { offset, reason }
+                    })?;
+                    inner.add_version(&doc)?
+                }
+            };
+            if replayed != header.version {
+                return Err(StoreError::Corrupt {
+                    offset,
+                    reason: format!(
+                        "replay desynchronized: block commits version {}, store assigned {replayed}",
+                        header.version
+                    ),
+                });
+            }
+            Ok(())
+        })?;
+        Ok(Self {
+            inner,
+            segment,
+            options,
+            recovery,
+            poisoned: None,
+        })
+    }
+
+    /// What `open` found and did while rebuilding from the segment file.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The segment file's path.
+    pub fn path(&self) -> &Path {
+        self.segment.path()
+    }
+
+    /// Current size of the segment file in bytes.
+    pub fn journal_bytes(&self) -> u64 {
+        self.segment.len_bytes()
+    }
+
+    /// True when a journal append failed after its merge committed: the
+    /// in-memory archive is ahead of the durable journal and further
+    /// commits are refused. Reopen from the path to resynchronize (the
+    /// unjournaled version is discarded, as it was never acknowledged).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    fn check_writable(&self) -> Result<(), StoreError> {
+        match &self.poisoned {
+            None => Ok(()),
+            Some(why) => Err(StoreError::Backend(format!(
+                "durable store refused the commit: a previous journal append failed ({why}); \
+                 reopen the archive from {} to resynchronize",
+                self.segment.path().display()
+            ))),
+        }
+    }
+
+    /// Journals an already-merged commit, poisoning the store if the
+    /// append fails (memory would otherwise silently run ahead of disk).
+    fn journal(
+        &mut self,
+        kind: BlockKind,
+        codec: BlockCodec,
+        version: u32,
+        raw_len: u64,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        match self.segment.append(kind, codec, version, raw_len, payload) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+}
+
+impl VersionStore for DurableArchive {
+    fn spec(&self) -> &KeySpec {
+        self.inner.spec()
+    }
+
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        self.check_writable()?;
+        // encode and size-check up front: everything that can be rejected
+        // without touching state is rejected *before* the merge, so an
+        // error here never leaves memory ahead of disk
+        let raw = doc_to_bytes(doc);
+        if raw.len() as u64 > MAX_PAYLOAD {
+            return Err(StoreError::Backend(format!(
+                "version payload of {} bytes exceeds the {MAX_PAYLOAD} byte block limit",
+                raw.len()
+            )));
+        }
+        // merge next: a rejected document leaves the store unchanged and
+        // nothing invalid reaches the journal
+        let v = self.inner.add_version(doc)?;
+        let (codec, payload) = self.options.compression.encode(&raw);
+        self.journal(BlockKind::Version, codec, v, raw.len() as u64, &payload)?;
+        Ok(v)
+    }
+
+    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        self.check_writable()?;
+        let v = self.inner.add_empty_version()?;
+        self.journal(BlockKind::Empty, BlockCodec::Raw, v, 0, &[])?;
+        Ok(v)
+    }
+
+    fn latest(&self) -> u32 {
+        self.inner.latest()
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        self.inner.has_version(v)
+    }
+
+    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
+        self.inner.retrieve(v)
+    }
+
+    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        self.inner.retrieve_into(v, out)
+    }
+
+    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        self.inner.history(steps)
+    }
+
+    fn stats(&mut self) -> Result<StoreStats, StoreError> {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_path;
+    use xarch_core::Archive;
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+    }
+
+    fn fresh_inner() -> Box<dyn VersionStore> {
+        Box::new(Archive::new(spec()))
+    }
+
+    #[test]
+    fn versions_survive_reopen() {
+        let path = scratch_path("durable-reopen");
+        let v1 = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+        let v2 = parse("<db><rec><id>1</id><val>b</val></rec></db>").unwrap();
+        {
+            let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+            assert_eq!(d.add_version(&v1).unwrap(), 1);
+            assert_eq!(d.add_version(&v2).unwrap(), 2);
+        } // dropped without any shutdown protocol — every commit is already on disk
+        let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        assert_eq!(d.latest(), 2);
+        assert_eq!(d.recovery().versions_recovered, 2);
+        let got = d.retrieve(1).unwrap().unwrap();
+        assert!(xarch_core::equiv_modulo_key_order(&got, &v1, d.spec()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_versions_survive_reopen() {
+        let path = scratch_path("durable-empty");
+        let v1 = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+        {
+            let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+            d.add_version(&v1).unwrap();
+            assert_eq!(d.add_empty_version().unwrap(), 2);
+        }
+        let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        assert_eq!(d.latest(), 2);
+        assert!(d.has_version(2));
+        assert!(d.retrieve(2).unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_create_is_recreated_not_bricked() {
+        // a crash mid-way through the very first superblock write leaves a
+        // prefix of the superblock on disk; nothing was ever committed, so
+        // open must recreate rather than fail forever
+        let path = scratch_path("durable-torn-create");
+        let full = crate::superblock::encode(&spec());
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        assert_eq!(d.latest(), 0);
+        assert!(d.recovery().recovered_torn_tail());
+        let v1 = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+        d.add_version(&v1).unwrap();
+        drop(d);
+        let d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        assert_eq!(d.latest(), 1);
+        std::fs::remove_file(&path).unwrap();
+
+        // a short file that is NOT a superblock prefix is corruption, not
+        // a torn create — it must fail loudly
+        let path = scratch_path("durable-short-garbage");
+        std::fs::write(&path, b"not a segment").unwrap();
+        let err = DurableArchive::open(&path, fresh_inner())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn second_concurrent_open_is_refused() {
+        // two live handles on one journal would overwrite each other's
+        // acknowledged commits; the OS lock makes the segment single-writer
+        let path = scratch_path("durable-lock");
+        let d1 = DurableArchive::open(&path, fresh_inner()).unwrap();
+        let err = DurableArchive::open(&path, fresh_inner())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("already open"), "{err}");
+        drop(d1); // the lock dies with the handle…
+        let d2 = DurableArchive::open(&path, fresh_inner()).unwrap();
+        assert_eq!(d2.latest(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_populated_inner() {
+        let path = scratch_path("durable-populated");
+        let mut inner = Archive::new(spec());
+        inner
+            .add_version(&parse("<db><rec><id>1</id></rec></db>").unwrap())
+            .unwrap();
+        let err = DurableArchive::open(&path, Box::new(inner)).unwrap_err();
+        assert!(err.to_string().contains("fresh inner store"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lzss_blocks_round_trip() {
+        let path = scratch_path("durable-lzss");
+        let opts = DurableOptions {
+            compression: BlockCodec::Lzss,
+            sync: true,
+        };
+        let mut src = String::from("<db>");
+        for i in 0..40 {
+            src.push_str(&format!(
+                "<rec><id>{i}</id><val>common text body</val></rec>"
+            ));
+        }
+        src.push_str("</db>");
+        let doc = parse(&src).unwrap();
+        let raw_len = crate::payload::doc_to_bytes(&doc).len() as u64;
+        {
+            let mut d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
+            d.add_version(&doc).unwrap();
+            // the repetitive payload must actually have been compressed
+            assert!(d.journal_bytes() < raw_len);
+        }
+        let mut d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
+        let got = d.retrieve(1).unwrap().unwrap();
+        assert!(xarch_core::equiv_modulo_key_order(&got, &doc, d.spec()));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

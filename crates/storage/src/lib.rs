@@ -1,0 +1,81 @@
+//! # xarch-storage
+//!
+//! Durable on-disk archive storage: an append-only, segmented,
+//! self-describing file format plus [`DurableArchive`], the persistent
+//! [`VersionStore`](xarch_core::VersionStore) backend built on it.
+//!
+//! The paper's archiver "reads the archive from disk, merges the incoming
+//! version, and writes it back"; the other backends in this workspace keep
+//! the archive in process memory and lose it on exit. This crate closes
+//! that gap the way production cold-storage archives do (Gray et al.,
+//! *Online Scientific Data Curation, Publication, and Archiving*): a
+//! durable, integrity-checked, self-describing format in which every
+//! acknowledged commit survives a crash.
+//!
+//! ## On-disk layout
+//!
+//! A segment file is a superblock followed by one block per committed
+//! version:
+//!
+//! ```text
+//! ┌────────────────────────── superblock ──────────────────────────┐
+//! │ magic "XARCHSG1" │ format u32 │ spec_len u32 │ key spec │ crc32 │
+//! └────────────────────────────────────────────────────────────────┘
+//! ┌──────────────────────── block (version 1) ─────────────────────┐
+//! │ kind u8 │ codec u8 │ version u32 │ raw_len u64 │ stored_len u64│  header
+//! │ payload: version document as an extmem event stream            │  (codec-encoded)
+//! │ crc32 over header+payload │ commit word "CMT!"                 │  trailer
+//! └────────────────────────────────────────────────────────────────┘
+//! ┌──────────────────────── block (version 2) ─────────────────────┐ …
+//! ```
+//!
+//! Three properties fall out of this framing:
+//!
+//! * **self-describing** — the superblock pins the format generation and
+//!   the governing key spec, so opening with a mismatched spec fails
+//!   up front instead of merging wrongly;
+//! * **integrity-checked** — every block carries a CRC-32 over header and
+//!   payload; bit rot surfaces as
+//!   [`StoreError::Corrupt`](xarch_core::StoreError::Corrupt) with the
+//!   failing byte offset;
+//! * **crash-safe** — the commit word is the last thing written, so a
+//!   torn final append is recognized on reopen and truncated away,
+//!   recovering every fully committed version ([`RecoveryStats`] reports
+//!   what happened).
+//!
+//! The payload reuses `xarch_extmem`'s event-stream encoding, optionally
+//! LZSS-compressed per block via `xarch_compress` (incompressible blocks
+//! fall back to raw — the codec byte records what was stored).
+//!
+//! ## Replay, not state dump
+//!
+//! Blocks journal the *input* documents, not the merged archive. Reopen
+//! replays them through the same deterministic Nested Merge, rebuilding
+//! exactly the pre-crash state for any inner backend — the differential
+//! tests assert the reopened store is version-for-version byte-identical
+//! to one that never left memory.
+
+pub mod block;
+pub mod crc;
+pub mod durable;
+pub mod payload;
+pub mod segment;
+pub mod superblock;
+
+pub use block::{BlockHeader, BlockKind, ScannedBlock};
+pub use crc::{crc32, Crc32};
+pub use durable::{DurableArchive, DurableOptions};
+pub use segment::{RecoveryStats, Segment};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch path under the system temp directory — for examples,
+/// benches, and tests that need a throwaway segment file. Unique per
+/// process and call; stale files from earlier runs are truncated by
+/// [`Segment::create`].
+pub fn scratch_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("xarch-{tag}-{}-{n}.seg", std::process::id()))
+}

@@ -1,0 +1,123 @@
+//! Version payloads: a [`Document`] serialized as an `xarch_extmem` event
+//! stream.
+//!
+//! The journal records the *input* of each commit — the version document —
+//! not the merged archive state: replaying the documents through the same
+//! deterministic merge rebuilds the exact pre-crash archive, and the blocks
+//! stay valid even if the in-memory merge representation evolves. Reusing
+//! the external archiver's small-node encoding means one on-disk grammar
+//! across the system (keys and timestamps are simply absent here: the
+//! payload tree is a plain document).
+
+use xarch_extmem::{decode_small, encode_small, EKind, ETree, StreamError};
+use xarch_xml::{Document, NodeId, NodeKind};
+
+/// Encodes `doc` as one small-node event entry.
+pub fn doc_to_bytes(doc: &Document) -> Vec<u8> {
+    let tree = subtree(doc, doc.root());
+    let mut out = Vec::new();
+    encode_small(&tree, &mut out);
+    out
+}
+
+fn subtree(doc: &Document, id: NodeId) -> ETree {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => ETree {
+            kind: EKind::Text(t.clone()),
+            sort_key: None,
+            frontier: false,
+            time: None,
+            children: Vec::new(),
+        },
+        NodeKind::Element(s) => ETree {
+            kind: EKind::Element {
+                tag: doc.syms().resolve(*s).to_owned(),
+                attrs: doc
+                    .attrs(id)
+                    .iter()
+                    .map(|(a, v)| (doc.syms().resolve(*a).to_owned(), v.clone()))
+                    .collect(),
+            },
+            sort_key: None,
+            frontier: false,
+            time: None,
+            children: doc.children(id).iter().map(|&c| subtree(doc, c)).collect(),
+        },
+    }
+}
+
+/// Decodes a payload written by [`doc_to_bytes`] back into a [`Document`].
+pub fn bytes_to_doc(buf: &[u8]) -> Result<Document, StreamError> {
+    let mut pos = 0;
+    let tree = decode_small(buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(StreamError::at(pos, "trailing bytes after version payload"));
+    }
+    let EKind::Element { tag, attrs } = &tree.kind else {
+        return Err(StreamError::new("version payload root is not an element"));
+    };
+    let mut doc = Document::new(tag);
+    let root = doc.root();
+    for (a, v) in attrs {
+        doc.set_attr(root, a, v);
+    }
+    for c in &tree.children {
+        add_tree(&mut doc, root, c)?;
+    }
+    Ok(doc)
+}
+
+fn add_tree(doc: &mut Document, parent: NodeId, t: &ETree) -> Result<(), StreamError> {
+    match &t.kind {
+        EKind::Text(s) => {
+            doc.add_text(parent, s);
+        }
+        EKind::Stamp => {
+            return Err(StreamError::new(
+                "stamp entry inside a version payload (payloads hold plain documents)",
+            ));
+        }
+        EKind::Element { tag, attrs } => {
+            let e = doc.add_element(parent, tag);
+            for (a, v) in attrs {
+                doc.set_attr(e, a, v);
+            }
+            for c in &t.children {
+                add_tree(doc, e, c)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_xml::parse;
+
+    #[test]
+    fn document_round_trips() {
+        let doc = parse(
+            "<db><rec a=\"1\" b=\"two\"><id>7</id><val>x &amp; y</val></rec><rec><id>8</id></rec></db>",
+        )
+        .unwrap();
+        let bytes = doc_to_bytes(&doc);
+        let back = bytes_to_doc(&bytes).unwrap();
+        assert!(xarch_xml::value_equal(&doc, doc.root(), &back, back.root()));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let doc = parse("<db/>").unwrap();
+        let mut bytes = doc_to_bytes(&doc);
+        bytes.push(0xEE);
+        assert!(bytes_to_doc(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let doc = parse("<db><rec><id>1</id></rec></db>").unwrap();
+        let bytes = doc_to_bytes(&doc);
+        assert!(bytes_to_doc(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

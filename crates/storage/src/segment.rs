@@ -1,0 +1,362 @@
+//! The segment file: superblock + append-only block sequence, with
+//! crash-safe open.
+//!
+//! A [`Segment`] is the durable half of the archive: every committed
+//! version is one appended block (synced before the commit is
+//! acknowledged), and [`Segment::open`] streams the file back through a
+//! per-block callback — verifying checksums, truncating an uncommitted
+//! torn tail instead of refusing to open, and holding only one block's
+//! payload in memory at a time so reopening never exceeds the inner
+//! backend's working set.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use xarch_compress::BlockCodec;
+use xarch_core::StoreError;
+use xarch_keys::KeySpec;
+
+use crate::block::{
+    self, encode_block, BlockKind, Scan, ScannedBlock, BLOCK_HEADER_LEN, BLOCK_TRAILER_LEN,
+    COMMIT_MAGIC,
+};
+use crate::superblock;
+
+/// What `open()` found and did while rebuilding state from a segment file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Committed versions replayed from the file.
+    pub versions_recovered: u32,
+    /// Bytes of verified data (superblock + committed blocks).
+    pub bytes_scanned: u64,
+    /// Bytes of uncommitted torn tail dropped by truncation (0 on a clean
+    /// shutdown).
+    pub truncated_bytes: u64,
+}
+
+impl RecoveryStats {
+    /// True when the file ended in a torn write that open() cleaned up.
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.truncated_bytes > 0
+    }
+}
+
+/// An open segment file positioned for appending.
+#[derive(Debug)]
+pub struct Segment {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    next_version: u32,
+    sync: bool,
+}
+
+fn backend(err: impl Into<String>) -> StoreError {
+    StoreError::Backend(err.into())
+}
+
+/// Takes the OS advisory lock that makes the segment single-writer: two
+/// handles appending to one journal would overwrite each other's
+/// acknowledged commits. The lock dies with the file handle (and with the
+/// process, so a crash never leaves a stale lock behind).
+fn lock_exclusive(file: &File, path: &Path) -> Result<(), StoreError> {
+    use std::fs::TryLockError;
+    match file.try_lock() {
+        Ok(()) => Ok(()),
+        Err(TryLockError::WouldBlock) => Err(backend(format!(
+            "segment {} is already open in another archive handle \
+             (concurrent writers would corrupt the journal)",
+            path.display()
+        ))),
+        Err(TryLockError::Error(e)) => Err(StoreError::Io(e)),
+    }
+}
+
+impl Segment {
+    /// Creates (or truncates) a segment file holding only the superblock.
+    pub fn create(path: &Path, spec: &KeySpec, sync: bool) -> Result<Segment, StoreError> {
+        // take the lock before truncating, so losing a create race cannot
+        // wipe a segment another handle is actively appending to
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(path)?;
+        lock_exclusive(&file, path)?;
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        let sb = superblock::encode(spec);
+        file.write_all(&sb)?;
+        if sync {
+            file.sync_data()?;
+        }
+        Ok(Segment {
+            file,
+            path: path.to_owned(),
+            len: sb.len() as u64,
+            next_version: 1,
+            sync,
+        })
+    }
+
+    /// Opens an existing segment file: verifies the superblock against
+    /// `spec`, then scans, checksums, and hands each committed block to
+    /// `on_block` in order (truncating a torn tail first). Replay happens
+    /// inside the callback so only one block is ever materialized.
+    pub fn open(
+        path: &Path,
+        spec: &KeySpec,
+        sync: bool,
+        mut on_block: impl FnMut(ScannedBlock) -> Result<(), StoreError>,
+    ) -> Result<(Segment, RecoveryStats), StoreError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        lock_exclusive(&file, path)?;
+        let file_len = file.metadata()?.len();
+
+        // superblock: fixed prefix first, then the spec + its checksum
+        let mut sb = vec![0u8; superblock::FIXED_LEN.min(file_len as usize)];
+        file.read_exact(&mut sb)?;
+        if sb.len() == superblock::FIXED_LEN {
+            let spec_len = superblock::declared_spec_len(&sb);
+            if spec_len > superblock::MAX_SPEC_LEN {
+                return Err(StoreError::Corrupt {
+                    offset: 12,
+                    reason: format!("implausible key spec length {spec_len} in superblock"),
+                });
+            }
+            let rest = (spec_len.saturating_add(4)).min(file_len - sb.len() as u64);
+            let at = sb.len();
+            sb.resize(at + rest as usize, 0);
+            file.read_exact(&mut sb[at..])?;
+        }
+        let (stored_spec, first_block) = superblock::decode(&sb)?;
+        if &stored_spec != spec {
+            return Err(backend(format!(
+                "key spec mismatch: segment {} was created under a different key specification \
+                 (stored {} keys, requested {})",
+                path.display(),
+                stored_spec.len(),
+                spec.len(),
+            )));
+        }
+
+        // whether the file's final four bytes are a commit word — the
+        // signal that distinguishes a bit-rotted length field (which must
+        // fail loudly) from a genuine torn append (which cannot leave a
+        // later block's commit word at end of file)
+        let eof_commit_word = if file_len >= first_block + 4 {
+            let mut last = [0u8; 4];
+            file.seek(SeekFrom::End(-4))?;
+            file.read_exact(&mut last)?;
+            file.seek(SeekFrom::Start(first_block))?;
+            last == COMMIT_MAGIC.to_le_bytes()
+        } else {
+            false
+        };
+
+        // blocks, one at a time — only the current payload is in memory,
+        // so reopening stays within the inner backend's working set
+        let mut versions = 0u32;
+        let mut offset = first_block;
+        let mut stats = RecoveryStats::default();
+        let mut len = file_len;
+        let mut header = [0u8; BLOCK_HEADER_LEN];
+        while offset < len {
+            let scan = if len - offset < BLOCK_HEADER_LEN as u64 {
+                Scan::TornTail
+            } else {
+                file.read_exact(&mut header)?;
+                let declared = block::declared_payload_len(&header);
+                // an implausible length is rejected before any allocation
+                if declared > block::MAX_PAYLOAD {
+                    Scan::Corrupt(StoreError::Corrupt {
+                        offset,
+                        reason: format!("implausible payload length {declared} in block header"),
+                    })
+                } else {
+                    let needed = declared + BLOCK_TRAILER_LEN as u64;
+                    let available = needed.min(len - offset - BLOCK_HEADER_LEN as u64);
+                    let mut body = vec![0u8; available as usize];
+                    file.read_exact(&mut body)?;
+                    let end = offset + BLOCK_HEADER_LEN as u64 + needed;
+                    let bytes_after_end = len.saturating_sub(end);
+                    block::scan_block_parts(&header, body, offset, bytes_after_end, eof_commit_word)
+                }
+            };
+            match scan {
+                Scan::Block(b) => {
+                    let expected = versions + 1;
+                    if b.header.version != expected {
+                        return Err(StoreError::Corrupt {
+                            offset,
+                            reason: format!(
+                                "block sequence broken: expected version {expected}, found {}",
+                                b.header.version
+                            ),
+                        });
+                    }
+                    offset += (b.payload.len() + BLOCK_HEADER_LEN + BLOCK_TRAILER_LEN) as u64;
+                    versions = expected;
+                    on_block(b)?;
+                }
+                Scan::TornTail => {
+                    stats.truncated_bytes = len - offset;
+                    file.set_len(offset)?;
+                    if sync {
+                        file.sync_data()?;
+                    }
+                    len = offset;
+                }
+                Scan::Corrupt(e) => return Err(e),
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+        stats.versions_recovered = versions;
+        stats.bytes_scanned = len;
+        Ok((
+            Segment {
+                file,
+                path: path.to_owned(),
+                len,
+                next_version: versions + 1,
+                sync,
+            },
+            stats,
+        ))
+    }
+
+    /// Appends one committed block for version `version` and (by default)
+    /// syncs it to disk. `raw_len` is the payload's uncompressed size;
+    /// `payload` is already encoded per `codec`.
+    pub fn append(
+        &mut self,
+        kind: BlockKind,
+        codec: BlockCodec,
+        version: u32,
+        raw_len: u64,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        if version != self.next_version {
+            return Err(backend(format!(
+                "out-of-order append: segment expects version {}, got {version}",
+                self.next_version
+            )));
+        }
+        // the bound readers rely on: a complete header never declares an
+        // implausible length, so one on disk is provably bit rot
+        if payload.len() as u64 > block::MAX_PAYLOAD {
+            return Err(backend(format!(
+                "payload of {} bytes exceeds the {} byte block limit",
+                payload.len(),
+                block::MAX_PAYLOAD
+            )));
+        }
+        let block = encode_block(kind, codec, version, raw_len, payload);
+        self.file.write_all(&block)?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        self.len += block.len() as u64;
+        self.next_version += 1;
+        Ok(())
+    }
+
+    /// The segment file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The version number the next append must carry.
+    pub fn next_version(&self) -> u32 {
+        self.next_version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_path;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))").unwrap()
+    }
+
+    #[test]
+    fn create_append_reopen() {
+        let path = scratch_path("segment-basic");
+        let mut seg = Segment::create(&path, &spec(), true).unwrap();
+        seg.append(BlockKind::Version, BlockCodec::Raw, 1, 3, b"abc")
+            .unwrap();
+        seg.append(BlockKind::Empty, BlockCodec::Raw, 2, 0, b"")
+            .unwrap();
+        drop(seg);
+        let mut blocks = Vec::new();
+        let (seg, stats) = Segment::open(&path, &spec(), true, |b| {
+            blocks.push(b);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].payload, b"abc");
+        assert_eq!(blocks[1].header.kind, BlockKind::Empty);
+        assert_eq!(stats.versions_recovered, 2);
+        assert!(!stats.recovered_torn_tail());
+        assert_eq!(seg.next_version(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_kept() {
+        let path = scratch_path("segment-torn");
+        let mut seg = Segment::create(&path, &spec(), true).unwrap();
+        seg.append(BlockKind::Version, BlockCodec::Raw, 1, 3, b"abc")
+            .unwrap();
+        let committed = seg.len_bytes();
+        drop(seg);
+        // simulate a crash mid-append: a partial second block
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[1, 0, 2, 0, 0, 0, 9, 9]).unwrap();
+        drop(f);
+        let mut blocks = Vec::new();
+        let (seg, stats) = Segment::open(&path, &spec(), true, |b| {
+            blocks.push(b);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(stats.truncated_bytes, 8);
+        assert!(stats.recovered_torn_tail());
+        assert_eq!(seg.len_bytes(), committed);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn spec_mismatch_is_rejected() {
+        let path = scratch_path("segment-spec");
+        Segment::create(&path, &spec(), true).unwrap();
+        let other = KeySpec::parse("(/, (other, {}))").unwrap();
+        let err = Segment::open(&path, &other, true, |_| Ok(()))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Backend(_)), "{err}");
+        assert!(err.to_string().contains("key spec mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_append_is_rejected() {
+        let path = scratch_path("segment-order");
+        let mut seg = Segment::create(&path, &spec(), true).unwrap();
+        assert!(seg
+            .append(BlockKind::Version, BlockCodec::Raw, 5, 0, b"")
+            .is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -47,10 +47,13 @@
 //! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries |
 //! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk |
 //! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting |
+//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) |
 //!
 //! `.compaction(Compaction::Weave)` additionally selects Fig 10's
 //! "further compaction" beneath frontier nodes for the in-memory and
-//! chunked backends.
+//! chunked backends. Durable configurations can fail to open (corrupt
+//! file, key-spec mismatch), so prefer [`ArchiveBuilder::try_build`] over
+//! `build()` when `.durable(..)` is set.
 //!
 //! ## Workspace layout
 //!
@@ -62,6 +65,8 @@
 //!   and the [`VersionStore`] trait;
 //! * [`compress`] — LZSS (gzip-class) and XMill-style compressors;
 //! * [`extmem`] — the external-memory archiver with I/O accounting;
+//! * [`storage`] — the durable segmented archive format and the
+//!   crash-safe [`storage::DurableArchive`] backend;
 //! * [`index`] — timestamp trees and the history index;
 //! * [`datagen`] — OMIM/Swiss-Prot/XMark-like generators and the paper's
 //!   change simulators.
@@ -73,9 +78,11 @@ pub use xarch_diff as diff;
 pub use xarch_extmem as extmem;
 pub use xarch_index as index;
 pub use xarch_keys as keys;
+pub use xarch_storage as storage;
 pub use xarch_xml as xml;
 
 mod store;
 
 pub use store::{ArchiveBuilder, Backend};
 pub use xarch_core::{StoreError, StoreStats, VersionStore};
+pub use xarch_storage::{DurableArchive, DurableOptions, RecoveryStats};

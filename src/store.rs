@@ -16,10 +16,33 @@
 //! assert_eq!(store.latest(), 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Persistence is one more axis of the same configuration: `.durable(path)`
+//! wraps whichever backend was selected in a crash-safe on-disk journal
+//! (see `xarch_storage`), replayed on reopen:
+//!
+//! ```
+//! use xarch::{ArchiveBuilder};
+//! use xarch::keys::KeySpec;
+//!
+//! let path = xarch::storage::scratch_path("builder-doc");
+//! let spec = KeySpec::parse("(/, (db, {}))")?;
+//! let store = ArchiveBuilder::new(spec.clone())
+//!     .chunks(4)
+//!     .durable(&path)
+//!     .try_build()?;
+//! assert_eq!(store.latest(), 0);
+//! drop(store);
+//! # std::fs::remove_file(&path)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
-use xarch_core::{Archive, ChunkedArchive, Compaction, VersionStore};
+use std::path::PathBuf;
+
+use xarch_core::{Archive, ChunkedArchive, Compaction, StoreError, VersionStore};
 use xarch_extmem::{ExtArchive, IoConfig};
 use xarch_keys::KeySpec;
+use xarch_storage::{DurableArchive, DurableOptions};
 
 /// The storage tier behind a [`VersionStore`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,16 +67,19 @@ pub struct ArchiveBuilder {
     spec: KeySpec,
     compaction: Compaction,
     backend: Backend,
+    durable: Option<(PathBuf, DurableOptions)>,
 }
 
 impl ArchiveBuilder {
     /// Starts a builder for an archive governed by `spec`, defaulting to
-    /// the in-memory backend with stamp-alternative compaction.
+    /// the in-memory backend with stamp-alternative compaction and no
+    /// persistence.
     pub fn new(spec: KeySpec) -> Self {
         Self {
             spec,
             compaction: Compaction::default(),
             backend: Backend::default(),
+            durable: None,
         }
     }
 
@@ -77,9 +103,28 @@ impl ArchiveBuilder {
         self
     }
 
-    /// Builds the configured store.
-    pub fn build(self) -> Box<dyn VersionStore> {
-        match self.backend {
+    /// Wraps the selected backend in a crash-safe on-disk journal at
+    /// `path` (created if absent, replayed if present) with default
+    /// [`DurableOptions`]. Composes with `.chunks(..)`, `.backend(..)` and
+    /// `.compaction(..)`: those configure the wrapped store, this makes it
+    /// persistent. Use [`ArchiveBuilder::try_build`] to surface open/replay
+    /// errors.
+    pub fn durable(self, path: impl Into<PathBuf>) -> Self {
+        self.durable_with(path, DurableOptions::default())
+    }
+
+    /// Like [`ArchiveBuilder::durable`], with explicit journal options
+    /// (per-block compression, sync policy).
+    pub fn durable_with(mut self, path: impl Into<PathBuf>, options: DurableOptions) -> Self {
+        self.durable = Some((path.into(), options));
+        self
+    }
+
+    /// Builds the configured store, surfacing construction errors — a
+    /// durable store can fail to open (I/O error, corrupt segment,
+    /// key-spec mismatch). Pure in-memory configurations cannot fail.
+    pub fn try_build(self) -> Result<Box<dyn VersionStore>, StoreError> {
+        let inner: Box<dyn VersionStore> = match self.backend {
             Backend::InMemory => Box::new(Archive::with_compaction(self.spec, self.compaction)),
             Backend::Chunked(n) => Box::new(ChunkedArchive::with_compaction(
                 self.spec,
@@ -87,7 +132,17 @@ impl ArchiveBuilder {
                 self.compaction,
             )),
             Backend::ExtMem(cfg) => Box::new(ExtArchive::new(self.spec, cfg)),
+        };
+        match self.durable {
+            None => Ok(inner),
+            Some((path, options)) => Ok(Box::new(DurableArchive::open_with(path, options, inner)?)),
         }
+    }
+
+    /// Builds the configured store, panicking on construction failure.
+    /// Durable configurations should prefer [`ArchiveBuilder::try_build`].
+    pub fn build(self) -> Box<dyn VersionStore> {
+        self.try_build().expect("archive construction failed")
     }
 }
 
@@ -119,6 +174,32 @@ mod tests {
             let got = store.retrieve(1).unwrap().unwrap();
             assert!(equiv_modulo_key_order(&got, &doc, store.spec()));
         }
+    }
+
+    #[test]
+    fn durable_composes_with_other_options() {
+        let doc = parse("<db><rec><id>1</id></rec></db>").unwrap();
+        let path = xarch_storage::scratch_path("builder-durable");
+        {
+            let mut store = ArchiveBuilder::new(spec())
+                .compaction(Compaction::Weave)
+                .chunks(4)
+                .durable(&path)
+                .try_build()
+                .unwrap();
+            store.add_version(&doc).unwrap();
+        }
+        // reopening through the same builder configuration replays the journal
+        let mut store = ArchiveBuilder::new(spec())
+            .compaction(Compaction::Weave)
+            .chunks(4)
+            .durable(&path)
+            .try_build()
+            .unwrap();
+        assert_eq!(store.latest(), 1);
+        let got = store.retrieve(1).unwrap().unwrap();
+        assert!(equiv_modulo_key_order(&got, &doc, store.spec()));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

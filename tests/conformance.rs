@@ -23,10 +23,31 @@ fn small_ext_cfg() -> IoConfig {
     }
 }
 
+/// Removes the scratch segment files when a test finishes (the stores are
+/// dropped first — bindings drop in reverse order — and unlink-while-open
+/// is fine on unix anyway).
+struct ScratchFiles(Vec<std::path::PathBuf>);
+
+impl Drop for ScratchFiles {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// A labelled store under test.
+type NamedStore = (&'static str, Box<dyn VersionStore>);
+
 /// Every backend, built from the facade, as the acceptance criteria
-/// require.
-fn all_backends(spec: &KeySpec) -> Vec<(&'static str, Box<dyn VersionStore>)> {
-    vec![
+/// require. The durable backends journal to scratch segment files that the
+/// returned guard deletes, so the whole contract suite also exercises the
+/// persistent tier without littering the temp directory.
+fn all_backends(spec: &KeySpec) -> (ScratchFiles, Vec<NamedStore>) {
+    let durable_path = xarch::storage::scratch_path("conformance");
+    let durable_chunked_path = xarch::storage::scratch_path("conformance-chunked");
+    let guard = ScratchFiles(vec![durable_path.clone(), durable_chunked_path.clone()]);
+    let backends = vec![
         ("in-memory", ArchiveBuilder::new(spec.clone()).build()),
         (
             "in-memory/weave",
@@ -44,12 +65,29 @@ fn all_backends(spec: &KeySpec) -> Vec<(&'static str, Box<dyn VersionStore>)> {
                 .backend(Backend::ExtMem(small_ext_cfg()))
                 .build(),
         ),
-    ]
+        (
+            "durable",
+            ArchiveBuilder::new(spec.clone())
+                .durable(durable_path)
+                .try_build()
+                .expect("durable store"),
+        ),
+        (
+            "durable/chunked(4)",
+            ArchiveBuilder::new(spec.clone())
+                .chunks(4)
+                .durable(durable_chunked_path)
+                .try_build()
+                .expect("durable store"),
+        ),
+    ];
+    (guard, backends)
 }
 
 #[test]
 fn version_numbering_and_bounds() {
-    for (label, mut s) in all_backends(&spec()) {
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
         assert_eq!(s.latest(), 0, "{label}");
         assert!(!s.has_version(0), "{label}");
         assert!(!s.has_version(1), "{label}");
@@ -70,7 +108,8 @@ fn version_numbering_and_bounds() {
 #[test]
 fn archived_but_empty_versions_are_distinguishable() {
     let doc = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
-    for (label, mut s) in all_backends(&spec()) {
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
         s.add_version(&doc).unwrap();
         assert_eq!(s.add_empty_version().unwrap(), 2, "{label}");
         // v2 exists…
@@ -101,7 +140,8 @@ fn failed_add_leaves_store_unchanged() {
     // merging, poisoning every later add.
     let good = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
     let bad = parse("<nope><rec><id>1</id></rec></nope>").unwrap();
-    for (label, mut s) in all_backends(&spec()) {
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
         assert!(s.add_version(&bad).is_err(), "{label}");
         assert_eq!(s.latest(), 0, "{label}: failed add burned a version");
         // the store still works, with the correct root
@@ -152,7 +192,8 @@ fn history_answers_match_across_backends() {
             None,
         ),
     ];
-    for (label, mut s) in all_backends(&spec()) {
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
         for src in versions {
             s.add_version(&parse(src).unwrap()).unwrap();
         }
@@ -166,7 +207,8 @@ fn history_answers_match_across_backends() {
 #[test]
 fn stats_report_storage() {
     let doc = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
-    for (label, mut s) in all_backends(&spec()) {
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
         let empty = s.stats().unwrap();
         s.add_version(&doc).unwrap();
         let one = s.stats().unwrap();
@@ -187,7 +229,8 @@ fn streamed_retrieval_equivalent_on_omim_workload() {
     g.ins_ratio = 0.08;
     g.mod_ratio = 0.04;
     let versions = g.sequence(25, 5);
-    for (label, mut s) in all_backends(&spec) {
+    let (_scratch, backends) = all_backends(&spec);
+    for (label, mut s) in backends {
         for d in &versions {
             s.add_version(d).unwrap();
         }

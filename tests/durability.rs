@@ -1,0 +1,272 @@
+//! Crash, corruption, and recovery paths of the durable backend — the
+//! process-restart story the ephemeral backends cannot tell.
+//!
+//! The acceptance bar: every *acknowledged* version is retrievable after a
+//! kill-and-reopen, byte-identical to the in-memory backend's output,
+//! including when the file ends in a torn (uncommitted) write. Corruption
+//! of committed data must fail loudly with `StoreError::Corrupt`, not
+//! deliver wrong versions.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use xarch::datagen::omim::{omim_spec, OmimGen};
+use xarch::keys::KeySpec;
+use xarch::storage::scratch_path;
+use xarch::xml::parse;
+use xarch::{ArchiveBuilder, DurableArchive, StoreError, VersionStore};
+
+fn spec() -> KeySpec {
+    KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+}
+
+fn versions() -> Vec<xarch::xml::Document> {
+    [
+        "<db><rec><id>1</id><val>a</val></rec></db>",
+        "<db><rec><id>1</id><val>b</val></rec><rec><id>2</id><val>c</val></rec></db>",
+        "<db><rec><id>2</id><val>c2</val></rec></db>",
+    ]
+    .iter()
+    .map(|s| parse(s).unwrap())
+    .collect()
+}
+
+fn reopen(path: &Path) -> Result<Box<dyn VersionStore>, StoreError> {
+    ArchiveBuilder::new(spec()).durable(path).try_build()
+}
+
+/// Streams version `v` out of `store`, asserting it exists.
+fn bytes_of(store: &mut dyn VersionStore, v: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    assert!(store.retrieve_into(v, &mut out).unwrap(), "version {v}");
+    out
+}
+
+#[test]
+fn kill_and_reopen_recovers_every_acknowledged_version() {
+    let path = scratch_path("kill-reopen");
+    let docs = versions();
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    {
+        let mut durable = reopen(&path).unwrap();
+        for d in &docs {
+            reference.add_version(d).unwrap();
+            durable.add_version(d).unwrap();
+        }
+        // no shutdown protocol: dropping here models `kill -9` — every
+        // acknowledged commit is already synced
+    }
+    let mut recovered = reopen(&path).unwrap();
+    assert_eq!(recovered.latest(), docs.len() as u32);
+    for v in 1..=docs.len() as u32 {
+        assert_eq!(
+            bytes_of(recovered.as_mut(), v),
+            bytes_of(reference.as_mut(), v),
+            "v{v} diverged from the never-closed in-memory store"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_final_write_is_truncated_and_all_committed_versions_survive() {
+    let path = scratch_path("torn-tail");
+    let docs = versions();
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    {
+        let mut durable = reopen(&path).unwrap();
+        for d in &docs {
+            reference.add_version(d).unwrap();
+            durable.add_version(d).unwrap();
+        }
+    }
+    // simulate a crash mid-append of version 4: header + part of a payload,
+    // commit word never written
+    let torn = [1u8, 0, 4, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3];
+    let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+    f.write_all(&torn).unwrap();
+    drop(f);
+
+    let mut store = ArchiveBuilder::new(spec())
+        .durable(&path)
+        .try_build()
+        .unwrap();
+    assert_eq!(store.latest(), docs.len() as u32);
+    for v in 1..=docs.len() as u32 {
+        assert_eq!(
+            bytes_of(store.as_mut(), v),
+            bytes_of(reference.as_mut(), v),
+            "v{v} diverged after torn-tail recovery"
+        );
+    }
+    drop(store);
+
+    // the recovery stats record the cleanup, and the torn bytes are gone
+    // from the file itself
+    let inner = ArchiveBuilder::new(spec()).build();
+    let d = DurableArchive::open(&path, inner).unwrap();
+    assert!(!d.recovery().recovered_torn_tail(), "second open is clean");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_tail_recovery_reports_stats() {
+    let path = scratch_path("torn-stats");
+    {
+        let mut durable = reopen(&path).unwrap();
+        for d in &versions() {
+            durable.add_version(d).unwrap();
+        }
+    }
+    let torn = [1u8, 0, 4, 0, 0, 0, 99];
+    let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+    f.write_all(&torn).unwrap();
+    drop(f);
+    let d = DurableArchive::open(&path, ArchiveBuilder::new(spec()).build()).unwrap();
+    let stats = d.recovery();
+    assert_eq!(stats.versions_recovered, 3);
+    assert_eq!(stats.truncated_bytes, torn.len() as u64);
+    assert!(stats.recovered_torn_tail());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bit_flip_in_block_body_is_rejected_with_offset() {
+    let path = scratch_path("bit-flip");
+    let superblock_end;
+    {
+        let mut durable = DurableArchive::open(&path, ArchiveBuilder::new(spec()).build()).unwrap();
+        superblock_end = durable.journal_bytes();
+        let docs = versions();
+        for d in &docs {
+            durable.add_version(d).unwrap();
+        }
+    }
+    // flip one bit inside the first block's payload
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    let flip_at = superblock_end + 30; // past the 22-byte header, inside the body
+    f.seek(SeekFrom::Start(flip_at)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    f.seek(SeekFrom::Start(flip_at)).unwrap();
+    f.write_all(&[b[0] ^ 0x10]).unwrap();
+    drop(f);
+
+    let err = reopen(&path).map(|_| ()).unwrap_err();
+    match err {
+        StoreError::Corrupt { offset, ref reason } => {
+            assert_eq!(
+                offset, superblock_end,
+                "offset should point at the bad block"
+            );
+            assert!(reason.contains("checksum"), "{reason}");
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncation_mid_block_keeps_all_fully_committed_versions() {
+    let path = scratch_path("truncate-mid");
+    let docs = versions();
+    let commit_points: Vec<u64>;
+    {
+        let mut durable = DurableArchive::open(&path, ArchiveBuilder::new(spec()).build()).unwrap();
+        commit_points = docs
+            .iter()
+            .map(|d| {
+                durable.add_version(d).unwrap();
+                durable.journal_bytes()
+            })
+            .collect();
+    }
+    // cut the file in the middle of the final block: versions 1..n-1 must
+    // all come back, the uncommitted remainder is truncated away
+    let cut = (commit_points[1] + commit_points[2]) / 2;
+    let f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(cut).unwrap();
+    drop(f);
+
+    let mut store = reopen(&path).unwrap();
+    assert_eq!(store.latest(), 2, "the two fully committed versions");
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    for d in &docs[..2] {
+        reference.add_version(d).unwrap();
+    }
+    for v in 1..=2 {
+        assert_eq!(
+            bytes_of(store.as_mut(), v),
+            bytes_of(reference.as_mut(), v),
+            "v{v} diverged after mid-block truncation"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn key_spec_mismatch_is_a_clear_error() {
+    let path = scratch_path("spec-mismatch");
+    {
+        let mut durable = reopen(&path).unwrap();
+        durable.add_version(&versions()[0]).unwrap();
+    }
+    let other = KeySpec::parse("(/, (db, {}))\n(/db, (item, {sku}))").unwrap();
+    let err = ArchiveBuilder::new(other)
+        .durable(&path)
+        .try_build()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, StoreError::Backend(_)), "{err}");
+    assert!(err.to_string().contains("key spec mismatch"), "{err}");
+    // the original spec still opens fine — the mismatch probe must not
+    // have damaged the file
+    let store = reopen(&path).unwrap();
+    assert_eq!(store.latest(), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn larger_workload_survives_reopen_byte_identically() {
+    // the acceptance check at datagen scale, with empty versions mixed in
+    let path = scratch_path("omim-reopen");
+    let spec = omim_spec();
+    let mut g = OmimGen::new(0x5EED);
+    g.del_ratio = 0.05;
+    g.ins_ratio = 0.07;
+    let docs = g.sequence(40, 8);
+    let mut reference = ArchiveBuilder::new(spec.clone()).build();
+    {
+        let mut durable = ArchiveBuilder::new(spec.clone())
+            .durable(&path)
+            .try_build()
+            .unwrap();
+        for (i, d) in docs.iter().enumerate() {
+            reference.add_version(d).unwrap();
+            durable.add_version(d).unwrap();
+            if i == 3 {
+                reference.add_empty_version().unwrap();
+                durable.add_empty_version().unwrap();
+            }
+        }
+    }
+    let mut recovered = ArchiveBuilder::new(spec)
+        .durable(&path)
+        .try_build()
+        .unwrap();
+    assert_eq!(recovered.latest(), reference.latest());
+    for v in 1..=reference.latest() {
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        let w = reference.retrieve_into(v, &mut want).unwrap();
+        let g = recovered.retrieve_into(v, &mut got).unwrap();
+        assert_eq!(w, g, "v{v} existence");
+        assert_eq!(want, got, "v{v} bytes");
+    }
+    std::fs::remove_file(&path).unwrap();
+}

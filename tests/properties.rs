@@ -90,6 +90,10 @@ proptest! {
 
 // ---------- archiver correctness over random version sequences ----------
 
+/// A named builder configuration, used to parametrize the durable-reopen
+/// property over every wrapped backend.
+type BackendConfig = (&'static str, fn(KeySpec) -> ArchiveBuilder);
+
 /// A generated mini database: records keyed by id, each with one mutable
 /// value field and a variable tel-like multi-set keyed by content.
 fn build_version(recs: &[(u8, String, Vec<u8>)]) -> Document {
@@ -198,6 +202,58 @@ proptest! {
                     label, v, String::from_utf8_lossy(&bytes)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn durable_reopen_equals_never_closed_store_on_every_backend(
+        versions in proptest::collection::vec(version_strategy(), 1..5)
+    ) {
+        // save → drop → reopen → retrieve(v) must equal the store that
+        // never left memory, byte for byte, for every version and every
+        // wrapped backend.
+        let spec = mini_spec();
+        let docs: Vec<Document> = versions.iter().map(|v| build_version(v)).collect();
+        let configs: Vec<BackendConfig> = vec![
+            ("in-memory", ArchiveBuilder::new),
+            ("chunked(3)", |s| ArchiveBuilder::new(s).chunks(3)),
+            ("extmem", |s| {
+                ArchiveBuilder::new(s).backend(Backend::ExtMem(IoConfig {
+                    mem_bytes: 1 << 10,
+                    page_bytes: 128,
+                }))
+            }),
+        ];
+        for (label, configure) in configs {
+            let path = xarch::storage::scratch_path("prop-reopen");
+            let mut live = configure(spec.clone()).build();
+            {
+                let mut durable = configure(spec.clone())
+                    .durable(&path)
+                    .try_build()
+                    .unwrap();
+                for d in &docs {
+                    live.add_version(d).unwrap();
+                    durable.add_version(d).unwrap();
+                }
+            } // dropped: simulates the process exiting
+            let mut reopened = configure(spec.clone())
+                .durable(&path)
+                .try_build()
+                .unwrap();
+            prop_assert_eq!(reopened.latest(), live.latest(), "{}", label);
+            for v in 1..=docs.len() as u32 {
+                let mut live_bytes = Vec::new();
+                let mut reopened_bytes = Vec::new();
+                let live_wrote = live.retrieve_into(v, &mut live_bytes).unwrap();
+                let reopened_wrote = reopened.retrieve_into(v, &mut reopened_bytes).unwrap();
+                prop_assert_eq!(live_wrote, reopened_wrote, "{} v{}", label, v);
+                prop_assert_eq!(
+                    &live_bytes, &reopened_bytes,
+                    "{} v{}: reopened bytes diverged", label, v
+                );
+            }
+            std::fs::remove_file(&path).unwrap();
         }
     }
 
