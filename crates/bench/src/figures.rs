@@ -463,6 +463,144 @@ pub fn fig_ablation(scale: &Scale) {
     println!();
 }
 
+/// The `queries` workload: one accretive archive per version count, one
+/// record queried. Returns per-size rows for printing and sanity checks.
+struct QueryRow {
+    versions: usize,
+    scan_nodes: usize,
+    indexed_probes: usize,
+    indexed_asof_us: f64,
+    filter_asof_us: f64,
+    indexed_hist_us: f64,
+    naive_hist_us: f64,
+}
+
+fn query_rows(scale: &Scale, sizes: &[usize]) -> Vec<QueryRow> {
+    use std::time::Instant;
+    use xarch_core::query::{find_in_doc, subtree_doc};
+    use xarch_index::IndexedArchive;
+
+    const REPS: u32 = 20;
+    let spec = omim_spec();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut g = OmimGen::new(0x9E5);
+        g.ins_ratio = 0.08; // accretive: early records become a sliver
+        let versions = g.sequence((scale.omim_records / 10).max(10), n);
+        let mut idx = IndexedArchive::new(spec.clone());
+        for d in &versions {
+            VersionStore::add_version(&mut idx, d).expect("merge");
+        }
+        // a record archived in version 1, queried as of version 1: the
+        // case §7 makes cheap (the answer is a sliver of the archive)
+        let d0 = &versions[0];
+        let rec = d0
+            .child_elements(d0.root(), "Record")
+            .next()
+            .expect("record");
+        let num = d0.text_content(d0.first_child_element(rec, "Num").expect("num"));
+        let q = vec![
+            KeyQuery::new("ROOT"),
+            KeyQuery::new("Record").with_text("Num", &num),
+        ];
+
+        idx.reset_probes();
+        VersionStore::as_of(&mut idx, &q, 1)
+            .expect("as_of")
+            .expect("archived");
+        let indexed_probes = idx.history_index().comparisons() + idx.timestamp_index().probes();
+
+        let start = Instant::now();
+        for _ in 0..REPS {
+            VersionStore::as_of(&mut idx, &q, 1).expect("as_of");
+        }
+        let indexed_asof_us = start.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+
+        let archive = idx.archive();
+        let scan_nodes = archive.scan_cost();
+        let start = Instant::now();
+        for _ in 0..REPS {
+            let doc = archive.retrieve(1).expect("archived");
+            find_in_doc(&doc, &spec, &q)
+                .and_then(|id| subtree_doc(&doc, id))
+                .expect("navigates");
+        }
+        let filter_asof_us = start.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+
+        let start = Instant::now();
+        for _ in 0..REPS {
+            idx.history_index().history(archive, &q).expect("exists");
+        }
+        let indexed_hist_us = start.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+
+        let start = Instant::now();
+        for _ in 0..REPS {
+            archive.history(&q).expect("exists");
+        }
+        let naive_hist_us = start.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+
+        rows.push(QueryRow {
+            versions: n,
+            scan_nodes,
+            indexed_probes,
+            indexed_asof_us,
+            filter_asof_us,
+            indexed_hist_us,
+            naive_hist_us,
+        });
+    }
+    rows
+}
+
+/// §7 sublinearity, measured: indexed `as_of` / `history` cost (probe
+/// counts and wall time) vs full-retrieve-then-filter as the version
+/// count grows. The workload is accretive, so the queried record is a
+/// shrinking fraction of the archive: indexed probes grow sublinearly
+/// with versions while the full-retrieve scan grows with archive size.
+pub fn fig_queries(scale: &Scale) {
+    println!("## Queries: indexed as_of/history vs full-retrieve-then-filter");
+    println!(
+        "versions,scan_nodes,indexed_probes,indexed_asof_us,filter_asof_us,\
+         indexed_hist_us,naive_hist_us"
+    );
+    for r in query_rows(scale, &[10, 20, 40, 80]) {
+        println!(
+            "{},{},{},{:.1},{:.1},{:.1},{:.1}",
+            r.versions,
+            r.scan_nodes,
+            r.indexed_probes,
+            r.indexed_asof_us,
+            r.filter_asof_us,
+            r.indexed_hist_us,
+            r.naive_hist_us
+        );
+    }
+    println!();
+}
+
+/// The shape the acceptance criteria pin down: across an 8× growth in
+/// version count, indexed probes must grow by a clearly sublinear factor
+/// while the full-retrieve scan grows (at least) proportionally to the
+/// archive.
+pub fn queries_sanity(scale: &Scale) -> Result<(), String> {
+    let rows = query_rows(scale, &[10, 80]);
+    let (small, large) = (&rows[0], &rows[1]);
+    let probe_growth = large.indexed_probes as f64 / small.indexed_probes.max(1) as f64;
+    let scan_growth = large.scan_nodes as f64 / small.scan_nodes.max(1) as f64;
+    let version_growth = large.versions as f64 / small.versions as f64; // 8×
+    if probe_growth >= version_growth / 2.0 {
+        return Err(format!(
+            "indexed probes grew {probe_growth:.2}× over {version_growth}× versions — not sublinear"
+        ));
+    }
+    if scan_growth <= probe_growth {
+        return Err(format!(
+            "full-retrieve scan grew {scan_growth:.2}× but probes {probe_growth:.2}× — pruning shows no separation"
+        ));
+    }
+    Ok(())
+}
+
 /// Durability: what persistence costs and what reopen buys.
 ///
 /// Two series: (1) add_version wall-clock throughput, in-memory vs the
@@ -550,7 +688,7 @@ pub fn fig_durability(scale: &Scale) {
 }
 
 /// Runs one experiment by id ("7", "11a", ..., "claims", "extmem",
-/// "index", "ablation", "durability") or "all".
+/// "index", "queries", "ablation", "durability") or "all".
 pub fn run(fig: &str, scale: &Scale) -> bool {
     match fig {
         "7" => fig7(scale),
@@ -566,6 +704,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
         "extmem" => fig_extmem(scale),
         "backends" => fig_backends(scale),
         "index" => fig_index(scale),
+        "queries" => fig_queries(scale),
         "ablation" => fig_ablation(scale),
         "durability" => fig_durability(scale),
         "all" => {
@@ -583,6 +722,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
                 "extmem",
                 "backends",
                 "index",
+                "queries",
                 "ablation",
                 "durability",
             ] {

@@ -24,6 +24,19 @@ use crate::archive::{AKind, Archive, ArchiveStats, Compaction, MergeError};
 use crate::history::KeyQuery;
 use crate::timeset::TimeSet;
 
+/// The partition label a top-level element (or the query step addressing
+/// it) hashes to: `tag|canon|canon…` over the key parts in sorted-path
+/// order. Partitioning (`add_version`) and query routing (`chunk_for`)
+/// must agree byte for byte — both call this.
+fn partition_label<'a>(tag: &str, canons: impl Iterator<Item = &'a str>) -> String {
+    let mut label = tag.to_owned();
+    for canon in canons {
+        label.push('|');
+        label.push_str(canon);
+    }
+    label
+}
+
 /// An archive split into hash-partitioned chunks.
 #[derive(Debug, Clone)]
 pub struct ChunkedArchive {
@@ -114,11 +127,10 @@ impl ChunkedArchive {
         for &c in doc.children(root) {
             let idx = match (&doc.node(c).kind, ann.key(c)) {
                 (NodeKind::Element(s), Some(k)) => {
-                    let mut label = doc.syms().resolve(*s).to_owned();
-                    for p in &k.parts {
-                        label.push('|');
-                        label.push_str(&p.canon);
-                    }
+                    let label = partition_label(
+                        doc.syms().resolve(*s),
+                        k.parts.iter().map(|p| p.canon.as_str()),
+                    );
                     (fingerprint(&label) % n as u128) as usize
                 }
                 _ => 0,
@@ -229,11 +241,28 @@ impl ChunkedArchive {
         Ok(true)
     }
 
+    /// The chunk owning the top-level element a query step addresses —
+    /// the same `tag|canon…` label hash [`ChunkedArchive::add_version`]
+    /// partitions by (both sides share [`partition_label`], so routing
+    /// cannot drift from partitioning), letting a query touch one chunk
+    /// instead of all of them.
+    fn chunk_for(&self, step: &KeyQuery) -> usize {
+        let label = partition_label(
+            &step.tag,
+            step.parts.iter().map(|(_, canon)| canon.as_str()),
+        );
+        (fingerprint(&label) % self.chunks.len() as u128) as usize
+    }
+
     /// The temporal history of the element addressed by `steps` (§7.2).
-    /// An element lives in exactly one chunk; paths shared by every chunk
-    /// (the document root) carry the same timestamp in each, so the union
-    /// over chunks answers both cases.
+    /// Paths of two or more steps descend through exactly one top-level
+    /// element, so they route to the chunk owning it; the document root
+    /// (and the empty path) carry the same timestamp in every chunk, so
+    /// the union over chunks answers those.
     pub fn history(&self, steps: &[KeyQuery]) -> Option<TimeSet> {
+        if steps.len() >= 2 {
+            return self.chunks[self.chunk_for(&steps[1])].history(steps);
+        }
         let mut found = None;
         for chunk in &self.chunks {
             if let Some(t) = chunk.history(steps) {
@@ -244,6 +273,53 @@ impl ChunkedArchive {
             }
         }
         found
+    }
+
+    /// Partial retrieval routed to the owning chunk: paths below a
+    /// top-level element are answered entirely by the chunk holding it;
+    /// the document root spans every chunk, so those fall back to a full
+    /// concatenating retrieve.
+    pub fn as_of(&self, steps: &[KeyQuery], v: u32) -> Option<Document> {
+        if !self.has_version(v) {
+            return None;
+        }
+        if steps.len() >= 2 {
+            return self.chunks[self.chunk_for(&steps[1])].as_of(steps, v);
+        }
+        let doc = self.retrieve(v)?;
+        if steps.is_empty() {
+            return Some(doc);
+        }
+        // one root-level step: the subtree is the whole document, but the
+        // step must actually match the document root
+        crate::query::find_in_doc(&doc, &self.spec, steps)
+            .and_then(|id| crate::query::subtree_doc(&doc, id))
+    }
+
+    /// Range scan: prefixes of two or more steps route to the owning
+    /// chunk; the document root's children are partitioned across all
+    /// chunks, so those fan out and merge (entries shared by every chunk
+    /// — the root itself — union their windows).
+    pub fn range(
+        &self,
+        prefix: &[KeyQuery],
+        versions: std::ops::RangeInclusive<u32>,
+    ) -> Vec<crate::query::RangeEntry> {
+        if prefix.len() >= 2 {
+            return self.chunks[self.chunk_for(&prefix[1])].range(prefix, versions);
+        }
+        let mut acc: std::collections::BTreeMap<KeyQuery, TimeSet> =
+            std::collections::BTreeMap::new();
+        for chunk in &self.chunks {
+            for e in chunk.range(prefix, versions.clone()) {
+                acc.entry(e.step)
+                    .and_modify(|t| *t = t.union(&e.time))
+                    .or_insert(e.time);
+            }
+        }
+        acc.into_iter()
+            .map(|(step, time)| crate::query::RangeEntry { step, time })
+            .collect()
     }
 
     /// Aggregate statistics summed over chunks. Each chunk carries its own

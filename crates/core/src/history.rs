@@ -13,6 +13,7 @@
 use std::cmp::Ordering;
 
 use xarch_xml::escape::{escape_attr, escape_text};
+use xarch_xml::Document;
 
 use crate::archive::{AKind, ANodeId, Archive};
 use crate::timeset::TimeSet;
@@ -112,6 +113,68 @@ impl Archive {
     /// archived.
     pub fn history(&self, steps: &[KeyQuery]) -> Option<TimeSet> {
         self.find(steps).map(|id| self.effective_time(id))
+    }
+
+    /// Partial retrieval (§7.1 applied below the root): the subtree
+    /// addressed by `steps` as it existed at version `v`. The walk
+    /// descends the key path and then emits only the nodes visible at
+    /// `v`, so the cost is O(path + answer). An empty path addresses the
+    /// whole document.
+    pub fn as_of(&self, steps: &[KeyQuery], v: u32) -> Option<Document> {
+        if !self.has_version(v) {
+            return None;
+        }
+        if steps.is_empty() {
+            return self.retrieve(v);
+        }
+        self.find(steps).and_then(|id| self.subtree_at(id, v))
+    }
+
+    /// Range scan (§7.2 turned sideways): every keyed element child of
+    /// the node addressed by `prefix` whose lifetime intersects the
+    /// closed version window, with the lifetime clamped to the window.
+    /// Results are in label order.
+    pub fn range(
+        &self,
+        prefix: &[KeyQuery],
+        versions: std::ops::RangeInclusive<u32>,
+    ) -> Vec<crate::query::RangeEntry> {
+        let lo = (*versions.start()).max(1);
+        let hi = (*versions.end()).min(self.latest());
+        let Some(node) = self.find(prefix) else {
+            return Vec::new();
+        };
+        let mut out: Vec<crate::query::RangeEntry> = Vec::new();
+        for &c in self.children(node) {
+            let Some(step) = self.step_of(c) else {
+                continue;
+            };
+            let time = self.effective_time(c).clamp_range(lo, hi);
+            if !time.is_empty() {
+                out.push(crate::query::RangeEntry { step, time });
+            }
+        }
+        out.sort_by(|a, b| a.step.cmp(&b.step));
+        out
+    }
+
+    /// The query step addressing archive node `id` — its tag plus key
+    /// value — or `None` for text, stamp, and unkeyed fallback nodes,
+    /// which no key path can address.
+    pub fn step_of(&self, id: ANodeId) -> Option<KeyQuery> {
+        let n = self.node(id);
+        let AKind::Element(s) = n.kind else {
+            return None;
+        };
+        let k = n.key.as_ref()?;
+        Some(KeyQuery {
+            tag: self.syms().resolve(s).to_owned(),
+            parts: k
+                .parts
+                .iter()
+                .map(|p| (p.path.clone(), p.canon.clone()))
+                .collect(),
+        })
     }
 
     /// The history of a *frontier value*: the versions at which the element

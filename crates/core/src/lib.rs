@@ -16,6 +16,9 @@
 //! * [`store`] — the [`VersionStore`] trait: the archiver contract every
 //!   storage backend (in-memory, chunked, external-memory) implements,
 //! * [`history`] — temporal history of keyed elements (§7.2),
+//! * [`query`] — the temporal query model: `as_of` / `history_values` /
+//!   `range` / `diff` result types and the document-side navigation the
+//!   whole-retrieve fallbacks share,
 //! * [`changes`] — key-aware (semantically meaningful) change descriptions,
 //! * [`xmlrep`] — the `<T t="...">` XML representation (Fig 5) and its
 //!   inverse, making the archive "yet another XML document",
@@ -29,6 +32,7 @@ pub mod chunk;
 pub mod equiv;
 pub mod history;
 pub mod merge;
+pub mod query;
 pub mod retrieve;
 pub mod store;
 pub mod timeset;
@@ -40,5 +44,6 @@ pub use changes::{describe_changes, Change, ChangeKind};
 pub use chunk::ChunkedArchive;
 pub use equiv::equiv_modulo_key_order;
 pub use history::KeyQuery;
+pub use query::{ElementHistory, RangeEntry, VersionDelta};
 pub use store::{StoreError, StoreStats, VersionStore};
 pub use timeset::TimeSet;

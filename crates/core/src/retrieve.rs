@@ -86,6 +86,23 @@ impl Archive {
         }
     }
 
+    /// Materializes the subtree rooted at element `id` as it existed at
+    /// version `v` — the partial-retrieval walk behind `Archive::as_of`.
+    /// Returns `None` when `id` is not an element or does not exist at
+    /// `v`; cost is proportional to the visible subtree, never the
+    /// archive.
+    pub fn subtree_at(&self, id: ANodeId, v: u32) -> Option<Document> {
+        if !self.has_version(v) || !self.exists_at(id, v) {
+            return None;
+        }
+        let tag = self.tag_name(id)?.to_owned();
+        let mut doc = Document::new(&tag);
+        let did = doc.root();
+        self.copy_attrs(id, &mut doc, did);
+        self.emit_children(id, v, &mut doc, did);
+        Some(doc)
+    }
+
     /// Streaming retrieval: serializes version `v` directly into `out` as
     /// compact XML without materializing a [`Document`]. Returns `true`
     /// iff a document was written — `false` mirrors the `None` cases of

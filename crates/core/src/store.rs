@@ -15,8 +15,10 @@
 //! `&mut self` because external-memory backends charge I/O accounting on
 //! every pass.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
+use std::ops::RangeInclusive;
 
 use xarch_keys::KeySpec;
 use xarch_xml::Document;
@@ -24,6 +26,7 @@ use xarch_xml::Document;
 use crate::archive::{Archive, ArchiveStats, MergeError};
 use crate::chunk::ChunkedArchive;
 use crate::history::KeyQuery;
+use crate::query::{self, ElementHistory, RangeEntry, VersionDelta};
 use crate::timeset::TimeSet;
 
 /// Unified error type across storage backends.
@@ -169,6 +172,89 @@ pub trait VersionStore {
 
     /// Aggregate statistics of the stored archive.
     fn stats(&mut self) -> Result<StoreStats, StoreError>;
+
+    // ---- temporal queries (§7) ------------------------------------------
+    //
+    // Every method below has a whole-retrieve fallback, so a backend is
+    // complete once the six methods above work; the fast paths — index
+    // descent, timestamp-tree pruning, chunk routing, partial stream
+    // scans — are overrides whose cost is proportional to the answer, not
+    // the archive.
+
+    /// Partial retrieval: the subtree addressed by `steps` as it existed
+    /// at version `v`, or `None` when the element (or the version) does
+    /// not exist. An empty path addresses the whole document —
+    /// `as_of(&[], v)` is `retrieve(v)`.
+    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        let Some(doc) = self.retrieve(v)? else {
+            return Ok(None);
+        };
+        if steps.is_empty() {
+            return Ok(Some(doc));
+        }
+        Ok(
+            query::find_in_doc(&doc, self.spec(), steps)
+                .and_then(|id| query::subtree_doc(&doc, id)),
+        )
+    }
+
+    /// The full temporal account of one element: the versions it exists
+    /// in (§7.2's history) plus each distinct content it held and when.
+    fn history_values(&mut self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
+        let Some(existence) = self.history(steps)? else {
+            return Ok(None);
+        };
+        let mut values: Vec<(TimeSet, String)> = Vec::new();
+        let versions: Vec<u32> = existence.versions().collect();
+        for v in versions {
+            let Some(sub) = self.as_of(steps, v)? else {
+                continue;
+            };
+            let content = xarch_xml::writer::to_compact_string(&sub);
+            match values.iter_mut().find(|(_, c)| *c == content) {
+                Some((t, _)) => t.insert(v),
+                None => values.push((TimeSet::from_version(v), content)),
+            }
+        }
+        Ok(Some(ElementHistory { existence, values }))
+    }
+
+    /// Range scan: every keyed element that lived directly under the node
+    /// addressed by `prefix` at any version in `versions`, with its
+    /// lifetime clamped to that window. An empty prefix addresses the
+    /// synthetic root, so its single possible hit is the document root.
+    /// Results are in label order (`≤lab`), identical across backends.
+    fn range(
+        &mut self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        let lo = (*versions.start()).max(1);
+        let hi = (*versions.end()).min(self.latest());
+        let mut acc: BTreeMap<KeyQuery, TimeSet> = BTreeMap::new();
+        for v in lo..=hi {
+            let Some(doc) = self.retrieve(v)? else {
+                continue;
+            };
+            for step in query::keyed_children_in_doc(&doc, self.spec(), prefix) {
+                acc.entry(step).or_default().insert(v);
+            }
+        }
+        Ok(acc
+            .into_iter()
+            .map(|(step, time)| RangeEntry { step, time })
+            .collect())
+    }
+
+    /// What changed in the element addressed by `steps` between versions
+    /// `v1` and `v2`, as a Myers line diff over the pretty-printed
+    /// subtrees (`crates/diff`). Composes from [`VersionStore::as_of`],
+    /// so indexed backends pay O(answer) here too.
+    fn diff(&mut self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
+        let a = self.as_of(steps, v1)?;
+        let b = self.as_of(steps, v2)?;
+        Ok(query::delta(a.as_ref(), b.as_ref(), v1, v2))
+    }
 }
 
 impl VersionStore for Archive {
@@ -211,6 +297,18 @@ impl VersionStore for Archive {
             self.size_bytes(),
         ))
     }
+
+    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        Ok(Archive::as_of(self, steps, v))
+    }
+
+    fn range(
+        &mut self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        Ok(Archive::range(self, prefix, versions))
+    }
 }
 
 impl VersionStore for ChunkedArchive {
@@ -252,6 +350,18 @@ impl VersionStore for ChunkedArchive {
             self.latest(),
             self.size_bytes(),
         ))
+    }
+
+    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        Ok(ChunkedArchive::as_of(self, steps, v))
+    }
+
+    fn range(
+        &mut self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        Ok(ChunkedArchive::range(self, prefix, versions))
     }
 }
 

@@ -193,6 +193,24 @@ impl TimeSet {
         TimeSet { runs: out }
     }
 
+    /// The subset of the set falling inside the closed window `lo..=hi` —
+    /// the restriction a range query applies to an element's lifetime.
+    pub fn clamp_range(&self, lo: u32, hi: u32) -> TimeSet {
+        if lo > hi {
+            return TimeSet::new();
+        }
+        TimeSet {
+            runs: self
+                .runs
+                .iter()
+                .filter_map(|&(a, b)| {
+                    let (a, b) = (a.max(lo), b.min(hi));
+                    (a <= b).then_some((a, b))
+                })
+                .collect(),
+        }
+    }
+
     /// True if `self ⊇ other` — the paper's archive invariant is that a
     /// node's timestamp is a superset of every descendant's.
     pub fn is_superset(&self, other: &TimeSet) -> bool {

@@ -12,7 +12,7 @@
 use std::io::Write;
 
 use xarch_core::store::{StoreError, StoreStats, VersionStore};
-use xarch_core::{KeyQuery, TimeSet};
+use xarch_core::{KeyQuery, RangeEntry, TimeSet};
 use xarch_keys::{annotate, KeySpec};
 use xarch_xml::escape::{escape_attr, escape_text};
 use xarch_xml::Document;
@@ -228,6 +228,116 @@ impl ExtArchive {
         result
     }
 
+    /// Partial retrieval with a partial scan: the walk descends the key
+    /// path by sort-key comparison — skipping every non-matching sibling
+    /// spine — and materializes only the addressed subtree, filtered to
+    /// version `v`. An empty path addresses the whole document.
+    pub fn as_of(
+        &mut self,
+        steps: &[KeyQuery],
+        v: u32,
+    ) -> std::result::Result<Option<xarch_xml::Document>, StoreError> {
+        if !self.has_version(v) {
+            return Ok(None);
+        }
+        if steps.is_empty() {
+            return Ok(self.retrieve(v)?);
+        }
+        let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let root = cur.take_spine_open()?;
+        let root_time = root.time.clone().unwrap_or_else(TimeSet::new);
+        let found = find_in_spine(&mut cur, steps, 0, &root_time)?;
+        self.stats.page_reads += cur.pages_read();
+        let Some((tree, eff)) = found else {
+            return Ok(None);
+        };
+        if !eff.contains(v) {
+            return Ok(None);
+        }
+        let Some(filtered) = filter_tree(&tree, v, true) else {
+            return Ok(None);
+        };
+        if !matches!(filtered.kind, EKind::Element { .. }) {
+            return Ok(None);
+        }
+        Ok(Some(tree_to_doc(&filtered)))
+    }
+
+    /// Range scan with a partial scan: descends to the prefix node, then
+    /// enumerates its immediate children — reading each child spine's
+    /// *header only* and skipping its body — clamping lifetimes to the
+    /// queried window. An empty prefix addresses the synthetic root.
+    pub fn range(
+        &mut self,
+        prefix: &[KeyQuery],
+        versions: std::ops::RangeInclusive<u32>,
+    ) -> std::result::Result<Vec<RangeEntry>, StoreError> {
+        let lo = (*versions.start()).max(1);
+        let hi = (*versions.end()).min(self.latest);
+        let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let root = cur.take_spine_open()?;
+        let root_time = root.time.clone().unwrap_or_else(TimeSet::new);
+        let mut out: Vec<RangeEntry> = Vec::new();
+        let located = if prefix.is_empty() {
+            // the cursor already sits inside the synthetic root's spine
+            Some(LocatedLevel::Spine(root_time.clone()))
+        } else {
+            locate_level(&mut cur, prefix, 0, &root_time)?
+        };
+        match located {
+            None => {}
+            Some(LocatedLevel::Spine(eff)) => {
+                // enumerate this spine's children from their headers
+                loop {
+                    match cur.peek()? {
+                        Peeked::Close | Peeked::Eof => break,
+                        Peeked::Small(_) => {
+                            let t = cur.take_small()?;
+                            push_range_entry(
+                                &mut out,
+                                t.sort_key.as_deref(),
+                                matches!(t.kind, EKind::Element { .. }),
+                                t.time.as_ref(),
+                                &eff,
+                                lo,
+                                hi,
+                            );
+                        }
+                        Peeked::Spine(_) => {
+                            let h = cur.take_spine_open()?;
+                            push_range_entry(
+                                &mut out,
+                                h.sort_key.as_deref(),
+                                true,
+                                h.time.as_ref(),
+                                &eff,
+                                lo,
+                                hi,
+                            );
+                            skip_spine(&mut cur)?;
+                        }
+                    }
+                }
+            }
+            Some(LocatedLevel::Tree(tree, eff)) => {
+                for c in &tree.children {
+                    push_range_entry(
+                        &mut out,
+                        c.sort_key.as_deref(),
+                        matches!(c.kind, EKind::Element { .. }),
+                        c.time.as_ref(),
+                        &eff,
+                        lo,
+                        hi,
+                    );
+                }
+            }
+        }
+        self.stats.page_reads += cur.pages_read();
+        out.sort_by(|a, b| a.step.cmp(&b.step));
+        Ok(out)
+    }
+
     /// Aggregate statistics, computed with one pass over the stream.
     pub fn store_stats(&mut self) -> Result<StoreStats> {
         let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
@@ -319,6 +429,22 @@ impl VersionStore for ExtArchive {
     fn stats(&mut self) -> std::result::Result<StoreStats, StoreError> {
         Ok(ExtArchive::store_stats(self)?)
     }
+
+    fn as_of(
+        &mut self,
+        steps: &[KeyQuery],
+        v: u32,
+    ) -> std::result::Result<Option<Document>, StoreError> {
+        ExtArchive::as_of(self, steps, v)
+    }
+
+    fn range(
+        &mut self,
+        prefix: &[KeyQuery],
+        versions: std::ops::RangeInclusive<u32>,
+    ) -> std::result::Result<Vec<RangeEntry>, StoreError> {
+        ExtArchive::range(self, prefix, versions)
+    }
 }
 
 /// The label sort key a [`KeyQuery`] step addresses — the same encoding
@@ -373,6 +499,174 @@ fn history_in_spine(
             }
         }
     }
+}
+
+/// Decodes a label sort key (`tag \x00 (path \x01 canon \x02)*`) back
+/// into the [`KeyQuery`] step it addresses.
+fn step_of_sort_key(key: &str) -> Option<KeyQuery> {
+    let (tag, rest) = key.split_once('\u{0}')?;
+    let mut parts = Vec::new();
+    let mut rest = rest;
+    while !rest.is_empty() {
+        let (part, tail) = rest.split_once('\u{2}')?;
+        let (path, canon) = part.split_once('\u{1}')?;
+        parts.push((path.to_owned(), canon.to_owned()));
+        rest = tail;
+    }
+    Some(KeyQuery {
+        tag: tag.to_owned(),
+        parts,
+    })
+}
+
+/// Appends one range hit if the entry is a keyed element whose lifetime
+/// intersects the window.
+fn push_range_entry(
+    out: &mut Vec<RangeEntry>,
+    sort_key: Option<&str>,
+    is_element: bool,
+    time: Option<&TimeSet>,
+    inherited: &TimeSet,
+    lo: u32,
+    hi: u32,
+) {
+    if !is_element {
+        return;
+    }
+    let Some(step) = sort_key.and_then(step_of_sort_key) else {
+        return;
+    };
+    let eff = time.cloned().unwrap_or_else(|| inherited.clone());
+    let clamped = eff.clamp_range(lo, hi);
+    if !clamped.is_empty() {
+        out.push(RangeEntry {
+            step,
+            time: clamped,
+        });
+    }
+}
+
+/// Where a key-path descent ended up: still positioned inside a spine
+/// (with the spine's effective timestamp), or at an in-memory fragment.
+enum LocatedLevel {
+    Spine(TimeSet),
+    Tree(ETree, TimeSet),
+}
+
+/// Descends to the node addressed by `steps`, leaving the cursor *inside*
+/// its spine when the node is spine-encoded. Used by range scans, which
+/// enumerate the children of the located node.
+fn locate_level(
+    cur: &mut StreamCursor<'_>,
+    steps: &[KeyQuery],
+    depth: usize,
+    inherited: &TimeSet,
+) -> Result<Option<LocatedLevel>> {
+    let want = sort_key_of(&steps[depth]);
+    loop {
+        match cur.peek()? {
+            Peeked::Close | Peeked::Eof => return Ok(None),
+            Peeked::Small(k) => {
+                let matched = k.as_deref() == Some(want.as_str());
+                let t = cur.take_small()?;
+                if matched {
+                    let eff = t.time.clone().unwrap_or_else(|| inherited.clone());
+                    return Ok(locate_in_tree(t, steps, depth, &eff));
+                }
+            }
+            Peeked::Spine(k) => {
+                let matched = k.as_deref() == Some(want.as_str());
+                let h = cur.take_spine_open()?;
+                if matched {
+                    let eff = h.time.clone().unwrap_or_else(|| inherited.clone());
+                    if depth + 1 == steps.len() {
+                        return Ok(Some(LocatedLevel::Spine(eff)));
+                    }
+                    return locate_level(cur, steps, depth + 1, &eff);
+                }
+                skip_spine(cur)?;
+            }
+        }
+    }
+}
+
+/// Finishes a locate inside an in-memory fragment (`t` matches
+/// `steps[depth]`; `eff` is its effective timestamp).
+fn locate_in_tree(
+    t: ETree,
+    steps: &[KeyQuery],
+    depth: usize,
+    eff: &TimeSet,
+) -> Option<LocatedLevel> {
+    if depth + 1 == steps.len() {
+        return Some(LocatedLevel::Tree(t, eff.clone()));
+    }
+    let want = sort_key_of(&steps[depth + 1]);
+    let child = t
+        .children
+        .into_iter()
+        .find(|c| c.sort_key.as_deref() == Some(want.as_str()))?;
+    let ceff = child.time.clone().unwrap_or_else(|| eff.clone());
+    locate_in_tree(child, steps, depth + 1, &ceff)
+}
+
+/// Descends to the node addressed by `steps` and materializes it (plus
+/// its effective timestamp). Used by `as_of`, which then filters the
+/// subtree to one version.
+fn find_in_spine(
+    cur: &mut StreamCursor<'_>,
+    steps: &[KeyQuery],
+    depth: usize,
+    inherited: &TimeSet,
+) -> Result<Option<(ETree, TimeSet)>> {
+    let want = sort_key_of(&steps[depth]);
+    loop {
+        match cur.peek()? {
+            Peeked::Close | Peeked::Eof => return Ok(None),
+            Peeked::Small(k) => {
+                let matched = k.as_deref() == Some(want.as_str());
+                let t = cur.take_small()?;
+                if matched {
+                    let eff = t.time.clone().unwrap_or_else(|| inherited.clone());
+                    return Ok(find_in_tree(t, steps, depth, &eff));
+                }
+            }
+            Peeked::Spine(k) => {
+                let matched = k.as_deref() == Some(want.as_str());
+                if matched {
+                    if depth + 1 == steps.len() {
+                        let t = materialize_spine(cur)?;
+                        let eff = t.time.clone().unwrap_or_else(|| inherited.clone());
+                        return Ok(Some((t, eff)));
+                    }
+                    let h = cur.take_spine_open()?;
+                    let eff = h.time.clone().unwrap_or_else(|| inherited.clone());
+                    return find_in_spine(cur, steps, depth + 1, &eff);
+                }
+                cur.take_spine_open()?;
+                skip_spine(cur)?;
+            }
+        }
+    }
+}
+
+/// Finishes a find inside an in-memory fragment.
+fn find_in_tree(
+    t: ETree,
+    steps: &[KeyQuery],
+    depth: usize,
+    eff: &TimeSet,
+) -> Option<(ETree, TimeSet)> {
+    if depth + 1 == steps.len() {
+        return Some((t, eff.clone()));
+    }
+    let want = sort_key_of(&steps[depth + 1]);
+    let child = t
+        .children
+        .into_iter()
+        .find(|c| c.sort_key.as_deref() == Some(want.as_str()))?;
+    let ceff = child.time.clone().unwrap_or_else(|| eff.clone());
+    find_in_tree(child, steps, depth + 1, &ceff)
 }
 
 /// Finishes a history walk inside an in-memory fragment.

@@ -3,12 +3,18 @@
 //! search per level answers a temporal-history query in `O(l log d)`
 //! comparisons, where `l` is the key-path length and `d` the maximum
 //! degree.
+//!
+//! The index is maintained *incrementally*: [`HistoryIndex::apply_version`]
+//! walks only the nodes visible at the newly merged version (the nested
+//! merge touches nothing else — archive-only subtrees keep their resolved
+//! timestamps), so keeping the index current costs O(|version|), not
+//! O(|archive|).
 
-use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
-use xarch_core::{ANodeId, Archive, KeyQuery, TimeSet};
+use xarch_core::{ANodeId, Archive, KeyQuery, RangeEntry, TimeSet};
 
 /// One record of a sorted child list: the child id plus, per the paper,
 /// an "index offset" (here: the child's own list lives in the same map)
@@ -20,13 +26,40 @@ struct Entry {
 }
 
 /// Sorted child-key lists for every keyed node.
-#[derive(Debug, Clone)]
+///
+/// The comparison counter is atomic so a built index can be shared across
+/// reader threads (`HistoryIndex` is `Send + Sync`; lookups take `&self`).
+#[derive(Debug)]
 pub struct HistoryIndex {
     lists: HashMap<ANodeId, Vec<Entry>>,
-    comparisons: Cell<usize>,
+    comparisons: AtomicUsize,
+}
+
+impl Clone for HistoryIndex {
+    fn clone(&self) -> Self {
+        Self {
+            lists: self.lists.clone(),
+            comparisons: AtomicUsize::new(self.comparisons.load(Relaxed)),
+        }
+    }
+}
+
+impl Default for HistoryIndex {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl HistoryIndex {
+    /// An empty index (for an empty archive); grow it with
+    /// [`HistoryIndex::apply_version`].
+    pub fn new() -> Self {
+        Self {
+            lists: HashMap::new(),
+            comparisons: AtomicUsize::new(0),
+        }
+    }
+
     /// Builds the index with a single scan of the archive ("all key values
     /// of children nodes of any node x are known by the time x is exited").
     pub fn build(archive: &Archive) -> Self {
@@ -35,15 +68,50 @@ impl HistoryIndex {
         build_rec(archive, archive.root(), &root_time, &mut lists);
         Self {
             lists,
-            comparisons: Cell::new(0),
+            comparisons: AtomicUsize::new(0),
         }
     }
 
-    /// Answers a temporal-history query by one binary search per step.
-    /// Returns the element's effective timestamp.
-    pub fn history(&self, archive: &Archive, steps: &[KeyQuery]) -> Option<TimeSet> {
+    /// Incrementally absorbs version `v`, which must be the version the
+    /// archive just merged. Only nodes visible at `v` (and their immediate
+    /// children, whose terminations the rebuild picks up) can have changed
+    /// child lists or resolved timestamps, so the walk recurses only into
+    /// the subtrees version `v` touches.
+    pub fn apply_version(&mut self, archive: &Archive, v: u32) {
+        let root = archive.root();
+        let root_time = archive.effective_time(root);
+        if !root_time.contains(v) {
+            return;
+        }
+        self.apply_rec(archive, root, &root_time, v);
+    }
+
+    fn apply_rec(&mut self, archive: &Archive, id: ANodeId, eff: &TimeSet, v: u32) {
+        let mut entries: Vec<Entry> = Vec::new();
+        for &c in archive.children(id) {
+            let ceff = archive.node(c).time.clone().unwrap_or_else(|| eff.clone());
+            if archive.node(c).key.is_some() {
+                entries.push(Entry {
+                    child: c,
+                    time: ceff.clone(),
+                });
+            }
+            if ceff.contains(v) {
+                self.apply_rec(archive, c, &ceff, v);
+            }
+        }
+        if !entries.is_empty() {
+            entries.sort_by(|a, b| cmp_children(archive, a.child, b.child));
+            self.lists.insert(id, entries);
+        }
+    }
+
+    /// Resolves a key-query path to the archive node it addresses plus
+    /// that node's effective timestamp, by one binary search per step. An
+    /// empty path addresses the synthetic root.
+    pub fn locate(&self, archive: &Archive, steps: &[KeyQuery]) -> Option<(ANodeId, TimeSet)> {
         let mut cur = archive.root();
-        let mut time = None;
+        let mut time = archive.effective_time(cur);
         for step in steps {
             let list = self.lists.get(&cur)?;
             let mut lo = 0usize;
@@ -51,7 +119,7 @@ impl HistoryIndex {
             let mut found = None;
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                self.comparisons.set(self.comparisons.get() + 1);
+                self.comparisons.fetch_add(1, Relaxed);
                 match archive.query_cmp(list[mid].child, step) {
                     Ordering::Less => lo = mid + 1,
                     Ordering::Greater => hi = mid,
@@ -62,20 +130,58 @@ impl HistoryIndex {
                 }
             }
             let idx = found?;
-            time = Some(list[idx].time.clone());
+            time = list[idx].time.clone();
             cur = list[idx].child;
         }
-        time
+        Some((cur, time))
+    }
+
+    /// Answers a temporal-history query by one binary search per step.
+    /// Returns the element's effective timestamp.
+    pub fn history(&self, archive: &Archive, steps: &[KeyQuery]) -> Option<TimeSet> {
+        if steps.is_empty() {
+            return None;
+        }
+        self.locate(archive, steps).map(|(_, t)| t)
+    }
+
+    /// Range scan straight off the sorted lists: the keyed children of the
+    /// node addressed by `prefix`, with lifetimes clamped to `lo..=hi`
+    /// (children whose lifetime misses the window are dropped). The lists
+    /// are kept in label order, so no sort is needed.
+    pub fn range_of(
+        &self,
+        archive: &Archive,
+        prefix: &[KeyQuery],
+        lo: u32,
+        hi: u32,
+    ) -> Vec<RangeEntry> {
+        let Some((node, _)) = self.locate(archive, prefix) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if let Some(list) = self.lists.get(&node) {
+            for e in list {
+                let time = e.time.clamp_range(lo, hi);
+                if time.is_empty() {
+                    continue;
+                }
+                if let Some(step) = archive.step_of(e.child) {
+                    out.push(RangeEntry { step, time });
+                }
+            }
+        }
+        out
     }
 
     /// Comparison counter (reset with [`HistoryIndex::reset`]).
     pub fn comparisons(&self) -> usize {
-        self.comparisons.get()
+        self.comparisons.load(Relaxed)
     }
 
     /// Resets the comparison counter.
     pub fn reset(&self) {
-        self.comparisons.set(0);
+        self.comparisons.store(0, Relaxed);
     }
 
     /// Maximum list length `d` (for the `O(l log d)` bound).
@@ -180,6 +286,95 @@ mod tests {
         for q in &queries {
             assert_eq!(idx.history(&a, q), a.history(q), "query {q:?}");
         }
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_full_rebuild() {
+        // after every add, an incrementally maintained index must answer
+        // exactly like one rebuilt from scratch
+        let versions = [
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>90K</sal></emp></dept></db>",
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp>\
+             <emp><fn>Jane</fn><ln>Smith</ln><sal>80K</sal></emp></dept></db>",
+            // Jane disappears, marketing appears
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp></dept>\
+             <dept><name>marketing</name></dept></db>",
+            // Jane returns with a new salary
+            "<db><dept><name>finance</name>\
+             <emp><fn>John</fn><ln>Doe</ln><sal>99K</sal></emp>\
+             <emp><fn>Jane</fn><ln>Smith</ln><sal>85K</sal></emp></dept></db>",
+        ];
+        let mut a = Archive::new(spec());
+        let mut idx = HistoryIndex::new();
+        for (n, src) in versions.iter().enumerate() {
+            let v = a.add_version(&parse(src).unwrap()).unwrap();
+            idx.apply_version(&a, v);
+            let rebuilt = HistoryIndex::build(&a);
+            let queries: Vec<Vec<KeyQuery>> = vec![
+                vec![KeyQuery::new("db")],
+                vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("dept").with_text("name", "finance"),
+                ],
+                vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("dept").with_text("name", "marketing"),
+                ],
+                vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("dept").with_text("name", "finance"),
+                    KeyQuery::new("emp")
+                        .with_text("fn", "Jane")
+                        .with_text("ln", "Smith"),
+                ],
+                vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("dept").with_text("name", "finance"),
+                    KeyQuery::new("emp")
+                        .with_text("fn", "Jane")
+                        .with_text("ln", "Smith"),
+                    KeyQuery::new("sal"),
+                ],
+            ];
+            for q in &queries {
+                assert_eq!(
+                    idx.history(&a, q),
+                    rebuilt.history(&a, q),
+                    "after version {}: query {q:?}",
+                    n + 1
+                );
+                assert_eq!(idx.history(&a, q), a.history(q), "naive, v{}", n + 1);
+            }
+        }
+        // empty versions terminate everything but the root
+        let v = a.add_empty_version();
+        idx.apply_version(&a, v);
+        let rebuilt = HistoryIndex::build(&a);
+        let q = vec![KeyQuery::new("db")];
+        assert_eq!(idx.history(&a, &q), rebuilt.history(&a, &q));
+        assert_eq!(idx.history(&a, &q), a.history(&q));
+    }
+
+    #[test]
+    fn locate_and_range_walk_the_lists() {
+        let a = sample();
+        let idx = HistoryIndex::build(&a);
+        let (root, t) = idx.locate(&a, &[]).unwrap();
+        assert_eq!(root, a.root());
+        assert_eq!(t.to_string(), "1-2");
+        let prefix = vec![KeyQuery::new("db")];
+        let hits = idx.range_of(&a, &prefix, 1, 2);
+        assert_eq!(hits.len(), 2, "{hits:?}"); // two departments
+        assert_eq!(hits[0].step.tag, "dept");
+        assert_eq!(hits[0].time.to_string(), "1-2"); // finance
+        assert_eq!(hits[1].time.to_string(), "2"); // marketing
+                                                   // window clamps: only version 1
+        let hits = idx.range_of(&a, &prefix, 1, 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].time.to_string(), "1");
     }
 
     #[test]

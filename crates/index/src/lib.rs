@@ -1,6 +1,7 @@
 //! # xarch-index
 //!
-//! The auxiliary index structures of §7 of *Archiving Scientific Data*:
+//! The auxiliary index structures of §7 of *Archiving Scientific Data*,
+//! and the indexed `VersionStore` backends built from them:
 //!
 //! * [`tstree`] — **timestamp trees** (Fig 15): per-node binary trees over
 //!   the children's timestamps, letting version retrieval probe
@@ -8,14 +9,45 @@
 //!   (with the paper's 2k probe cut-off fallback);
 //! * [`keyindex`] — sorted lists of child key values, answering the
 //!   temporal history of an element addressed by an `l`-step key path in
-//!   `O(l log d)` comparisons (binary search per level).
+//!   `O(l log d)` comparisons (binary search per level);
+//! * [`indexed`] — [`IndexedArchive`], the in-memory archiver with both
+//!   structures maintained *incrementally* after every merge, answering
+//!   `as_of` / `history` / `range` in time proportional to the answer;
+//! * [`sidecar`] — [`QueryIndex`], a key-path trie with existence
+//!   timestamps that any backend can maintain (the event-stream and
+//!   chunked backends have no stable node arena to index), and
+//!   [`IndexedStore`], the wrapper that feeds it.
 //!
-//! Both structures are built with a single scan of the archive and carry
-//! probe/comparison counters so the complexity claims are measurable (the
-//! `bench_retrieval` benchmarks and the `index` figure reproduce them).
+//! All index structures are `Send + Sync` — probe counters are atomics —
+//! so one built index can serve concurrent readers. Both maintenance
+//! paths (`apply_version` walks only the nodes the new version touches)
+//! keep the cost per merge at O(|version|), not O(|archive|), replacing
+//! the paper's rebuild-per-version suggestion.
 
+pub mod indexed;
 pub mod keyindex;
+pub mod sidecar;
 pub mod tstree;
 
+pub use indexed::IndexedArchive;
 pub use keyindex::HistoryIndex;
+pub use sidecar::{IndexedStore, QueryIndex};
 pub use tstree::TimestampIndex;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn indexes_are_shareable_across_threads() {
+        // the §7 structures are read-only after a build/apply; atomics
+        // (not Cell) back their probe counters, so sharing one index among
+        // reader threads is safe by construction
+        assert_send_sync::<HistoryIndex>();
+        assert_send_sync::<TimestampIndex>();
+        assert_send_sync::<QueryIndex>();
+        assert_send_sync::<IndexedArchive>();
+    }
+}

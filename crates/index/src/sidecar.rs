@@ -1,0 +1,338 @@
+//! [`QueryIndex`]: a backend-independent query sidecar, and
+//! [`IndexedStore`], the wrapper that maintains it.
+//!
+//! The §7 structures in [`crate::keyindex`] and [`crate::tstree`] index
+//! the in-memory archive's arena directly. Backends without a stable
+//! node arena — the external-memory event stream is rewritten by every
+//! merge, the chunked archive scatters records over partitions — need an
+//! index keyed by something stable: the *key paths themselves*.
+//!
+//! [`QueryIndex`] is a trie over keyed element paths. Each trie node
+//! holds the element's existence [`TimeSet`] and its keyed children in a
+//! sorted map, fed incrementally from each incoming version document (the
+//! same annotation pass the merge already performs). `history` descends
+//! the trie in `O(l log d)` comparisons with zero backend I/O; `range`
+//! reads one sorted level. `as_of` consults the trie to reject missing
+//! elements for free and delegates content extraction to the wrapped
+//! backend's partial scan.
+//!
+//! Because the sidecar is rebuilt through the same `add_version` path it
+//! is maintained by, a durable store that replays its journal on open
+//! re-establishes the sidecar as part of replay — queries after reopen
+//! never pay a per-query rebuild.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::ops::RangeInclusive;
+
+use xarch_core::{KeyQuery, RangeEntry, StoreError, StoreStats, TimeSet, VersionStore};
+use xarch_keys::{annotate, KeySpec};
+use xarch_xml::{Document, NodeKind};
+
+/// One trie node: when the element exists, and its keyed children in
+/// label order.
+#[derive(Debug, Clone, Default)]
+struct QNode {
+    time: TimeSet,
+    children: BTreeMap<KeyQuery, QNode>,
+}
+
+/// A trie over keyed element paths with existence timestamps — the query
+/// sidecar any [`VersionStore`] can maintain.
+#[derive(Debug, Clone, Default)]
+pub struct QueryIndex {
+    root: QNode,
+}
+
+impl QueryIndex {
+    /// An empty sidecar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs version `v` of the database from its source document —
+    /// every keyed element present gets `v` added to its existence set.
+    pub fn apply_version(
+        &mut self,
+        doc: &Document,
+        spec: &KeySpec,
+        v: u32,
+    ) -> Result<(), StoreError> {
+        let ann = annotate(doc, spec)
+            .map_err(|e| StoreError::Backend(format!("sidecar annotation failed: {e}")))?;
+        self.root.time.insert(v);
+        let root = doc.root();
+        if let (NodeKind::Element(_), Some(_)) = (&doc.node(root).kind, ann.key(root)) {
+            insert_rec(&mut self.root, doc, &ann, root, v);
+        }
+        Ok(())
+    }
+
+    /// Absorbs an *empty* version: only the synthetic root ticks.
+    pub fn apply_empty_version(&mut self, v: u32) {
+        self.root.time.insert(v);
+    }
+
+    /// The existence set of the element addressed by `steps` (`None` if
+    /// never archived). The empty path addresses the synthetic root.
+    pub fn history(&self, steps: &[KeyQuery]) -> Option<TimeSet> {
+        let mut cur = &self.root;
+        for step in steps {
+            cur = cur.children.get(step)?;
+        }
+        Some(cur.time.clone())
+    }
+
+    /// The keyed children of the node addressed by `prefix`, lifetimes
+    /// clamped to `lo..=hi`; results come out of the sorted map already
+    /// in label order.
+    pub fn range(&self, prefix: &[KeyQuery], lo: u32, hi: u32) -> Vec<RangeEntry> {
+        let mut cur = &self.root;
+        for step in prefix {
+            match cur.children.get(step) {
+                Some(n) => cur = n,
+                None => return Vec::new(),
+            }
+        }
+        cur.children
+            .iter()
+            .filter_map(|(step, n)| {
+                let time = n.time.clamp_range(lo, hi);
+                (!time.is_empty()).then(|| RangeEntry {
+                    step: step.clone(),
+                    time,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of trie nodes (diagnostics; the sidecar holds keyed
+    /// structure only, no content).
+    pub fn len(&self) -> usize {
+        fn count(n: &QNode) -> usize {
+            1 + n.children.values().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// True when nothing has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.root.time.is_empty() && self.root.children.is_empty()
+    }
+}
+
+fn insert_rec(
+    parent: &mut QNode,
+    doc: &Document,
+    ann: &xarch_keys::Annotations,
+    id: xarch_xml::NodeId,
+    v: u32,
+) {
+    let Some(k) = ann.key(id) else { return };
+    let step = KeyQuery {
+        tag: doc.tag_name(id).to_owned(),
+        parts: k
+            .parts
+            .iter()
+            .map(|p| (p.path.clone(), p.canon.clone()))
+            .collect(),
+    };
+    let node = parent.children.entry(step).or_default();
+    node.time.insert(v);
+    for &c in doc.children(id) {
+        if let (NodeKind::Element(_), Some(_)) = (&doc.node(c).kind, ann.key(c)) {
+            insert_rec(node, doc, ann, c, v);
+        }
+    }
+}
+
+/// Any [`VersionStore`] wrapped with a maintained [`QueryIndex`]:
+/// `history` and `range` are answered from the sidecar with no backend
+/// I/O; `as_of` uses the sidecar to reject missing elements and the
+/// backend's own partial retrieval for content.
+pub struct IndexedStore {
+    inner: Box<dyn VersionStore>,
+    sidecar: QueryIndex,
+}
+
+impl std::fmt::Debug for IndexedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexedStore")
+            .field("latest", &self.inner.latest())
+            .field("sidecar_nodes", &self.sidecar.len())
+            .finish()
+    }
+}
+
+impl IndexedStore {
+    /// Wraps `inner`, backfilling the sidecar from its existing versions
+    /// (a fresh store costs nothing; a populated one is replayed once).
+    pub fn new(mut inner: Box<dyn VersionStore>) -> Result<Self, StoreError> {
+        let mut sidecar = QueryIndex::new();
+        let spec = inner.spec().clone();
+        for v in 1..=inner.latest() {
+            match inner.retrieve(v)? {
+                Some(doc) => sidecar.apply_version(&doc, &spec, v)?,
+                None => sidecar.apply_empty_version(v),
+            }
+        }
+        Ok(Self { inner, sidecar })
+    }
+
+    /// The maintained sidecar (for inspection and measurements).
+    pub fn query_index(&self) -> &QueryIndex {
+        &self.sidecar
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn VersionStore {
+        self.inner.as_ref()
+    }
+}
+
+impl VersionStore for IndexedStore {
+    fn spec(&self) -> &KeySpec {
+        self.inner.spec()
+    }
+
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        let v = self.inner.add_version(doc)?;
+        let spec = self.inner.spec().clone();
+        self.sidecar.apply_version(doc, &spec, v)?;
+        Ok(v)
+    }
+
+    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        let v = self.inner.add_empty_version()?;
+        self.sidecar.apply_empty_version(v);
+        Ok(v)
+    }
+
+    fn latest(&self) -> u32 {
+        self.inner.latest()
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        self.inner.has_version(v)
+    }
+
+    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
+        self.inner.retrieve(v)
+    }
+
+    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        self.inner.retrieve_into(v, out)
+    }
+
+    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        Ok(self.sidecar.history(steps))
+    }
+
+    fn stats(&mut self) -> Result<StoreStats, StoreError> {
+        self.inner.stats()
+    }
+
+    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        // sidecar gate: a missing element or dead version costs no I/O
+        match self.sidecar.history(steps) {
+            None => return Ok(None),
+            Some(t) if !t.contains(v) => return Ok(None),
+            Some(_) => {}
+        }
+        self.inner.as_of(steps, v)
+    }
+
+    fn range(
+        &mut self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        let lo = (*versions.start()).max(1);
+        let hi = (*versions.end()).min(self.inner.latest());
+        Ok(self.sidecar.range(prefix, lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xarch_core::{Archive, ChunkedArchive};
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+    }
+
+    fn stores() -> Vec<(&'static str, IndexedStore)> {
+        vec![
+            (
+                "in-memory",
+                IndexedStore::new(Box::new(Archive::new(spec()))).unwrap(),
+            ),
+            (
+                "chunked",
+                IndexedStore::new(Box::new(ChunkedArchive::new(spec(), 3))).unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn sidecar_answers_match_backend() {
+        for (label, mut s) in stores() {
+            s.add_version(&parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap())
+                .unwrap();
+            s.add_version(
+                &parse(
+                    "<db><rec><id>1</id><val>b</val></rec>\
+                     <rec><id>2</id><val>c</val></rec></db>",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            s.add_empty_version().unwrap();
+            let q = |id: &str| {
+                vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("rec").with_text("id", id),
+                ]
+            };
+            assert_eq!(
+                s.history(&q("1")).unwrap().unwrap().to_string(),
+                "1-2",
+                "{label}"
+            );
+            assert_eq!(s.history(&q("9")).unwrap(), None, "{label}");
+            // empty path = synthetic root: ticks through the empty version
+            assert_eq!(
+                s.history(&[]).unwrap().unwrap().to_string(),
+                "1-3",
+                "{label}"
+            );
+            // as_of gated by the sidecar, content from the backend
+            let sub = s.as_of(&q("2"), 2).unwrap().expect("rec 2 at v2");
+            assert!(xarch_xml::writer::to_compact_string(&sub).contains("<val>c</val>"));
+            assert!(s.as_of(&q("2"), 1).unwrap().is_none(), "{label}");
+            // range off the sorted trie level
+            let hits = s.range(&[KeyQuery::new("db")], 1..=3).unwrap();
+            assert_eq!(hits.len(), 2, "{label}: {hits:?}");
+            assert_eq!(hits[0].time.to_string(), "1-2");
+            assert_eq!(hits[1].time.to_string(), "2");
+        }
+    }
+
+    #[test]
+    fn backfill_replays_existing_versions() {
+        let mut inner = Archive::new(spec());
+        inner
+            .add_version(&parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap())
+            .unwrap();
+        inner.add_empty_version();
+        let mut s = IndexedStore::new(Box::new(inner)).unwrap();
+        assert_eq!(s.history(&[]).unwrap().unwrap().to_string(), "1-2");
+        let q = vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ];
+        assert_eq!(s.history(&q).unwrap().unwrap().to_string(), "1");
+    }
+}

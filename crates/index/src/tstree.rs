@@ -9,6 +9,7 @@
 //! have been probed, bounding the worst case at `2k` probes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
 use xarch_core::{ANodeId, Archive, TimeSet};
 
@@ -87,7 +88,10 @@ impl TsTree {
         while let Some(n) = stack.pop() {
             probes += 1;
             if probes > self.k {
-                // cut-off: scan all leaves instead (≤ 2k total probes)
+                // cut-off: scan all leaves instead (≤ 2k total probes).
+                // Leaves occupy the front of `nodes` in child-list order,
+                // so iteration order *is* document order (child lists are
+                // not id-sorted once the weave reorders them).
                 out.clear();
                 for node in &self.nodes {
                     if let TsNode::Leaf { time, child } = node {
@@ -97,8 +101,6 @@ impl TsTree {
                         }
                     }
                 }
-                // restore document order
-                out.sort_unstable();
                 return (out, probes);
             }
             match &self.nodes[n] {
@@ -133,16 +135,45 @@ impl TsNode {
     }
 }
 
-/// Timestamp trees for every internal archive node, built with one scan.
-#[derive(Debug, Clone)]
+/// Timestamp trees for every internal archive node, built with one scan
+/// or maintained incrementally, one merged version at a time.
+///
+/// The probe counter is atomic so a built index can be shared across
+/// reader threads (`TimestampIndex` is `Send + Sync`; lookups take
+/// `&self`).
+#[derive(Debug)]
 pub struct TimestampIndex {
     trees: HashMap<ANodeId, TsTree>,
     /// Total probes across the most recent `relevant_children` calls
     /// (reset with [`TimestampIndex::reset_probes`]).
-    probes: std::cell::Cell<usize>,
+    probes: AtomicUsize,
+}
+
+impl Clone for TimestampIndex {
+    fn clone(&self) -> Self {
+        Self {
+            trees: self.trees.clone(),
+            probes: AtomicUsize::new(self.probes.load(Relaxed)),
+        }
+    }
+}
+
+impl Default for TimestampIndex {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TimestampIndex {
+    /// An empty index (for an empty archive); grow it with
+    /// [`TimestampIndex::apply_version`].
+    pub fn new() -> Self {
+        Self {
+            trees: HashMap::new(),
+            probes: AtomicUsize::new(0),
+        }
+    }
+
     /// Builds the index ("the timestamp trees are created each time a new
     /// version arrives and after nested merge is applied").
     pub fn build(archive: &Archive) -> Self {
@@ -151,7 +182,55 @@ impl TimestampIndex {
         build_rec(archive, archive.root(), &root_time, &mut trees);
         Self {
             trees,
-            probes: std::cell::Cell::new(0),
+            probes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Incrementally absorbs version `v`, which must be the version the
+    /// archive just merged: the trees of nodes visible at `v` are rebuilt
+    /// (their child sets or child timestamps may have changed — including
+    /// terminations, which the per-node rebuild picks up); everything else
+    /// is untouched, so maintenance costs O(|version|) instead of the
+    /// paper's per-version full rebuild.
+    pub fn apply_version(&mut self, archive: &Archive, v: u32) {
+        let root = archive.root();
+        let root_time = archive.effective_time(root);
+        if !root_time.contains(v) {
+            return;
+        }
+        self.apply_rec(archive, root, &root_time, v);
+    }
+
+    fn apply_rec(&mut self, archive: &Archive, id: ANodeId, eff: &TimeSet, v: u32) {
+        if !archive.children(id).is_empty() {
+            self.trees.insert(id, TsTree::build(archive, id, eff));
+        }
+        for &c in archive.children(id) {
+            let ceff = archive.node(c).time.clone().unwrap_or_else(|| eff.clone());
+            if ceff.contains(v) {
+                self.apply_rec(archive, c, &ceff, v);
+            } else {
+                // A frontier split allocates a *new* stamp node that is
+                // invisible at `v` (it holds the old alternatives with
+                // `T−{i}`) and re-parents the old content beneath it. The
+                // moved nodes keep their valid trees; only the fresh stamp
+                // lacks one — build it, stopping at already-treed nodes.
+                self.adopt(archive, c, &ceff);
+            }
+        }
+    }
+
+    /// Builds trees for a subtree that entered the archive *invisible* at
+    /// the version being applied (re-parented frontier content). Nodes
+    /// that already have a tree are complete below — recursion stops.
+    fn adopt(&mut self, archive: &Archive, id: ANodeId, eff: &TimeSet) {
+        if archive.children(id).is_empty() || self.trees.contains_key(&id) {
+            return;
+        }
+        self.trees.insert(id, TsTree::build(archive, id, eff));
+        for &c in archive.children(id) {
+            let ceff = archive.node(c).time.clone().unwrap_or_else(|| eff.clone());
+            self.adopt(archive, c, &ceff);
         }
     }
 
@@ -160,7 +239,7 @@ impl TimestampIndex {
         match self.trees.get(&parent) {
             Some(t) => {
                 let (out, p) = t.relevant(v);
-                self.probes.set(self.probes.get() + p);
+                self.probes.fetch_add(p, Relaxed);
                 out
             }
             None => Vec::new(),
@@ -169,12 +248,12 @@ impl TimestampIndex {
 
     /// Probe counter since the last reset.
     pub fn probes(&self) -> usize {
-        self.probes.get()
+        self.probes.load(Relaxed)
     }
 
     /// Resets the probe counter.
     pub fn reset_probes(&self) {
-        self.probes.set(0);
+        self.probes.store(0, Relaxed);
     }
 
     /// The tree of one node (for inspection).
@@ -202,6 +281,28 @@ impl TimestampIndex {
         copy_attrs(archive, doc_root, &mut doc, did);
         self.emit(archive, doc_root, v, &mut doc, did);
         (Some(doc), self.probes())
+    }
+
+    /// Materializes the subtree rooted at element `id` at version `v`,
+    /// pruning with the timestamp trees: only subtrees whose union
+    /// timestamp contains `v` are entered, so the cost is proportional to
+    /// the answer. The caller supplies `id` (typically located via the
+    /// history index); probes accumulate on the shared counter.
+    pub fn retrieve_subtree(
+        &self,
+        archive: &Archive,
+        id: ANodeId,
+        v: u32,
+    ) -> Option<xarch_xml::Document> {
+        if !archive.has_version(v) || !archive.exists_at(id, v) {
+            return None;
+        }
+        let tag = archive.tag_name(id)?.to_owned();
+        let mut doc = xarch_xml::Document::new(&tag);
+        let did = doc.root();
+        copy_attrs(archive, id, &mut doc, did);
+        self.emit(archive, id, v, &mut doc, did);
+        Some(doc)
     }
 
     fn emit(

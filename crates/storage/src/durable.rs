@@ -9,10 +9,14 @@
 //! deterministic merge, rebuilding exactly the pre-crash archive.
 
 use std::io::Write;
+use std::ops::RangeInclusive;
 use std::path::{Path, PathBuf};
 
 use xarch_compress::BlockCodec;
-use xarch_core::{KeyQuery, StoreError, StoreStats, TimeSet, VersionStore};
+use xarch_core::{
+    ElementHistory, KeyQuery, RangeEntry, StoreError, StoreStats, TimeSet, VersionDelta,
+    VersionStore,
+};
 use xarch_keys::KeySpec;
 use xarch_xml::Document;
 
@@ -290,6 +294,32 @@ impl VersionStore for DurableArchive {
 
     fn stats(&mut self) -> Result<StoreStats, StoreError> {
         self.inner.stats()
+    }
+
+    // Temporal queries delegate to the inner store rather than taking the
+    // trait's whole-retrieve defaults: when the wrapped backend is
+    // indexed, its indexes are re-established *during* journal replay (the
+    // same incremental `add_version` path that maintains them live), so a
+    // reopened archive answers queries without any per-query rebuild.
+
+    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        self.inner.as_of(steps, v)
+    }
+
+    fn history_values(&mut self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
+        self.inner.history_values(steps)
+    }
+
+    fn range(
+        &mut self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        self.inner.range(prefix, versions)
+    }
+
+    fn diff(&mut self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
+        self.inner.diff(steps, v1, v2)
     }
 }
 

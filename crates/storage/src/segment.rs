@@ -75,6 +75,8 @@ fn lock_exclusive(file: &File, path: &Path) -> Result<(), StoreError> {
 
 impl Segment {
     /// Creates (or truncates) a segment file holding only the superblock.
+    // not .truncate(true): truncation must happen *after* the lock (below)
+    #[allow(clippy::suspicious_open_options)]
     pub fn create(path: &Path, spec: &KeySpec, sync: bool) -> Result<Segment, StoreError> {
         // take the lock before truncating, so losing a create race cannot
         // wipe a segment another handle is actively appending to

@@ -1,7 +1,8 @@
 //! Quickstart: configure an archive with [`xarch::ArchiveBuilder`], feed
 //! it three versions of a tiny gene database, then retrieve old versions
-//! (materialized and streamed) and query an element's temporal history —
-//! all through the backend-independent [`xarch::VersionStore`] contract.
+//! (materialized and streamed) and run the §7 temporal queries — history,
+//! as-of partial retrieval, range scans, and diffs — all through the
+//! backend-independent [`xarch::VersionStore`] contract.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -24,8 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Pick a storage tier. The default is the in-memory archiver of
     //    §4.2; `.chunks(n)` (§5) or `.backend(Backend::ExtMem(..))` (§6.3)
     //    select the scale-out backends without changing any code below.
+    //    `.with_index()` maintains the §7 query indexes so the temporal
+    //    queries in step 5 cost time proportional to their answers.
     let mut store = ArchiveBuilder::new(spec.clone())
         .backend(Backend::InMemory)
+        .with_index()
         .build();
 
     // 3. Archive versions as they are published.
@@ -47,19 +51,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     store.retrieve_into(2, &mut bytes)?;
     println!("version 2 (streamed): {}", String::from_utf8(bytes)?);
 
-    // 5. Ask when a gene existed — the question a text diff can't answer.
+    // 5. Temporal queries (§7) — the questions a text diff can't answer,
+    //    each costing time proportional to its answer, not the archive.
     let gene = |id: &str| {
         vec![
             KeyQuery::new("db"),
             KeyQuery::new("gene").with_text("id", id),
         ]
     };
+    // …when did a gene exist?
     for id in ["6230", "2953"] {
         println!(
             "gene {id} existed at versions {}",
             store.history(&gene(id))?.expect("archived")
         );
     }
+    // …what did gene 6230 look like at version 1, without materializing
+    // the rest of that version?
+    let seq_v1 = store.as_of(&gene("6230"), 1)?.expect("existed at v1");
+    println!(
+        "gene 6230 as of v1: {}",
+        xarch::xml::writer::to_compact_string(&seq_v1)
+    );
+    // …every value it ever held, with the versions that held it
+    let full = store.history_values(&gene("6230"))?.expect("archived");
+    for (versions, content) in &full.values {
+        println!("gene 6230 read {content} at versions {versions}");
+    }
+    // …which genes were alive during versions 1-2?
+    for hit in store.range(&[KeyQuery::new("db")], 1..=2)? {
+        println!("alive in v1-2: {:?} at {}", hit.step.parts[0].1, hit.time);
+    }
+    // …and what changed in gene 6230 between versions 1 and 2?
+    let delta = store.diff(&gene("6230"), 1, 2)?;
+    println!(
+        "gene 6230 v1 -> v2: -{} +{} lines\n{}",
+        delta.removed, delta.added, delta.script
+    );
     println!("store stats: {:?}", store.stats()?);
 
     // 6. The in-memory backend additionally offers change description and

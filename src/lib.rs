@@ -18,7 +18,7 @@
 //! use xarch::ArchiveBuilder;
 //!
 //! let spec = KeySpec::parse("(/, (db, {}))\n(/db, (gene, {id}))\n(/db/gene, (seq, {}))")?;
-//! let mut store = ArchiveBuilder::new(spec).build();
+//! let mut store = ArchiveBuilder::new(spec).with_index().build();
 //! store.add_version(&parse("<db><gene><id>6230</id><seq>GTCG</seq></gene></db>")?)?;
 //! store.add_version(&parse("<db><gene><id>6230</id><seq>GTCA</seq></gene></db>")?)?;
 //!
@@ -29,9 +29,18 @@
 //! let mut bytes = Vec::new();
 //! assert!(store.retrieve_into(1, &mut bytes)?);
 //! assert!(String::from_utf8(bytes)?.contains("GTCG"));
-//! // …and ask for an element's temporal history
+//!
+//! // temporal queries (§7): history, partial as-of retrieval, range
+//! // scans and diffs — indexed, so the cost tracks the answer
 //! let q = [KeyQuery::new("db"), KeyQuery::new("gene").with_text("id", "6230")];
 //! assert_eq!(store.history(&q)?.expect("exists").to_string(), "1-2");
+//! let at_v1 = store.as_of(&q, 1)?.expect("existed at v1");
+//! assert!(xarch::xml::writer::to_compact_string(&at_v1).contains("GTCG"));
+//! let full = store.history_values(&q)?.expect("exists");
+//! assert_eq!(full.values.len(), 2); // two distinct sequences over time
+//! let genes = store.range(&[KeyQuery::new("db")], 1..=2)?;
+//! assert_eq!(genes.len(), 1); // one gene alive in the window
+//! assert!(!store.diff(&q, 1, 2)?.is_same());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -40,14 +49,15 @@
 //! Every backend implements the same [`VersionStore`] contract and
 //! produces version-for-version equivalent databases (the integration
 //! suite verifies this); they differ in where the merge's working set
-//! lives:
+//! lives and how temporal queries are answered:
 //!
-//! | builder call | backend | paper | when to use |
-//! |---|---|---|---|
-//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries |
-//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk |
-//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting |
-//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) |
+//! | builder call | backend | paper | when to use | `as_of` / `history` / `range` |
+//! |---|---|---|---|---|
+//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk |
+//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges |
+//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized |
+//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay |
+//! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer |
 //!
 //! `.compaction(Compaction::Weave)` additionally selects Fig 10's
 //! "further compaction" beneath frontier nodes for the in-memory and
@@ -61,13 +71,15 @@
 //! * [`keys`] — keys for XML, Annotate Keys, fingerprints, validation;
 //! * [`diff`] — Myers line diff, delta repositories, SCCS weave;
 //! * [`core`] — the archiver: Nested Merge, timestamps, retrieval,
-//!   temporal history, change description, chunking, the Fig-5 XML form,
-//!   and the [`VersionStore`] trait;
+//!   temporal history, the query model (`as_of`/`history`/`range`/`diff`),
+//!   change description, chunking, the Fig-5 XML form, and the
+//!   [`VersionStore`] trait;
 //! * [`compress`] — LZSS (gzip-class) and XMill-style compressors;
 //! * [`extmem`] — the external-memory archiver with I/O accounting;
 //! * [`storage`] — the durable segmented archive format and the
 //!   crash-safe [`storage::DurableArchive`] backend;
-//! * [`index`] — timestamp trees and the history index;
+//! * [`index`] — timestamp trees, the history index, and the indexed
+//!   `VersionStore` backends built on them;
 //! * [`datagen`] — OMIM/Swiss-Prot/XMark-like generators and the paper's
 //!   change simulators.
 
@@ -84,5 +96,8 @@ pub use xarch_xml as xml;
 mod store;
 
 pub use store::{ArchiveBuilder, Backend};
-pub use xarch_core::{StoreError, StoreStats, VersionStore};
+pub use xarch_core::{
+    ElementHistory, RangeEntry, StoreError, StoreStats, VersionDelta, VersionStore,
+};
+pub use xarch_index::{IndexedArchive, IndexedStore, QueryIndex};
 pub use xarch_storage::{DurableArchive, DurableOptions, RecoveryStats};

@@ -41,6 +41,7 @@ use std::path::PathBuf;
 
 use xarch_core::{Archive, ChunkedArchive, Compaction, StoreError, VersionStore};
 use xarch_extmem::{ExtArchive, IoConfig};
+use xarch_index::{IndexedArchive, IndexedStore};
 use xarch_keys::KeySpec;
 use xarch_storage::{DurableArchive, DurableOptions};
 
@@ -68,6 +69,7 @@ pub struct ArchiveBuilder {
     compaction: Compaction,
     backend: Backend,
     durable: Option<(PathBuf, DurableOptions)>,
+    indexed: bool,
 }
 
 impl ArchiveBuilder {
@@ -80,7 +82,21 @@ impl ArchiveBuilder {
             compaction: Compaction::default(),
             backend: Backend::default(),
             durable: None,
+            indexed: false,
         }
+    }
+
+    /// Maintains the §7 query indexes alongside the store, so `as_of`,
+    /// `history`, `range` and `diff` cost time proportional to the answer
+    /// instead of a whole-version materialization. The in-memory backend
+    /// gets the native timestamp-tree + history-index pair
+    /// ([`xarch_index::IndexedArchive`]); chunked and external-memory
+    /// backends get the key-path sidecar ([`xarch_index::IndexedStore`]).
+    /// Composes with `.durable(..)`: journal replay re-establishes the
+    /// index on reopen, so queries never pay a rebuild.
+    pub fn with_index(mut self) -> Self {
+        self.indexed = true;
+        self
     }
 
     /// Sets the frontier compaction mode (§4.2's alternatives vs Fig 10's
@@ -124,14 +140,25 @@ impl ArchiveBuilder {
     /// durable store can fail to open (I/O error, corrupt segment,
     /// key-spec mismatch). Pure in-memory configurations cannot fail.
     pub fn try_build(self) -> Result<Box<dyn VersionStore>, StoreError> {
-        let inner: Box<dyn VersionStore> = match self.backend {
-            Backend::InMemory => Box::new(Archive::with_compaction(self.spec, self.compaction)),
-            Backend::Chunked(n) => Box::new(ChunkedArchive::with_compaction(
+        let inner: Box<dyn VersionStore> = match (self.backend, self.indexed) {
+            (Backend::InMemory, false) => {
+                Box::new(Archive::with_compaction(self.spec, self.compaction))
+            }
+            (Backend::InMemory, true) => {
+                Box::new(IndexedArchive::with_compaction(self.spec, self.compaction))
+            }
+            (Backend::Chunked(n), false) => Box::new(ChunkedArchive::with_compaction(
                 self.spec,
                 n,
                 self.compaction,
             )),
-            Backend::ExtMem(cfg) => Box::new(ExtArchive::new(self.spec, cfg)),
+            (Backend::Chunked(n), true) => Box::new(IndexedStore::new(Box::new(
+                ChunkedArchive::with_compaction(self.spec, n, self.compaction),
+            ))?),
+            (Backend::ExtMem(cfg), false) => Box::new(ExtArchive::new(self.spec, cfg)),
+            (Backend::ExtMem(cfg), true) => Box::new(IndexedStore::new(Box::new(
+                ExtArchive::new(self.spec, cfg),
+            ))?),
         };
         match self.durable {
             None => Ok(inner),

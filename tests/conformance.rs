@@ -5,6 +5,7 @@
 //! empty versions, history lookups, statistics, and the equivalence of
 //! materialized and streamed retrieval.
 
+use xarch::core::query::{find_in_doc, subtree_doc};
 use xarch::core::{equiv_modulo_key_order, Compaction, KeyQuery};
 use xarch::datagen::omim::{omim_spec, OmimGen};
 use xarch::extmem::IoConfig;
@@ -40,13 +41,21 @@ impl Drop for ScratchFiles {
 type NamedStore = (&'static str, Box<dyn VersionStore>);
 
 /// Every backend, built from the facade, as the acceptance criteria
-/// require. The durable backends journal to scratch segment files that the
-/// returned guard deletes, so the whole contract suite also exercises the
-/// persistent tier without littering the temp directory.
+/// require — each storage tier plain *and* with the query indexes
+/// maintained (`.with_index()`), so the indexed fast paths answer the
+/// same contract suite as the whole-retrieve fallbacks. The durable
+/// backends journal to scratch segment files that the returned guard
+/// deletes, so the whole contract suite also exercises the persistent
+/// tier without littering the temp directory.
 fn all_backends(spec: &KeySpec) -> (ScratchFiles, Vec<NamedStore>) {
     let durable_path = xarch::storage::scratch_path("conformance");
     let durable_chunked_path = xarch::storage::scratch_path("conformance-chunked");
-    let guard = ScratchFiles(vec![durable_path.clone(), durable_chunked_path.clone()]);
+    let durable_indexed_path = xarch::storage::scratch_path("conformance-indexed");
+    let guard = ScratchFiles(vec![
+        durable_path.clone(),
+        durable_chunked_path.clone(),
+        durable_indexed_path.clone(),
+    ]);
     let backends = vec![
         ("in-memory", ArchiveBuilder::new(spec.clone()).build()),
         (
@@ -56,13 +65,31 @@ fn all_backends(spec: &KeySpec) -> (ScratchFiles, Vec<NamedStore>) {
                 .build(),
         ),
         (
+            "in-memory/indexed",
+            ArchiveBuilder::new(spec.clone()).with_index().build(),
+        ),
+        (
             "chunked(4)",
             ArchiveBuilder::new(spec.clone()).chunks(4).build(),
+        ),
+        (
+            "chunked(4)/indexed",
+            ArchiveBuilder::new(spec.clone())
+                .chunks(4)
+                .with_index()
+                .build(),
         ),
         (
             "extmem",
             ArchiveBuilder::new(spec.clone())
                 .backend(Backend::ExtMem(small_ext_cfg()))
+                .build(),
+        ),
+        (
+            "extmem/indexed",
+            ArchiveBuilder::new(spec.clone())
+                .backend(Backend::ExtMem(small_ext_cfg()))
+                .with_index()
                 .build(),
         ),
         (
@@ -77,6 +104,14 @@ fn all_backends(spec: &KeySpec) -> (ScratchFiles, Vec<NamedStore>) {
             ArchiveBuilder::new(spec.clone())
                 .chunks(4)
                 .durable(durable_chunked_path)
+                .try_build()
+                .expect("durable store"),
+        ),
+        (
+            "durable/indexed",
+            ArchiveBuilder::new(spec.clone())
+                .with_index()
+                .durable(durable_indexed_path)
                 .try_build()
                 .expect("durable store"),
         ),
@@ -216,6 +251,171 @@ fn stats_report_storage() {
         assert!(one.elements > empty.elements, "{label}: {one:?}");
         assert!(one.texts >= 2, "{label}: {one:?}"); // id + val text nodes
         assert!(one.size_bytes > 0, "{label}");
+    }
+}
+
+#[test]
+fn as_of_matches_filtered_retrieve() {
+    // the tentpole contract: partial retrieval agrees with filtering a
+    // full retrieve, on every backend, for hits, misses, and versions
+    // where the element is dead
+    let versions = [
+        "<db><rec><id>1</id><val>a</val></rec></db>",
+        "<db><rec><id>1</id><val>b</val></rec><rec><id>2</id><val>c</val></rec></db>",
+        "<db><rec><id>2</id><val>c</val></rec></db>",
+    ];
+    let paths: Vec<Vec<KeyQuery>> = vec![
+        vec![],
+        vec![KeyQuery::new("db")],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "2"),
+        ],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+            KeyQuery::new("val"),
+        ],
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "9"),
+        ],
+    ];
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
+        for src in versions {
+            s.add_version(&parse(src).unwrap()).unwrap();
+        }
+        for v in 0..=4u32 {
+            for q in &paths {
+                let got = s.as_of(q, v).unwrap();
+                let whole = s.retrieve(v).unwrap();
+                let want = whole.as_ref().and_then(|doc| {
+                    if q.is_empty() {
+                        Some(doc.clone())
+                    } else {
+                        find_in_doc(doc, s.spec(), q).and_then(|id| subtree_doc(doc, id))
+                    }
+                });
+                assert_eq!(
+                    got.is_some(),
+                    want.is_some(),
+                    "{label}: as_of presence diverged for {q:?} at v{v}"
+                );
+                if let (Some(g), Some(w)) = (got, want) {
+                    assert!(
+                        equiv_modulo_key_order(&g, &w, s.spec()),
+                        "{label}: as_of content diverged for {q:?} at v{v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn range_scans_clamp_lifetimes() {
+    let versions = [
+        "<db><rec><id>1</id><val>a</val></rec></db>",
+        "<db><rec><id>1</id><val>a</val></rec><rec><id>2</id><val>b</val></rec></db>",
+        "<db><rec><id>2</id><val>b</val></rec><rec><id>3</id><val>c</val></rec></db>",
+    ];
+    let prefix = vec![KeyQuery::new("db")];
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
+        for src in versions {
+            s.add_version(&parse(src).unwrap()).unwrap();
+        }
+        // whole window: all three records with their lifetimes
+        let hits = s.range(&prefix, 1..=3).unwrap();
+        let summary: Vec<(String, String)> = hits
+            .iter()
+            .map(|e| (e.step.parts[0].1.clone(), e.time.to_string()))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("<id>1</id>".to_owned(), "1-2".to_owned()),
+                ("<id>2</id>".to_owned(), "2-3".to_owned()),
+                ("<id>3</id>".to_owned(), "3".to_owned()),
+            ],
+            "{label}"
+        );
+        // clamped window drops record 3 and trims the others
+        let hits = s.range(&prefix, 1..=2).unwrap();
+        let summary: Vec<(String, String)> = hits
+            .iter()
+            .map(|e| (e.step.parts[0].1.clone(), e.time.to_string()))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("<id>1</id>".to_owned(), "1-2".to_owned()),
+                ("<id>2</id>".to_owned(), "2".to_owned()),
+            ],
+            "{label}"
+        );
+        // empty prefix addresses the synthetic root: one hit, the doc root
+        let hits = s.range(&[], 1..=3).unwrap();
+        assert_eq!(hits.len(), 1, "{label}");
+        assert_eq!(hits[0].step.tag, "db", "{label}");
+        assert_eq!(hits[0].time.to_string(), "1-3", "{label}");
+        // a window beyond the archive is empty
+        assert!(s.range(&prefix, 7..=9).unwrap().is_empty(), "{label}");
+    }
+}
+
+#[test]
+fn history_values_and_diff_track_content() {
+    let versions = [
+        "<db><rec><id>1</id><val>a</val></rec></db>",
+        "<db><rec><id>1</id><val>a</val></rec></db>",
+        "<db><rec><id>1</id><val>z</val></rec></db>",
+    ];
+    let q = vec![
+        KeyQuery::new("db"),
+        KeyQuery::new("rec").with_text("id", "1"),
+    ];
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, mut s) in backends {
+        for src in versions {
+            s.add_version(&parse(src).unwrap()).unwrap();
+        }
+        let h = s.history_values(&q).unwrap().expect("archived");
+        assert_eq!(h.existence.to_string(), "1-3", "{label}");
+        assert_eq!(h.values.len(), 2, "{label}: {:?}", h.values);
+        assert_eq!(h.values[0].0.to_string(), "1-2", "{label}");
+        assert!(h.values[0].1.contains("<val>a</val>"), "{label}");
+        assert_eq!(h.values[1].0.to_string(), "3", "{label}");
+        assert!(h.values[1].1.contains("<val>z</val>"), "{label}");
+        // diff composes from as_of: unchanged pair, changed pair,
+        // element-vs-absent
+        assert!(s.diff(&q, 1, 2).unwrap().is_same(), "{label}");
+        let d = s.diff(&q, 2, 3).unwrap();
+        assert!(!d.is_same(), "{label}");
+        assert!(d.removed >= 1 && d.added >= 1, "{label}: {d:?}");
+        assert!(d.script.contains('a') || d.script.contains('c'), "{label}");
+        let missing = vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "9"),
+        ];
+        let d = s.diff(&missing, 1, 3).unwrap();
+        assert_eq!(d.present, (false, false), "{label}");
+        assert!(d.is_same(), "{label}");
+        // history_values on a missing element is None
+        assert!(s.history_values(&missing).unwrap().is_none(), "{label}");
+        // the empty path addresses the whole document: values are document
+        // contents (never a synthetic-root wrapper), same on every backend
+        let whole = s.history_values(&[]).unwrap().expect("root exists");
+        assert_eq!(whole.existence.to_string(), "1-3", "{label}");
+        assert_eq!(whole.values.len(), 2, "{label}: {:?}", whole.values);
+        for (_, content) in &whole.values {
+            assert!(content.starts_with("<db>"), "{label}: {content}");
+        }
     }
 }
 

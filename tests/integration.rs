@@ -175,6 +175,15 @@ fn figure_sanity_properties_hold() {
     xarch_bench::figures::sanity(&scale).unwrap();
 }
 
+#[test]
+fn queries_figure_shows_sublinear_indexed_probes() {
+    // The §7 claim the temporal query engine reproduces: indexed probe
+    // counts grow sublinearly in the version count while the
+    // full-retrieve-then-filter scan tracks archive size.
+    let scale = xarch_bench_scale();
+    xarch_bench::figures::queries_sanity(&scale).unwrap();
+}
+
 fn xarch_bench_scale() -> xarch_bench::figures::Scale {
     // large enough that the compression margin (which grows with version
     // count) is decisive, small enough for test time

@@ -258,6 +258,144 @@ proptest! {
     }
 
     #[test]
+    fn temporal_queries_agree_with_filtered_retrieve_on_every_backend(
+        versions in proptest::collection::vec((version_strategy(), 0u8..8), 1..6)
+    ) {
+        // `as_of` must equal navigating a full retrieve; `history` must
+        // equal the set of versions in which the navigation succeeds;
+        // `range` must enumerate exactly the children visible in the
+        // window — on every backend, plain and indexed, including *empty*
+        // versions (marker 0 turns one in eight versions empty) and
+        // records that disappear between versions (deleted subtrees).
+        use xarch::core::query::{find_in_doc, subtree_doc};
+        use xarch::core::TimeSet;
+
+        let spec = mini_spec();
+        let docs: Vec<Option<Document>> = versions
+            .iter()
+            .map(|(recs, marker)| (*marker != 0).then(|| build_version(recs)))
+            .collect();
+        let queries: Vec<Vec<xarch::core::KeyQuery>> = {
+            use xarch::core::KeyQuery;
+            let mut qs = vec![vec![KeyQuery::new("db")]];
+            for id in 0..4u8 {
+                qs.push(vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("rec").with_text("id", &id.to_string()),
+                ]);
+                qs.push(vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("rec").with_text("id", &id.to_string()),
+                    KeyQuery::new("val"),
+                ]);
+            }
+            qs
+        };
+        let backends: Vec<(&str, Box<dyn VersionStore>)> = vec![
+            ("in-memory", ArchiveBuilder::new(spec.clone()).build()),
+            ("in-memory/indexed", ArchiveBuilder::new(spec.clone()).with_index().build()),
+            ("chunked(3)", ArchiveBuilder::new(spec.clone()).chunks(3).build()),
+            ("chunked(3)/indexed", ArchiveBuilder::new(spec.clone()).chunks(3).with_index().build()),
+            (
+                "extmem",
+                ArchiveBuilder::new(spec.clone())
+                    .backend(Backend::ExtMem(IoConfig {
+                        mem_bytes: 1 << 10,
+                        page_bytes: 128,
+                    }))
+                    .build(),
+            ),
+            (
+                "extmem/indexed",
+                ArchiveBuilder::new(spec.clone())
+                    .backend(Backend::ExtMem(IoConfig {
+                        mem_bytes: 1 << 10,
+                        page_bytes: 128,
+                    }))
+                    .with_index()
+                    .build(),
+            ),
+        ];
+        for (label, mut store) in backends {
+            for d in &docs {
+                match d {
+                    Some(doc) => {
+                        store.add_version(doc).unwrap();
+                    }
+                    None => {
+                        store.add_empty_version().unwrap();
+                    }
+                }
+            }
+            let n = docs.len() as u32;
+            for q in &queries {
+                // presence per version via navigation of a full retrieve
+                let mut expect_presence = TimeSet::new();
+                for v in 1..=n {
+                    let whole = store.retrieve(v).unwrap();
+                    let navigated = whole
+                        .as_ref()
+                        .and_then(|doc| find_in_doc(doc, &spec, q))
+                        .is_some();
+                    if navigated {
+                        expect_presence.insert(v);
+                    }
+                    let got = store.as_of(q, v).unwrap();
+                    prop_assert_eq!(
+                        got.is_some(), navigated,
+                        "{} v{}: as_of presence diverged for {:?}", label, v, q
+                    );
+                    if let (Some(g), Some(doc)) = (got, whole.as_ref()) {
+                        let want = find_in_doc(doc, &spec, q)
+                            .and_then(|id| subtree_doc(doc, id))
+                            .expect("navigated");
+                        prop_assert!(
+                            equiv_modulo_key_order(&g, &want, &spec),
+                            "{} v{}: as_of content diverged for {:?}", label, v, q
+                        );
+                    }
+                }
+                // history == presence set (None allowed iff never present)
+                let hist = store.history(q).unwrap();
+                match hist {
+                    Some(t) => prop_assert_eq!(
+                        t, expect_presence.clone(),
+                        "{}: history diverged for {:?}", label, q
+                    ),
+                    None => prop_assert!(
+                        expect_presence.is_empty(),
+                        "{}: history None but element present for {:?}", label, q
+                    ),
+                }
+            }
+            // range over every window ≡ per-version enumeration of docs
+            for lo in 1..=n {
+                for hi in lo..=n {
+                    let hits = store.range(&[xarch::core::KeyQuery::new("db")], lo..=hi).unwrap();
+                    let mut expect: std::collections::BTreeMap<xarch::core::KeyQuery, TimeSet> =
+                        std::collections::BTreeMap::new();
+                    for v in lo..=hi {
+                        if let Some(doc) = store.retrieve(v).unwrap() {
+                            for step in xarch::core::query::keyed_children_in_doc(
+                                &doc, &spec, &[xarch::core::KeyQuery::new("db")],
+                            ) {
+                                expect.entry(step).or_default().insert(v);
+                            }
+                        }
+                    }
+                    let got: Vec<(xarch::core::KeyQuery, TimeSet)> =
+                        hits.into_iter().map(|e| (e.step, e.time)).collect();
+                    let want: Vec<(xarch::core::KeyQuery, TimeSet)> = expect.into_iter().collect();
+                    prop_assert_eq!(
+                        got, want,
+                        "{}: range {}..={} diverged", label, lo, hi
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn canonical_equality_iff_value_equality(
         a in version_strategy(),
         b in version_strategy()
