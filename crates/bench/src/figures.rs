@@ -4,7 +4,7 @@
 //! *shapes* are what reproduce, see `EXPERIMENTS.md`), computes the series,
 //! and prints CSV to stdout. `run(fig)` dispatches by experiment id.
 
-use xarch::{ArchiveBuilder, Backend, VersionStore};
+use xarch::{ArchiveBuilder, Backend, StoreReader, VersionStore};
 use xarch_core::{Archive, KeyQuery};
 use xarch_datagen::omim::{omim_spec, OmimGen};
 use xarch_datagen::swissprot::{swissprot_spec, SwissProtGen};
@@ -505,14 +505,14 @@ fn query_rows(scale: &Scale, sizes: &[usize]) -> Vec<QueryRow> {
         ];
 
         idx.reset_probes();
-        VersionStore::as_of(&mut idx, &q, 1)
+        StoreReader::as_of(&idx, &q, 1)
             .expect("as_of")
             .expect("archived");
         let indexed_probes = idx.history_index().comparisons() + idx.timestamp_index().probes();
 
         let start = Instant::now();
         for _ in 0..REPS {
-            VersionStore::as_of(&mut idx, &q, 1).expect("as_of");
+            StoreReader::as_of(&idx, &q, 1).expect("as_of");
         }
         let indexed_asof_us = start.elapsed().as_secs_f64() * 1e6 / REPS as f64;
 
@@ -687,8 +687,96 @@ pub fn fig_durability(scale: &Scale) {
     println!();
 }
 
+/// Concurrency: snapshot read throughput as reader threads scale 1→8 —
+/// the shared-read API's headline property. Each thread clones the
+/// `ArchiveHandle`, pins a snapshot, and streams whole versions in a
+/// tight loop for a fixed wall-clock window; reads are `&self` behind a
+/// read lock, so throughput should scale with the thread count until the
+/// memory system saturates. Measured on the in-memory backend and on the
+/// durable wrapper (whose reads bypass the journal entirely).
+pub fn fig_concurrency(scale: &Scale) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+    use xarch::storage::scratch_path;
+    use xarch::{ArchiveHandle, StoreReader};
+
+    const WINDOW: Duration = Duration::from_millis(120);
+
+    // speedup is bounded by the machine: on a single hardware thread the
+    // curve is flat (the interesting signal there is that it does not
+    // *degrade* — readers never block each other)
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "## Concurrency: snapshot read throughput vs reader threads \
+         (OMIM-like, 10 versions, {cores} hardware threads)"
+    );
+    println!("backend,threads,total_reads,reads_per_sec,speedup_vs_1");
+    let spec = omim_spec();
+    let versions = OmimGen::new(0x5EED).sequence(scale.omim_records / 3, 10);
+
+    let configs: Vec<(&str, Option<std::path::PathBuf>)> = vec![
+        ("in-memory", None),
+        ("durable", Some(scratch_path("bench-concurrency"))),
+    ];
+    for (label, path) in configs {
+        let store = match &path {
+            None => ArchiveBuilder::new(spec.clone()).build(),
+            Some(p) => ArchiveBuilder::new(spec.clone())
+                .durable(p)
+                .try_build()
+                .expect("durable store"),
+        };
+        let handle = ArchiveHandle::new(store);
+        for d in &versions {
+            handle.add_version(d).expect("merge");
+        }
+        let latest = handle.latest();
+        let mut baseline = 0.0;
+        for threads in 1..=8usize {
+            let stop = AtomicBool::new(false);
+            let total = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let snap = handle.snapshot();
+                    let stop = &stop;
+                    let total = &total;
+                    s.spawn(move || {
+                        let mut sink = Vec::new();
+                        let mut v = 1 + (t as u32 % latest);
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            sink.clear();
+                            snap.retrieve_into(v, &mut sink).expect("read");
+                            v = v % latest + 1;
+                            n += 1;
+                        }
+                        total.fetch_add(n, Ordering::Relaxed);
+                    });
+                }
+                std::thread::sleep(WINDOW);
+                stop.store(true, Ordering::Relaxed);
+            });
+            let reads = total.load(Ordering::Relaxed);
+            let per_sec = reads as f64 / WINDOW.as_secs_f64();
+            if threads == 1 {
+                baseline = per_sec;
+            }
+            println!(
+                "{label},{threads},{reads},{per_sec:.0},{:.2}",
+                per_sec / baseline.max(1.0)
+            );
+        }
+        drop(handle);
+        if let Some(p) = path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+    println!();
+}
+
 /// Runs one experiment by id ("7", "11a", ..., "claims", "extmem",
-/// "index", "queries", "ablation", "durability") or "all".
+/// "index", "queries", "ablation", "durability", "concurrency") or
+/// "all".
 pub fn run(fig: &str, scale: &Scale) -> bool {
     match fig {
         "7" => fig7(scale),
@@ -707,6 +795,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
         "queries" => fig_queries(scale),
         "ablation" => fig_ablation(scale),
         "durability" => fig_durability(scale),
+        "concurrency" => fig_concurrency(scale),
         "all" => {
             for f in [
                 "7",
@@ -725,6 +814,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
                 "queries",
                 "ablation",
                 "durability",
+                "concurrency",
             ] {
                 run(f, scale);
             }

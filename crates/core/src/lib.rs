@@ -13,8 +13,10 @@
 //! * [`weave`] — "further compaction" beneath frontier nodes (Fig 10),
 //! * [`retrieve`] — single-scan version retrieval (§7.1), materializing or
 //!   streaming to any `io::Write` sink,
-//! * [`store`] — the [`VersionStore`] trait: the archiver contract every
-//!   storage backend (in-memory, chunked, external-memory) implements,
+//! * [`store`] — the [`StoreReader`] / [`VersionStore`] trait pair: the
+//!   shared-read query surface (all `&self`) and the mutators on top,
+//!   implemented by every storage backend (in-memory, chunked,
+//!   external-memory),
 //! * [`history`] — temporal history of keyed elements (§7.2),
 //! * [`query`] — the temporal query model: `as_of` / `history_values` /
 //!   `range` / `diff` result types and the document-side navigation the
@@ -45,5 +47,5 @@ pub use chunk::ChunkedArchive;
 pub use equiv::equiv_modulo_key_order;
 pub use history::KeyQuery;
 pub use query::{ElementHistory, RangeEntry, VersionDelta};
-pub use store::{StoreError, StoreStats, VersionStore};
+pub use store::{StoreError, StoreReader, StoreStats, VersionStore};
 pub use timeset::TimeSet;

@@ -10,10 +10,16 @@
 //! tier becomes a configuration choice — the separation of logical archive
 //! from physical tier that production cold-storage archives make.
 //!
-//! The trait is object-safe: `Box<dyn VersionStore>` is the unit the
-//! `xarch::ArchiveBuilder` facade hands out. Methods that *read* take
-//! `&mut self` because external-memory backends charge I/O accounting on
-//! every pass.
+//! The contract is split along the read/write axis. [`StoreReader`] holds
+//! every query method with a `&self` receiver: versions are immutable once
+//! merged (a later merge only decides membership of *its own* version
+//! number in each timestamp, never of earlier ones), so reads never need
+//! to exclude each other and backends account their per-pass costs with
+//! atomics instead of `&mut self`. [`VersionStore`] adds the two mutators
+//! on top. Both traits are object-safe: `Box<dyn VersionStore>` is the
+//! unit the `xarch::ArchiveBuilder` facade hands out, and `VersionStore`
+//! requires `Send + Sync` so one store can serve many reader threads
+//! behind a shared handle (`xarch::ArchiveHandle`).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -126,52 +132,49 @@ impl StoreStats {
     }
 }
 
-/// The full archiver contract shared by every storage backend.
+/// The read half of the archiver contract: every query method, all on
+/// `&self`.
 ///
-/// | backend | paper | crate |
-/// |---|---|---|
-/// | [`Archive`] | §4.2 in-memory nested merge | `xarch_core` |
-/// | [`ChunkedArchive`] | §5 hash-partitioned chunks | `xarch_core` |
-/// | `ExtArchive` | §6.3 external-memory streams | `xarch_extmem` |
-/// | `DurableArchive` | durable segmented journal over any of the above | `xarch_storage` |
-pub trait VersionStore {
+/// The paper's archive is append-only — merging version `i` decides only
+/// whether `i` belongs to each element's timestamp, never the membership
+/// of versions `< i` — so every answer below is a pure function of the
+/// stored state and reads need no mutual exclusion. Backends that account
+/// per-pass costs (the external-memory archiver's paged I/O, the index
+/// structures' probe counters) do so with atomics.
+///
+/// The trait is object-safe; `&dyn StoreReader` is the surface a
+/// snapshot or read-only service endpoint exposes.
+pub trait StoreReader {
     /// The governing key specification.
     fn spec(&self) -> &KeySpec;
-
-    /// Merges `doc` as the next version; returns its version number.
-    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError>;
-
-    /// Archives an *empty* database as the next version (§2's footnote:
-    /// the synthetic root keeps ticking while every element terminates).
-    fn add_empty_version(&mut self) -> Result<u32, StoreError>;
 
     /// Number of archived versions.
     fn latest(&self) -> u32;
 
     /// True if version `v` has been archived — it may still be an *empty*
-    /// version, for which [`VersionStore::retrieve`] returns `None`.
+    /// version, for which [`StoreReader::retrieve`] returns `None`.
     fn has_version(&self, v: u32) -> bool {
         v >= 1 && v <= self.latest()
     }
 
     /// Reconstructs version `v`. Returns `None` when `v` was never
     /// archived *or* the database was empty at `v` (use
-    /// [`VersionStore::has_version`] to distinguish).
-    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError>;
+    /// [`StoreReader::has_version`] to distinguish).
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError>;
 
     /// Streaming retrieval: serializes the nodes visible at version `v`
     /// directly into `out` as compact XML, without materializing a
     /// [`Document`]. Returns `true` iff a document was written — the same
-    /// `None`-for-empty contract as [`VersionStore::retrieve`].
-    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError>;
+    /// `None`-for-empty contract as [`StoreReader::retrieve`].
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError>;
 
     /// The temporal history of the element addressed by `steps` (§7.2):
     /// the set of versions in which it exists, or `None` if no such
     /// element was ever archived.
-    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError>;
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError>;
 
     /// Aggregate statistics of the stored archive.
-    fn stats(&mut self) -> Result<StoreStats, StoreError>;
+    fn stats(&self) -> Result<StoreStats, StoreError>;
 
     // ---- temporal queries (§7) ------------------------------------------
     //
@@ -185,7 +188,7 @@ pub trait VersionStore {
     /// at version `v`, or `None` when the element (or the version) does
     /// not exist. An empty path addresses the whole document —
     /// `as_of(&[], v)` is `retrieve(v)`.
-    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         let Some(doc) = self.retrieve(v)? else {
             return Ok(None);
         };
@@ -200,7 +203,7 @@ pub trait VersionStore {
 
     /// The full temporal account of one element: the versions it exists
     /// in (§7.2's history) plus each distinct content it held and when.
-    fn history_values(&mut self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
+    fn history_values(&self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
         let Some(existence) = self.history(steps)? else {
             return Ok(None);
         };
@@ -225,7 +228,7 @@ pub trait VersionStore {
     /// synthetic root, so its single possible hit is the document root.
     /// Results are in label order (`≤lab`), identical across backends.
     fn range(
-        &mut self,
+        &self,
         prefix: &[KeyQuery],
         versions: RangeInclusive<u32>,
     ) -> Result<Vec<RangeEntry>, StoreError> {
@@ -248,26 +251,42 @@ pub trait VersionStore {
 
     /// What changed in the element addressed by `steps` between versions
     /// `v1` and `v2`, as a Myers line diff over the pretty-printed
-    /// subtrees (`crates/diff`). Composes from [`VersionStore::as_of`],
+    /// subtrees (`crates/diff`). Composes from [`StoreReader::as_of`],
     /// so indexed backends pay O(answer) here too.
-    fn diff(&mut self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
+    fn diff(&self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
         let a = self.as_of(steps, v1)?;
         let b = self.as_of(steps, v2)?;
         Ok(query::delta(a.as_ref(), b.as_ref(), v1, v2))
     }
 }
 
-impl VersionStore for Archive {
+/// The full archiver contract shared by every storage backend: the
+/// [`StoreReader`] query surface plus the two mutators.
+///
+/// | backend | paper | crate |
+/// |---|---|---|
+/// | [`Archive`] | §4.2 in-memory nested merge | `xarch_core` |
+/// | [`ChunkedArchive`] | §5 hash-partitioned chunks | `xarch_core` |
+/// | `ExtArchive` | §6.3 external-memory streams | `xarch_extmem` |
+/// | `DurableArchive` | durable segmented journal over any of the above | `xarch_storage` |
+/// | `IndexedArchive` / `IndexedStore` | §7 query indexes over any of the above | `xarch_index` |
+///
+/// `Send + Sync` is part of the contract: a store is single-writer by
+/// `&mut` discipline, but its reads are `&self` and safe to share, so
+/// every backend must be shareable across threads (per-pass accounting
+/// uses atomics, never `Cell`).
+pub trait VersionStore: StoreReader + Send + Sync {
+    /// Merges `doc` as the next version; returns its version number.
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError>;
+
+    /// Archives an *empty* database as the next version (§2's footnote:
+    /// the synthetic root keeps ticking while every element terminates).
+    fn add_empty_version(&mut self) -> Result<u32, StoreError>;
+}
+
+impl StoreReader for Archive {
     fn spec(&self) -> &KeySpec {
         Archive::spec(self)
-    }
-
-    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
-        Ok(Archive::add_version(self, doc)?)
-    }
-
-    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
-        Ok(Archive::add_empty_version(self))
     }
 
     fn latest(&self) -> u32 {
@@ -278,32 +297,32 @@ impl VersionStore for Archive {
         Archive::has_version(self, v)
     }
 
-    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
         Ok(Archive::retrieve(self, v))
     }
 
-    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
         Ok(Archive::retrieve_into(self, v, out)?)
     }
 
-    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
         Ok(Archive::history(self, steps))
     }
 
-    fn stats(&mut self) -> Result<StoreStats, StoreError> {
+    fn stats(&self) -> Result<StoreStats, StoreError> {
         Ok(StoreStats::from_archive(
             Archive::stats(self),
-            self.latest(),
+            Archive::latest(self),
             self.size_bytes(),
         ))
     }
 
-    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         Ok(Archive::as_of(self, steps, v))
     }
 
     fn range(
-        &mut self,
+        &self,
         prefix: &[KeyQuery],
         versions: RangeInclusive<u32>,
     ) -> Result<Vec<RangeEntry>, StoreError> {
@@ -311,17 +330,19 @@ impl VersionStore for Archive {
     }
 }
 
-impl VersionStore for ChunkedArchive {
-    fn spec(&self) -> &KeySpec {
-        ChunkedArchive::spec(self)
-    }
-
+impl VersionStore for Archive {
     fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
-        Ok(ChunkedArchive::add_version(self, doc)?)
+        Ok(Archive::add_version(self, doc)?)
     }
 
     fn add_empty_version(&mut self) -> Result<u32, StoreError> {
-        Ok(ChunkedArchive::add_empty_version(self))
+        Ok(Archive::add_empty_version(self))
+    }
+}
+
+impl StoreReader for ChunkedArchive {
+    fn spec(&self) -> &KeySpec {
+        ChunkedArchive::spec(self)
     }
 
     fn latest(&self) -> u32 {
@@ -332,36 +353,46 @@ impl VersionStore for ChunkedArchive {
         ChunkedArchive::has_version(self, v)
     }
 
-    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
         Ok(ChunkedArchive::retrieve(self, v))
     }
 
-    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
         Ok(ChunkedArchive::retrieve_into(self, v, out)?)
     }
 
-    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
         Ok(ChunkedArchive::history(self, steps))
     }
 
-    fn stats(&mut self) -> Result<StoreStats, StoreError> {
+    fn stats(&self) -> Result<StoreStats, StoreError> {
         Ok(StoreStats::from_archive(
             ChunkedArchive::stats(self),
-            self.latest(),
+            ChunkedArchive::latest(self),
             self.size_bytes(),
         ))
     }
 
-    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         Ok(ChunkedArchive::as_of(self, steps, v))
     }
 
     fn range(
-        &mut self,
+        &self,
         prefix: &[KeyQuery],
         versions: RangeInclusive<u32>,
     ) -> Result<Vec<RangeEntry>, StoreError> {
         Ok(ChunkedArchive::range(self, prefix, versions))
+    }
+}
+
+impl VersionStore for ChunkedArchive {
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        Ok(ChunkedArchive::add_version(self, doc)?)
+    }
+
+    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        Ok(ChunkedArchive::add_empty_version(self))
     }
 }
 
@@ -396,6 +427,27 @@ mod tests {
             ];
             assert_eq!(s.history(&q).unwrap().unwrap().to_string(), "1");
         }
+    }
+
+    #[test]
+    fn backends_and_errors_are_shareable_across_threads() {
+        // VersionStore's contract includes Send + Sync: reads are `&self`
+        // and must be safe to issue from many threads at once
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<Archive>();
+        assert_send_sync::<ChunkedArchive>();
+        assert_send_sync::<StoreError>();
+        assert_send_sync::<Box<dyn VersionStore>>();
+        assert_send_sync::<Box<dyn StoreReader + Send + Sync>>();
+    }
+
+    #[test]
+    fn reader_trait_is_object_safe() {
+        let spec = KeySpec::parse("(/, (db, {}))").unwrap();
+        let reader: Box<dyn StoreReader> = Box::new(Archive::new(spec));
+        assert_eq!(reader.latest(), 0);
+        assert!(!reader.has_version(1));
+        assert!(reader.retrieve(1).unwrap().is_none());
     }
 
     #[test]

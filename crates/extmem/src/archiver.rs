@@ -11,7 +11,7 @@
 
 use std::io::Write;
 
-use xarch_core::store::{StoreError, StoreStats, VersionStore};
+use xarch_core::store::{StoreError, StoreReader, StoreStats, VersionStore};
 use xarch_core::{KeyQuery, RangeEntry, TimeSet};
 use xarch_keys::{annotate, KeySpec};
 use xarch_xml::escape::{escape_attr, escape_text};
@@ -22,19 +22,23 @@ use crate::events::{
     encode_small, encode_spine_close, encode_spine_open, Peeked, SpineHeader, StreamCursor,
     StreamError,
 };
-use crate::io::{IoConfig, IoStats, PagedWriter};
+use crate::io::{IoConfig, IoStats, PagedWriter, SharedIoStats};
 use crate::sort::write_sorted_version;
 
 type Result<T> = std::result::Result<T, StreamError>;
 
 /// The external-memory archive: a sorted event stream plus I/O accounting.
+///
+/// All query passes take `&self`: the stream is immutable between merges,
+/// and the per-pass page accounting is charged through atomics
+/// ([`SharedIoStats`]), so concurrent readers never contend.
 #[derive(Debug)]
 pub struct ExtArchive {
     spec: KeySpec,
     cfg: IoConfig,
     data: Vec<u8>,
     latest: u32,
-    stats: IoStats,
+    stats: SharedIoStats,
 }
 
 impl ExtArchive {
@@ -57,7 +61,7 @@ impl ExtArchive {
             cfg,
             data,
             latest: 0,
-            stats: IoStats::default(),
+            stats: SharedIoStats::default(),
         }
     }
 
@@ -84,7 +88,7 @@ impl ExtArchive {
 
     /// Cumulative I/O statistics across all operations.
     pub fn io_stats(&self) -> IoStats {
-        self.stats
+        self.stats.get()
     }
 
     /// The raw archive stream (diagnostics).
@@ -112,9 +116,9 @@ impl ExtArchive {
         let mut vr = StreamCursor::new(&sorted, self.cfg.page_bytes);
         let mut out = PagedWriter::new(self.cfg.page_bytes);
         merge_spines(&mut ar, &mut vr, &mut out, &TimeSet::new(), i)?;
-        self.stats.page_reads += ar.pages_read() + vr.pages_read();
+        self.stats.add_reads(ar.pages_read() + vr.pages_read());
         let (bytes, writes) = out.finish();
-        self.stats.page_writes += writes;
+        self.stats.add_writes(writes);
         self.data = bytes;
         self.latest = i;
         Ok(i)
@@ -142,9 +146,9 @@ impl ExtArchive {
         let mut vr = StreamCursor::new(&version, self.cfg.page_bytes);
         let mut out = PagedWriter::new(self.cfg.page_bytes);
         merge_spines(&mut ar, &mut vr, &mut out, &TimeSet::new(), i)?;
-        self.stats.page_reads += ar.pages_read() + vr.pages_read();
+        self.stats.add_reads(ar.pages_read() + vr.pages_read());
         let (bytes, writes) = out.finish();
-        self.stats.page_writes += writes;
+        self.stats.add_writes(writes);
         self.data = bytes;
         self.latest = i;
         Ok(i)
@@ -156,7 +160,7 @@ impl ExtArchive {
     /// entries are decoded one record at a time). Returns `true` iff a
     /// document was written.
     pub fn retrieve_into<W: Write + ?Sized>(
-        &mut self,
+        &self,
         v: u32,
         out: &mut W,
     ) -> std::result::Result<bool, StoreError> {
@@ -165,7 +169,7 @@ impl ExtArchive {
         }
         let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
         let result = Self::emit_root(&mut cur, v, out);
-        self.stats.page_reads += cur.pages_read();
+        self.stats.add_reads(cur.pages_read());
         result
     }
 
@@ -215,7 +219,7 @@ impl ExtArchive {
     /// scanned until the step's label sort key matches, then the walk
     /// descends (into the spine, or in memory once a small record is
     /// reached). Timestamp inheritance follows the spine headers.
-    pub fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>> {
+    pub fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>> {
         let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
         let root = cur.take_spine_open()?;
         let root_time = root.time.clone().unwrap_or_else(TimeSet::new);
@@ -224,7 +228,7 @@ impl ExtArchive {
         } else {
             history_in_spine(&mut cur, steps, 0, &root_time)
         };
-        self.stats.page_reads += cur.pages_read();
+        self.stats.add_reads(cur.pages_read());
         result
     }
 
@@ -233,7 +237,7 @@ impl ExtArchive {
     /// spine — and materializes only the addressed subtree, filtered to
     /// version `v`. An empty path addresses the whole document.
     pub fn as_of(
-        &mut self,
+        &self,
         steps: &[KeyQuery],
         v: u32,
     ) -> std::result::Result<Option<xarch_xml::Document>, StoreError> {
@@ -247,7 +251,7 @@ impl ExtArchive {
         let root = cur.take_spine_open()?;
         let root_time = root.time.clone().unwrap_or_else(TimeSet::new);
         let found = find_in_spine(&mut cur, steps, 0, &root_time)?;
-        self.stats.page_reads += cur.pages_read();
+        self.stats.add_reads(cur.pages_read());
         let Some((tree, eff)) = found else {
             return Ok(None);
         };
@@ -268,7 +272,7 @@ impl ExtArchive {
     /// *header only* and skipping its body — clamping lifetimes to the
     /// queried window. An empty prefix addresses the synthetic root.
     pub fn range(
-        &mut self,
+        &self,
         prefix: &[KeyQuery],
         versions: std::ops::RangeInclusive<u32>,
     ) -> std::result::Result<Vec<RangeEntry>, StoreError> {
@@ -333,13 +337,13 @@ impl ExtArchive {
                 }
             }
         }
-        self.stats.page_reads += cur.pages_read();
+        self.stats.add_reads(cur.pages_read());
         out.sort_by(|a, b| a.step.cmp(&b.step));
         Ok(out)
     }
 
     /// Aggregate statistics, computed with one pass over the stream.
-    pub fn store_stats(&mut self) -> Result<StoreStats> {
+    pub fn store_stats(&self) -> Result<StoreStats> {
         let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
         let mut s = StoreStats {
             versions: self.latest,
@@ -362,18 +366,18 @@ impl ExtArchive {
                 }
             }
         }
-        self.stats.page_reads += cur.pages_read();
+        self.stats.add_reads(cur.pages_read());
         Ok(s)
     }
 
     /// Retrieves version `v` with one streaming pass.
-    pub fn retrieve(&mut self, v: u32) -> Result<Option<Document>> {
+    pub fn retrieve(&self, v: u32) -> Result<Option<Document>> {
         if v == 0 || v > self.latest {
             return Ok(None);
         }
         let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
         let root = read_visible(&mut cur, v, None)?;
-        self.stats.page_reads += cur.pages_read();
+        self.stats.add_reads(cur.pages_read());
         // root is the synthetic "root"; its children hold the document root
         let Some(root) = root else {
             return Ok(None);
@@ -389,17 +393,9 @@ impl ExtArchive {
     }
 }
 
-impl VersionStore for ExtArchive {
+impl StoreReader for ExtArchive {
     fn spec(&self) -> &KeySpec {
         ExtArchive::spec(self)
-    }
-
-    fn add_version(&mut self, doc: &Document) -> std::result::Result<u32, StoreError> {
-        Ok(ExtArchive::add_version(self, doc)?)
-    }
-
-    fn add_empty_version(&mut self) -> std::result::Result<u32, StoreError> {
-        Ok(ExtArchive::add_empty_version(self)?)
     }
 
     fn latest(&self) -> u32 {
@@ -410,28 +406,24 @@ impl VersionStore for ExtArchive {
         ExtArchive::has_version(self, v)
     }
 
-    fn retrieve(&mut self, v: u32) -> std::result::Result<Option<Document>, StoreError> {
+    fn retrieve(&self, v: u32) -> std::result::Result<Option<Document>, StoreError> {
         Ok(ExtArchive::retrieve(self, v)?)
     }
 
-    fn retrieve_into(
-        &mut self,
-        v: u32,
-        out: &mut dyn Write,
-    ) -> std::result::Result<bool, StoreError> {
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> std::result::Result<bool, StoreError> {
         ExtArchive::retrieve_into(self, v, out)
     }
 
-    fn history(&mut self, steps: &[KeyQuery]) -> std::result::Result<Option<TimeSet>, StoreError> {
+    fn history(&self, steps: &[KeyQuery]) -> std::result::Result<Option<TimeSet>, StoreError> {
         Ok(ExtArchive::history(self, steps)?)
     }
 
-    fn stats(&mut self) -> std::result::Result<StoreStats, StoreError> {
+    fn stats(&self) -> std::result::Result<StoreStats, StoreError> {
         Ok(ExtArchive::store_stats(self)?)
     }
 
     fn as_of(
-        &mut self,
+        &self,
         steps: &[KeyQuery],
         v: u32,
     ) -> std::result::Result<Option<Document>, StoreError> {
@@ -439,11 +431,21 @@ impl VersionStore for ExtArchive {
     }
 
     fn range(
-        &mut self,
+        &self,
         prefix: &[KeyQuery],
         versions: std::ops::RangeInclusive<u32>,
     ) -> std::result::Result<Vec<RangeEntry>, StoreError> {
         ExtArchive::range(self, prefix, versions)
+    }
+}
+
+impl VersionStore for ExtArchive {
+    fn add_version(&mut self, doc: &Document) -> std::result::Result<u32, StoreError> {
+        Ok(ExtArchive::add_version(self, doc)?)
+    }
+
+    fn add_empty_version(&mut self) -> std::result::Result<u32, StoreError> {
+        Ok(ExtArchive::add_empty_version(self)?)
     }
 }
 

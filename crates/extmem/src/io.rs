@@ -49,6 +49,45 @@ impl IoStats {
     }
 }
 
+/// [`IoStats`] behind atomics: the archiver's cumulative accounting,
+/// charged from `&self` read passes so queries can run concurrently.
+///
+/// Counters are monotone sums — relaxed ordering is enough, the totals
+/// never order other memory.
+#[derive(Debug, Default)]
+pub struct SharedIoStats {
+    page_reads: std::sync::atomic::AtomicU64,
+    page_writes: std::sync::atomic::AtomicU64,
+}
+
+impl SharedIoStats {
+    /// Charges `n` page reads.
+    pub fn add_reads(&self, n: u64) {
+        self.page_reads
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Charges `n` page writes.
+    pub fn add_writes(&self, n: u64) {
+        self.page_writes
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Folds a pass's counters into the cumulative totals.
+    pub fn add(&self, other: IoStats) {
+        self.add_reads(other.page_reads);
+        self.add_writes(other.page_writes);
+    }
+
+    /// A plain-value snapshot of the totals.
+    pub fn get(&self) -> IoStats {
+        IoStats {
+            page_reads: self.page_reads.load(std::sync::atomic::Ordering::Relaxed),
+            page_writes: self.page_writes.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
 /// A write-only paged file.
 #[derive(Debug)]
 pub struct PagedWriter {

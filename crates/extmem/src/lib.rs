@@ -31,4 +31,19 @@ pub mod sort;
 pub use archiver::ExtArchive;
 pub use etree::{EKind, ETree};
 pub use events::{decode_small, encode_small, get_varint, put_varint, StreamError};
-pub use io::{IoConfig, IoStats};
+pub use io::{IoConfig, IoStats, SharedIoStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archiver_is_shareable_across_threads() {
+        // read passes take `&self` and charge their page accounting
+        // through `SharedIoStats` atomics, so one archive can serve
+        // concurrent readers
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExtArchive>();
+        assert_send_sync::<SharedIoStats>();
+    }
+}

@@ -107,7 +107,7 @@ fn element_reappearance_round_trips() {
 #[test]
 fn invalid_version_is_none() {
     let spec = omim_spec();
-    let mut ext = ExtArchive::new(spec, small_cfg());
+    let ext = ExtArchive::new(spec, small_cfg());
     assert!(ext.retrieve(0).unwrap().is_none());
     assert!(ext.retrieve(1).unwrap().is_none());
 }

@@ -20,8 +20,8 @@ use std::io::Write;
 use std::ops::RangeInclusive;
 
 use xarch_core::{
-    Archive, Compaction, ElementHistory, KeyQuery, RangeEntry, StoreError, StoreStats, TimeSet,
-    VersionStore,
+    Archive, Compaction, ElementHistory, KeyQuery, RangeEntry, StoreError, StoreReader, StoreStats,
+    TimeSet, VersionStore,
 };
 use xarch_keys::KeySpec;
 use xarch_xml::Document;
@@ -87,21 +87,9 @@ impl IndexedArchive {
     }
 }
 
-impl VersionStore for IndexedArchive {
+impl StoreReader for IndexedArchive {
     fn spec(&self) -> &KeySpec {
         self.archive.spec()
-    }
-
-    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
-        let v = self.archive.add_version(doc)?;
-        self.absorb(v);
-        Ok(v)
-    }
-
-    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
-        let v = self.archive.add_empty_version();
-        self.absorb(v);
-        Ok(v)
     }
 
     fn latest(&self) -> u32 {
@@ -112,19 +100,19 @@ impl VersionStore for IndexedArchive {
         self.archive.has_version(v)
     }
 
-    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
         Ok(self.ts.retrieve(&self.archive, v).0)
     }
 
-    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
         Ok(self.archive.retrieve_into(v, out)?)
     }
 
-    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
         Ok(self.hist.locate(&self.archive, steps).map(|(_, t)| t))
     }
 
-    fn stats(&mut self) -> Result<StoreStats, StoreError> {
+    fn stats(&self) -> Result<StoreStats, StoreError> {
         Ok(StoreStats::from_archive(
             self.archive.stats(),
             self.archive.latest(),
@@ -132,7 +120,7 @@ impl VersionStore for IndexedArchive {
         ))
     }
 
-    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         if !self.archive.has_version(v) {
             return Ok(None);
         }
@@ -148,7 +136,7 @@ impl VersionStore for IndexedArchive {
         Ok(self.ts.retrieve_subtree(&self.archive, id, v))
     }
 
-    fn history_values(&mut self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
+    fn history_values(&self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
         // one locate, then one pruned subtree emit per version it exists in
         let Some((id, existence)) = self.hist.locate(&self.archive, steps) else {
             return Ok(None);
@@ -177,13 +165,27 @@ impl VersionStore for IndexedArchive {
     }
 
     fn range(
-        &mut self,
+        &self,
         prefix: &[KeyQuery],
         versions: RangeInclusive<u32>,
     ) -> Result<Vec<RangeEntry>, StoreError> {
         let lo = (*versions.start()).max(1);
         let hi = (*versions.end()).min(self.archive.latest());
         Ok(self.hist.range_of(&self.archive, prefix, lo, hi))
+    }
+}
+
+impl VersionStore for IndexedArchive {
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        let v = self.archive.add_version(doc)?;
+        self.absorb(v);
+        Ok(v)
+    }
+
+    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        let v = self.archive.add_empty_version();
+        self.absorb(v);
+        Ok(v)
     }
 }
 

@@ -49,5 +49,6 @@ mod tests {
         assert_send_sync::<TimestampIndex>();
         assert_send_sync::<QueryIndex>();
         assert_send_sync::<IndexedArchive>();
+        assert_send_sync::<IndexedStore>();
     }
 }

@@ -25,7 +25,9 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::ops::RangeInclusive;
 
-use xarch_core::{KeyQuery, RangeEntry, StoreError, StoreStats, TimeSet, VersionStore};
+use xarch_core::{
+    KeyQuery, RangeEntry, StoreError, StoreReader, StoreStats, TimeSet, VersionStore,
+};
 use xarch_keys::{annotate, KeySpec};
 use xarch_xml::{Document, NodeKind};
 
@@ -167,7 +169,7 @@ impl std::fmt::Debug for IndexedStore {
 impl IndexedStore {
     /// Wraps `inner`, backfilling the sidecar from its existing versions
     /// (a fresh store costs nothing; a populated one is replayed once).
-    pub fn new(mut inner: Box<dyn VersionStore>) -> Result<Self, StoreError> {
+    pub fn new(inner: Box<dyn VersionStore>) -> Result<Self, StoreError> {
         let mut sidecar = QueryIndex::new();
         let spec = inner.spec().clone();
         for v in 1..=inner.latest() {
@@ -190,11 +192,57 @@ impl IndexedStore {
     }
 }
 
-impl VersionStore for IndexedStore {
+impl StoreReader for IndexedStore {
     fn spec(&self) -> &KeySpec {
         self.inner.spec()
     }
 
+    fn latest(&self) -> u32 {
+        self.inner.latest()
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        self.inner.has_version(v)
+    }
+
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+        self.inner.retrieve(v)
+    }
+
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        self.inner.retrieve_into(v, out)
+    }
+
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        Ok(self.sidecar.history(steps))
+    }
+
+    fn stats(&self) -> Result<StoreStats, StoreError> {
+        self.inner.stats()
+    }
+
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        // sidecar gate: a missing element or dead version costs no I/O
+        match self.sidecar.history(steps) {
+            None => return Ok(None),
+            Some(t) if !t.contains(v) => return Ok(None),
+            Some(_) => {}
+        }
+        self.inner.as_of(steps, v)
+    }
+
+    fn range(
+        &self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        let lo = (*versions.start()).max(1);
+        let hi = (*versions.end()).min(self.inner.latest());
+        Ok(self.sidecar.range(prefix, lo, hi))
+    }
+}
+
+impl VersionStore for IndexedStore {
     fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
         let v = self.inner.add_version(doc)?;
         let spec = self.inner.spec().clone();
@@ -206,50 +254,6 @@ impl VersionStore for IndexedStore {
         let v = self.inner.add_empty_version()?;
         self.sidecar.apply_empty_version(v);
         Ok(v)
-    }
-
-    fn latest(&self) -> u32 {
-        self.inner.latest()
-    }
-
-    fn has_version(&self, v: u32) -> bool {
-        self.inner.has_version(v)
-    }
-
-    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
-        self.inner.retrieve(v)
-    }
-
-    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
-        self.inner.retrieve_into(v, out)
-    }
-
-    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
-        Ok(self.sidecar.history(steps))
-    }
-
-    fn stats(&mut self) -> Result<StoreStats, StoreError> {
-        self.inner.stats()
-    }
-
-    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
-        // sidecar gate: a missing element or dead version costs no I/O
-        match self.sidecar.history(steps) {
-            None => return Ok(None),
-            Some(t) if !t.contains(v) => return Ok(None),
-            Some(_) => {}
-        }
-        self.inner.as_of(steps, v)
-    }
-
-    fn range(
-        &mut self,
-        prefix: &[KeyQuery],
-        versions: RangeInclusive<u32>,
-    ) -> Result<Vec<RangeEntry>, StoreError> {
-        let lo = (*versions.start()).max(1);
-        let hi = (*versions.end()).min(self.inner.latest());
-        Ok(self.sidecar.range(prefix, lo, hi))
     }
 }
 
@@ -327,7 +331,7 @@ mod tests {
             .add_version(&parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap())
             .unwrap();
         inner.add_empty_version();
-        let mut s = IndexedStore::new(Box::new(inner)).unwrap();
+        let s = IndexedStore::new(Box::new(inner)).unwrap();
         assert_eq!(s.history(&[]).unwrap().unwrap().to_string(), "1-2");
         let q = vec![
             KeyQuery::new("db"),

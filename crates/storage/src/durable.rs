@@ -14,8 +14,8 @@ use std::path::{Path, PathBuf};
 
 use xarch_compress::BlockCodec;
 use xarch_core::{
-    ElementHistory, KeyQuery, RangeEntry, StoreError, StoreStats, TimeSet, VersionDelta,
-    VersionStore,
+    ElementHistory, KeyQuery, RangeEntry, StoreError, StoreReader, StoreStats, TimeSet,
+    VersionDelta, VersionStore,
 };
 use xarch_keys::KeySpec;
 use xarch_xml::Document;
@@ -240,11 +240,67 @@ impl DurableArchive {
     }
 }
 
-impl VersionStore for DurableArchive {
+impl StoreReader for DurableArchive {
     fn spec(&self) -> &KeySpec {
         self.inner.spec()
     }
 
+    fn latest(&self) -> u32 {
+        self.inner.latest()
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        self.inner.has_version(v)
+    }
+
+    // Reads delegate straight to the wrapped store with no journal
+    // involvement (and, behind a shared handle, no write lock): the
+    // segment file only matters at commit and open time.
+
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+        self.inner.retrieve(v)
+    }
+
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        self.inner.retrieve_into(v, out)
+    }
+
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        self.inner.history(steps)
+    }
+
+    fn stats(&self) -> Result<StoreStats, StoreError> {
+        self.inner.stats()
+    }
+
+    // Temporal queries delegate to the inner store rather than taking the
+    // trait's whole-retrieve defaults: when the wrapped backend is
+    // indexed, its indexes are re-established *during* journal replay (the
+    // same incremental `add_version` path that maintains them live), so a
+    // reopened archive answers queries without any per-query rebuild.
+
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        self.inner.as_of(steps, v)
+    }
+
+    fn history_values(&self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
+        self.inner.history_values(steps)
+    }
+
+    fn range(
+        &self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        self.inner.range(prefix, versions)
+    }
+
+    fn diff(&self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
+        self.inner.diff(steps, v1, v2)
+    }
+}
+
+impl VersionStore for DurableArchive {
     fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
         self.check_writable()?;
         // encode and size-check up front: everything that can be rejected
@@ -271,56 +327,6 @@ impl VersionStore for DurableArchive {
         self.journal(BlockKind::Empty, BlockCodec::Raw, v, 0, &[])?;
         Ok(v)
     }
-
-    fn latest(&self) -> u32 {
-        self.inner.latest()
-    }
-
-    fn has_version(&self, v: u32) -> bool {
-        self.inner.has_version(v)
-    }
-
-    fn retrieve(&mut self, v: u32) -> Result<Option<Document>, StoreError> {
-        self.inner.retrieve(v)
-    }
-
-    fn retrieve_into(&mut self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
-        self.inner.retrieve_into(v, out)
-    }
-
-    fn history(&mut self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
-        self.inner.history(steps)
-    }
-
-    fn stats(&mut self) -> Result<StoreStats, StoreError> {
-        self.inner.stats()
-    }
-
-    // Temporal queries delegate to the inner store rather than taking the
-    // trait's whole-retrieve defaults: when the wrapped backend is
-    // indexed, its indexes are re-established *during* journal replay (the
-    // same incremental `add_version` path that maintains them live), so a
-    // reopened archive answers queries without any per-query rebuild.
-
-    fn as_of(&mut self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
-        self.inner.as_of(steps, v)
-    }
-
-    fn history_values(&mut self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
-        self.inner.history_values(steps)
-    }
-
-    fn range(
-        &mut self,
-        prefix: &[KeyQuery],
-        versions: RangeInclusive<u32>,
-    ) -> Result<Vec<RangeEntry>, StoreError> {
-        self.inner.range(prefix, versions)
-    }
-
-    fn diff(&mut self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
-        self.inner.diff(steps, v1, v2)
-    }
 }
 
 #[cfg(test)]
@@ -339,6 +345,14 @@ mod tests {
     }
 
     #[test]
+    fn durable_archive_is_shareable_across_threads() {
+        // reads bypass the journal entirely (segment state only matters
+        // at commit/open), so a durable store can serve reader threads
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DurableArchive>();
+    }
+
+    #[test]
     fn versions_survive_reopen() {
         let path = scratch_path("durable-reopen");
         let v1 = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
@@ -348,7 +362,7 @@ mod tests {
             assert_eq!(d.add_version(&v1).unwrap(), 1);
             assert_eq!(d.add_version(&v2).unwrap(), 2);
         } // dropped without any shutdown protocol — every commit is already on disk
-        let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        let d = DurableArchive::open(&path, fresh_inner()).unwrap();
         assert_eq!(d.latest(), 2);
         assert_eq!(d.recovery().versions_recovered, 2);
         let got = d.retrieve(1).unwrap().unwrap();
@@ -365,7 +379,7 @@ mod tests {
             d.add_version(&v1).unwrap();
             assert_eq!(d.add_empty_version().unwrap(), 2);
         }
-        let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        let d = DurableArchive::open(&path, fresh_inner()).unwrap();
         assert_eq!(d.latest(), 2);
         assert!(d.has_version(2));
         assert!(d.retrieve(2).unwrap().is_none());
@@ -451,7 +465,7 @@ mod tests {
             // the repetitive payload must actually have been compressed
             assert!(d.journal_bytes() < raw_len);
         }
-        let mut d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
+        let d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
         let got = d.retrieve(1).unwrap().unwrap();
         assert!(xarch_core::equiv_modulo_key_order(&got, &doc, d.spec()));
         std::fs::remove_file(&path).unwrap();

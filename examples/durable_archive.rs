@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ---- second life: reopen from the same path ------------------------
-    let mut store = ArchiveBuilder::new(spec.clone())
+    let store = ArchiveBuilder::new(spec.clone())
         .durable(&path)
         .try_build()?;
     println!("second life: reopened with {} versions", store.latest());

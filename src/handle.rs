@@ -1,0 +1,473 @@
+//! The concurrent service layer: one writer, many readers, over any
+//! backend.
+//!
+//! The paper's archive is an *append-only* structure: merging version `i`
+//! decides only whether `i` belongs to each element's timestamp, never the
+//! membership of earlier versions. So the answer to any query *about
+//! versions ≤ P* is fixed the moment version `P` commits — exactly the
+//! property an online archive service needs to serve heavy read traffic
+//! while curation continues. [`ArchiveHandle`] packages that property:
+//!
+//! * the handle is cheaply clonable (an [`Arc`]) and `Send + Sync`;
+//! * writes (`add_version`) take the write lock — single-writer;
+//! * reads take the read lock — any number run concurrently;
+//! * [`ArchiveHandle::snapshot`] returns a [`Snapshot`]: a [`StoreReader`]
+//!   pinned at the version that was `latest()` at snapshot time. Every
+//!   query through the snapshot clamps to the pinned version, so a reader
+//!   observes one consistent archive — repeatable reads across many
+//!   queries — while merges keep landing behind it.
+//!
+//! ```
+//! use xarch::keys::KeySpec;
+//! use xarch::xml::parse;
+//! use xarch::{ArchiveBuilder, StoreReader};
+//!
+//! let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))")?;
+//! let handle = ArchiveBuilder::new(spec).build_shared();
+//! handle.add_version(&parse("<db><rec><id>1</id></rec></db>")?)?;
+//!
+//! let snap = handle.snapshot(); // pinned at version 1
+//! handle.add_version(&parse("<db><rec><id>2</id></rec></db>")?)?;
+//!
+//! // the snapshot still sees the world as of version 1 …
+//! assert_eq!(snap.latest(), 1);
+//! assert!(!snap.has_version(2));
+//! // … while the handle serves the live archive
+//! assert_eq!(handle.latest(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::Write;
+use std::ops::RangeInclusive;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use xarch_core::{
+    ElementHistory, KeyQuery, RangeEntry, StoreError, StoreReader, StoreStats, TimeSet,
+    VersionDelta, VersionStore,
+};
+use xarch_keys::KeySpec;
+use xarch_xml::Document;
+
+/// The state one handle and all its snapshots share. The spec is cached
+/// outside the lock: it is fixed at construction, and `StoreReader::spec`
+/// returns a borrow that must not depend on holding a guard.
+struct Shared {
+    store: RwLock<Box<dyn VersionStore>>,
+    spec: KeySpec,
+}
+
+impl Shared {
+    fn read(&self) -> RwLockReadGuard<'_, Box<dyn VersionStore>> {
+        // a poisoned lock means a writer panicked mid-merge; the archive
+        // may hold a half-applied version, so refuse to serve from it
+        self.store
+            .read()
+            .expect("archive writer panicked mid-merge")
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Box<dyn VersionStore>> {
+        self.store
+            .write()
+            .expect("archive writer panicked mid-merge")
+    }
+}
+
+/// A cheaply-clonable, thread-safe handle to a shared archive:
+/// single-writer / multi-reader over any [`VersionStore`] backend.
+///
+/// Reads through the handle (it implements [`StoreReader`]) are *live* —
+/// each query sees whatever has been committed when it acquires the read
+/// lock. For a consistent view across several queries, take a
+/// [`ArchiveHandle::snapshot`].
+///
+/// Constructed by [`crate::ArchiveBuilder::build_shared`] /
+/// [`crate::ArchiveBuilder::try_build_shared`], or directly from any boxed
+/// store with [`ArchiveHandle::new`].
+#[derive(Clone)]
+pub struct ArchiveHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ArchiveHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArchiveHandle")
+            .field("latest", &self.latest())
+            .finish()
+    }
+}
+
+impl ArchiveHandle {
+    /// Wraps `store` for shared use.
+    pub fn new(store: Box<dyn VersionStore>) -> Self {
+        let spec = store.spec().clone();
+        Self {
+            shared: Arc::new(Shared {
+                store: RwLock::new(store),
+                spec,
+            }),
+        }
+    }
+
+    /// Merges `doc` as the next version (write lock: excludes other
+    /// writers and waits out in-flight reads; snapshots taken earlier are
+    /// unaffected — their pinned answers never change).
+    pub fn add_version(&self, doc: &Document) -> Result<u32, StoreError> {
+        self.shared.write().add_version(doc)
+    }
+
+    /// Archives an *empty* database as the next version (write lock).
+    pub fn add_empty_version(&self) -> Result<u32, StoreError> {
+        self.shared.write().add_empty_version()
+    }
+
+    /// A read-only view pinned at the version that is `latest()` right
+    /// now. Taking a snapshot is O(1) — no data is copied; the snapshot
+    /// clamps every query to the pinned version instead.
+    pub fn snapshot(&self) -> Snapshot {
+        let pinned = self.shared.read().latest();
+        Snapshot {
+            shared: Arc::clone(&self.shared),
+            pinned,
+        }
+    }
+
+    /// Runs `f` with the locked store — an escape hatch for backend
+    /// inspection (I/O stats, recovery stats) that the trait does not
+    /// carry. Reads only; the closure gets `&dyn VersionStore`.
+    ///
+    /// The read lock is held for the closure's whole run: do **not**
+    /// re-enter this handle (or a clone, or a snapshot of it) from
+    /// inside `f`. `std::sync::RwLock` may block a second read
+    /// acquisition while a writer is queued, so re-entry can deadlock
+    /// against a concurrent `add_version`.
+    pub fn with_store<R>(&self, f: impl FnOnce(&dyn VersionStore) -> R) -> R {
+        f(self.shared.read().as_ref())
+    }
+}
+
+impl StoreReader for ArchiveHandle {
+    fn spec(&self) -> &KeySpec {
+        &self.shared.spec
+    }
+
+    fn latest(&self) -> u32 {
+        self.shared.read().latest()
+    }
+
+    fn has_version(&self, v: u32) -> bool {
+        self.shared.read().has_version(v)
+    }
+
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+        self.shared.read().retrieve(v)
+    }
+
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        self.shared.read().retrieve_into(v, out)
+    }
+
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        self.shared.read().history(steps)
+    }
+
+    fn stats(&self) -> Result<StoreStats, StoreError> {
+        self.shared.read().stats()
+    }
+
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        self.shared.read().as_of(steps, v)
+    }
+
+    fn history_values(&self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
+        self.shared.read().history_values(steps)
+    }
+
+    fn range(
+        &self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        self.shared.read().range(prefix, versions)
+    }
+
+    fn diff(&self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
+        self.shared.read().diff(steps, v1, v2)
+    }
+}
+
+/// The handle is itself a [`VersionStore`], so it can slot into any code
+/// written against the trait (conformance suites, generic drivers). The
+/// `&mut` receivers are a formality — writes really synchronize on the
+/// internal lock.
+impl VersionStore for ArchiveHandle {
+    fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        ArchiveHandle::add_version(self, doc)
+    }
+
+    fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        ArchiveHandle::add_empty_version(self)
+    }
+}
+
+/// A read-only view of a shared archive pinned at one version.
+///
+/// All [`StoreReader`] queries are clamped to the pinned version `P`:
+/// `latest()` answers `P`, versions beyond `P` do not exist, histories
+/// and range lifetimes are restricted to `1..=P`, and an element first
+/// archived after `P` was "never archived". Because merged versions are
+/// immutable, every query answer equals what a serial replay of versions
+/// `1..=P` would produce — no matter how many merges commit after the
+/// snapshot was taken. The one exception is [`StoreReader::stats`]: its
+/// `versions` count is pinned, but the node/byte counts describe the
+/// *live* physical storage (which only grows, so they upper-bound the
+/// pinned version's).
+///
+/// Snapshots are cheap (`Arc` + a version number), `Clone`, and
+/// `Send + Sync`: hand one to each request handler thread.
+#[derive(Clone)]
+pub struct Snapshot {
+    shared: Arc<Shared>,
+    pinned: u32,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("pinned", &self.pinned)
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// The version this snapshot is pinned at (0 for a snapshot of an
+    /// empty archive).
+    pub fn pinned(&self) -> u32 {
+        self.pinned
+    }
+
+    /// Clamps a history answer to the snapshot window. An element whose
+    /// clamped existence is empty was not yet archived as of the pinned
+    /// version — it must read as "never archived" (`None`). The synthetic
+    /// root (empty path) is the one exception: it always exists, its
+    /// existence set is just empty while the archive is.
+    fn clamp_history(&self, steps: &[KeyQuery], t: TimeSet) -> Option<TimeSet> {
+        let clamped = t.clamp_range(1, self.pinned);
+        (steps.is_empty() || !clamped.is_empty()).then_some(clamped)
+    }
+}
+
+impl StoreReader for Snapshot {
+    fn spec(&self) -> &KeySpec {
+        &self.shared.spec
+    }
+
+    fn latest(&self) -> u32 {
+        self.pinned
+    }
+
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+        if v == 0 || v > self.pinned {
+            return Ok(None);
+        }
+        self.shared.read().retrieve(v)
+    }
+
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        if v == 0 || v > self.pinned {
+            return Ok(false);
+        }
+        self.shared.read().retrieve_into(v, out)
+    }
+
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        match self.shared.read().history(steps)? {
+            None => Ok(None),
+            Some(t) => Ok(self.clamp_history(steps, t)),
+        }
+    }
+
+    fn stats(&self) -> Result<StoreStats, StoreError> {
+        // node and byte counts describe the *live* physical storage (the
+        // archive only grows, so they are an upper bound for the pinned
+        // version); the version count is the snapshot's
+        let mut s = self.shared.read().stats()?;
+        s.versions = self.pinned;
+        Ok(s)
+    }
+
+    fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
+        if v == 0 || v > self.pinned {
+            return Ok(None);
+        }
+        self.shared.read().as_of(steps, v)
+    }
+
+    // `history_values` takes the trait default: it loops over the
+    // *clamped* existence set from `history` above and materializes one
+    // subtree per in-window version via the clamped `as_of` — O(pinned
+    // history), never the live element's full (and growing) history.
+
+    fn range(
+        &self,
+        prefix: &[KeyQuery],
+        versions: RangeInclusive<u32>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        let lo = (*versions.start()).max(1);
+        let hi = (*versions.end()).min(self.pinned);
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        self.shared.read().range(prefix, lo..=hi)
+    }
+
+    // `diff` takes the trait default, which composes from the clamped
+    // `as_of` above: versions beyond the pin read as absent.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ArchiveBuilder;
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+    }
+
+    /// Version `i` holds records 1..=i, so earlier records live on.
+    fn doc(i: u32) -> Document {
+        let mut s = String::from("<db>");
+        for r in 1..=i {
+            s.push_str(&format!("<rec><id>{r}</id><val>v{i}</val></rec>"));
+        }
+        s.push_str("</db>");
+        parse(&s).unwrap()
+    }
+
+    #[test]
+    fn handle_and_snapshot_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<ArchiveHandle>();
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn handle_is_clonable_and_live() {
+        let handle = ArchiveBuilder::new(spec()).build_shared();
+        let other = handle.clone();
+        handle.add_version(&doc(1)).unwrap();
+        assert_eq!(other.latest(), 1);
+        assert!(other.retrieve(1).unwrap().is_some());
+    }
+
+    #[test]
+    fn snapshot_pins_every_query() {
+        let handle = ArchiveBuilder::new(spec()).build_shared();
+        handle.add_version(&doc(1)).unwrap();
+        handle.add_version(&doc(2)).unwrap();
+        let snap = handle.snapshot();
+        assert_eq!(snap.pinned(), 2);
+        handle.add_version(&doc(3)).unwrap();
+        handle.add_empty_version().unwrap();
+
+        // version axis
+        assert_eq!(snap.latest(), 2);
+        assert!(snap.has_version(2));
+        assert!(!snap.has_version(3));
+        assert!(snap.retrieve(3).unwrap().is_none());
+        let mut bytes = Vec::new();
+        assert!(!snap.retrieve_into(3, &mut bytes).unwrap());
+        assert!(snap.retrieve(2).unwrap().is_some());
+
+        // history clamps; elements born after the pin don't exist
+        let q3 = [
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "3"),
+        ];
+        assert!(snap.history(&q3).unwrap().is_none());
+        assert!(snap.as_of(&q3, 2).unwrap().is_none());
+        let q1 = [
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ];
+        // rec 1 lives on in v3 of the live archive; the snapshot clamps
+        assert_eq!(snap.history(&q1).unwrap().unwrap().to_string(), "1-2");
+        assert_eq!(
+            handle.history(&q1).unwrap().unwrap().to_string(),
+            "1-3",
+            "live handle sees the later merge"
+        );
+
+        // range windows clamp to the pin
+        let hits = snap.range(&[KeyQuery::new("db")], 1..=9).unwrap();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        for h in &hits {
+            assert!(h.time.versions().all(|v| v <= 2), "{hits:?}");
+        }
+
+        // history_values drops post-pin contents
+        let hv = snap.history_values(&q1).unwrap().unwrap();
+        assert_eq!(hv.existence.to_string(), "1-2");
+        assert!(hv.values.iter().all(|(t, _)| t.versions().all(|v| v <= 2)));
+
+        // diff composes from the clamped as_of
+        let d = snap.diff(&q1, 1, 3).unwrap();
+        assert!(!d.is_same(), "v3 reads as absent from the snapshot");
+
+        // stats report the pinned version count
+        assert_eq!(snap.stats().unwrap().versions, 2);
+    }
+
+    #[test]
+    fn snapshot_of_empty_archive() {
+        let handle = ArchiveBuilder::new(spec()).build_shared();
+        let snap = handle.snapshot();
+        handle.add_version(&doc(1)).unwrap();
+        assert_eq!(snap.pinned(), 0);
+        assert_eq!(snap.latest(), 0);
+        assert!(!snap.has_version(1));
+        assert!(snap.retrieve(1).unwrap().is_none());
+        // the synthetic root exists with an empty existence set
+        assert_eq!(snap.history(&[]).unwrap().unwrap().to_string(), "");
+        assert!(snap.range(&[], 1..=9).unwrap().is_empty());
+    }
+
+    #[test]
+    fn handle_serves_trait_driven_code() {
+        // the handle is a VersionStore itself
+        let mut store: Box<dyn VersionStore> = Box::new(ArchiveBuilder::new(spec()).build_shared());
+        store.add_version(&doc(1)).unwrap();
+        assert_eq!(store.latest(), 1);
+        assert!(store.retrieve(1).unwrap().is_some());
+    }
+
+    #[test]
+    fn snapshots_and_handles_cross_threads() {
+        let handle = ArchiveBuilder::new(spec()).with_index().build_shared();
+        handle.add_version(&doc(1)).unwrap();
+        let snap = handle.snapshot();
+        let writer = handle.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 2..=5 {
+                    writer.add_version(&doc(i)).unwrap();
+                }
+            });
+            for _ in 0..4 {
+                let snap = snap.clone();
+                let handle = handle.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(snap.latest(), 1);
+                        assert!(snap.retrieve(1).unwrap().is_some());
+                        let live = handle.snapshot();
+                        let p = live.pinned();
+                        assert!((1..=5).contains(&p));
+                        assert!(live.retrieve(p).unwrap().is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(handle.latest(), 5);
+    }
+}

@@ -51,19 +51,55 @@
 //! suite verifies this); they differ in where the merge's working set
 //! lives and how temporal queries are answered:
 //!
-//! | builder call | backend | paper | when to use | `as_of` / `history` / `range` |
-//! |---|---|---|---|---|
-//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk |
-//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges |
-//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized |
-//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay |
-//! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer |
+//! | builder call | backend | paper | when to use | `as_of` / `history` / `range` | shared reads |
+//! |---|---|---|---|---|---|
+//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk | `&self`, lock-free |
+//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges | `&self`, lock-free |
+//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized | `&self`; I/O accounting via atomics |
+//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay | `&self`; reads never touch the journal |
+//! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer | `&self`; probe counters are atomics |
 //!
 //! `.compaction(Compaction::Weave)` additionally selects Fig 10's
 //! "further compaction" beneath frontier nodes for the in-memory and
 //! chunked backends. Durable configurations can fail to open (corrupt
 //! file, key-spec mismatch), so prefer [`ArchiveBuilder::try_build`] over
 //! `build()` when `.durable(..)` is set.
+//!
+//! ## Serving concurrent readers
+//!
+//! The contract is split read/write: every query lives on the object-safe
+//! [`StoreReader`] trait with `&self` receivers, and [`VersionStore`]
+//! (which is `Send + Sync` by contract) adds the two mutators. On top of
+//! that split, `.build_shared()` returns an [`ArchiveHandle`] — a
+//! cheaply-clonable handle with single-writer / multi-reader semantics —
+//! and [`ArchiveHandle::snapshot`] pins a [`Snapshot`] at the current
+//! version: every query through it clamps to the pinned version, so a
+//! reader observes one consistent archive while merges continue behind it.
+//!
+//! ```
+//! use xarch::keys::KeySpec;
+//! use xarch::xml::parse;
+//! use xarch::{ArchiveBuilder, StoreReader};
+//!
+//! let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))")?;
+//! let handle = ArchiveBuilder::new(spec).with_index().build_shared();
+//! handle.add_version(&parse("<db><rec><id>1</id></rec></db>")?)?;
+//!
+//! let snap = handle.snapshot(); // pinned at version 1
+//! let reader = handle.clone();  // e.g. move into a request-handler thread
+//! std::thread::spawn(move || {
+//!     assert_eq!(snap.latest(), 1); // repeatable reads, whatever commits
+//!     assert!(snap.retrieve(1).expect("read").is_some());
+//!     drop(reader.snapshot()); // fresh pins track the live archive
+//! })
+//! .join()
+//! .unwrap();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/concurrent_service.rs` for a writer racing a pool of
+//! snapshot readers, and `tests/concurrency.rs` for the stress proof that
+//! snapshot answers are byte-identical to serial replays.
 //!
 //! ## Workspace layout
 //!
@@ -93,11 +129,13 @@ pub use xarch_keys as keys;
 pub use xarch_storage as storage;
 pub use xarch_xml as xml;
 
+mod handle;
 mod store;
 
+pub use handle::{ArchiveHandle, Snapshot};
 pub use store::{ArchiveBuilder, Backend};
 pub use xarch_core::{
-    ElementHistory, RangeEntry, StoreError, StoreStats, VersionDelta, VersionStore,
+    ElementHistory, RangeEntry, StoreError, StoreReader, StoreStats, VersionDelta, VersionStore,
 };
 pub use xarch_index::{IndexedArchive, IndexedStore, QueryIndex};
 pub use xarch_storage::{DurableArchive, DurableOptions, RecoveryStats};

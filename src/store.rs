@@ -39,6 +39,7 @@
 
 use std::path::PathBuf;
 
+use crate::handle::ArchiveHandle;
 use xarch_core::{Archive, ChunkedArchive, Compaction, StoreError, VersionStore};
 use xarch_extmem::{ExtArchive, IoConfig};
 use xarch_index::{IndexedArchive, IndexedStore};
@@ -138,8 +139,17 @@ impl ArchiveBuilder {
 
     /// Builds the configured store, surfacing construction errors — a
     /// durable store can fail to open (I/O error, corrupt segment,
-    /// key-spec mismatch). Pure in-memory configurations cannot fail.
+    /// key-spec mismatch) and a misconfigured backend (zero chunks) is
+    /// rejected here instead of misbehaving downstream. Pure in-memory
+    /// configurations with valid parameters cannot fail.
     pub fn try_build(self) -> Result<Box<dyn VersionStore>, StoreError> {
+        if let Backend::Chunked(0) = self.backend {
+            return Err(StoreError::Backend(
+                "chunked backend requires at least one partition (chunks(0) has nowhere \
+                 to hash records to)"
+                    .into(),
+            ));
+        }
         let inner: Box<dyn VersionStore> = match (self.backend, self.indexed) {
             (Backend::InMemory, false) => {
                 Box::new(Archive::with_compaction(self.spec, self.compaction))
@@ -170,6 +180,25 @@ impl ArchiveBuilder {
     /// Durable configurations should prefer [`ArchiveBuilder::try_build`].
     pub fn build(self) -> Box<dyn VersionStore> {
         self.try_build().expect("archive construction failed")
+    }
+
+    /// Builds the configured store wrapped in an [`ArchiveHandle`]: a
+    /// cheaply-clonable, `Send + Sync` handle with single-writer /
+    /// multi-reader semantics and O(1) consistent snapshots
+    /// ([`ArchiveHandle::snapshot`]). Composes with every backend axis —
+    /// `.chunks(..)`, `.backend(..)`, `.with_index()`, `.durable(..)`.
+    /// Surfaces the same construction errors as
+    /// [`ArchiveBuilder::try_build`].
+    pub fn try_build_shared(self) -> Result<ArchiveHandle, StoreError> {
+        Ok(ArchiveHandle::new(self.try_build()?))
+    }
+
+    /// Like [`ArchiveBuilder::try_build_shared`], panicking on
+    /// construction failure. Durable configurations should prefer the
+    /// fallible variant.
+    pub fn build_shared(self) -> ArchiveHandle {
+        self.try_build_shared()
+            .expect("archive construction failed")
     }
 }
 
@@ -217,7 +246,7 @@ mod tests {
             store.add_version(&doc).unwrap();
         }
         // reopening through the same builder configuration replays the journal
-        let mut store = ArchiveBuilder::new(spec())
+        let store = ArchiveBuilder::new(spec())
             .compaction(Compaction::Weave)
             .chunks(4)
             .durable(&path)
@@ -227,6 +256,32 @@ mod tests {
         let got = store.retrieve(1).unwrap().unwrap();
         assert!(equiv_modulo_key_order(&got, &doc, store.spec()));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_chunks_is_rejected_at_build_time() {
+        // a zero-partition hash has nowhere to put records; it must fail
+        // loudly at construction, not misbehave on the first merge
+        for b in [
+            ArchiveBuilder::new(spec()).chunks(0),
+            ArchiveBuilder::new(spec()).backend(Backend::Chunked(0)),
+            ArchiveBuilder::new(spec()).chunks(0).with_index(),
+            ArchiveBuilder::new(spec())
+                .chunks(0)
+                .durable(xarch_storage::scratch_path("builder-zero-chunks")),
+        ] {
+            let err = b.try_build().map(|_| ()).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Backend(_)),
+                "expected Backend error, got {err}"
+            );
+            assert!(err.to_string().contains("at least one partition"), "{err}");
+        }
+        // the panicking variant surfaces the same failure
+        let panicked = std::panic::catch_unwind(|| ArchiveBuilder::new(spec()).chunks(0).build());
+        assert!(panicked.is_err());
+        // and a valid chunk count still builds
+        assert!(ArchiveBuilder::new(spec()).chunks(1).try_build().is_ok());
     }
 
     #[test]

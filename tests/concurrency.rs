@@ -1,0 +1,350 @@
+//! The shared-read stress suite: one writer merges versions while reader
+//! threads hammer the query surface through [`xarch::ArchiveHandle`]
+//! snapshots, asserting every answer is **byte-identical to a serial
+//! replay** at the snapshot's pinned version.
+//!
+//! The serial replay records the expected answer for every pin level
+//! *while it grows* — after version `P` commits, whatever the store
+//! answers is by definition what a snapshot pinned at `P` must answer
+//! forever, no matter how many merges land afterwards. Readers then race
+//! the writer and compare against those recordings. Run with
+//! `--release` (CI does) so the threads genuinely interleave.
+
+use std::sync::Arc;
+
+use xarch::core::KeyQuery;
+use xarch::extmem::IoConfig;
+use xarch::keys::KeySpec;
+use xarch::xml::parse;
+use xarch::{ArchiveBuilder, ArchiveHandle, Backend, RangeEntry, StoreReader, VersionStore};
+
+/// Versions the writer merges (version `EMPTY_VERSION` is archived
+/// empty); record `r` is present in version `v` iff `(v + r) % 4 != 0`,
+/// so records churn — inserted, deleted, reinserted — across the run.
+const VERSIONS: u32 = 12;
+const EMPTY_VERSION: u32 = 7;
+const RECORDS: u32 = 8;
+const READERS: usize = 4;
+
+fn spec() -> KeySpec {
+    KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+}
+
+fn version_doc(v: u32) -> Option<xarch::xml::Document> {
+    if v == EMPTY_VERSION {
+        return None;
+    }
+    let mut s = String::from("<db>");
+    for r in 1..=RECORDS {
+        if (v + r).is_multiple_of(4) {
+            continue;
+        }
+        s.push_str(&format!("<rec><id>{r}</id><val>r{r}v{v}</val></rec>"));
+    }
+    s.push_str("</db>");
+    Some(parse(&s).unwrap())
+}
+
+fn queries() -> Vec<Vec<KeyQuery>> {
+    let rec = |id: &str| {
+        vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", id),
+        ]
+    };
+    vec![
+        rec("1"),
+        rec("2"),
+        rec("99"), // never archived
+        vec![],    // the synthetic root
+    ]
+}
+
+fn compact(doc: &xarch::xml::Document) -> String {
+    xarch::xml::writer::to_compact_string(doc)
+}
+
+/// Everything a snapshot pinned at `P` must answer, recorded from the
+/// serial store the moment version `P` committed. Index 0 is the empty
+/// archive.
+struct Expected {
+    /// `bytes[v]`: the streamed serialization of version `v` (`None` for
+    /// empty versions). Recorded once — committed versions are immutable.
+    bytes: Vec<Option<Vec<u8>>>,
+    /// `as_of[qi][v]`: the addressed subtree at version `v`, compact.
+    as_of: Vec<Vec<Option<String>>>,
+    /// `history[qi][pin]`: the existence set (displayed) at each pin.
+    history: Vec<Vec<Option<String>>>,
+    /// `range[pin]`: keyed children of `<db>` over the whole window.
+    range: Vec<Vec<RangeEntry>>,
+}
+
+/// Grows `store` through the full version sequence, recording the
+/// expected answer set at every pin level.
+fn serial_replay(store: &mut Box<dyn VersionStore>) -> Expected {
+    let qs = queries();
+    let prefix = [KeyQuery::new("db")];
+    let mut exp = Expected {
+        bytes: vec![None],
+        as_of: vec![vec![None]; qs.len()],
+        history: vec![Vec::new(); qs.len()],
+        range: Vec::new(),
+    };
+    // pin 0: the empty archive
+    for (qi, q) in qs.iter().enumerate() {
+        exp.history[qi].push(store.history(q).unwrap().map(|t| t.to_string()));
+    }
+    exp.range.push(store.range(&prefix, 1..=u32::MAX).unwrap());
+    for v in 1..=VERSIONS {
+        match version_doc(v) {
+            Some(doc) => assert_eq!(store.add_version(&doc).unwrap(), v),
+            None => assert_eq!(store.add_empty_version().unwrap(), v),
+        }
+        let mut bytes = Vec::new();
+        let wrote = store.retrieve_into(v, &mut bytes).unwrap();
+        exp.bytes.push(wrote.then_some(bytes));
+        for (qi, q) in qs.iter().enumerate() {
+            exp.as_of[qi].push(store.as_of(q, v).unwrap().map(|d| compact(&d)));
+            exp.history[qi].push(store.history(q).unwrap().map(|t| t.to_string()));
+        }
+        exp.range.push(store.range(&prefix, 1..=u32::MAX).unwrap());
+    }
+    exp
+}
+
+/// One reader thread: snapshot, then interrogate it and compare every
+/// answer with the serial recordings at the pinned version.
+fn check_snapshot(label: &str, snap: &xarch::Snapshot, exp: &Expected) {
+    let p = snap.pinned();
+    assert_eq!(snap.latest(), p, "{label}");
+    let qs = queries();
+
+    // reads beyond the pin never leak, even while the writer is ahead
+    assert!(!snap.has_version(p + 1), "{label} pin {p}");
+    assert!(snap.retrieve(p + 1).unwrap().is_none(), "{label} pin {p}");
+    let mut sink = Vec::new();
+    assert!(!snap.retrieve_into(p + 1, &mut sink).unwrap());
+
+    // full retrieval: byte-identical to the serial replay
+    for v in 1..=p {
+        let mut got = Vec::new();
+        let wrote = snap.retrieve_into(v, &mut got).unwrap();
+        let want = &exp.bytes[v as usize];
+        assert_eq!(wrote, want.is_some(), "{label} retrieve v{v} pin {p}");
+        if let Some(want) = want {
+            assert_eq!(&got, want, "{label} retrieve v{v} pin {p}");
+        }
+    }
+
+    for (qi, q) in qs.iter().enumerate() {
+        // history pinned: equal to what the serial store said at pin P
+        let got = snap.history(q).unwrap().map(|t| t.to_string());
+        assert_eq!(
+            got, exp.history[qi][p as usize],
+            "{label} history q{qi} pin {p}"
+        );
+        // as_of at every version up to the pin
+        for v in 1..=p {
+            let got = snap.as_of(q, v).unwrap().map(|d| compact(&d));
+            assert_eq!(
+                got, exp.as_of[qi][v as usize],
+                "{label} as_of q{qi} v{v} pin {p}"
+            );
+        }
+        // as_of beyond the pin is absent
+        assert!(snap.as_of(q, p + 1).unwrap().is_none(), "{label} q{qi}");
+    }
+
+    // range over an unbounded window clamps to the pin
+    let got = snap.range(&[KeyQuery::new("db")], 1..=u32::MAX).unwrap();
+    assert_eq!(got, exp.range[p as usize], "{label} range pin {p}");
+
+    assert_eq!(snap.stats().unwrap().versions, p, "{label} stats pin {p}");
+}
+
+/// The harness: serial replay on one store, then a racing writer and
+/// `READERS` snapshot readers on a second store of the same configuration.
+fn stress(label: &str, mut serial: Box<dyn VersionStore>, live: Box<dyn VersionStore>) {
+    let exp = Arc::new(serial_replay(&mut serial));
+    drop(serial); // releases durable file locks before the race starts
+    let handle = ArchiveHandle::new(live);
+
+    std::thread::scope(|s| {
+        let writer = handle.clone();
+        s.spawn(move || {
+            for v in 1..=VERSIONS {
+                match version_doc(v) {
+                    Some(doc) => assert_eq!(writer.add_version(&doc).unwrap(), v),
+                    None => assert_eq!(writer.add_empty_version().unwrap(), v),
+                }
+                // give readers a chance to land between merges
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..READERS {
+            let handle = handle.clone();
+            let exp = Arc::clone(&exp);
+            s.spawn(move || {
+                let mut pins_seen = Vec::new();
+                loop {
+                    let snap = handle.snapshot();
+                    check_snapshot(label, &snap, &exp);
+                    // a second look at the same snapshot must repeat the
+                    // answers even though the writer moved on
+                    check_snapshot(label, &snap, &exp);
+                    pins_seen.push(snap.pinned());
+                    if snap.pinned() == VERSIONS {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                // pins never move backwards from a reader's point of view
+                assert!(pins_seen.windows(2).all(|w| w[0] <= w[1]), "{label}");
+            });
+        }
+    });
+
+    // after the race, the live store answers exactly like the replay
+    let last = handle.snapshot();
+    assert_eq!(last.pinned(), VERSIONS, "{label}");
+    check_snapshot(label, &last, &exp);
+}
+
+struct Scratch(Vec<std::path::PathBuf>);
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+fn small_ext_cfg() -> IoConfig {
+    IoConfig {
+        mem_bytes: 2 << 10,
+        page_bytes: 256,
+    }
+}
+
+#[test]
+fn stress_in_memory() {
+    stress(
+        "in-memory",
+        ArchiveBuilder::new(spec()).build(),
+        ArchiveBuilder::new(spec()).build(),
+    );
+}
+
+#[test]
+fn stress_in_memory_indexed() {
+    stress(
+        "in-memory/indexed",
+        ArchiveBuilder::new(spec()).with_index().build(),
+        ArchiveBuilder::new(spec()).with_index().build(),
+    );
+}
+
+#[test]
+fn stress_in_memory_weave() {
+    // weave compaction is the one mode where a merge *rewrites* the
+    // stored representation beneath frontier nodes of earlier versions,
+    // so it is the config most likely to expose a lock-coverage
+    // regression in "reads of v <= P are unaffected by concurrent
+    // merges"
+    use xarch::core::Compaction;
+    stress(
+        "in-memory/weave",
+        ArchiveBuilder::new(spec())
+            .compaction(Compaction::Weave)
+            .build(),
+        ArchiveBuilder::new(spec())
+            .compaction(Compaction::Weave)
+            .build(),
+    );
+}
+
+#[test]
+fn stress_chunked_weave() {
+    use xarch::core::Compaction;
+    stress(
+        "chunked(4)/weave",
+        ArchiveBuilder::new(spec())
+            .compaction(Compaction::Weave)
+            .chunks(4)
+            .build(),
+        ArchiveBuilder::new(spec())
+            .compaction(Compaction::Weave)
+            .chunks(4)
+            .build(),
+    );
+}
+
+#[test]
+fn stress_chunked() {
+    stress(
+        "chunked(4)",
+        ArchiveBuilder::new(spec()).chunks(4).build(),
+        ArchiveBuilder::new(spec()).chunks(4).build(),
+    );
+}
+
+#[test]
+fn stress_chunked_indexed() {
+    stress(
+        "chunked(4)/indexed",
+        ArchiveBuilder::new(spec()).chunks(4).with_index().build(),
+        ArchiveBuilder::new(spec()).chunks(4).with_index().build(),
+    );
+}
+
+#[test]
+fn stress_extmem() {
+    stress(
+        "extmem",
+        ArchiveBuilder::new(spec())
+            .backend(Backend::ExtMem(small_ext_cfg()))
+            .build(),
+        ArchiveBuilder::new(spec())
+            .backend(Backend::ExtMem(small_ext_cfg()))
+            .build(),
+    );
+}
+
+#[test]
+fn stress_durable() {
+    let serial_path = xarch::storage::scratch_path("stress-durable-serial");
+    let live_path = xarch::storage::scratch_path("stress-durable-live");
+    let _guard = Scratch(vec![serial_path.clone(), live_path.clone()]);
+    stress(
+        "durable",
+        ArchiveBuilder::new(spec())
+            .durable(serial_path)
+            .try_build()
+            .expect("serial durable store"),
+        ArchiveBuilder::new(spec())
+            .durable(live_path)
+            .try_build()
+            .expect("live durable store"),
+    );
+}
+
+#[test]
+fn stress_durable_indexed() {
+    let serial_path = xarch::storage::scratch_path("stress-durable-idx-serial");
+    let live_path = xarch::storage::scratch_path("stress-durable-idx-live");
+    let _guard = Scratch(vec![serial_path.clone(), live_path.clone()]);
+    stress(
+        "durable/indexed",
+        ArchiveBuilder::new(spec())
+            .with_index()
+            .durable(serial_path)
+            .try_build()
+            .expect("serial durable store"),
+        ArchiveBuilder::new(spec())
+            .with_index()
+            .durable(live_path)
+            .try_build()
+            .expect("live durable store"),
+    );
+}

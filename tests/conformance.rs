@@ -11,7 +11,7 @@ use xarch::datagen::omim::{omim_spec, OmimGen};
 use xarch::extmem::IoConfig;
 use xarch::keys::KeySpec;
 use xarch::xml::parse;
-use xarch::{ArchiveBuilder, Backend, VersionStore};
+use xarch::{ArchiveBuilder, Backend, StoreReader, VersionStore};
 
 fn spec() -> KeySpec {
     KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
@@ -137,6 +137,70 @@ fn version_numbering_and_bounds() {
         assert!(s.has_version(1) && s.has_version(2), "{label}");
         assert!(!s.has_version(3), "{label}");
         assert!(s.retrieve(3).unwrap().is_none(), "{label}");
+    }
+}
+
+#[test]
+fn snapshots_pin_reads_on_every_backend() {
+    // Behind an ArchiveHandle, a snapshot taken at version P keeps
+    // answering as of P — byte for byte — while merges continue. The
+    // threaded stress variant lives in tests/concurrency.rs; this is the
+    // single-threaded contract check across the whole backend matrix.
+    let v1 = parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap();
+    let v2 = parse(
+        "<db><rec><id>1</id><val>b</val></rec>\
+         <rec><id>2</id><val>c</val></rec></db>",
+    )
+    .unwrap();
+    let v3 = parse("<db><rec><id>3</id><val>d</val></rec></db>").unwrap();
+    let q1 = [
+        KeyQuery::new("db"),
+        KeyQuery::new("rec").with_text("id", "1"),
+    ];
+    let q3 = [
+        KeyQuery::new("db"),
+        KeyQuery::new("rec").with_text("id", "3"),
+    ];
+    let (_scratch, backends) = all_backends(&spec());
+    for (label, s) in backends {
+        let handle = xarch::ArchiveHandle::new(s);
+        handle.add_version(&v1).unwrap();
+        handle.add_version(&v2).unwrap();
+        // record what the archive answers at pin level 2 …
+        let snap = handle.snapshot();
+        assert_eq!(snap.pinned(), 2, "{label}");
+        let mut want_v2 = Vec::new();
+        assert!(snap.retrieve_into(2, &mut want_v2).unwrap(), "{label}");
+        let want_hist = snap.history(&q1).unwrap().unwrap().to_string();
+        let want_range = snap.range(&[KeyQuery::new("db")], 1..=u32::MAX).unwrap();
+        // … then keep merging behind it
+        handle.add_version(&v3).unwrap();
+        handle.add_empty_version().unwrap();
+        assert_eq!(handle.latest(), 4, "{label}");
+
+        // the snapshot's world has not moved
+        assert_eq!(snap.latest(), 2, "{label}");
+        assert!(!snap.has_version(3), "{label}");
+        assert!(snap.retrieve(3).unwrap().is_none(), "{label}");
+        assert!(snap.history(&q3).unwrap().is_none(), "{label}");
+        assert!(snap.as_of(&q3, 2).unwrap().is_none(), "{label}");
+        let mut got_v2 = Vec::new();
+        assert!(snap.retrieve_into(2, &mut got_v2).unwrap(), "{label}");
+        assert_eq!(got_v2, want_v2, "{label}: pinned retrieve changed");
+        assert_eq!(
+            snap.history(&q1).unwrap().unwrap().to_string(),
+            want_hist,
+            "{label}: pinned history changed"
+        );
+        assert_eq!(
+            snap.range(&[KeyQuery::new("db")], 1..=u32::MAX).unwrap(),
+            want_range,
+            "{label}: pinned range changed"
+        );
+        // while a fresh snapshot sees the later merges
+        let live = handle.snapshot();
+        assert_eq!(live.pinned(), 4, "{label}");
+        assert!(live.history(&q3).unwrap().is_some(), "{label}");
     }
 }
 

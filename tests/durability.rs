@@ -255,7 +255,7 @@ fn larger_workload_survives_reopen_byte_identically() {
             }
         }
     }
-    let mut recovered = ArchiveBuilder::new(spec)
+    let recovered = ArchiveBuilder::new(spec)
         .durable(&path)
         .try_build()
         .unwrap();
@@ -299,7 +299,7 @@ fn indexed_durable_answers_queries_after_reopen() {
         d.add_empty_version().unwrap();
         assert_eq!(d.history(&q1).unwrap().unwrap().to_string(), "1-2");
     } // process "dies"
-    let mut d = ArchiveBuilder::new(spec())
+    let d = ArchiveBuilder::new(spec())
         .with_index()
         .durable(&path)
         .try_build()

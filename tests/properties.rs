@@ -237,7 +237,7 @@ proptest! {
                     durable.add_version(d).unwrap();
                 }
             } // dropped: simulates the process exiting
-            let mut reopened = configure(spec.clone())
+            let reopened = configure(spec.clone())
                 .durable(&path)
                 .try_build()
                 .unwrap();
