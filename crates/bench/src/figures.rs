@@ -687,6 +687,222 @@ pub fn fig_durability(scale: &Scale) {
     println!();
 }
 
+/// One measured ingest run: wall-clock, rate, and (durable) journal work.
+struct IngestRun {
+    ms: f64,
+    per_sec: f64,
+    blocks: u64,
+    syncs: u64,
+}
+
+/// Loads `docs` in batches of `batch` into `store` (`batch <= 1` = the
+/// serial `add_version` path); journal counters are the caller's to read.
+fn ingest_run(store: &mut dyn VersionStore, docs: &[Document], batch: usize) -> IngestRun {
+    let start = std::time::Instant::now();
+    if batch <= 1 {
+        for d in docs {
+            store.add_version(d).expect("merge");
+        }
+    } else {
+        for chunk in docs.chunks(batch) {
+            store.add_versions(chunk).expect("batch merge");
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    IngestRun {
+        ms: elapsed * 1e3,
+        per_sec: docs.len() as f64 / elapsed,
+        blocks: 0,
+        syncs: 0,
+    }
+}
+
+/// [`ingest_run`] against a fresh [`xarch::storage::DurableArchive`] at
+/// `path` (removed first and after), with the journal counters filled in.
+fn durable_ingest_run(
+    spec: &xarch_keys::KeySpec,
+    path: &std::path::Path,
+    docs: &[Document],
+    batch: usize,
+) -> IngestRun {
+    let _ = std::fs::remove_file(path);
+    let mut store =
+        xarch::storage::DurableArchive::open(path, ArchiveBuilder::new(spec.clone()).build())
+            .expect("durable store");
+    let mut run = ingest_run(&mut store, docs, batch);
+    run.blocks = store.journal_blocks();
+    run.syncs = store.journal_syncs();
+    drop(store);
+    let _ = std::fs::remove_file(path);
+    run
+}
+
+/// Ingest: bulk-load throughput as a function of batch size, in-memory vs
+/// durable, with the group-commit journal work alongside.
+///
+/// The write path the ROADMAP cares about: serial ingest pays a full
+/// archive walk, an index apply, and (durable) a journal block + fsync
+/// *per version*; `add_versions` amortizes all three — one batch merge
+/// pass, one batched index apply, and one group-committed block with a
+/// single fsync. The `blocks`/`fsyncs` columns show the amortization
+/// directly (64 → 1 at batch 64); how far it moves the versions/sec
+/// column depends on what an fsync costs — milliseconds on commodity
+/// disks (where serial ingest is fsync-bound and batching is worth
+/// 2–50×), microseconds on write-cached or virtualized storage.
+pub fn fig_ingest(scale: &Scale) {
+    use xarch::storage::scratch_path;
+
+    let spec = omim_spec();
+    let n_versions = 64usize;
+    let docs = OmimGen::new(0x1A6E57).sequence(scale.omim_records / 2, n_versions);
+    println!(
+        "## Ingest: bulk-load throughput vs batch size (OMIM-like, {} versions)",
+        docs.len()
+    );
+    println!("backend,batch,total_ms,versions_per_sec,journal_blocks,fsyncs");
+    for (label, durable) in [("in-memory", false), ("durable", true)] {
+        for batch in [1usize, 8, 64] {
+            let r = if durable {
+                let path = scratch_path("bench-ingest");
+                durable_ingest_run(&spec, &path, &docs, batch)
+            } else {
+                let mut store = ArchiveBuilder::new(spec.clone()).build();
+                ingest_run(store.as_mut(), &docs, batch)
+            };
+            println!(
+                "{label},{batch},{:.1},{:.0},{},{}",
+                r.ms, r.per_sec, r.blocks, r.syncs
+            );
+        }
+    }
+    println!();
+}
+
+/// The acceptance gate on the ingest figure, in two parts.
+///
+/// **Structural** (holds on any machine): for the same 64-version load,
+/// serial durable ingest must issue one journal block + one fsync per
+/// version while batch-64 ingest issues exactly ONE of each — a 64×
+/// amortization of the commit overhead, which is what makes batched
+/// ingest ≥ 2× serial wherever an fsync costs real time (any storage
+/// without a volatile write cache).
+///
+/// **Wall-clock** (environment-dependent): batching must never be slower
+/// than serial, and on hardware where an fsync costs ≥ ~1 ms the measured
+/// batch-64 rate must clear 2× serial. The threshold is derived from a
+/// probe of the actual fsync latency so the gate tests the claim on
+/// machines that can express it and degrades to the no-regression bound
+/// on write-cached storage where commit overhead is already free.
+pub fn ingest_sanity(scale: &Scale) -> Result<(), String> {
+    use xarch::storage::scratch_path;
+
+    let spec = omim_spec();
+    let docs = OmimGen::new(0x1A6E57).sequence((scale.omim_records / 4).max(20), 64);
+    let serial_path = scratch_path("ingest-sanity-serial");
+    let batched_path = scratch_path("ingest-sanity-batched");
+    // wall-clock comparisons take the best of two runs — the gate shares
+    // the machine with parallel test threads, and a single descheduling
+    // must not read as an ingest regression
+    let best = |path: &std::path::Path, batch: usize| {
+        let a = durable_ingest_run(&spec, path, &docs, batch);
+        let b = durable_ingest_run(&spec, path, &docs, batch);
+        if b.per_sec > a.per_sec {
+            b
+        } else {
+            a
+        }
+    };
+    let serial = best(&serial_path, 1);
+    let batched = best(&batched_path, 64);
+
+    // structural: group commit amortizes the journal 64×
+    if serial.blocks != docs.len() as u64 || serial.syncs != docs.len() as u64 {
+        return Err(format!(
+            "serial durable ingest should journal one block + one fsync per version, \
+             saw {} blocks / {} fsyncs for {} versions",
+            serial.blocks,
+            serial.syncs,
+            docs.len()
+        ));
+    }
+    if batched.blocks != 1 || batched.syncs != 1 {
+        return Err(format!(
+            "batch-64 durable ingest should group-commit ONE block with ONE fsync, \
+             saw {} blocks / {} fsyncs",
+            batched.blocks, batched.syncs
+        ));
+    }
+
+    // wall-clock: never slower; 2x wherever fsync costs real time
+    let fsync_ms = probe_fsync_ms();
+    if fsync_ms >= 1.0 {
+        let saved_ms = fsync_ms * (docs.len() as f64 - 1.0);
+        // with ≥1 ms fsyncs, the 63 avoided fsyncs dominate the serial
+        // run unless merging is abnormally slow — require the full 2x
+        if saved_ms > serial.ms / 2.0 && batched.per_sec < serial.per_sec * 2.0 {
+            return Err(format!(
+                "batched durable ingest (batch 64) reached {:.0} versions/sec, under 2x \
+                 the serial rate of {:.0} despite {fsync_ms:.2} ms fsyncs",
+                batched.per_sec, serial.per_sec
+            ));
+        }
+    }
+    // generous tolerance: genuine regressions (a batch path quadratic in
+    // something, an extra fsync per version) blow far past 20%, while
+    // scheduler noise on a loaded single-core runner stays within it
+    if batched.per_sec < serial.per_sec * 0.8 {
+        return Err(format!(
+            "batched durable ingest regressed: {:.0} vs {:.0} versions/sec",
+            batched.per_sec, serial.per_sec
+        ));
+    }
+
+    // the in-memory batch merge must not regress either
+    let best_mem = |batch: usize| {
+        let run = |batch| {
+            let mut s = ArchiveBuilder::new(spec.clone()).build();
+            ingest_run(s.as_mut(), &docs, batch)
+        };
+        let a = run(batch);
+        let b = run(batch);
+        if b.per_sec > a.per_sec {
+            b
+        } else {
+            a
+        }
+    };
+    let mem_serial = best_mem(1);
+    let mem_batched = best_mem(64);
+    if mem_batched.per_sec < mem_serial.per_sec * 0.8 {
+        return Err(format!(
+            "in-memory batched ingest regressed: {:.0} vs {:.0} versions/sec",
+            mem_batched.per_sec, mem_serial.per_sec
+        ));
+    }
+    Ok(())
+}
+
+/// Measures what one fsync actually costs here: a small append + fsync
+/// loop on a scratch file in the same directory the benches journal to.
+fn probe_fsync_ms() -> f64 {
+    use std::io::Write;
+    let path = xarch::storage::scratch_path("fsync-probe");
+    let Ok(mut f) = std::fs::File::create(&path) else {
+        return 0.0;
+    };
+    const ROUNDS: u32 = 16;
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        if f.write_all(&[0u8; 512]).is_err() || f.sync_data().is_err() {
+            let _ = std::fs::remove_file(&path);
+            return 0.0;
+        }
+    }
+    let per = start.elapsed().as_secs_f64() * 1e3 / ROUNDS as f64;
+    let _ = std::fs::remove_file(&path);
+    per
+}
+
 /// Concurrency: snapshot read throughput as reader threads scale 1→8 —
 /// the shared-read API's headline property. Each thread clones the
 /// `ArchiveHandle`, pins a snapshot, and streams whole versions in a
@@ -775,8 +991,8 @@ pub fn fig_concurrency(scale: &Scale) {
 }
 
 /// Runs one experiment by id ("7", "11a", ..., "claims", "extmem",
-/// "index", "queries", "ablation", "durability", "concurrency") or
-/// "all".
+/// "index", "queries", "ablation", "durability", "concurrency",
+/// "ingest") or "all".
 pub fn run(fig: &str, scale: &Scale) -> bool {
     match fig {
         "7" => fig7(scale),
@@ -796,6 +1012,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
         "ablation" => fig_ablation(scale),
         "durability" => fig_durability(scale),
         "concurrency" => fig_concurrency(scale),
+        "ingest" => fig_ingest(scale),
         "all" => {
             for f in [
                 "7",
@@ -815,6 +1032,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
                 "ablation",
                 "durability",
                 "concurrency",
+                "ingest",
             ] {
                 run(f, scale);
             }

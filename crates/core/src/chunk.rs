@@ -16,7 +16,7 @@
 
 use std::io::{self, Write};
 
-use xarch_keys::{annotate, fingerprint, KeySpec};
+use xarch_keys::{annotate, fingerprint, Annotations, KeySpec};
 use xarch_xml::escape::escape_attr;
 use xarch_xml::{Document, NodeId, NodeKind};
 
@@ -105,6 +105,48 @@ impl ChunkedArchive {
         self.latest
     }
 
+    /// Splits `doc` into one sub-document per chunk: the root (with its
+    /// attributes) plus the top-level keyed children hashing to that
+    /// chunk. The caller has verified the root is keyed.
+    fn sub_documents(&self, doc: &Document, ann: &Annotations) -> Vec<Document> {
+        let root = doc.root();
+        let root_tag = doc.tag_name(root);
+        let n = self.chunks.len();
+        let mut parts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &c in doc.children(root) {
+            let idx = match (&doc.node(c).kind, ann.key(c)) {
+                (NodeKind::Element(s), Some(k)) => {
+                    let label = partition_label(
+                        doc.syms().resolve(*s),
+                        k.parts.iter().map(|p| p.canon.as_str()),
+                    );
+                    (fingerprint(&label) % n as u128) as usize
+                }
+                _ => 0,
+            };
+            parts[idx].push(c);
+        }
+        let attrs: Vec<(String, String)> = doc
+            .attrs(root)
+            .iter()
+            .map(|(s, v)| (doc.syms().resolve(*s).to_owned(), v.clone()))
+            .collect();
+        parts
+            .iter()
+            .map(|part| {
+                let mut sub = Document::new(root_tag);
+                let sub_root = sub.root();
+                for (name, value) in &attrs {
+                    sub.set_attr(sub_root, name, value);
+                }
+                for &c in part {
+                    sub.copy_subtree_from(doc, c, sub_root);
+                }
+                sub
+            })
+            .collect()
+    }
+
     /// Partitions `doc`'s top-level keyed children by key hash and merges
     /// each partition into its chunk.
     pub fn add_version(&mut self, doc: &Document) -> Result<u32, MergeError> {
@@ -122,39 +164,11 @@ impl ChunkedArchive {
             debug_assert_eq!(prev, &root_tag, "root tag must be stable across versions");
         }
 
-        let n = self.chunks.len();
-        let mut parts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for &c in doc.children(root) {
-            let idx = match (&doc.node(c).kind, ann.key(c)) {
-                (NodeKind::Element(s), Some(k)) => {
-                    let label = partition_label(
-                        doc.syms().resolve(*s),
-                        k.parts.iter().map(|p| p.canon.as_str()),
-                    );
-                    (fingerprint(&label) % n as u128) as usize
-                }
-                _ => 0,
-            };
-            parts[idx].push(c);
-        }
-        // Build one sub-document per chunk and merge it. Every chunk gets a
-        // version each round so version numbers stay aligned.
+        // Merge every chunk's sub-document. Every chunk gets a version each
+        // round so version numbers stay aligned.
         let mut assigned = None;
-        for (i, part) in parts.iter().enumerate() {
-            let mut sub = Document::new(&root_tag);
-            let sub_root = sub.root();
-            for (name, value) in doc
-                .attrs(root)
-                .iter()
-                .map(|(s, v)| (doc.syms().resolve(*s).to_owned(), v.clone()))
-                .collect::<Vec<_>>()
-            {
-                sub.set_attr(sub_root, &name, &value);
-            }
-            for &c in part {
-                sub.copy_subtree_from(doc, c, sub_root);
-            }
-            let v = self.chunks[i].add_version(&sub)?;
+        for (i, sub) in self.sub_documents(doc, &ann).iter().enumerate() {
+            let v = self.chunks[i].add_version(sub)?;
             match assigned {
                 None => assigned = Some(v),
                 Some(prev) => debug_assert_eq!(prev, v, "chunk versions diverged"),
@@ -163,6 +177,123 @@ impl ChunkedArchive {
         self.root_tag = Some(root_tag);
         self.latest = assigned.expect("at least one chunk");
         Ok(self.latest)
+    }
+
+    /// Bulk ingest: partitions every document of the batch once, then
+    /// merges each chunk's sub-batch on its own worker thread — §5's
+    /// "merge chunk by chunk" runs chunk-parallel because the partitions
+    /// are independent archives by construction. Each worker uses the
+    /// in-memory archive's one-pass batch merge, so the result is
+    /// version-for-version identical to a serial replay.
+    ///
+    /// The whole batch is annotated and validated before any chunk is
+    /// touched: a rejected batch leaves the store unchanged.
+    pub fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, MergeError> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let anns = docs
+            .iter()
+            .map(|d| annotate(d, &self.spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut root_tag = self.root_tag.clone();
+        for (doc, ann) in docs.iter().zip(&anns) {
+            let root = doc.root();
+            if !ann.is_keyed(root) {
+                return Err(MergeError::UnkeyedRoot(doc.tag_name(root).to_owned()));
+            }
+            if let Some(prev) = &root_tag {
+                debug_assert_eq!(
+                    prev,
+                    doc.tag_name(root),
+                    "root tag must be stable across versions"
+                );
+            }
+            root_tag = Some(doc.tag_name(root).to_owned());
+        }
+
+        // One partitioning pass per version, gathered per chunk …
+        let mut subs: Vec<Vec<Document>> = (0..self.chunks.len())
+            .map(|_| Vec::with_capacity(docs.len()))
+            .collect();
+        for (doc, ann) in docs.iter().zip(&anns) {
+            for (i, sub) in self.sub_documents(doc, ann).into_iter().enumerate() {
+                subs[i].push(sub);
+            }
+        }
+        // … annotated and validated in full BEFORE any chunk is touched.
+        // A sub-document can be invalid even when the whole document was
+        // not (a root key whose key-path children hashed to another
+        // chunk), and a merge failing after sibling chunks advanced would
+        // desynchronize the partition version counters — so every
+        // possible rejection happens here, and the merges below are
+        // infallible ([`Archive::add_annotated_versions`]).
+        let sub_anns: Vec<Vec<Annotations>> = subs
+            .iter()
+            .map(|chunk_subs| {
+                chunk_subs
+                    .iter()
+                    .map(|sub| {
+                        let ann = annotate(sub, &self.spec)?;
+                        if !ann.is_keyed(sub.root()) {
+                            return Err(MergeError::UnkeyedRoot(
+                                sub.tag_name(sub.root()).to_owned(),
+                            ));
+                        }
+                        Ok(ann)
+                    })
+                    .collect::<Result<Vec<_>, MergeError>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // … then every chunk merges its sub-batch on a pool of worker
+        // threads, capped at the hardware parallelism (one worker runs
+        // the merges in place — no thread overhead on a single core).
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(self.chunks.len());
+        let per_worker = self.chunks.len().div_ceil(workers);
+        let results: Vec<Vec<u32>> = if workers <= 1 {
+            self.chunks
+                .iter_mut()
+                .zip(&subs)
+                .zip(&sub_anns)
+                .map(|((chunk, sub), ann)| chunk.add_annotated_versions(sub, ann))
+                .collect()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .chunks
+                    .chunks_mut(per_worker)
+                    .zip(subs.chunks(per_worker))
+                    .zip(sub_anns.chunks(per_worker))
+                    .map(|((chunk_group, sub_group), ann_group)| {
+                        s.spawn(move || {
+                            chunk_group
+                                .iter_mut()
+                                .zip(sub_group)
+                                .zip(ann_group)
+                                .map(|((chunk, sub), ann)| chunk.add_annotated_versions(sub, ann))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("chunk merge thread panicked"))
+                    .collect()
+            })
+        };
+        let mut assigned: Option<Vec<u32>> = None;
+        for vs in results {
+            match &assigned {
+                None => assigned = Some(vs),
+                Some(prev) => debug_assert_eq!(prev, &vs, "chunk versions diverged"),
+            }
+        }
+        let assigned = assigned.expect("at least one chunk");
+        self.root_tag = root_tag;
+        self.latest = *assigned.last().expect("non-empty batch");
+        Ok(assigned)
     }
 
     /// Retrieves version `v` by concatenating the chunks' contents.

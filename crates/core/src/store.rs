@@ -282,6 +282,34 @@ pub trait VersionStore: StoreReader + Send + Sync {
     /// Archives an *empty* database as the next version (§2's footnote:
     /// the synthetic root keeps ticking while every element terminates).
     fn add_empty_version(&mut self) -> Result<u32, StoreError>;
+
+    /// Bulk ingest: merges `docs` as consecutive versions and returns the
+    /// version numbers assigned, in order. `add_versions(&[])` is a no-op
+    /// that returns `Ok(vec![])` on every backend — no version number is
+    /// burned and durable backends write nothing.
+    ///
+    /// The observable result is identical to calling
+    /// [`VersionStore::add_version`] once per document (the differential
+    /// suite in `tests/batch_equivalence.rs` holds every backend to that),
+    /// but backends override this with *batch-native* fast paths: the
+    /// in-memory archive pre-combines the batch and walks its own child
+    /// lists once instead of once per version, the chunked archive merges
+    /// its partitions on parallel worker threads, the external-memory
+    /// archive folds the whole batch into a single streaming pass, and the
+    /// durable wrapper journals the batch as one group-committed block
+    /// with a single fsync (a torn batch recovers to the pre-batch state —
+    /// never a prefix).
+    ///
+    /// Native paths also validate the whole batch *before* mutating any
+    /// state, so a rejected batch leaves the store untouched; only this
+    /// default loop can stop part-way (at the first rejected document).
+    fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        let mut assigned = Vec::with_capacity(docs.len());
+        for doc in docs {
+            assigned.push(self.add_version(doc)?);
+        }
+        Ok(assigned)
+    }
 }
 
 impl StoreReader for Archive {
@@ -338,6 +366,10 @@ impl VersionStore for Archive {
     fn add_empty_version(&mut self) -> Result<u32, StoreError> {
         Ok(Archive::add_empty_version(self))
     }
+
+    fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        Ok(Archive::add_versions(self, docs)?)
+    }
 }
 
 impl StoreReader for ChunkedArchive {
@@ -393,6 +425,10 @@ impl VersionStore for ChunkedArchive {
 
     fn add_empty_version(&mut self) -> Result<u32, StoreError> {
         Ok(ChunkedArchive::add_empty_version(self))
+    }
+
+    fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        Ok(ChunkedArchive::add_versions(self, docs)?)
     }
 }
 

@@ -124,6 +124,83 @@ impl ExtArchive {
         Ok(i)
     }
 
+    /// Bulk ingest: archives `docs` as consecutive versions by folding the
+    /// whole batch into a **single streaming pass** over the archive.
+    ///
+    /// Each document still pays its own annotate + external sort (those
+    /// are version-sized), but the archive-sized merge — the cost that
+    /// dominates bulk loads, `O(N/B)` per version when applied serially —
+    /// runs once for the whole batch: a (k+1)-way synchronized walk over
+    /// the archive stream and all `k` sorted version streams. Per-entry
+    /// semantics reconstruct exactly what `k` serial passes would emit
+    /// (see `batch_merge_level` in this module), so the resulting stream
+    /// answers every query identically to a one-at-a-time replay.
+    ///
+    /// All documents are annotated and sorted *before* the archive stream
+    /// is touched and the new stream is swapped in atomically at the end,
+    /// so a rejected batch leaves the archive unchanged.
+    pub fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut sorted: Vec<Vec<u8>> = Vec::with_capacity(docs.len());
+        for doc in docs {
+            let ann = annotate(doc, &self.spec).map_err(|e| StreamError::new(e.to_string()))?;
+            if !ann.is_keyed(doc.root()) {
+                return Err(StreamError::new(format!(
+                    "document root <{}> has no root-level key in the spec",
+                    doc.tag_name(doc.root())
+                )));
+            }
+            let (bytes, sort_stats) = write_sorted_version(doc, &ann, &self.cfg)?;
+            self.stats.add(sort_stats);
+            sorted.push(bytes);
+        }
+        let assigned: Vec<u32> = (1..=docs.len() as u32).map(|k| self.latest + k).collect();
+
+        let mut ar = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let mut vcur: Vec<BatchCursor<'_>> = sorted
+            .iter()
+            .zip(&assigned)
+            .map(|(bytes, &v)| BatchCursor {
+                cur: StreamCursor::new(bytes, self.cfg.page_bytes),
+                v,
+            })
+            .collect();
+        let mut out = PagedWriter::new(self.cfg.page_bytes);
+
+        // Every stream wraps its contents in the same synthetic root
+        // spine; the root is present in every version, so its timestamp
+        // simply gains the whole batch.
+        let mut rh = ar.take_spine_open()?;
+        let eff0 = rh.time.clone().unwrap_or_else(TimeSet::new);
+        for bc in &mut vcur {
+            bc.cur.take_spine_open()?;
+        }
+        {
+            let t = rh.time.get_or_insert_with(TimeSet::new);
+            for &v in &assigned {
+                t.insert(v);
+            }
+        }
+        let mut header = Vec::new();
+        encode_spine_open(&rh, &mut header);
+        out.write(&header);
+        let active: Vec<usize> = (0..vcur.len()).collect();
+        batch_merge_level(Some(&mut ar), &mut vcur, &active, &eff0, &mut out)?;
+        let mut close = Vec::new();
+        encode_spine_close(&mut close);
+        out.write(&close);
+
+        self.stats
+            .add_reads(ar.pages_read() + vcur.iter().map(|c| c.cur.pages_read()).sum::<u64>());
+        let (bytes, writes) = out.finish();
+        self.stats.add_writes(writes);
+        self.data = bytes;
+        self.latest += docs.len() as u32;
+        Ok(assigned)
+    }
+
     /// Archives an *empty* database as the next version: one merge pass
     /// against a version stream holding only the virtual root, so every
     /// archived element is terminated while the root keeps ticking —
@@ -446,6 +523,10 @@ impl VersionStore for ExtArchive {
 
     fn add_empty_version(&mut self) -> std::result::Result<u32, StoreError> {
         Ok(ExtArchive::add_empty_version(self)?)
+    }
+
+    fn add_versions(&mut self, docs: &[Document]) -> std::result::Result<Vec<u32>, StoreError> {
+        Ok(ExtArchive::add_versions(self, docs)?)
     }
 }
 
@@ -1030,6 +1111,235 @@ fn merge_spines(
     }
 }
 
+/// One version stream of a batch: its cursor and absolute version number.
+struct BatchCursor<'a> {
+    cur: StreamCursor<'a>,
+    v: u32,
+}
+
+/// What a cursor's front looks like at the current spine level.
+enum Front {
+    Key(String, bool), // sort key + whether the entry is a spine
+    Close,
+}
+
+fn peek_front(cur: &StreamCursor<'_>, side: &str) -> Result<Front> {
+    match cur.peek()? {
+        Peeked::Close => Ok(Front::Close),
+        Peeked::Small(Some(k)) => Ok(Front::Key(k, false)),
+        Peeked::Spine(Some(k)) => Ok(Front::Key(k, true)),
+        Peeked::Eof => Err(StreamError::new(format!("unterminated {side} spine"))),
+        _ => Err(StreamError::new(format!(
+            "unexpected entry in {side} spine"
+        ))),
+    }
+}
+
+/// The batch streaming merge: a (k+1)-way synchronized walk over one
+/// archive spine and the matching spine of every version stream in
+/// `active` (all cursors positioned just past their spine-open markers;
+/// the walk consumes each spine's children and its close marker — the
+/// caller writes the output open/close markers).
+///
+/// `eff0` is the current spine's **pre-batch** effective timestamp. Per
+/// label, the walk reconstructs what `k` serial passes would emit:
+///
+/// * archive-only entries are copied with `set_time = eff0` — a serial
+///   replay terminates them at the batch's first version `v₁` with
+///   `t_cur(v₁) − {v₁} = eff0`, and `copy_entry` only stamps entries
+///   that were inheriting, exactly like serial termination;
+/// * entries matched in versions `P` recurse (spine × spines) or are
+///   materialized and replayed serially in version order (any mix of
+///   representations), with `t_cur(p) = eff0 ∪ {v ∈ present : v ≤ p}`;
+///   a matched spine's header timestamp follows the same closed form as
+///   the in-memory batch merge: `pre ∪ P` when explicit, still inherited
+///   when `P` covers every present version, `eff0 ∪ P` otherwise;
+/// * version-only entries are copied with timestamp `{v}` (one version)
+///   or built by insert-then-merge in version order (several versions) —
+///   the exact serial sequence.
+fn batch_merge_level(
+    mut ar: Option<&mut StreamCursor<'_>>,
+    vs: &mut [BatchCursor<'_>],
+    active: &[usize],
+    eff0: &TimeSet,
+    out: &mut PagedWriter,
+) -> Result<()> {
+    // versions present at this level, ascending (cursor order = version order)
+    let present: Vec<u32> = active.iter().map(|&i| vs[i].v).collect();
+    let t_cur = |upto: u32| {
+        let mut t = eff0.clone();
+        for &v in &present {
+            if v <= upto {
+                t.insert(v);
+            }
+        }
+        t
+    };
+    loop {
+        let a_front = match ar.as_deref() {
+            Some(c) => Some(peek_front(c, "archive")?),
+            None => None,
+        };
+        let ka = match &a_front {
+            Some(Front::Key(k, sp)) => Some((k.clone(), *sp)),
+            _ => None,
+        };
+        let mut fronts: Vec<(usize, String, bool)> = Vec::new();
+        for &i in active {
+            if let Front::Key(k, sp) = peek_front(&vs[i].cur, "version")? {
+                fronts.push((i, k, sp));
+            }
+        }
+        let min = fronts
+            .iter()
+            .map(|(_, k, _)| k.clone())
+            .chain(ka.as_ref().map(|(k, _)| k.clone()))
+            .min();
+        let Some(min) = min else {
+            // every cursor sits at its close marker: this level is done
+            if let Some(c) = ar.as_deref_mut() {
+                c.take_spine_close()?;
+            }
+            for &i in active {
+                vs[i].cur.take_spine_close()?;
+            }
+            return Ok(());
+        };
+        let archive_here = ka.as_ref().filter(|(k, _)| *k == min).map(|&(_, sp)| sp);
+        let parts: Vec<(usize, bool)> = fronts
+            .iter()
+            .filter(|(_, k, _)| *k == min)
+            .map(|&(i, _, sp)| (i, sp))
+            .collect();
+        match archive_here {
+            // archive-only: one serial termination at the batch's first
+            // version, which resolves to the pre-batch effective time
+            Some(_) if parts.is_empty() => {
+                ar.as_deref_mut()
+                    .expect("archive front")
+                    .copy_entry(out, Some(eff0))?;
+            }
+            // matched, spine on every side: stay streaming
+            Some(true) if parts.iter().all(|&(_, sp)| sp) => {
+                let a_cur = ar.as_deref_mut().expect("archive front");
+                let mut h = a_cur.take_spine_open()?;
+                for &(i, _) in &parts {
+                    vs[i].cur.take_spine_open()?;
+                }
+                let part_versions: Vec<u32> = parts.iter().map(|&(i, _)| vs[i].v).collect();
+                let pre = h.time.clone();
+                let eff0_child = pre.clone().unwrap_or_else(|| eff0.clone());
+                h.time = match pre {
+                    Some(mut t) => {
+                        for &v in &part_versions {
+                            t.insert(v);
+                        }
+                        Some(t)
+                    }
+                    None if part_versions == present => None,
+                    None => {
+                        let mut t = eff0.clone();
+                        for &v in &part_versions {
+                            t.insert(v);
+                        }
+                        Some(t)
+                    }
+                };
+                let mut hb = Vec::new();
+                encode_spine_open(&h, &mut hb);
+                out.write(&hb);
+                let sub: Vec<usize> = parts.iter().map(|&(i, _)| i).collect();
+                batch_merge_level(ar.as_deref_mut(), vs, &sub, &eff0_child, out)?;
+                let mut cb = Vec::new();
+                encode_spine_close(&mut cb);
+                out.write(&cb);
+            }
+            // matched, mixed representations (a node crossed the spine
+            // threshold between versions): materialize once, then replay
+            // the serial merge/terminate sequence in version order
+            Some(a_spine) => {
+                let a_cur = ar.as_deref_mut().expect("archive front");
+                let mut x = if a_spine {
+                    materialize_spine(a_cur)?
+                } else {
+                    a_cur.take_small()?
+                };
+                let mut pi = 0usize;
+                for &v in &present {
+                    if pi < parts.len() && vs[parts[pi].0].v == v {
+                        let (i, sp) = parts[pi];
+                        let y = if sp {
+                            materialize_spine(&mut vs[i].cur)?
+                        } else {
+                            vs[i].cur.take_small()?
+                        };
+                        merge_tree(&mut x, &y, &t_cur(v), v);
+                        pi += 1;
+                    } else {
+                        terminate(&mut x, &t_cur(v), v);
+                    }
+                }
+                let mut bytes = Vec::new();
+                encode_small(&x, &mut bytes);
+                out.write(&bytes);
+            }
+            None => match parts.as_slice() {
+                [] => unreachable!("min key came from some cursor"),
+                // one version only: the serial copy with timestamp {v}
+                [(i, _)] => {
+                    let t_new = TimeSet::from_version(vs[*i].v);
+                    vs[*i].cur.copy_entry(out, Some(&t_new))?;
+                }
+                // several versions, spine everywhere: the new spine's
+                // timestamp is its presence set; children merge beneath it
+                // with eff0 = ∅ (it has no pre-batch life)
+                _ if parts.iter().all(|&(_, sp)| sp) => {
+                    let (i0, _) = parts[0];
+                    let mut h = vs[i0].cur.take_spine_open()?;
+                    for &(i, _) in &parts[1..] {
+                        vs[i].cur.take_spine_open()?;
+                    }
+                    let mut t = TimeSet::new();
+                    for &(i, _) in &parts {
+                        t.insert(vs[i].v);
+                    }
+                    h.time = Some(t);
+                    let mut hb = Vec::new();
+                    encode_spine_open(&h, &mut hb);
+                    out.write(&hb);
+                    let sub: Vec<usize> = parts.iter().map(|&(i, _)| i).collect();
+                    batch_merge_level(None, vs, &sub, &TimeSet::new(), out)?;
+                    let mut cb = Vec::new();
+                    encode_spine_close(&mut cb);
+                    out.write(&cb);
+                }
+                // several versions, mixed representations: insert at the
+                // first version, merge the rest in — the serial sequence
+                _ => {
+                    let (i0, sp0) = parts[0];
+                    let y0 = if sp0 {
+                        materialize_spine(&mut vs[i0].cur)?
+                    } else {
+                        vs[i0].cur.take_small()?
+                    };
+                    let mut x = insert_new(&y0, vs[i0].v);
+                    for &(i, sp) in &parts[1..] {
+                        let y = if sp {
+                            materialize_spine(&mut vs[i].cur)?
+                        } else {
+                            vs[i].cur.take_small()?
+                        };
+                        merge_tree(&mut x, &y, &t_cur(vs[i].v), vs[i].v);
+                    }
+                    let mut bytes = Vec::new();
+                    encode_small(&x, &mut bytes);
+                    out.write(&bytes);
+                }
+            },
+        }
+    }
+}
+
 /// Loads a whole spine into memory (only for size-threshold crossings).
 fn materialize_spine(cur: &mut StreamCursor<'_>) -> Result<ETree> {
     let h = cur.take_spine_open()?;
@@ -1055,16 +1365,4 @@ fn materialize_spine(cur: &mut StreamCursor<'_>) -> Result<ETree> {
         time: h.time,
         children,
     })
-}
-
-/// Archive-side termination used by spine copies.
-#[allow(dead_code)]
-fn terminate_tree(x: &mut ETree, t_cur: &TimeSet, i: u32) {
-    terminate(x, t_cur, i);
-}
-
-/// Version-side insertion used by spine copies.
-#[allow(dead_code)]
-fn insert_tree(y: &ETree, i: u32) -> ETree {
-    insert_new(y, i)
 }

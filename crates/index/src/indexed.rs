@@ -187,6 +187,19 @@ impl VersionStore for IndexedArchive {
         self.absorb(v);
         Ok(v)
     }
+
+    fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        // one one-pass batch merge, then one batched index apply: each
+        // version's incremental maintenance walks only the nodes visible
+        // at it, and applying them in ascending order over the final
+        // archive state resolves the same timestamps a per-merge apply
+        // would have seen (merges never disturb nodes invisible to them)
+        let assigned = self.archive.add_versions(docs)?;
+        for &v in &assigned {
+            self.absorb(v);
+        }
+        Ok(assigned)
+    }
 }
 
 #[cfg(test)]

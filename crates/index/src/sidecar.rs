@@ -255,6 +255,18 @@ impl VersionStore for IndexedStore {
         self.sidecar.apply_empty_version(v);
         Ok(v)
     }
+
+    fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        // the backend takes its batch fast path; the sidecar absorbs the
+        // same documents version by version (its trie insertion is
+        // already O(|version|), so there is nothing cross-version to fold)
+        let assigned = self.inner.add_versions(docs)?;
+        let spec = self.inner.spec().clone();
+        for (doc, &v) in docs.iter().zip(&assigned) {
+            self.sidecar.apply_version(doc, &spec, v)?;
+        }
+        Ok(assigned)
+    }
 }
 
 #[cfg(test)]

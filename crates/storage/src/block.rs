@@ -41,6 +41,13 @@ pub enum BlockKind {
     Version,
     /// An archived *empty* version (§2's footnote): no payload.
     Empty,
+    /// A **group-committed batch** of versions: the payload is a varint
+    /// count followed by length-prefixed per-version document payloads.
+    /// The header's `version` field is the *first* version of the batch;
+    /// the whole batch shares this block's single CRC and commit word, so
+    /// a torn batch is truncated as one unit on reopen — recovery restores
+    /// the pre-batch state, never a prefix of the batch.
+    Batch,
 }
 
 impl BlockKind {
@@ -48,6 +55,7 @@ impl BlockKind {
         match self {
             BlockKind::Version => 1,
             BlockKind::Empty => 2,
+            BlockKind::Batch => 3,
         }
     }
 
@@ -55,6 +63,7 @@ impl BlockKind {
         match id {
             1 => Some(BlockKind::Version),
             2 => Some(BlockKind::Empty),
+            3 => Some(BlockKind::Batch),
             _ => None,
         }
     }

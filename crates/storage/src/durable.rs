@@ -21,7 +21,7 @@ use xarch_keys::KeySpec;
 use xarch_xml::Document;
 
 use crate::block::{BlockKind, BLOCK_HEADER_LEN, MAX_PAYLOAD};
-use crate::payload::{bytes_to_doc, doc_to_bytes};
+use crate::payload::{batch_bytes_to_docs, bytes_to_doc, doc_to_bytes, docs_to_batch_bytes};
 use crate::segment::{RecoveryStats, Segment};
 
 /// Tuning knobs for a [`DurableArchive`].
@@ -128,42 +128,62 @@ impl DurableArchive {
                 payload,
                 offset,
             } = b;
-            let replayed = match header.kind {
-                BlockKind::Empty => inner.add_empty_version()?,
+            // raw blocks are already the decoded bytes — reuse the
+            // scan's allocation instead of copying a third time
+            let decode_payload = |payload: Vec<u8>| -> Result<Vec<u8>, StoreError> {
+                let raw = match header.codec {
+                    BlockCodec::Raw => payload,
+                    codec => codec.decode(&payload).ok_or_else(|| StoreError::Corrupt {
+                        offset: offset + BLOCK_HEADER_LEN as u64,
+                        reason: "block payload failed to decompress".into(),
+                    })?,
+                };
+                if raw.len() as u64 != header.raw_len {
+                    return Err(StoreError::Corrupt {
+                        offset,
+                        reason: format!(
+                            "decompressed payload is {} bytes, header says {}",
+                            raw.len(),
+                            header.raw_len
+                        ),
+                    });
+                }
+                Ok(raw)
+            };
+            // e.offset addresses the *decoded* payload, which only
+            // coincides with file bytes for raw blocks — keep the block's
+            // file offset and say where the decode failed in the reason
+            let decode_err = |e: xarch_extmem::StreamError| {
+                let reason = match e.offset {
+                    Some(p) => format!("{} (byte {p} of the decoded payload)", e.reason),
+                    None => e.reason,
+                };
+                StoreError::Corrupt { offset, reason }
+            };
+            let (replayed, committed) = match header.kind {
+                BlockKind::Empty => (inner.add_empty_version()?, 1u32),
                 BlockKind::Version => {
-                    // raw blocks are already the decoded bytes — reuse the
-                    // scan's allocation instead of copying a third time
-                    let raw = match header.codec {
-                        BlockCodec::Raw => payload,
-                        codec => codec.decode(&payload).ok_or_else(|| StoreError::Corrupt {
-                            offset: offset + BLOCK_HEADER_LEN as u64,
-                            reason: "block payload failed to decompress".into(),
-                        })?,
-                    };
-                    if raw.len() as u64 != header.raw_len {
+                    let raw = decode_payload(payload)?;
+                    let doc = bytes_to_doc(&raw).map_err(decode_err)?;
+                    (inner.add_version(&doc)?, 1)
+                }
+                BlockKind::Batch => {
+                    // a verified batch block replays atomically through
+                    // the inner store's own batch fast path, so reopening
+                    // restores exactly the group-committed state
+                    let raw = decode_payload(payload)?;
+                    let docs = batch_bytes_to_docs(&raw).map_err(decode_err)?;
+                    if docs.is_empty() {
                         return Err(StoreError::Corrupt {
                             offset,
-                            reason: format!(
-                                "decompressed payload is {} bytes, header says {}",
-                                raw.len(),
-                                header.raw_len
-                            ),
+                            reason: "batch block with zero versions".into(),
                         });
                     }
-                    let doc = bytes_to_doc(&raw).map_err(|e| {
-                        // e.offset addresses the *decoded* payload, which
-                        // only coincides with file bytes for raw blocks —
-                        // keep the block's file offset and say where the
-                        // decode failed in the reason
-                        let reason = match e.offset {
-                            Some(p) => {
-                                format!("{} (byte {p} of the decoded payload)", e.reason)
-                            }
-                            None => e.reason,
-                        };
-                        StoreError::Corrupt { offset, reason }
-                    })?;
-                    inner.add_version(&doc)?
+                    let assigned = inner.add_versions(&docs)?;
+                    (
+                        assigned.first().copied().expect("non-empty batch"),
+                        assigned.len() as u32,
+                    )
                 }
             };
             if replayed != header.version {
@@ -175,7 +195,7 @@ impl DurableArchive {
                     ),
                 });
             }
-            Ok(())
+            Ok(committed)
         })?;
         Ok(Self {
             inner,
@@ -199,6 +219,18 @@ impl DurableArchive {
     /// Current size of the segment file in bytes.
     pub fn journal_bytes(&self) -> u64 {
         self.segment.len_bytes()
+    }
+
+    /// Journal blocks appended by this handle — one per `add_version` /
+    /// `add_empty_version`, one per whole `add_versions` batch.
+    pub fn journal_blocks(&self) -> u64 {
+        self.segment.blocks_appended()
+    }
+
+    /// fsyncs issued by this handle — group commit's measurable effect is
+    /// exactly one per batch instead of one per version.
+    pub fn journal_syncs(&self) -> u64 {
+        self.segment.syncs_issued()
     }
 
     /// True when a journal append failed after its merge committed: the
@@ -231,6 +263,29 @@ impl DurableArchive {
         payload: &[u8],
     ) -> Result<(), StoreError> {
         match self.segment.append(kind, codec, version, raw_len, payload) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Journals an already-merged batch as one group-commit block — a
+    /// single append and a single fsync — poisoning the store if the
+    /// append fails.
+    fn journal_batch(
+        &mut self,
+        codec: BlockCodec,
+        first_version: u32,
+        count: u32,
+        raw_len: u64,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        match self
+            .segment
+            .append_batch(codec, first_version, count, raw_len, payload)
+        {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.poisoned = Some(e.to_string());
@@ -326,6 +381,57 @@ impl VersionStore for DurableArchive {
         let v = self.inner.add_empty_version()?;
         self.journal(BlockKind::Empty, BlockCodec::Raw, v, 0, &[])?;
         Ok(v)
+    }
+
+    /// Group commit: the whole batch is merged through the inner store's
+    /// batch fast path and journaled as ONE length-prefixed multi-version
+    /// block — one append, one commit word, **one fsync** — so either the
+    /// entire batch survives a crash or none of it does. An empty batch
+    /// writes nothing.
+    fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if docs.len() == 1 {
+            // one version = one plain block; group commit adds nothing
+            return Ok(vec![self.add_version(&docs[0])?]);
+        }
+        self.check_writable()?;
+        // encode and size-check up front, before any state moves
+        let raw = docs_to_batch_bytes(docs);
+        if raw.len() as u64 > MAX_PAYLOAD {
+            return Err(StoreError::Backend(format!(
+                "batch payload of {} bytes exceeds the {MAX_PAYLOAD} byte block limit \
+                 (split the batch)",
+                raw.len()
+            )));
+        }
+        let before = self.inner.latest();
+        let assigned = match self.inner.add_versions(docs) {
+            Ok(assigned) => assigned,
+            Err(e) => {
+                // native inner backends validate the batch before mutating
+                // anything; if a foreign backend stopped part-way, memory
+                // is ahead of the journal and commits must stop
+                if self.inner.latest() != before {
+                    self.poisoned = Some(format!(
+                        "batch merge failed after applying part of the batch: {e}"
+                    ));
+                }
+                return Err(e);
+            }
+        };
+        debug_assert_eq!(assigned.first().copied(), Some(before + 1));
+        debug_assert_eq!(assigned.len(), docs.len());
+        let (codec, payload) = self.options.compression.encode(&raw);
+        self.journal_batch(
+            codec,
+            before + 1,
+            assigned.len() as u32,
+            raw.len() as u64,
+            &payload,
+        )?;
+        Ok(assigned)
     }
 }
 
@@ -441,6 +547,65 @@ mod tests {
         let err = DurableArchive::open(&path, Box::new(inner)).unwrap_err();
         assert!(err.to_string().contains("fresh inner store"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_is_one_block_and_survives_reopen() {
+        let path = scratch_path("durable-batch");
+        let docs: Vec<xarch_xml::Document> = [
+            "<db><rec><id>1</id><val>a</val></rec></db>",
+            "<db><rec><id>1</id><val>b</val></rec><rec><id>2</id><val>c</val></rec></db>",
+            "<db><rec><id>2</id><val>c</val></rec></db>",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        {
+            let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+            let before = d.journal_bytes();
+            assert_eq!(d.add_versions(&docs).unwrap(), vec![1, 2, 3]);
+            // the whole batch is ONE block: header + batch payload + trailer
+            let raw = crate::payload::docs_to_batch_bytes(&docs);
+            assert_eq!(
+                d.journal_bytes() - before,
+                (BLOCK_HEADER_LEN + raw.len() + crate::block::BLOCK_TRAILER_LEN) as u64
+            );
+            // empty batches write nothing and burn no version
+            let mark = d.journal_bytes();
+            assert_eq!(d.add_versions(&[]).unwrap(), Vec::<u32>::new());
+            assert_eq!(d.journal_bytes(), mark);
+            assert_eq!(d.latest(), 3);
+        }
+        let d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        assert_eq!(d.latest(), 3);
+        assert_eq!(d.recovery().versions_recovered, 3);
+        for (i, doc) in docs.iter().enumerate() {
+            let got = d.retrieve(i as u32 + 1).unwrap().unwrap();
+            assert!(xarch_core::equiv_modulo_key_order(&got, doc, d.spec()));
+        }
+        // appending continues cleanly after a replayed batch
+        let mut d = d;
+        assert_eq!(d.add_version(&docs[0]).unwrap(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejected_batch_leaves_durable_store_unchanged() {
+        let path = scratch_path("durable-batch-reject");
+        let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        d.add_version(&parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap())
+            .unwrap();
+        let journal = d.journal_bytes();
+        let batch = vec![
+            parse("<db><rec><id>2</id><val>b</val></rec></db>").unwrap(),
+            parse("<nope><x>1</x></nope>").unwrap(),
+        ];
+        assert!(d.add_versions(&batch).is_err());
+        assert_eq!(d.latest(), 1, "rejected batch burned a version");
+        assert_eq!(d.journal_bytes(), journal, "rejected batch reached disk");
+        assert!(!d.is_poisoned(), "validation failures must not poison");
+        assert_eq!(d.add_version(&batch[0]).unwrap(), 2);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! across the system (keys and timestamps are simply absent here: the
 //! payload tree is a plain document).
 
-use xarch_extmem::{decode_small, encode_small, EKind, ETree, StreamError};
+use xarch_extmem::{decode_small, encode_small, get_varint, put_varint, EKind, ETree, StreamError};
 use xarch_xml::{Document, NodeId, NodeKind};
 
 /// Encodes `doc` as one small-node event entry.
@@ -90,6 +90,57 @@ fn add_tree(doc: &mut Document, parent: NodeId, t: &ETree) -> Result<(), StreamE
     Ok(())
 }
 
+/// Encodes a batch of version documents as one group-commit payload: a
+/// varint count followed by length-prefixed [`doc_to_bytes`] payloads, so
+/// the whole batch rides in a single checksummed block.
+pub fn docs_to_batch_bytes(docs: &[Document]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, docs.len() as u64);
+    for doc in docs {
+        let raw = doc_to_bytes(doc);
+        put_varint(&mut out, raw.len() as u64);
+        out.extend_from_slice(&raw);
+    }
+    out
+}
+
+/// Decodes a payload written by [`docs_to_batch_bytes`]. Offsets in errors
+/// address the batch payload (the caller maps them to file offsets).
+pub fn batch_bytes_to_docs(buf: &[u8]) -> Result<Vec<Document>, StreamError> {
+    let mut pos = 0usize;
+    let count = get_varint(buf, &mut pos)?;
+    // every entry costs at least a length varint plus one payload byte,
+    // so a count beyond half the buffer is provably rot — reject before
+    // any allocation sized from untrusted input (and grow `docs` by
+    // pushing, never by the declared count)
+    if count > (buf.len() as u64) / 2 {
+        return Err(StreamError::at(
+            0,
+            format!(
+                "implausible batch count {count} for a {} byte payload",
+                buf.len()
+            ),
+        ));
+    }
+    let mut docs = Vec::new();
+    for _ in 0..count {
+        let len = get_varint(buf, &mut pos)? as usize;
+        let Some(end) = pos.checked_add(len).filter(|&e| e <= buf.len()) else {
+            return Err(StreamError::at(pos, "truncated batch entry"));
+        };
+        let doc = bytes_to_doc(&buf[pos..end]).map_err(|e| StreamError {
+            reason: e.reason,
+            offset: Some(e.offset.unwrap_or(0) + pos as u64),
+        })?;
+        docs.push(doc);
+        pos = end;
+    }
+    if pos != buf.len() {
+        return Err(StreamError::at(pos, "trailing bytes after batch payload"));
+    }
+    Ok(docs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +170,44 @@ mod tests {
         let doc = parse("<db><rec><id>1</id></rec></db>").unwrap();
         let bytes = doc_to_bytes(&doc);
         assert!(bytes_to_doc(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let docs: Vec<Document> = [
+            "<db><rec><id>1</id><val>a</val></rec></db>",
+            "<db/>",
+            "<db><rec a=\"x\"><id>2</id></rec><rec><id>3</id></rec></db>",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let bytes = docs_to_batch_bytes(&docs);
+        let back = batch_bytes_to_docs(&bytes).unwrap();
+        assert_eq!(back.len(), docs.len());
+        for (a, b) in docs.iter().zip(&back) {
+            assert!(xarch_xml::value_equal(a, a.root(), b, b.root()));
+        }
+        // the empty batch is representable and round-trips too
+        assert!(batch_bytes_to_docs(&docs_to_batch_bytes(&[]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn batch_rejects_corruption() {
+        let docs = vec![parse("<db><rec><id>1</id></rec></db>").unwrap()];
+        let bytes = docs_to_batch_bytes(&docs);
+        assert!(batch_bytes_to_docs(&bytes[..bytes.len() - 2]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0xEE);
+        assert!(batch_bytes_to_docs(&trailing).is_err());
+        // implausible count
+        let huge = {
+            let mut b = Vec::new();
+            put_varint(&mut b, u64::MAX - 3);
+            b
+        };
+        assert!(batch_bytes_to_docs(&huge).is_err());
     }
 }

@@ -50,6 +50,10 @@ pub struct Segment {
     len: u64,
     next_version: u32,
     sync: bool,
+    /// Blocks appended and fsyncs issued by this handle (group commit's
+    /// measurable effect: one of each per *batch* instead of per version).
+    blocks_appended: u64,
+    syncs_issued: u64,
 }
 
 fn backend(err: impl Into<String>) -> StoreError {
@@ -99,18 +103,23 @@ impl Segment {
             len: sb.len() as u64,
             next_version: 1,
             sync,
+            blocks_appended: 0,
+            syncs_issued: 0,
         })
     }
 
     /// Opens an existing segment file: verifies the superblock against
     /// `spec`, then scans, checksums, and hands each committed block to
     /// `on_block` in order (truncating a torn tail first). Replay happens
-    /// inside the callback so only one block is ever materialized.
+    /// inside the callback so only one block is ever materialized. The
+    /// callback returns how many versions the block committed — 1 for
+    /// plain and empty blocks, the batch size for group-commit blocks —
+    /// which drives the sequence check and the next append's version.
     pub fn open(
         path: &Path,
         spec: &KeySpec,
         sync: bool,
-        mut on_block: impl FnMut(ScannedBlock) -> Result<(), StoreError>,
+        mut on_block: impl FnMut(ScannedBlock) -> Result<u32, StoreError>,
     ) -> Result<(Segment, RecoveryStats), StoreError> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         lock_exclusive(&file, path)?;
@@ -199,8 +208,14 @@ impl Segment {
                         });
                     }
                     offset += (b.payload.len() + BLOCK_HEADER_LEN + BLOCK_TRAILER_LEN) as u64;
-                    versions = expected;
-                    on_block(b)?;
+                    let committed = on_block(b)?;
+                    if committed == 0 {
+                        return Err(StoreError::Corrupt {
+                            offset,
+                            reason: "block committed zero versions".into(),
+                        });
+                    }
+                    versions = expected + (committed - 1);
                 }
                 Scan::TornTail => {
                     stats.truncated_bytes = len - offset;
@@ -223,6 +238,8 @@ impl Segment {
                 len,
                 next_version: versions + 1,
                 sync,
+                blocks_appended: 0,
+                syncs_issued: 0,
             },
             stats,
         ))
@@ -236,6 +253,47 @@ impl Segment {
         kind: BlockKind,
         codec: BlockCodec,
         version: u32,
+        raw_len: u64,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        debug_assert!(
+            !matches!(kind, BlockKind::Batch),
+            "batch blocks go through append_batch"
+        );
+        self.append_block(kind, codec, version, 1, raw_len, payload)
+    }
+
+    /// Group commit: appends ONE block covering `count` consecutive
+    /// versions starting at `first_version`, with a single write and a
+    /// single (optional) fsync — the whole batch becomes durable, or none
+    /// of it does.
+    pub fn append_batch(
+        &mut self,
+        codec: BlockCodec,
+        first_version: u32,
+        count: u32,
+        raw_len: u64,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        if count == 0 {
+            return Err(backend("a batch block must commit at least one version"));
+        }
+        self.append_block(
+            BlockKind::Batch,
+            codec,
+            first_version,
+            count,
+            raw_len,
+            payload,
+        )
+    }
+
+    fn append_block(
+        &mut self,
+        kind: BlockKind,
+        codec: BlockCodec,
+        version: u32,
+        count: u32,
         raw_len: u64,
         payload: &[u8],
     ) -> Result<(), StoreError> {
@@ -258,9 +316,11 @@ impl Segment {
         self.file.write_all(&block)?;
         if self.sync {
             self.file.sync_data()?;
+            self.syncs_issued += 1;
         }
         self.len += block.len() as u64;
-        self.next_version += 1;
+        self.next_version += count;
+        self.blocks_appended += 1;
         Ok(())
     }
 
@@ -277,6 +337,16 @@ impl Segment {
     /// The version number the next append must carry.
     pub fn next_version(&self) -> u32 {
         self.next_version
+    }
+
+    /// Blocks appended through this handle since it was opened.
+    pub fn blocks_appended(&self) -> u64 {
+        self.blocks_appended
+    }
+
+    /// fsyncs issued through this handle since it was opened.
+    pub fn syncs_issued(&self) -> u64 {
+        self.syncs_issued
     }
 }
 
@@ -301,7 +371,7 @@ mod tests {
         let mut blocks = Vec::new();
         let (seg, stats) = Segment::open(&path, &spec(), true, |b| {
             blocks.push(b);
-            Ok(())
+            Ok(1)
         })
         .unwrap();
         assert_eq!(blocks.len(), 2);
@@ -310,6 +380,41 @@ mod tests {
         assert_eq!(stats.versions_recovered, 2);
         assert!(!stats.recovered_torn_tail());
         assert_eq!(seg.next_version(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_block_advances_the_sequence_by_its_count() {
+        let path = scratch_path("segment-batch");
+        let mut seg = Segment::create(&path, &spec(), true).unwrap();
+        seg.append(BlockKind::Version, BlockCodec::Raw, 1, 3, b"abc")
+            .unwrap();
+        // one block commits versions 2..=4
+        seg.append_batch(BlockCodec::Raw, 2, 3, 5, b"batch")
+            .unwrap();
+        assert_eq!(seg.next_version(), 5);
+        seg.append(BlockKind::Empty, BlockCodec::Raw, 5, 0, b"")
+            .unwrap();
+        drop(seg);
+        let mut kinds = Vec::new();
+        let (seg, stats) = Segment::open(&path, &spec(), true, |b| {
+            kinds.push(b.header.kind);
+            Ok(if b.header.kind == BlockKind::Batch {
+                3
+            } else {
+                1
+            })
+        })
+        .unwrap();
+        assert_eq!(
+            kinds,
+            vec![BlockKind::Version, BlockKind::Batch, BlockKind::Empty]
+        );
+        assert_eq!(stats.versions_recovered, 5);
+        assert_eq!(seg.next_version(), 6);
+        // a batch may not claim zero versions
+        let mut seg = seg;
+        assert!(seg.append_batch(BlockCodec::Raw, 6, 0, 0, b"").is_err());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -328,7 +433,7 @@ mod tests {
         let mut blocks = Vec::new();
         let (seg, stats) = Segment::open(&path, &spec(), true, |b| {
             blocks.push(b);
-            Ok(())
+            Ok(1)
         })
         .unwrap();
         assert_eq!(blocks.len(), 1);
@@ -344,7 +449,7 @@ mod tests {
         let path = scratch_path("segment-spec");
         Segment::create(&path, &spec(), true).unwrap();
         let other = KeySpec::parse("(/, (other, {}))").unwrap();
-        let err = Segment::open(&path, &other, true, |_| Ok(()))
+        let err = Segment::open(&path, &other, true, |_| Ok(1))
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, StoreError::Backend(_)), "{err}");

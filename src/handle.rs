@@ -120,6 +120,15 @@ impl ArchiveHandle {
         self.shared.write().add_empty_version()
     }
 
+    /// Bulk ingest under **one** write-lock acquisition: the wrapped
+    /// backend's batch fast path runs while readers wait, so no reader —
+    /// and no snapshot taken before or after — can ever observe a
+    /// half-applied batch. A snapshot pins either the pre-batch or the
+    /// post-batch version, never a prefix.
+    pub fn add_versions(&self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        self.shared.write().add_versions(docs)
+    }
+
     /// A read-only view pinned at the version that is `latest()` right
     /// now. Taking a snapshot is O(1) — no data is copied; the snapshot
     /// clamps every query to the pinned version instead.
@@ -206,6 +215,12 @@ impl VersionStore for ArchiveHandle {
 
     fn add_empty_version(&mut self) -> Result<u32, StoreError> {
         ArchiveHandle::add_empty_version(self)
+    }
+
+    fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
+        // NOT the trait's default loop: the whole batch must land under
+        // one lock acquisition so readers never interleave with it
+        ArchiveHandle::add_versions(self, docs)
     }
 }
 

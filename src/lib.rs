@@ -51,19 +51,49 @@
 //! suite verifies this); they differ in where the merge's working set
 //! lives and how temporal queries are answered:
 //!
-//! | builder call | backend | paper | when to use | `as_of` / `history` / `range` | shared reads |
-//! |---|---|---|---|---|---|
-//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk | `&self`, lock-free |
-//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges | `&self`, lock-free |
-//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized | `&self`; I/O accounting via atomics |
-//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay | `&self`; reads never touch the journal |
-//! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer | `&self`; probe counters are atomics |
+//! | builder call | backend | paper | when to use | `as_of` / `history` / `range` | bulk ingest ([`VersionStore::add_versions`]) | shared reads |
+//! |---|---|---|---|---|---|---|
+//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk | batch nested merge — each archive level is sorted and walked once per batch, byte-identical to a serial replay | `&self`, lock-free |
+//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges | the whole batch is partitioned once, then chunks merge their sub-batches on parallel worker threads | `&self`, lock-free |
+//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized | the batch folds into a single streaming pass: one archive-sized read+write for `k` versions instead of `k` | `&self`; I/O accounting via atomics |
+//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay | **group commit** — one multi-version block, one commit word, one fsync per batch; a torn batch recovers to the pre-batch state, never a prefix | `&self`; reads never touch the journal |
+//! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer | one batch merge, then one batched index apply | `&self`; probe counters are atomics |
 //!
 //! `.compaction(Compaction::Weave)` additionally selects Fig 10's
 //! "further compaction" beneath frontier nodes for the in-memory and
 //! chunked backends. Durable configurations can fail to open (corrupt
 //! file, key-spec mismatch), so prefer [`ArchiveBuilder::try_build`] over
 //! `build()` when `.durable(..)` is set.
+//!
+//! ## Bulk ingest
+//!
+//! Real curated archives arrive as releases. [`VersionStore::add_versions`]
+//! ingests a whole batch through the per-tier fast paths in the table —
+//! always observably identical to one [`VersionStore::add_version`] per
+//! document (`tests/batch_equivalence.rs` holds every backend to that) —
+//! and native paths validate the whole batch before mutating anything,
+//! so a rejected batch leaves the store untouched. Behind an
+//! [`ArchiveHandle`], the batch lands under one write-lock acquisition
+//! and snapshots pin either side of it, never the middle:
+//!
+//! ```
+//! use xarch::keys::KeySpec;
+//! use xarch::xml::parse;
+//! use xarch::{ArchiveBuilder, StoreReader};
+//!
+//! let spec = KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))")?;
+//! let handle = ArchiveBuilder::new(spec).build_shared();
+//! let release = vec![
+//!     parse("<db><rec><id>1</id></rec></db>")?,
+//!     parse("<db><rec><id>1</id></rec><rec><id>2</id></rec></db>")?,
+//! ];
+//! assert_eq!(handle.add_versions(&release)?, vec![1, 2]);
+//! assert_eq!(handle.snapshot().pinned(), 2); // whole batch or nothing
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/bulk_load.rs` for group-committed durable bulk loading
+//! and the `ingest` bench figure for what batching buys.
 //!
 //! ## Serving concurrent readers
 //!

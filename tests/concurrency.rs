@@ -210,6 +210,87 @@ fn stress(label: &str, mut serial: Box<dyn VersionStore>, live: Box<dyn VersionS
     check_snapshot(label, &last, &exp);
 }
 
+/// The group-commit variant of the harness: the writer lands whole
+/// *batches* through `ArchiveHandle::add_versions`, so readers must only
+/// ever pin a **batch boundary** — a half-applied batch observable at any
+/// pin is exactly the bug the single-write-lock design rules out. Every
+/// pinned snapshot is still checked byte-for-byte against the serial
+/// recordings.
+fn stress_batch_writer(
+    label: &str,
+    mut serial: Box<dyn VersionStore>,
+    live: Box<dyn VersionStore>,
+) {
+    // consecutive non-empty runs become batches; the empty version is its
+    // own commit. Boundaries: 0, 3, 6, 7, 10, 12 for the 12-version run.
+    let mut batches: Vec<Vec<xarch::xml::Document>> = Vec::new();
+    let mut boundaries: Vec<u32> = vec![0];
+    let mut run: Vec<xarch::xml::Document> = Vec::new();
+    for v in 1..=VERSIONS {
+        match version_doc(v) {
+            Some(doc) => {
+                run.push(doc);
+                if run.len() == 3 {
+                    boundaries.push(v);
+                    batches.push(std::mem::take(&mut run));
+                }
+            }
+            None => {
+                if !run.is_empty() {
+                    boundaries.push(v - 1);
+                    batches.push(std::mem::take(&mut run));
+                }
+                boundaries.push(v);
+                batches.push(Vec::new()); // marker: one empty version
+            }
+        }
+    }
+    if !run.is_empty() {
+        boundaries.push(VERSIONS);
+        batches.push(run);
+    }
+
+    let exp = Arc::new(serial_replay(&mut serial));
+    drop(serial);
+    let handle = ArchiveHandle::new(live);
+    std::thread::scope(|s| {
+        let writer = handle.clone();
+        let batches = &batches;
+        s.spawn(move || {
+            for batch in batches {
+                if batch.is_empty() {
+                    writer.add_empty_version().unwrap();
+                } else {
+                    writer.add_versions(batch).unwrap();
+                }
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..READERS {
+            let handle = handle.clone();
+            let exp = Arc::clone(&exp);
+            let boundaries = &boundaries;
+            s.spawn(move || loop {
+                let snap = handle.snapshot();
+                assert!(
+                    boundaries.contains(&snap.pinned()),
+                    "{label}: pinned {} is not a batch boundary {boundaries:?} — \
+                     a reader observed a half-applied batch",
+                    snap.pinned()
+                );
+                check_snapshot(label, &snap, &exp);
+                if snap.pinned() == VERSIONS {
+                    break;
+                }
+                std::thread::yield_now();
+            });
+        }
+    });
+    let last = handle.snapshot();
+    assert_eq!(last.pinned(), VERSIONS, "{label}");
+    check_snapshot(label, &last, &exp);
+}
+
 struct Scratch(Vec<std::path::PathBuf>);
 
 impl Drop for Scratch {
@@ -308,6 +389,44 @@ fn stress_extmem() {
         ArchiveBuilder::new(spec())
             .backend(Backend::ExtMem(small_ext_cfg()))
             .build(),
+    );
+}
+
+#[test]
+fn stress_batch_writer_in_memory() {
+    stress_batch_writer(
+        "in-memory/batched",
+        ArchiveBuilder::new(spec()).build(),
+        ArchiveBuilder::new(spec()).build(),
+    );
+}
+
+#[test]
+fn stress_batch_writer_chunked_indexed() {
+    // the chunked batch path merges partitions on worker threads while
+    // readers hammer snapshots — the widest concurrency surface
+    stress_batch_writer(
+        "chunked(4)/indexed/batched",
+        ArchiveBuilder::new(spec()).chunks(4).with_index().build(),
+        ArchiveBuilder::new(spec()).chunks(4).with_index().build(),
+    );
+}
+
+#[test]
+fn stress_batch_writer_durable() {
+    let serial_path = xarch::storage::scratch_path("stress-batch-serial");
+    let live_path = xarch::storage::scratch_path("stress-batch-live");
+    let _guard = Scratch(vec![serial_path.clone(), live_path.clone()]);
+    stress_batch_writer(
+        "durable/batched",
+        ArchiveBuilder::new(spec())
+            .durable(serial_path)
+            .try_build()
+            .expect("serial durable store"),
+        ArchiveBuilder::new(spec())
+            .durable(live_path)
+            .try_build()
+            .expect("live durable store"),
     );
 }
 

@@ -15,7 +15,7 @@ use xarch::datagen::omim::{omim_spec, OmimGen};
 use xarch::keys::KeySpec;
 use xarch::storage::scratch_path;
 use xarch::xml::parse;
-use xarch::{ArchiveBuilder, DurableArchive, StoreError, VersionStore};
+use xarch::{ArchiveBuilder, DurableArchive, StoreError, StoreReader, VersionStore};
 
 fn spec() -> KeySpec {
     KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
@@ -205,6 +205,170 @@ fn truncation_mid_block_keeps_all_fully_committed_versions() {
             bytes_of(reference.as_mut(), v),
             "v{v} diverged after mid-block truncation"
         );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_batch_block_recovers_to_the_pre_batch_state() {
+    // Group commit's acceptance bar: a batch is ONE block with one commit
+    // word, so a crash anywhere inside the batch append must recover the
+    // pre-batch state with accurate stats — all-or-nothing, NEVER a
+    // prefix of the batch. Simulated by truncating the multi-version
+    // block at byte offsets spanning its whole extent.
+    let docs = versions();
+    let head = &docs[0];
+    let batch = &docs[1..];
+    // a reference segment tells us the batch block's byte extent
+    let (pre_batch_end, file_end) = {
+        let path = scratch_path("torn-batch-ref");
+        let mut d = reopen(&path).unwrap();
+        d.add_version(head).unwrap();
+        let pre = std::fs::metadata(&path).unwrap().len();
+        d.add_versions(batch).unwrap();
+        drop(d);
+        let end = std::fs::metadata(&path).unwrap().len();
+        std::fs::remove_file(&path).unwrap();
+        (pre, end)
+    };
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    reference.add_version(head).unwrap();
+    let batch_len = file_end - pre_batch_end;
+    // cut right after the batch started, mid-payload, and one byte short
+    // of the commit word
+    for cut in [
+        pre_batch_end + 1,
+        pre_batch_end + batch_len / 3,
+        pre_batch_end + batch_len / 2,
+        file_end - 1,
+    ] {
+        let path = scratch_path("torn-batch");
+        {
+            let mut d = reopen(&path).unwrap();
+            d.add_version(head).unwrap();
+            d.add_versions(batch).unwrap();
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), file_end);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let inner = ArchiveBuilder::new(spec()).build();
+        let mut d = DurableArchive::open(&path, inner).unwrap();
+        assert_eq!(
+            d.latest(),
+            1,
+            "cut at {cut}: a torn batch must restore zero of its versions"
+        );
+        let stats = d.recovery();
+        assert_eq!(stats.versions_recovered, 1, "cut at {cut}");
+        assert_eq!(stats.truncated_bytes, cut - pre_batch_end, "cut at {cut}");
+        assert!(stats.recovered_torn_tail(), "cut at {cut}");
+        assert_eq!(
+            bytes_of(&mut d, 1),
+            bytes_of(reference.as_mut(), 1),
+            "cut at {cut}: surviving version diverged"
+        );
+        // and the store keeps working: the batch can simply be re-ingested
+        assert_eq!(d.add_versions(batch).unwrap(), vec![2, 3]);
+        assert_eq!(d.latest(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn bit_flip_inside_a_committed_batch_block_is_corrupt_with_offset() {
+    // an interior batch block that fails its checksum is bit rot on
+    // committed, acknowledged data: reopen must fail loudly with the
+    // block's offset, not silently drop or repair the batch
+    let path = scratch_path("batch-bit-flip");
+    let docs = versions();
+    let batch_at;
+    {
+        let mut d = DurableArchive::open(&path, ArchiveBuilder::new(spec()).build()).unwrap();
+        batch_at = d.journal_bytes();
+        d.add_versions(&docs[..2]).unwrap();
+        // a later plain block makes the batch block *interior*
+        d.add_version(&docs[2]).unwrap();
+    }
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    let flip_at = batch_at + 40; // past the 22-byte header, inside the batch payload
+    f.seek(SeekFrom::Start(flip_at)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    f.seek(SeekFrom::Start(flip_at)).unwrap();
+    f.write_all(&[b[0] ^ 0x04]).unwrap();
+    drop(f);
+
+    let err = reopen(&path).map(|_| ()).unwrap_err();
+    match err {
+        StoreError::Corrupt { offset, ref reason } => {
+            assert_eq!(offset, batch_at, "offset should point at the batch block");
+            assert!(reason.contains("checksum"), "{reason}");
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn empty_batch_writes_no_journal_block() {
+    // the no-op contract at the journal level: no block, no version, no
+    // fsync side effects — the file is byte-identical before and after
+    let path = scratch_path("empty-batch");
+    let mut d = DurableArchive::open(&path, ArchiveBuilder::new(spec()).build()).unwrap();
+    d.add_version(&versions()[0]).unwrap();
+    let before = std::fs::metadata(&path).unwrap().len();
+    assert_eq!(d.add_versions(&[]).unwrap(), Vec::<u32>::new());
+    assert_eq!(d.latest(), 1);
+    assert_eq!(d.journal_bytes(), before);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+    drop(d);
+    let d = DurableArchive::open(&path, ArchiveBuilder::new(spec()).build()).unwrap();
+    assert_eq!(d.latest(), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn batched_history_survives_reopen_byte_identically() {
+    // the kill-and-reopen acceptance check with group-committed batches
+    // mixed into the history: recovery replays batch blocks atomically
+    // through the inner store's own batch path
+    let path = scratch_path("batch-reopen");
+    let sp = omim_spec();
+    let mut g = OmimGen::new(0xBEE5);
+    g.del_ratio = 0.05;
+    g.ins_ratio = 0.07;
+    let docs = g.sequence(30, 9);
+    let mut reference = ArchiveBuilder::new(sp.clone()).build();
+    {
+        let mut durable = ArchiveBuilder::new(sp.clone())
+            .durable(&path)
+            .try_build()
+            .unwrap();
+        // single adds, a 3-batch, an empty version, then a 5-batch
+        reference.add_version(&docs[0]).unwrap();
+        durable.add_version(&docs[0]).unwrap();
+        reference.add_versions(&docs[1..4]).unwrap();
+        durable.add_versions(&docs[1..4]).unwrap();
+        reference.add_empty_version().unwrap();
+        durable.add_empty_version().unwrap();
+        reference.add_versions(&docs[4..9]).unwrap();
+        durable.add_versions(&docs[4..9]).unwrap();
+    }
+    let recovered = ArchiveBuilder::new(sp).durable(&path).try_build().unwrap();
+    assert_eq!(recovered.latest(), reference.latest());
+    for v in 1..=reference.latest() {
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        let w = reference.retrieve_into(v, &mut want).unwrap();
+        let g = recovered.retrieve_into(v, &mut got).unwrap();
+        assert_eq!(w, g, "v{v} existence");
+        assert_eq!(want, got, "v{v} bytes");
     }
     std::fs::remove_file(&path).unwrap();
 }

@@ -184,6 +184,16 @@ fn queries_figure_shows_sublinear_indexed_probes() {
     xarch_bench::figures::queries_sanity(&scale).unwrap();
 }
 
+#[test]
+fn ingest_figure_shows_group_commit_speedup() {
+    // The bulk-ingest acceptance gate: batched durable ingest (batch 64,
+    // one group-committed block + one fsync per batch) must run at least
+    // 2x the one-at-a-time durable rate, and batching must never hurt
+    // the in-memory backend.
+    let scale = xarch_bench_scale();
+    xarch_bench::figures::ingest_sanity(&scale).unwrap();
+}
+
 fn xarch_bench_scale() -> xarch_bench::figures::Scale {
     // large enough that the compression margin (which grows with version
     // count) is decisive, small enough for test time

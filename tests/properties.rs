@@ -396,6 +396,97 @@ proptest! {
     }
 
     #[test]
+    fn batched_ingest_agrees_with_serial_on_every_backend(
+        versions in proptest::collection::vec(version_strategy(), 1..7),
+        cuts in proptest::collection::vec(1usize..4, 1..7)
+    ) {
+        // a RANDOM partition of a random document sequence into batches
+        // must agree — retrieve bytes and history answers — with serial
+        // one-at-a-time ingestion, on every backend the builder offers;
+        // and a batched-then-reopened durable store must agree too.
+        let spec = mini_spec();
+        let docs: Vec<Document> = versions.iter().map(|v| build_version(v)).collect();
+        // turn the random cut list into a partition of `docs`
+        let mut batches: Vec<&[Document]> = Vec::new();
+        let mut at = 0usize;
+        let mut ci = 0usize;
+        while at < docs.len() {
+            let take = cuts[ci % cuts.len()].min(docs.len() - at);
+            batches.push(&docs[at..at + take]);
+            at += take;
+            ci += 1;
+        }
+        let configs: Vec<BackendConfig> = vec![
+            ("in-memory", ArchiveBuilder::new),
+            ("in-memory/indexed", |s| ArchiveBuilder::new(s).with_index()),
+            ("chunked(3)", |s| ArchiveBuilder::new(s).chunks(3)),
+            ("extmem", |s| {
+                ArchiveBuilder::new(s).backend(Backend::ExtMem(IoConfig {
+                    mem_bytes: 1 << 10,
+                    page_bytes: 128,
+                }))
+            }),
+        ];
+        let queries: Vec<Vec<xarch::core::KeyQuery>> = {
+            use xarch::core::KeyQuery;
+            (0..6u8)
+                .map(|id| vec![
+                    KeyQuery::new("db"),
+                    KeyQuery::new("rec").with_text("id", &id.to_string()),
+                ])
+                .collect()
+        };
+        for (label, configure) in configs {
+            let mut serial = configure(spec.clone()).build();
+            let mut batched = configure(spec.clone()).build();
+            let path = xarch::storage::scratch_path("prop-batch");
+            let mut durable = configure(spec.clone())
+                .durable(&path)
+                .try_build()
+                .unwrap();
+            for d in &docs {
+                serial.add_version(d).unwrap();
+            }
+            let mut assigned = Vec::new();
+            for b in &batches {
+                assigned.extend(batched.add_versions(b).unwrap());
+                durable.add_versions(b).unwrap();
+            }
+            prop_assert_eq!(&assigned, &(1..=docs.len() as u32).collect::<Vec<_>>(), "{}", label);
+            drop(durable); // "kill" the process; every batch is on disk
+            let reopened = configure(spec.clone())
+                .durable(&path)
+                .try_build()
+                .unwrap();
+            for v in 1..=docs.len() as u32 {
+                let mut want = Vec::new();
+                let mut got = Vec::new();
+                let mut re = Vec::new();
+                let ww = serial.retrieve_into(v, &mut want).unwrap();
+                let gw = batched.retrieve_into(v, &mut got).unwrap();
+                let rw = reopened.retrieve_into(v, &mut re).unwrap();
+                prop_assert_eq!(ww, gw, "{} v{}: presence", label, v);
+                prop_assert_eq!(ww, rw, "{} v{}: reopened presence", label, v);
+                prop_assert_eq!(&want, &got, "{} v{}: batched bytes diverged", label, v);
+                prop_assert_eq!(&want, &re, "{} v{}: reopened bytes diverged", label, v);
+            }
+            for q in &queries {
+                prop_assert_eq!(
+                    batched.history(q).unwrap(),
+                    serial.history(q).unwrap(),
+                    "{}: history {:?}", label, q
+                );
+                prop_assert_eq!(
+                    reopened.history(q).unwrap(),
+                    serial.history(q).unwrap(),
+                    "{}: reopened history {:?}", label, q
+                );
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
     fn canonical_equality_iff_value_equality(
         a in version_strategy(),
         b in version_strategy()
