@@ -1,0 +1,213 @@
+//! Rule identities and per-rule, per-path configuration.
+//!
+//! The project policy lives here as data: every rule carries a path scope
+//! (prefix include/exclude lists over workspace-relative `/`-separated
+//! paths), so invariants bind exactly where the architecture demands them
+//! — panic-freedom on the decode/recovery modules, cast-safety on the
+//! on-disk arithmetic, the contract rules everywhere.
+
+/// The invariants the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!`/slice-indexing in decode/recovery code: corruption
+    /// must surface as `StoreError::Corrupt`, never a panic.
+    PanicFreedom,
+    /// No `RwLock`/`Mutex` guard binding held across an
+    /// `fsync`/`sync_all`/`sync_data` call or a `.snapshot()`
+    /// construction: a reader stall must never wait on disk.
+    LockDiscipline,
+    /// No truncating `as` casts (to `u8`/`u16`/`u32`/`usize`/…) in
+    /// offset/length arithmetic: use `try_into`/checked conversions.
+    CastSafety,
+    /// `StoreReader` impl methods take `&self`; every `VersionStore` impl
+    /// has an `assert_send_sync::<T>()` static assertion in its crate.
+    ApiContract,
+    /// Every `unsafe` token carries a `// SAFETY:` comment.
+    UnsafeAudit,
+    /// Meta-rule: `xarch-allow` comments must be well-formed and used.
+    Suppression,
+}
+
+impl Rule {
+    /// The five path-scoped invariant rules (excludes the suppression
+    /// meta-rule, which is always active).
+    pub const CHECKABLE: [Rule; 5] = [
+        Rule::PanicFreedom,
+        Rule::LockDiscipline,
+        Rule::CastSafety,
+        Rule::ApiContract,
+        Rule::UnsafeAudit,
+    ];
+
+    /// The rule's stable name — used in diagnostics and in
+    /// `// xarch-allow: <name> -- <reason>` suppression comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::CastSafety => "cast-safety",
+            Rule::ApiContract => "api-contract",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::Suppression => "suppression",
+        }
+    }
+
+    /// Parses a rule name as written in a suppression comment.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "panic-freedom" => Some(Rule::PanicFreedom),
+            "lock-discipline" => Some(Rule::LockDiscipline),
+            "cast-safety" => Some(Rule::CastSafety),
+            "api-contract" => Some(Rule::ApiContract),
+            "unsafe-audit" => Some(Rule::UnsafeAudit),
+            _ => None,
+        }
+    }
+
+    /// Whether the rule also applies inside `#[cfg(test)]` / `#[test]`
+    /// regions. Tests may unwrap and index freely; undocumented `unsafe`
+    /// is never fine.
+    pub fn applies_in_tests(self) -> bool {
+        matches!(self, Rule::UnsafeAudit)
+    }
+}
+
+/// A path scope: workspace-relative prefix matching. An empty `include`
+/// list means "everywhere"; `exclude` wins over `include`.
+#[derive(Debug, Clone, Default)]
+pub struct PathFilter {
+    pub include: Vec<String>,
+    pub exclude: Vec<String>,
+}
+
+impl PathFilter {
+    /// Scope matching everything.
+    pub fn everywhere() -> Self {
+        Self::default()
+    }
+
+    /// Scope matching only the given prefixes.
+    pub fn only<I: IntoIterator<Item = S>, S: Into<String>>(prefixes: I) -> Self {
+        Self {
+            include: prefixes.into_iter().map(Into::into).collect(),
+            exclude: Vec::new(),
+        }
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is in scope.
+    pub fn matches(&self, path: &str) -> bool {
+        if self.exclude.iter().any(|p| path.starts_with(p.as_str())) {
+            return false;
+        }
+        self.include.is_empty() || self.include.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The analyzer's configuration: which rules run where, and which
+/// directories are never scanned at all.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub rules: Vec<(Rule, PathFilter)>,
+    /// Path prefixes excluded from scanning entirely (vendored deps,
+    /// build output, the analyzer's own intentionally-violating fixtures).
+    pub skip: Vec<String>,
+}
+
+impl Config {
+    /// The **project policy** — the scopes CI enforces on this workspace.
+    ///
+    /// * `panic-freedom` binds to the storage decode/recovery modules and
+    ///   the external-memory event decoder: every path a corrupted byte
+    ///   can reach must answer with a positioned `StoreError::Corrupt`.
+    /// * `cast-safety` binds to the whole storage crate, where offsets and
+    ///   lengths cross between `u64` file arithmetic and in-memory sizes.
+    /// * `lock-discipline`, `api-contract` and `unsafe-audit` bind
+    ///   workspace-wide.
+    pub fn project_policy() -> Self {
+        Self {
+            rules: vec![
+                (
+                    Rule::PanicFreedom,
+                    PathFilter::only([
+                        "crates/storage/src/segment.rs",
+                        "crates/storage/src/block.rs",
+                        "crates/storage/src/payload.rs",
+                        "crates/storage/src/superblock.rs",
+                        "crates/storage/src/durable.rs",
+                        "crates/extmem/src/events.rs",
+                    ]),
+                ),
+                (Rule::LockDiscipline, PathFilter::everywhere()),
+                (Rule::CastSafety, PathFilter::only(["crates/storage/src/"])),
+                (Rule::ApiContract, PathFilter::everywhere()),
+                (Rule::UnsafeAudit, PathFilter::everywhere()),
+            ],
+            skip: Self::default_skip(),
+        }
+    }
+
+    /// One rule, scoped everywhere — what the golden-fixture tests use to
+    /// exercise a single rule against a snippet.
+    pub fn single(rule: Rule) -> Self {
+        Self {
+            rules: vec![(rule, PathFilter::everywhere())],
+            skip: Self::default_skip(),
+        }
+    }
+
+    fn default_skip() -> Vec<String> {
+        [
+            "vendor/",
+            "target/",
+            ".git/",
+            // the fixtures violate rules on purpose
+            "crates/analysis/tests/fixtures/",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// The scope for `rule`, if the rule is enabled.
+    pub fn scope(&self, rule: Rule) -> Option<&PathFilter> {
+        self.rules.iter().find(|(r, _)| *r == rule).map(|(_, f)| f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_filter_prefix_semantics() {
+        let f = PathFilter::only(["crates/storage/src/"]);
+        assert!(f.matches("crates/storage/src/block.rs"));
+        assert!(!f.matches("crates/extmem/src/events.rs"));
+        assert!(PathFilter::everywhere().matches("anything/at/all.rs"));
+        let mut f = PathFilter::everywhere();
+        f.exclude.push("vendor/".into());
+        assert!(!f.matches("vendor/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::CHECKABLE {
+            assert_eq!(Rule::parse(r.name()), Some(r));
+        }
+        assert_eq!(Rule::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn policy_scopes_bind_where_the_architecture_demands() {
+        let p = Config::project_policy();
+        let pf = p.scope(Rule::PanicFreedom).unwrap();
+        assert!(pf.matches("crates/storage/src/block.rs"));
+        assert!(pf.matches("crates/extmem/src/events.rs"));
+        assert!(!pf.matches("crates/core/src/archive.rs"));
+        let cs = p.scope(Rule::CastSafety).unwrap();
+        assert!(cs.matches("crates/storage/src/crc.rs"));
+        assert!(!cs.matches("src/handle.rs"));
+        assert!(p.scope(Rule::UnsafeAudit).unwrap().matches("src/handle.rs"));
+    }
+}

@@ -1,0 +1,435 @@
+//! A minimal Rust lexer — just enough to walk real source text with exact
+//! line/column positions.
+//!
+//! It understands the constructs that defeat naive `grep`-style linting:
+//! plain/raw/byte string literals, char literals vs. lifetimes, nested
+//! block comments, numeric literals (so `1..n` is not a float), and
+//! identifiers vs. punctuation. Comments are lexed onto a **side channel**
+//! rather than discarded: rules match on code tokens, while suppression
+//! (`xarch-allow:`) and `SAFETY:` comments stay inspectable.
+//!
+//! This is deliberately not a full Rust parser. The rules built on top are
+//! token-sequence lints; anything that needs types or name resolution is
+//! out of scope (and belongs in clippy, which the CI gate also runs).
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String literal: plain, raw, byte, or raw-byte.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation byte (`.`, `[`, `&`, …). Multi-byte operators are
+    /// emitted as consecutive single-byte tokens.
+    Punct,
+}
+
+/// One code token with its 1-based position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with its position. `//` / `/*` markers are
+/// stripped; block comment bodies keep their interior newlines.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (== `line` for `//` comments).
+    pub end_line: u32,
+    pub col: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&f) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into code tokens and a comment side channel. Unterminated
+/// literals/comments are tolerated (the rest of the file becomes that
+/// token): the lexer is a lint substrate, not a validator.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek(0) {
+        let (line, col, start) = (cur.line, cur.col, cur.i);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let text_start = cur.i;
+                cur.take_while(|b| b != b'\n');
+                out.comments.push(Comment {
+                    text: src[text_start..cur.i].to_string(),
+                    line,
+                    end_line: cur.line,
+                    col,
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let text_start = cur.i;
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let end = cur.i.saturating_sub(2).max(text_start);
+                out.comments.push(Comment {
+                    text: src[text_start..end].to_string(),
+                    line,
+                    end_line: cur.line,
+                    col,
+                });
+            }
+            // raw strings r"..." / r#"..."# and their byte forms; also
+            // raw identifiers r#name (no quote after the hashes)
+            b'r' | b'b' if starts_raw_string(&cur) => {
+                // consume r / br prefix
+                cur.bump();
+                if cur.peek(0) == Some(b'r') {
+                    cur.bump();
+                }
+                let mut hashes = 0usize;
+                while cur.peek(0) == Some(b'#') {
+                    hashes += 1;
+                    cur.bump();
+                }
+                cur.bump(); // opening quote
+                loop {
+                    match cur.bump() {
+                        None => break,
+                        Some(b'"') => {
+                            let mut seen = 0usize;
+                            while seen < hashes && cur.peek(0) == Some(b'#') {
+                                seen += 1;
+                                cur.bump();
+                            }
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                push_tok(&mut out, TokKind::Str, src, start, cur.i, line, col);
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.bump();
+                lex_plain_string(&mut cur);
+                push_tok(&mut out, TokKind::Str, src, start, cur.i, line, col);
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump();
+                cur.bump();
+                lex_char_tail(&mut cur);
+                push_tok(&mut out, TokKind::Char, src, start, cur.i, line, col);
+            }
+            b'"' => {
+                lex_plain_string(&mut cur);
+                push_tok(&mut out, TokKind::Str, src, start, cur.i, line, col);
+            }
+            b'\'' => {
+                cur.bump();
+                if is_char_literal(&cur) {
+                    lex_char_tail(&mut cur);
+                    push_tok(&mut out, TokKind::Char, src, start, cur.i, line, col);
+                } else {
+                    // lifetime: 'ident (no closing quote)
+                    cur.take_while(is_ident_continue);
+                    push_tok(&mut out, TokKind::Lifetime, src, start, cur.i, line, col);
+                }
+            }
+            _ if is_ident_start(b) => {
+                cur.take_while(is_ident_continue);
+                push_tok(&mut out, TokKind::Ident, src, start, cur.i, line, col);
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                push_tok(&mut out, TokKind::Num, src, start, cur.i, line, col);
+            }
+            _ => {
+                cur.bump();
+                push_tok(&mut out, TokKind::Punct, src, start, cur.i, line, col);
+            }
+        }
+    }
+    out
+}
+
+fn push_tok(
+    out: &mut Lexed,
+    kind: TokKind,
+    src: &str,
+    start: usize,
+    end: usize,
+    line: u32,
+    col: u32,
+) {
+    out.toks.push(Tok {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+        col,
+    });
+}
+
+/// At an `r`/`b`: does a raw string (`r"`, `r#`, `br"`, `br#`) start here?
+/// `r#name` raw identifiers are excluded (hash not followed by a quote).
+fn starts_raw_string(cur: &Cursor<'_>) -> bool {
+    let rest = &cur.bytes[cur.i..];
+    let after_prefix = match rest {
+        [b'b', b'r', tail @ ..] => tail,
+        [b'r', tail @ ..] => tail,
+        _ => return false,
+    };
+    let mut k = 0;
+    while after_prefix.get(k) == Some(&b'#') {
+        k += 1;
+    }
+    after_prefix.get(k) == Some(&b'"')
+}
+
+/// Consumes a plain `"…"` string (cursor on the opening quote).
+fn lex_plain_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// After a `'`, decides char literal vs. lifetime: a char literal is an
+/// escape, or a single char followed by a closing `'`.
+fn is_char_literal(cur: &Cursor<'_>) -> bool {
+    match cur.peek(0) {
+        Some(b'\\') => true,
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            // 'x' is a char; 'x followed by anything else is a lifetime.
+            // Multi-byte UTF-8 chars can't start lifetimes, so a non-ASCII
+            // byte here is a char literal too.
+            cur.peek(1) == Some(b'\'')
+        }
+        Some(_) => true, // '(', '❤', etc. — never a lifetime start
+        None => false,
+    }
+}
+
+/// Consumes the body + closing quote of a char literal (cursor just past
+/// the opening `'`).
+fn lex_char_tail(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.bump() {
+            None | Some(b'\'') => break,
+            Some(b'\\') => {
+                // escape: the next byte is literal (covers \' and \\);
+                // \u{…} continues through the loop until the closing quote
+                cur.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal: `0x…`, digits with `_`, a fractional part
+/// (only when followed by a digit — `1..n` stays a range), an exponent,
+/// and any alphanumeric suffix.
+fn lex_number(cur: &mut Cursor<'_>) {
+    if cur.peek(0) == Some(b'0')
+        && matches!(cur.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+    {
+        cur.bump();
+        cur.bump();
+        cur.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return;
+    }
+    cur.take_while(|b| b.is_ascii_digit() || b == b'_');
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.take_while(|b| b.is_ascii_digit() || b == b'_');
+    }
+    if matches!(cur.peek(0), Some(b'e' | b'E'))
+        && (cur.peek(1).is_some_and(|b| b.is_ascii_digit())
+            || (matches!(cur.peek(1), Some(b'+' | b'-'))
+                && cur.peek(2).is_some_and(|b| b.is_ascii_digit())))
+    {
+        cur.bump();
+        cur.bump();
+        cur.take_while(|b| b.is_ascii_digit() || b == b'_');
+    }
+    // type suffix (u32, f64, usize …)
+    cur.take_while(is_ident_continue);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            let a = "unwrap() inside a string";
+            // unwrap() inside a comment
+            /* block with
+               .unwrap() and /* nested */ layers */
+            let b = r#"raw "quoted" unwrap()"#;
+            let c = b"byte unwrap()";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' } const Q: char = '\\'';";
+        let l = lex(src);
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\''"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "let a = 1..3; let b = 1.5; let c = 7.min(9); let d = 0xFF_u32;";
+        let l = lex(src);
+        let nums: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1", "3", "1.5", "7", "9", "0xFF_u32"]);
+        assert!(l.toks.iter().any(|t| t.is_ident("min")));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_byte_columns() {
+        let l = lex("ab\n  cd.unwrap()");
+        let cd = l.toks.iter().find(|t| t.is_ident("cd")).unwrap();
+        assert_eq!((cd.line, cd.col), (2, 3));
+        let uw = l.toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!((uw.line, uw.col), (2, 6));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let l = lex("let r#type = 1; let s = r\"x\";");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! `check` / `report` entry point for the workspace invariant analyzer.
+//!
+//! Exit codes: `0` clean (or report mode), `1` unsuppressed violations,
+//! `2` usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xarch_analysis::{analyze_workspace, find_workspace_root, render_check, render_report, Config};
+
+const USAGE: &str = "usage: xarch_analysis <check|report> [--root <dir>]
+
+  check    run the invariant rules; print rustc-style diagnostics and exit
+           non-zero if any unsuppressed violation remains
+  report   print the per-crate findings table, the suppression ledger with
+           reasons, and the unsafe inventory (always exits 0)
+  --root   workspace root to analyze (default: nearest ancestor of the
+           current directory whose Cargo.toml declares [workspace])";
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let mode = match args.next() {
+        Some(m) if m == "check" || m == "report" => m,
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let config = Config::project_policy();
+    let analysis = match analyze_workspace(&root, &config) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if mode == "report" {
+        print!("{}", render_report(&analysis));
+        ExitCode::SUCCESS
+    } else {
+        print!("{}", render_check(&analysis));
+        if analysis.violation_count() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        }
+    }
+}

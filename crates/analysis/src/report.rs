@@ -1,0 +1,157 @@
+//! Human-readable output: rustc-style diagnostics for `check` and the
+//! per-crate summary table (violations, suppressions, unsafe inventory)
+//! for `report`.
+
+use std::collections::BTreeMap;
+
+use crate::config::Rule;
+use crate::engine::{crate_of, Analysis};
+
+/// Renders `check` output: one rustc-style line per unsuppressed
+/// violation, then a one-line summary. Returns the rendered text.
+pub fn render_check(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for d in analysis.violations() {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let violations = analysis.violation_count();
+    let suppressed = analysis.suppressed_count();
+    out.push_str(&format!(
+        "xarch-analysis: {} file(s) scanned, {} violation(s), {} finding(s) suppressed\n",
+        analysis.files_scanned, violations, suppressed
+    ));
+    out
+}
+
+/// Renders `report` output: a per-crate, per-rule table of violation and
+/// suppression counts, the suppression ledger with reasons, and the
+/// `unsafe` inventory.
+pub fn render_report(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("workspace invariant report\n");
+    out.push_str(&format!("  files scanned: {}\n\n", analysis.files_scanned));
+
+    // (crate, rule) -> (violations, suppressed)
+    let mut table: BTreeMap<String, BTreeMap<&'static str, (usize, usize)>> = BTreeMap::new();
+    for d in &analysis.diagnostics {
+        let cell = table
+            .entry(crate_of(&d.file))
+            .or_default()
+            .entry(d.rule.name())
+            .or_default();
+        if d.suppressed.is_some() {
+            cell.1 += 1;
+        } else {
+            cell.0 += 1;
+        }
+    }
+
+    let rule_names: Vec<&'static str> = Rule::CHECKABLE
+        .iter()
+        .map(|r| r.name())
+        .chain(std::iter::once(Rule::Suppression.name()))
+        .collect();
+    let crate_width = table
+        .keys()
+        .map(String::len)
+        .chain(std::iter::once("crate".len()))
+        .max()
+        .unwrap_or(5);
+
+    out.push_str("per-crate findings (violations/suppressed):\n");
+    out.push_str(&format!("  {:<crate_width$}", "crate"));
+    for name in &rule_names {
+        out.push_str(&format!("  {name:>15}"));
+    }
+    out.push('\n');
+    if table.is_empty() {
+        out.push_str("  (no findings anywhere)\n");
+    }
+    for (krate, cells) in &table {
+        out.push_str(&format!("  {krate:<crate_width$}"));
+        for name in &rule_names {
+            let (v, s) = cells.get(name).copied().unwrap_or((0, 0));
+            if v == 0 && s == 0 {
+                out.push_str(&format!("  {:>15}", "-"));
+            } else {
+                out.push_str(&format!("  {:>15}", format!("{v}/{s}")));
+            }
+        }
+        out.push('\n');
+    }
+
+    out.push_str("\nsuppression ledger:\n");
+    if analysis.suppressions.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for s in &analysis.suppressions {
+        let rules = s
+            .rules
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let status = if s.used { "used" } else { "UNUSED" };
+        out.push_str(&format!(
+            "  {}:{} [{}] ({}) -- {}\n",
+            s.file, s.line, rules, status, s.reason
+        ));
+    }
+
+    out.push_str("\nunsafe inventory:\n");
+    if analysis.unsafe_sites.is_empty() {
+        out.push_str("  (the workspace contains no `unsafe` code)\n");
+    }
+    for u in &analysis.unsafe_sites {
+        let status = if u.documented {
+            "SAFETY-documented"
+        } else {
+            "UNDOCUMENTED"
+        };
+        out.push_str(&format!("  {}:{}:{} {}\n", u.file, u.line, u.col, status));
+    }
+
+    let violations = analysis.violation_count();
+    out.push_str(&format!(
+        "\ntotal: {} violation(s), {} suppressed finding(s)\n",
+        violations,
+        analysis.suppressed_count()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::{analyze_sources, SourceFile};
+
+    #[test]
+    fn report_groups_by_crate_and_lists_ledger() {
+        let files = [
+            SourceFile {
+                path: "crates/storage/src/x.rs".into(),
+                text: "fn f(x: u64) -> u32 { x as u32 }\n\
+                       // xarch-allow: cast-safety -- bounded\n\
+                       fn g(x: u64) -> u32 { x as u32 }\n"
+                    .into(),
+            },
+            SourceFile {
+                path: "src/y.rs".into(),
+                text: "fn h(x: u64) -> u16 { x as u16 }\n".into(),
+            },
+        ];
+        let a = analyze_sources(&files, &Config::single(Rule::CastSafety));
+        let report = render_report(&a);
+        assert!(report.contains("crates/storage"), "{report}");
+        assert!(report.contains("xarch (root)"), "{report}");
+        assert!(report.contains("1/1"), "{report}");
+        assert!(report.contains("-- bounded"), "{report}");
+        let check = render_check(&a);
+        assert!(
+            check.contains("crates/storage/src/x.rs:1:25: error[cast-safety]"),
+            "{check}"
+        );
+    }
+}

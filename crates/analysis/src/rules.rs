@@ -1,0 +1,529 @@
+//! The five invariant rules, as token-sequence lints.
+//!
+//! Each rule is a pure function from a lexed file to raw findings
+//! (line/col/message). The engine decides scope (which paths a rule binds
+//! to), test-region exemptions, and suppression handling; rules only
+//! recognize patterns.
+
+use crate::config::Rule;
+use crate::lexer::{Comment, Tok, TokKind};
+
+/// One raw finding before scope/suppression processing.
+#[derive(Debug, Clone)]
+pub struct RawDiag {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+fn diag(tok: &Tok, message: impl Into<String>) -> RawDiag {
+    RawDiag {
+        line: tok.line,
+        col: tok.col,
+        message: message.into(),
+    }
+}
+
+/// Everything a rule may look at for one file.
+pub struct FileCtx<'a> {
+    pub toks: &'a [Tok],
+    /// Aligned with `toks`: true inside `#[cfg(test)]` / `#[test]` items.
+    pub in_test: &'a [bool],
+    pub comments: &'a [Comment],
+}
+
+impl FileCtx<'_> {
+    fn skip(&self, rule: Rule, i: usize) -> bool {
+        !rule.applies_in_tests() && self.in_test.get(i).copied().unwrap_or(false)
+    }
+}
+
+/// Identifiers that may precede `[` without forming an index expression
+/// (`return [..]`, `for x in [..]`, `match [..]`, …).
+const NON_INDEX_KEYWORDS: [&str; 20] = [
+    "return", "in", "break", "continue", "if", "else", "match", "loop", "while", "for", "let",
+    "as", "move", "ref", "mut", "where", "use", "pub", "const", "static",
+];
+
+/// Rule 1 — **panic-freedom**: decode/recovery code must never panic on
+/// untrusted bytes. Bans `.unwrap()`, `.expect(..)`, `panic!`,
+/// `unreachable!`, `todo!`, `unimplemented!`, and slice/array indexing
+/// (which panics out of bounds); `debug_assert!` is allowed (it compiles
+/// out of release builds and documents invariants).
+pub fn panic_freedom(ctx: &FileCtx<'_>) -> Vec<RawDiag> {
+    let t = ctx.toks;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if ctx.skip(Rule::PanicFreedom, i) {
+            continue;
+        }
+        // .unwrap() — but not .unwrap_or(..) and friends
+        if t[i].is_punct('.')
+            && t.get(i + 1).is_some_and(|x| x.is_ident("unwrap"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+            && t.get(i + 3).is_some_and(|x| x.is_punct(')'))
+        {
+            out.push(diag(
+                &t[i + 1],
+                "`.unwrap()` in a decode/recovery path — corrupt input must surface as a \
+                 positioned `StoreError::Corrupt`, never a panic",
+            ));
+        }
+        // .expect(..)
+        if t[i].is_punct('.')
+            && t.get(i + 1).is_some_and(|x| x.is_ident("expect"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+        {
+            out.push(diag(
+                &t[i + 1],
+                "`.expect(..)` in a decode/recovery path — return a positioned error instead \
+                 of panicking",
+            ));
+        }
+        // panicking macros
+        if t[i].kind == TokKind::Ident
+            && matches!(
+                t[i].text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && t.get(i + 1).is_some_and(|x| x.is_punct('!'))
+        {
+            out.push(diag(
+                &t[i],
+                format!(
+                    "`{}!` in a decode/recovery path — corrupt input must produce an error, \
+                     not a panic",
+                    t[i].text
+                ),
+            ));
+        }
+        // slice/array indexing: `expr[..]` panics out of bounds
+        if t[i].is_punct('[') && i > 0 {
+            let prev = &t[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            if indexes {
+                out.push(diag(
+                    &t[i],
+                    "slice/array indexing can panic on corrupt input — use `.get(..)` and map \
+                     `None` to a positioned error",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Rule 3 — **cast-safety**: `as` casts to narrower (or
+/// platform-dependent) integer types silently truncate; offset/length
+/// arithmetic must use `try_into()`/`usize::try_from` and surface failures
+/// as errors. Widening casts (`as u64`) are allowed.
+pub fn cast_safety(ctx: &FileCtx<'_>) -> Vec<RawDiag> {
+    const NARROWING: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+    let t = ctx.toks;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if ctx.skip(Rule::CastSafety, i) {
+            continue;
+        }
+        if t[i].is_ident("as") {
+            if let Some(ty) = t.get(i + 1) {
+                if ty.kind == TokKind::Ident && NARROWING.contains(&ty.text.as_str()) {
+                    out.push(diag(
+                        &t[i],
+                        format!(
+                            "truncating `as {}` cast on offset/length arithmetic — use \
+                             `try_into()`/`{}::try_from` and handle the failure",
+                            ty.text, ty.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+const GUARD_ACQUIRERS: [&str; 3] = ["read", "write", "lock"];
+const SYNC_CALLS: [&str; 4] = ["sync_all", "sync_data", "fsync", "fdatasync"];
+
+/// Rule 2 — **lock-discipline**: a `let`-bound `RwLock`/`Mutex` guard must
+/// not stay live across an fsync (`sync_all`/`sync_data`/`fsync`) or a
+/// `.snapshot()` construction — a blocked reader must never be waiting on
+/// the disk. Detection: a `let` whose initializer *ends* in `.read()` /
+/// `.write()` / `.lock()` (optionally followed by `?` / `.unwrap()` /
+/// `.expect(..)`) binds a guard; any sync call or snapshot construction
+/// before the binding's scope closes (or an explicit `drop(guard)`) is a
+/// violation.
+pub fn lock_discipline(ctx: &FileCtx<'_>) -> Vec<RawDiag> {
+    let t = ctx.toks;
+    let depth = brace_depths(t);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if !t[i].is_ident("let") || ctx.skip(Rule::LockDiscipline, i) {
+            i += 1;
+            continue;
+        }
+        // binding name (skip `mut`; give up on destructuring patterns)
+        let mut j = i + 1;
+        if t.get(j).is_some_and(|x| x.is_ident("mut")) {
+            j += 1;
+        }
+        let name = match t.get(j) {
+            Some(x) if x.kind == TokKind::Ident => x.text.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // the statement's terminating `;` at neutral nesting
+        let Some(semi) = statement_end(t, i) else {
+            i += 1;
+            continue;
+        };
+        if !initializer_binds_guard(&t[i..semi]) {
+            i += 1;
+            continue;
+        }
+        // scan the guard's remaining scope
+        let let_depth = depth[i];
+        let mut k = semi + 1;
+        while k < t.len() {
+            if t[k].is_punct('}') && depth[k] <= let_depth {
+                break; // scope closed
+            }
+            // explicit early drop ends liveness
+            if t[k].is_ident("drop")
+                && t.get(k + 1).is_some_and(|x| x.is_punct('('))
+                && t.get(k + 2).is_some_and(|x| x.is_ident(&name))
+                && t.get(k + 3).is_some_and(|x| x.is_punct(')'))
+            {
+                break;
+            }
+            if t[k].kind == TokKind::Ident
+                && SYNC_CALLS.contains(&t[k].text.as_str())
+                && t.get(k + 1).is_some_and(|x| x.is_punct('('))
+            {
+                out.push(diag(
+                    &t[k],
+                    format!(
+                        "lock guard `{name}` is live across `{}()` — scope the guard so the \
+                         fsync runs lock-free (readers must never wait on the disk)",
+                        t[k].text
+                    ),
+                ));
+            }
+            if t[k].is_punct('.')
+                && t.get(k + 1).is_some_and(|x| x.is_ident("snapshot"))
+                && t.get(k + 2).is_some_and(|x| x.is_punct('('))
+            {
+                out.push(diag(
+                    &t[k + 1],
+                    format!(
+                        "lock guard `{name}` is live across `.snapshot()` construction — \
+                         taking a snapshot acquires the shared read lock and can deadlock \
+                         behind a queued writer"
+                    ),
+                ));
+            }
+            k += 1;
+        }
+        i = semi + 1;
+    }
+    out
+}
+
+/// Brace depth *before* each token.
+fn brace_depths(t: &[Tok]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(t.len());
+    let mut d = 0u32;
+    for tok in t {
+        out.push(d);
+        if tok.is_punct('{') {
+            d += 1;
+        } else if tok.is_punct('}') {
+            d = d.saturating_sub(1);
+        }
+    }
+    out
+}
+
+/// Index of the `;` ending the statement starting at `start`, skipping
+/// nested `(..)`, `[..]`, `{..}` groups.
+fn statement_end(t: &[Tok], start: usize) -> Option<usize> {
+    let mut nest = 0i32;
+    for (k, tok) in t.iter().enumerate().skip(start) {
+        if tok.kind == TokKind::Punct {
+            match tok.text.as_bytes().first() {
+                Some(b'(' | b'[' | b'{') => nest += 1,
+                Some(b')' | b']' | b'}') => nest -= 1,
+                Some(b';') if nest == 0 => return Some(k),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Does a `let … ;` statement's initializer end in a lock acquisition?
+/// The last `.read()`/`.write()`/`.lock()` must be followed only by
+/// `?`, `.unwrap()`, or `.expect(..)` — anything else means a method was
+/// called *on* the guard and the binding holds that result instead.
+fn initializer_binds_guard(stmt: &[Tok]) -> bool {
+    let mut acquired_at = None;
+    for g in 0..stmt.len() {
+        if stmt[g].is_punct('.')
+            && stmt.get(g + 1).is_some_and(|x| {
+                x.kind == TokKind::Ident && GUARD_ACQUIRERS.contains(&x.text.as_str())
+            })
+            && stmt.get(g + 2).is_some_and(|x| x.is_punct('('))
+            && stmt.get(g + 3).is_some_and(|x| x.is_punct(')'))
+        {
+            acquired_at = Some(g + 4);
+        }
+    }
+    let Some(mut p) = acquired_at else {
+        return false;
+    };
+    while p < stmt.len() {
+        if stmt[p].is_punct('?') {
+            p += 1;
+        } else if stmt[p].is_punct('.')
+            && stmt.get(p + 1).is_some_and(|x| x.is_ident("unwrap"))
+            && stmt.get(p + 2).is_some_and(|x| x.is_punct('('))
+            && stmt.get(p + 3).is_some_and(|x| x.is_punct(')'))
+        {
+            p += 4;
+        } else if stmt[p].is_punct('.')
+            && stmt.get(p + 1).is_some_and(|x| x.is_ident("expect"))
+            && stmt.get(p + 2).is_some_and(|x| x.is_punct('('))
+        {
+            let mut nest = 0i32;
+            p += 2;
+            while p < stmt.len() {
+                if stmt[p].is_punct('(') {
+                    nest += 1;
+                } else if stmt[p].is_punct(')') {
+                    nest -= 1;
+                    if nest == 0 {
+                        p += 1;
+                        break;
+                    }
+                }
+                p += 1;
+            }
+        } else {
+            // further method calls: the binding is not a guard
+            return false;
+        }
+    }
+    true
+}
+
+/// A `VersionStore` impl found in a file (for the crate-level half of the
+/// api-contract rule).
+#[derive(Debug, Clone)]
+pub struct VersionStoreImpl {
+    pub type_name: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Per-file facts the api-contract rule reports to the crate-level pass.
+#[derive(Debug, Default)]
+pub struct ApiFacts {
+    pub version_store_impls: Vec<VersionStoreImpl>,
+    /// Type names appearing in `assert_send_sync::<T>()` calls.
+    pub send_sync_assertions: Vec<String>,
+}
+
+/// Rule 4 — **api-contract**, per-file half: every method in an
+/// `impl StoreReader for …` block takes `&self` (reads must be shareable),
+/// and `impl VersionStore for …` sites are collected so the engine can
+/// check each has an `assert_send_sync::<T>()` in its crate.
+pub fn api_contract(ctx: &FileCtx<'_>) -> (Vec<RawDiag>, ApiFacts) {
+    let t = ctx.toks;
+    let mut out = Vec::new();
+    let mut facts = ApiFacts::default();
+    let mut i = 0;
+    while i < t.len() {
+        // assert_send_sync::<T>() — collect every ident inside the turbofish
+        if t[i].is_ident("assert_send_sync")
+            && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.is_punct('<'))
+        {
+            let mut angle = 1i32;
+            let mut k = i + 4;
+            while k < t.len() && angle > 0 {
+                if t[k].is_punct('<') {
+                    angle += 1;
+                } else if t[k].is_punct('>') {
+                    angle -= 1;
+                } else if t[k].kind == TokKind::Ident {
+                    facts.send_sync_assertions.push(t[k].text.clone());
+                }
+                k += 1;
+            }
+            i = k;
+            continue;
+        }
+        if !t[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // impl header: tokens up to the opening `{` (or `;`)
+        let mut body_start = None;
+        let mut header_end = i + 1;
+        while header_end < t.len() {
+            if t[header_end].is_punct('{') {
+                body_start = Some(header_end + 1);
+                break;
+            }
+            if t[header_end].is_punct(';') {
+                break;
+            }
+            header_end += 1;
+        }
+        let header = &t[i + 1..header_end];
+        let for_pos = header.iter().position(|x| x.is_ident("for"));
+        let trait_mentions =
+            |name: &str| for_pos.is_some_and(|f| header.iter().take(f).any(|x| x.is_ident(name)));
+        let Some(body_start) = body_start else {
+            i = header_end + 1;
+            continue;
+        };
+        let body_end = matching_brace(t, body_start - 1);
+        if trait_mentions("VersionStore") && !ctx.skip(Rule::ApiContract, i) {
+            // the implementing type: first ident after `for`
+            if let Some(f) = for_pos {
+                if let Some(ty) = header
+                    .iter()
+                    .skip(f + 1)
+                    .find(|x| x.kind == TokKind::Ident && !matches!(x.text.as_str(), "dyn" | "mut"))
+                {
+                    facts.version_store_impls.push(VersionStoreImpl {
+                        type_name: ty.text.clone(),
+                        line: t[i].line,
+                        col: t[i].col,
+                    });
+                }
+            }
+        }
+        if trait_mentions("StoreReader") && !ctx.skip(Rule::ApiContract, i) {
+            // every fn in the block must take &self, not &mut self
+            let mut k = body_start;
+            while k < body_end {
+                if t[k].is_ident("fn") {
+                    let fn_tok = &t[k];
+                    let fn_name = t.get(k + 1).map(|x| x.text.clone()).unwrap_or_default();
+                    // scan the parameter list
+                    let mut p = k;
+                    while p < body_end && !t[p].is_punct('(') {
+                        p += 1;
+                    }
+                    let params_end = matching_paren(t, p);
+                    let mut q = p;
+                    while q + 2 < params_end {
+                        if t[q].is_punct('&')
+                            && (t[q + 1].is_ident("mut") && t[q + 2].is_ident("self")
+                                || t[q + 1].kind == TokKind::Lifetime
+                                    && t[q + 2].is_ident("mut")
+                                    && t.get(q + 3).is_some_and(|x| x.is_ident("self")))
+                        {
+                            out.push(diag(
+                                fn_tok,
+                                format!(
+                                    "`StoreReader` impl method `{fn_name}` takes `&mut self` — \
+                                     the shared-read contract requires `&self` receivers"
+                                ),
+                            ));
+                            break;
+                        }
+                        q += 1;
+                    }
+                    k = params_end;
+                }
+                k += 1;
+            }
+        }
+        i = body_start;
+    }
+    (out, facts)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(t: &[Tok], open: usize) -> usize {
+    let mut d = 0i32;
+    for (k, tok) in t.iter().enumerate().skip(open) {
+        if tok.is_punct('{') {
+            d += 1;
+        } else if tok.is_punct('}') {
+            d -= 1;
+            if d == 0 {
+                return k;
+            }
+        }
+    }
+    t.len()
+}
+
+/// Index just past the `)` matching the `(` at `open`.
+fn matching_paren(t: &[Tok], open: usize) -> usize {
+    let mut d = 0i32;
+    for (k, tok) in t.iter().enumerate().skip(open) {
+        if tok.is_punct('(') {
+            d += 1;
+        } else if tok.is_punct(')') {
+            d -= 1;
+            if d == 0 {
+                return k;
+            }
+        }
+    }
+    t.len()
+}
+
+/// One `unsafe` occurrence, for the generated inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: u32,
+    pub col: u32,
+    /// Whether a `// SAFETY:` comment accompanies it.
+    pub documented: bool,
+}
+
+/// Rule 5 — **unsafe-audit**: every `unsafe` token (block, fn, impl,
+/// trait) must carry a `// SAFETY:` comment on the same line or within the
+/// three lines above it. Returns findings plus the full inventory
+/// (documented sites included) for `report` mode.
+pub fn unsafe_audit(ctx: &FileCtx<'_>) -> (Vec<RawDiag>, Vec<UnsafeSite>) {
+    let mut out = Vec::new();
+    let mut sites = Vec::new();
+    for tok in ctx.toks {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        let documented = ctx.comments.iter().any(|c| {
+            c.text.contains("SAFETY:")
+                && (c.line == tok.line || (c.end_line < tok.line && c.end_line + 3 >= tok.line))
+        });
+        sites.push(UnsafeSite {
+            line: tok.line,
+            col: tok.col,
+            documented,
+        });
+        if !documented {
+            out.push(diag(
+                tok,
+                "`unsafe` without a `// SAFETY:` comment — state the invariant that makes \
+                 this sound (same line or within 3 lines above)",
+            ));
+        }
+    }
+    (out, sites)
+}

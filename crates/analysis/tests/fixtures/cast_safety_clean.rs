@@ -1,0 +1,10 @@
+//! Golden fixture: checked conversions and widening casts only. Must
+//! produce zero diagnostics.
+
+pub fn offsets(len: u64, offset: usize) -> Option<(u32, u64)> {
+    let stored = u32::try_from(len).ok()?;
+    let wide = offset as u64; // widening never truncates
+    let index = usize::try_from(len).ok()?;
+    let _ = index;
+    Some((stored, wide))
+}

@@ -1,0 +1,9 @@
+//! Golden fixture: truncating casts on offset/length arithmetic.
+//! This file is analyzer input, not a compile target.
+
+pub fn offsets(len: u64, offset: u64, small: u64) -> (u32, usize, u16) {
+    let stored = len as u32; //~ cast-safety
+    let index = offset as usize; //~ cast-safety
+    let short = small as u16; //~ cast-safety
+    (stored, index, short)
+}

@@ -1,0 +1,34 @@
+//! Golden fixture: lock discipline respected — guards scoped away from
+//! fsyncs, value bindings that merely *pass through* a guard, and explicit
+//! early drops. Must produce zero diagnostics.
+
+pub fn fsync_after_scope(file: &std::fs::File, lock: &std::sync::RwLock<u32>) {
+    {
+        let guard = lock.write().unwrap();
+        let _ = *guard;
+    }
+    file.sync_all().ok();
+}
+
+pub fn value_not_guard(shared: &std::sync::RwLock<Inner>, file: &std::fs::File) {
+    // the binding holds `.latest()`'s return value — the guard is a
+    // temporary that dies at the semicolon
+    let pinned = shared.read().unwrap().latest();
+    file.sync_all().ok();
+    let _ = pinned;
+}
+
+pub fn early_drop(file: &std::fs::File, lock: &std::sync::Mutex<u32>) {
+    let held = lock.lock().unwrap();
+    drop(held);
+    file.sync_data().ok();
+}
+
+pub fn io_read_is_not_a_lock(reader: &mut impl std::io::Read, file: &std::fs::File) {
+    // `.read(buf)` takes an argument — only zero-arg read()/write()/lock()
+    // acquire guards
+    let mut buf = [0u8; 4];
+    let n = reader.read(&mut buf).unwrap_or(0);
+    file.sync_all().ok();
+    let _ = n;
+}

@@ -1,0 +1,24 @@
+//! Golden fixture: lock guards held across fsync / snapshot construction.
+//! This file is analyzer input, not a compile target.
+
+pub fn fsync_under_write_lock(file: &std::fs::File, lock: &std::sync::RwLock<u32>) {
+    let guard = lock.write().unwrap();
+    file.sync_all().ok(); //~ lock-discipline
+    drop(guard);
+}
+
+pub fn snapshot_under_mutex(store: &Store, lock: &std::sync::Mutex<u32>) {
+    let held = lock.lock().unwrap();
+    let _snap = store.snapshot(); //~ lock-discipline
+    drop(held);
+}
+
+pub fn fsync_under_read_guard_with_question_mark(
+    file: &std::fs::File,
+    lock: &std::sync::RwLock<u32>,
+) -> Result<(), std::io::Error> {
+    let pinned = lock.read()?;
+    file.sync_data()?; //~ lock-discipline
+    drop(pinned);
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Golden fixture: panic-free decode — checked access, positioned errors,
+//! and test-region exemptions. Must produce zero diagnostics.
+
+pub fn decode(buf: &[u8]) -> Result<u8, String> {
+    let first = buf.first().copied().ok_or("empty input")?;
+    let rest = buf.get(1..).unwrap_or_default();
+    debug_assert!(rest.len() < 1024);
+    let padded = vec![first; 3];
+    Ok(padded.iter().copied().fold(0, u8::wrapping_add))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_index_and_panic() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], 1);
+        v.get(1).copied().unwrap();
+        if v.is_empty() {
+            panic!("impossible");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Golden fixture: each tilde marker names the diagnostic the analyzer
+//! must emit on that line. This file is analyzer input, not a compile
+//! target.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf[0]; //~ panic-freedom
+    let second = *buf.get(1).unwrap(); //~ panic-freedom
+    let third = buf.get(2).copied().expect("third byte"); //~ panic-freedom
+    if first == 0 {
+        panic!("zero length prefix"); //~ panic-freedom
+    }
+    if second == 0 {
+        unreachable!(); //~ panic-freedom
+    }
+    if third == 0 {
+        todo!(); //~ panic-freedom
+    }
+    third
+}

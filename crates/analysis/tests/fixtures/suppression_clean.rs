@@ -1,0 +1,12 @@
+//! Golden fixture: a well-formed, *used* suppression — the finding is
+//! recorded as suppressed and nothing gates. Must produce zero
+//! unsuppressed diagnostics.
+
+pub fn stored(len: u64) -> u32 {
+    // xarch-allow: cast-safety -- length is pre-checked against the 1 GiB payload cap
+    len as u32
+}
+
+pub fn trailing(len: u64) -> u32 {
+    len as u32 // xarch-allow: cast-safety -- same-line exemption form
+}

@@ -1,0 +1,14 @@
+//! Golden fixture: suppression-protocol misuse — unused, reason-less, and
+//! unknown-rule `xarch-allow` comments. This file is analyzer input, not a
+//! compile target.
+
+// xarch-allow: cast-safety -- nothing on the next line triggers this //~ suppression
+pub fn nothing_to_suppress() {}
+
+// xarch-allow: cast-safety //~ suppression
+pub fn missing_reason(len: u64) -> u32 {
+    u32::try_from(len).unwrap_or(0)
+}
+
+// xarch-allow: no-such-rule -- the rule name is wrong //~ suppression
+pub fn unknown_rule() {}

@@ -1,0 +1,22 @@
+//! Golden fixture: every `unsafe` carries a SAFETY comment. Must produce
+//! zero diagnostics.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points at a live, initialized byte
+    unsafe { *p }
+}
+
+pub fn same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: bounds checked by the caller
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_is_audited_even_in_tests() {
+        let x = 7u8;
+        // SAFETY: the reference is derived from a live local
+        let y = unsafe { *(&x as *const u8) };
+        assert_eq!(y, 7);
+    }
+}

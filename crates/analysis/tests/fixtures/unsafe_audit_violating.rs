@@ -1,0 +1,14 @@
+//! Golden fixture: `unsafe` without a SAFETY comment. This file is
+//! analyzer input, not a compile target.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe-audit
+}
+
+pub fn far_comment(p: *const u8) -> u8 {
+    // SAFETY: this comment is too far away to count
+
+    //
+    //
+    unsafe { *p } //~ unsafe-audit
+}

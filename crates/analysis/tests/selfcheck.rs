@@ -1,0 +1,40 @@
+//! Self-check: the live workspace passes the project policy.
+//!
+//! This is the same gate CI runs via `cargo run -p xarch_analysis --
+//! check`, embedded as a test so `cargo test` alone catches a violation
+//! introduced anywhere in the workspace.
+
+use std::path::Path;
+
+use xarch_analysis::{analyze_workspace, render_report, Config};
+
+fn workspace_root() -> &'static Path {
+    // crates/analysis/../.. = the workspace root
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn live_workspace_passes_project_policy() {
+    let analysis = analyze_workspace(workspace_root(), &Config::project_policy()).unwrap();
+    assert!(analysis.files_scanned > 50, "walk found too few files");
+    let violations: Vec<String> = analysis.violations().map(ToString::to_string).collect();
+    assert!(
+        violations.is_empty(),
+        "workspace invariant violations:\n{}",
+        violations.join("\n")
+    );
+    // the deliberate, documented exemptions stay visible in the ledger
+    assert_eq!(analysis.suppressed_count(), 2);
+    assert!(analysis.suppressions.iter().all(|s| s.used));
+}
+
+#[test]
+fn report_renders_ledger_and_inventory_for_live_workspace() {
+    let analysis = analyze_workspace(workspace_root(), &Config::project_policy()).unwrap();
+    let report = render_report(&analysis);
+    assert!(report.contains("suppression ledger:"), "{report}");
+    assert!(report.contains("crates/storage/src/crc.rs"), "{report}");
+    assert!(report.contains("unsafe inventory:"), "{report}");
+    // the workspace carries no unsafe code today; the inventory says so
+    assert!(report.contains("no `unsafe` code"), "{report}");
+}

@@ -166,10 +166,9 @@ pub fn encode_small(tree: &ETree, out: &mut Vec<u8>) {
         EKind::Stamp => {
             out.push(KIND_STAMP);
             let mut body = Vec::new();
-            put_str(
-                &mut body,
-                &tree.time.as_ref().expect("stamp time").to_string(),
-            );
+            // xarch-allow: panic-freedom -- encoder input invariant: the builder always stamps Stamp nodes; this is not a decode path
+            let time = tree.time.as_ref().expect("stamp time");
+            put_str(&mut body, &time.to_string());
             for c in &tree.children {
                 encode_small(c, &mut body);
             }

@@ -20,6 +20,7 @@
 use xarch_compress::BlockCodec;
 use xarch_core::StoreError;
 
+use crate::bytes::{le_u32, le_u64};
 use crate::crc::crc32;
 
 /// Fixed size of the block header.
@@ -135,12 +136,12 @@ fn corrupt(offset: u64, reason: impl Into<String>) -> Scan {
 }
 
 /// The declared payload size of the block whose complete 22-byte header is
-/// in `header`. Used by streaming readers to know how much to read next;
-/// the value is *unvalidated* (check against [`MAX_PAYLOAD`] before
-/// allocating).
-pub fn declared_payload_len(header: &[u8]) -> u64 {
-    debug_assert!(header.len() >= BLOCK_HEADER_LEN);
-    u64::from_le_bytes(header[14..22].try_into().expect("8 bytes"))
+/// in `header`, or `None` when `header` is shorter than
+/// [`BLOCK_HEADER_LEN`]. Used by streaming readers to know how much to
+/// read next; the value is *unvalidated* (check against [`MAX_PAYLOAD`]
+/// before allocating).
+pub fn declared_payload_len(header: &[u8]) -> Option<u64> {
+    le_u64(header, 14)
 }
 
 /// Examines one block given its complete 22-byte `header`, the bytes read
@@ -170,18 +171,29 @@ pub fn scan_block_parts(
     if header.len() < BLOCK_HEADER_LEN {
         return Scan::TornTail;
     }
-    let kind_id = header[0];
-    let codec_id = header[1];
-    let version = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes"));
-    let raw_len = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
-    let stored_len = declared_payload_len(header);
+    // a complete header makes these reads infallible, but decode paths are
+    // total by policy: a short slice degrades to the torn-tail outcome
+    let (Some(&kind_id), Some(&codec_id), Some(version), Some(raw_len), Some(stored_len)) = (
+        header.first(),
+        header.get(1),
+        le_u32(header, 2),
+        le_u64(header, 6),
+        declared_payload_len(header),
+    ) else {
+        return Scan::TornTail;
+    };
     if stored_len > MAX_PAYLOAD || raw_len > MAX_PAYLOAD {
         return corrupt(
             offset,
             format!("implausible payload length {stored_len} (raw {raw_len}) in block header"),
         );
     }
-    let needed = stored_len as usize + BLOCK_TRAILER_LEN;
+    let Ok(payload_len) = usize::try_from(stored_len) else {
+        return corrupt(offset, "payload length exceeds the address space");
+    };
+    let Some(needed) = payload_len.checked_add(BLOCK_TRAILER_LEN) else {
+        return corrupt(offset, "block span overflows the address space");
+    };
     if body.len() < needed {
         return if eof_commit_word {
             corrupt(
@@ -196,9 +208,13 @@ pub fn scan_block_parts(
             Scan::TornTail
         };
     }
-    let trailer = &body[needed - BLOCK_TRAILER_LEN..needed];
-    let stored_crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
-    let commit = u32::from_le_bytes(trailer[4..].try_into().expect("4 bytes"));
+    let (Some(trailer), Some(payload)) = (body.get(payload_len..needed), body.get(..payload_len))
+    else {
+        return Scan::TornTail;
+    };
+    let (Some(stored_crc), Some(commit)) = (le_u32(trailer, 0), le_u32(trailer, 4)) else {
+        return Scan::TornTail;
+    };
     if commit != COMMIT_MAGIC {
         // no commit word at the very end of the file = torn write;
         // anywhere else it is corruption
@@ -208,9 +224,11 @@ pub fn scan_block_parts(
             corrupt(offset, "missing commit word on an interior block")
         };
     }
-    let payload = &body[..stored_len as usize];
+    let Some(header_fixed) = header.get(..BLOCK_HEADER_LEN) else {
+        return Scan::TornTail;
+    };
     let mut crc = crate::crc::Crc32::new();
-    crc.update(&header[..BLOCK_HEADER_LEN]);
+    crc.update(header_fixed);
     crc.update(payload);
     let actual = crc.finish();
     if actual != stored_crc {
@@ -242,7 +260,7 @@ pub fn scan_block_parts(
     };
     // hand the verified payload back in the buffer it was read into (the
     // trailer is 8 bytes — truncating beats copying on the replay path)
-    body.truncate(stored_len as usize);
+    body.truncate(payload_len);
     Scan::Block(ScannedBlock {
         header: BlockHeader {
             kind,
@@ -270,28 +288,45 @@ fn contains_committed_block(region: &[u8]) -> bool {
         return false;
     }
     for s in 0..=region.len() - min {
-        let h = &region[s..s + BLOCK_HEADER_LEN];
-        if BlockKind::from_id(h[0]).is_none() || BlockCodec::from_id(h[1]).is_none() {
+        let Some(h) = region.get(s..s + BLOCK_HEADER_LEN) else {
+            continue;
+        };
+        let (Some(&kind_id), Some(&codec_id)) = (h.first(), h.get(1)) else {
+            continue;
+        };
+        if BlockKind::from_id(kind_id).is_none() || BlockCodec::from_id(codec_id).is_none() {
             continue;
         }
-        let raw_len = u64::from_le_bytes(h[6..14].try_into().expect("8 bytes"));
-        let stored_len = declared_payload_len(h);
+        let (Some(raw_len), Some(stored_len)) = (le_u64(h, 6), declared_payload_len(h)) else {
+            continue;
+        };
         if stored_len > MAX_PAYLOAD || raw_len > MAX_PAYLOAD {
             continue;
         }
-        let Some(end) = (s + BLOCK_HEADER_LEN).checked_add(stored_len as usize + BLOCK_TRAILER_LEN)
+        let Ok(payload_len) = usize::try_from(stored_len) else {
+            continue;
+        };
+        let Some(end) = payload_len
+            .checked_add(BLOCK_TRAILER_LEN)
+            .and_then(|span| (s + BLOCK_HEADER_LEN).checked_add(span))
         else {
             continue;
         };
         if end > region.len() {
             continue;
         }
-        let trailer = &region[end - BLOCK_TRAILER_LEN..end];
-        if trailer[4..] != COMMIT_MAGIC.to_le_bytes() {
+        let Some(trailer) = region.get(end - BLOCK_TRAILER_LEN..end) else {
+            continue;
+        };
+        if trailer.get(4..) != Some(COMMIT_MAGIC.to_le_bytes().as_slice()) {
             continue;
         }
-        let stored_crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
-        if crc32(&region[s..end - BLOCK_TRAILER_LEN]) == stored_crc {
+        let (Some(stored_crc), Some(covered)) =
+            (le_u32(trailer, 0), region.get(s..end - BLOCK_TRAILER_LEN))
+        else {
+            continue;
+        };
+        if crc32(covered) == stored_crc {
             return true;
         }
     }
@@ -303,20 +338,31 @@ fn contains_committed_block(region: &[u8]) -> bool {
 /// treated as end of file). In-memory convenience over
 /// [`scan_block_parts`].
 pub fn scan_block(buf: &[u8], offset: u64) -> Scan {
-    let o = offset as usize;
-    let rest = &buf[o..];
+    let Ok(o) = usize::try_from(offset) else {
+        return corrupt(offset, "block offset exceeds the address space");
+    };
+    let Some(rest) = buf.get(o..) else {
+        return Scan::TornTail;
+    };
     if rest.len() < BLOCK_HEADER_LEN {
         return Scan::TornTail;
     }
     let (header, body) = rest.split_at(BLOCK_HEADER_LEN);
-    let stored_len = declared_payload_len(header);
+    let Some(stored_len) = declared_payload_len(header) else {
+        return Scan::TornTail;
+    };
     let needed = stored_len.saturating_add(BLOCK_TRAILER_LEN as u64);
     let bytes_after_end = (body.len() as u64).saturating_sub(needed);
-    let take = needed.min(body.len() as u64) as usize;
-    let eof_commit_word = buf.len() >= 4 && buf[buf.len() - 4..] == COMMIT_MAGIC.to_le_bytes();
+    let Ok(take) = usize::try_from(needed.min(body.len() as u64)) else {
+        return Scan::TornTail;
+    };
+    let Some(taken) = body.get(..take) else {
+        return Scan::TornTail;
+    };
+    let eof_commit_word = buf.last_chunk::<4>() == Some(&COMMIT_MAGIC.to_le_bytes());
     scan_block_parts(
         header,
-        body[..take].to_vec(),
+        taken.to_vec(),
         offset,
         bytes_after_end,
         eof_commit_word,

@@ -6,6 +6,7 @@ const fn make_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // xarch-allow: cast-safety -- i < 256 fits losslessly; u32::try_from is not const
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -45,7 +46,9 @@ impl Crc32 {
     /// Feeds `bytes` into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
-            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            // the table index is the low state byte xor the input byte —
+            // expressed via `to_le_bytes` so no truncating cast is needed
+            let idx = usize::from(self.state.to_le_bytes()[0] ^ b);
             self.state = TABLE[idx] ^ (self.state >> 8);
         }
     }

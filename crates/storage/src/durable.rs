@@ -96,14 +96,14 @@ impl DurableArchive {
             )));
         }
         let file_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        let expected_superblock = crate::superblock::encode(inner.spec());
+        let expected_superblock = crate::superblock::encode(inner.spec())?;
         // A file shorter than its superblock *and* byte-identical to a
         // prefix of it is a create() torn by a crash: the superblock never
         // completed, so no version can have been committed — recreating is
         // safe. Anything else short-but-different is corruption and falls
         // through to Segment::open's loud failure.
         let torn_create = file_len > 0
-            && (file_len as usize) < expected_superblock.len()
+            && file_len < expected_superblock.len() as u64
             && expected_superblock.starts_with(&std::fs::read(&path)?);
         if file_len == 0 || torn_create {
             let segment = Segment::create(&path, inner.spec(), options.sync)?;
@@ -180,10 +180,17 @@ impl DurableArchive {
                         });
                     }
                     let assigned = inner.add_versions(&docs)?;
-                    (
-                        assigned.first().copied().expect("non-empty batch"),
-                        assigned.len() as u32,
-                    )
+                    let Some(first) = assigned.first().copied() else {
+                        return Err(StoreError::Corrupt {
+                            offset,
+                            reason: "inner store assigned no versions for a non-empty batch".into(),
+                        });
+                    };
+                    let count = u32::try_from(assigned.len()).map_err(|_| StoreError::Corrupt {
+                        offset,
+                        reason: "batch version count exceeds u32".into(),
+                    })?;
+                    (first, count)
                 }
             };
             if replayed != header.version {
@@ -392,9 +399,9 @@ impl VersionStore for DurableArchive {
         if docs.is_empty() {
             return Ok(Vec::new());
         }
-        if docs.len() == 1 {
+        if let [single] = docs {
             // one version = one plain block; group commit adds nothing
-            return Ok(vec![self.add_version(&docs[0])?]);
+            return Ok(vec![self.add_version(single)?]);
         }
         self.check_writable()?;
         // encode and size-check up front, before any state moves
@@ -423,14 +430,14 @@ impl VersionStore for DurableArchive {
         };
         debug_assert_eq!(assigned.first().copied(), Some(before + 1));
         debug_assert_eq!(assigned.len(), docs.len());
+        let count = u32::try_from(assigned.len()).map_err(|_| {
+            StoreError::Backend(format!(
+                "batch of {} versions exceeds the u32 version space",
+                assigned.len()
+            ))
+        })?;
         let (codec, payload) = self.options.compression.encode(&raw);
-        self.journal_batch(
-            codec,
-            before + 1,
-            assigned.len() as u32,
-            raw.len() as u64,
-            &payload,
-        )?;
+        self.journal_batch(codec, before + 1, count, raw.len() as u64, &payload)?;
         Ok(assigned)
     }
 }
@@ -498,7 +505,7 @@ mod tests {
         // prefix of the superblock on disk; nothing was ever committed, so
         // open must recreate rather than fail forever
         let path = scratch_path("durable-torn-create");
-        let full = crate::superblock::encode(&spec());
+        let full = crate::superblock::encode(&spec()).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
         let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
         assert_eq!(d.latest(), 0);

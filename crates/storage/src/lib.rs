@@ -54,8 +54,27 @@
 //! exactly the pre-crash state for any inner backend — the differential
 //! tests assert the reopened store is version-for-version byte-identical
 //! to one that never left memory.
+//!
+//! ## Enforced invariants
+//!
+//! The decode/recovery modules in this crate are under the workspace's
+//! `panic-freedom` and `cast-safety` invariants (enforced in CI by
+//! `cargo run -p xarch_analysis -- check` and backed by the clippy denies
+//! below): corrupt bytes must surface as positioned
+//! [`StoreError::Corrupt`](xarch_core::StoreError::Corrupt) values — never
+//! a panic, never a silently truncating `as` cast.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable
+    )
+)]
 
 pub mod block;
+pub(crate) mod bytes;
 pub mod crc;
 pub mod durable;
 pub mod payload;

@@ -124,11 +124,20 @@ pub fn batch_bytes_to_docs(buf: &[u8]) -> Result<Vec<Document>, StreamError> {
     }
     let mut docs = Vec::new();
     for _ in 0..count {
-        let len = get_varint(buf, &mut pos)? as usize;
+        let len_raw = get_varint(buf, &mut pos)?;
+        let Ok(len) = usize::try_from(len_raw) else {
+            return Err(StreamError::at(
+                pos,
+                "batch entry length exceeds address space",
+            ));
+        };
         let Some(end) = pos.checked_add(len).filter(|&e| e <= buf.len()) else {
             return Err(StreamError::at(pos, "truncated batch entry"));
         };
-        let doc = bytes_to_doc(&buf[pos..end]).map_err(|e| StreamError {
+        let Some(entry) = buf.get(pos..end) else {
+            return Err(StreamError::at(pos, "truncated batch entry"));
+        };
+        let doc = bytes_to_doc(entry).map_err(|e| StreamError {
             reason: e.reason,
             offset: Some(e.offset.unwrap_or(0) + pos as u64),
         })?;

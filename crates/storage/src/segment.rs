@@ -92,7 +92,7 @@ impl Segment {
         lock_exclusive(&file, path)?;
         file.set_len(0)?;
         file.seek(SeekFrom::Start(0))?;
-        let sb = superblock::encode(spec);
+        let sb = superblock::encode(spec)?;
         file.write_all(&sb)?;
         if sync {
             file.sync_data()?;
@@ -126,20 +126,33 @@ impl Segment {
         let file_len = file.metadata()?.len();
 
         // superblock: fixed prefix first, then the spec + its checksum
-        let mut sb = vec![0u8; superblock::FIXED_LEN.min(file_len as usize)];
+        let prefix_len = usize::try_from(file_len.min(superblock::FIXED_LEN as u64))
+            .unwrap_or(superblock::FIXED_LEN);
+        let mut sb = vec![0u8; prefix_len];
         file.read_exact(&mut sb)?;
         if sb.len() == superblock::FIXED_LEN {
-            let spec_len = superblock::declared_spec_len(&sb);
+            let Some(spec_len) = superblock::declared_spec_len(&sb) else {
+                return Err(StoreError::Corrupt {
+                    offset: 12,
+                    reason: "superblock fixed prefix truncated".into(),
+                });
+            };
             if spec_len > superblock::MAX_SPEC_LEN {
                 return Err(StoreError::Corrupt {
                     offset: 12,
                     reason: format!("implausible key spec length {spec_len} in superblock"),
                 });
             }
-            let rest = (spec_len.saturating_add(4)).min(file_len - sb.len() as u64);
-            let at = sb.len();
-            sb.resize(at + rest as usize, 0);
-            file.read_exact(&mut sb[at..])?;
+            let rest_len = spec_len
+                .saturating_add(4)
+                .min(file_len.saturating_sub(sb.len() as u64));
+            let rest = usize::try_from(rest_len).map_err(|_| StoreError::Corrupt {
+                offset: 12,
+                reason: "superblock spec length exceeds the address space".into(),
+            })?;
+            let mut tail = vec![0u8; rest];
+            file.read_exact(&mut tail)?;
+            sb.extend_from_slice(&tail);
         }
         let (stored_spec, first_block) = superblock::decode(&sb)?;
         if &stored_spec != spec {
@@ -178,21 +191,42 @@ impl Segment {
                 Scan::TornTail
             } else {
                 file.read_exact(&mut header)?;
-                let declared = block::declared_payload_len(&header);
-                // an implausible length is rejected before any allocation
-                if declared > block::MAX_PAYLOAD {
-                    Scan::Corrupt(StoreError::Corrupt {
-                        offset,
-                        reason: format!("implausible payload length {declared} in block header"),
-                    })
-                } else {
-                    let needed = declared + BLOCK_TRAILER_LEN as u64;
-                    let available = needed.min(len - offset - BLOCK_HEADER_LEN as u64);
-                    let mut body = vec![0u8; available as usize];
-                    file.read_exact(&mut body)?;
-                    let end = offset + BLOCK_HEADER_LEN as u64 + needed;
-                    let bytes_after_end = len.saturating_sub(end);
-                    block::scan_block_parts(&header, body, offset, bytes_after_end, eof_commit_word)
+                match block::declared_payload_len(&header) {
+                    // unreachable with a full header buffer, but decode
+                    // paths are total by policy
+                    None => Scan::TornTail,
+                    // an implausible length is rejected before any allocation
+                    Some(declared) if declared > block::MAX_PAYLOAD => {
+                        Scan::Corrupt(StoreError::Corrupt {
+                            offset,
+                            reason: format!(
+                                "implausible payload length {declared} in block header"
+                            ),
+                        })
+                    }
+                    Some(declared) => {
+                        let needed = declared + BLOCK_TRAILER_LEN as u64;
+                        let available = needed.min(len - offset - BLOCK_HEADER_LEN as u64);
+                        match usize::try_from(available) {
+                            Err(_) => Scan::Corrupt(StoreError::Corrupt {
+                                offset,
+                                reason: "block span exceeds the address space".into(),
+                            }),
+                            Ok(take) => {
+                                let mut body = vec![0u8; take];
+                                file.read_exact(&mut body)?;
+                                let end = offset + BLOCK_HEADER_LEN as u64 + needed;
+                                let bytes_after_end = len.saturating_sub(end);
+                                block::scan_block_parts(
+                                    &header,
+                                    body,
+                                    offset,
+                                    bytes_after_end,
+                                    eof_commit_word,
+                                )
+                            }
+                        }
+                    }
                 }
             };
             match scan {

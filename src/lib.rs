@@ -148,6 +148,17 @@
 //!   `VersionStore` backends built on them;
 //! * [`datagen`] — OMIM/Swiss-Prot/XMark-like generators and the paper's
 //!   change simulators.
+//!
+//! ## Tooling
+//!
+//! | tool | run | enforces |
+//! |---|---|---|
+//! | `xarch_analysis` (`crates/analysis`) | `cargo run --release -p xarch_analysis -- check` | panic-freedom in decode/recovery paths, no lock guard across fsync/snapshot, no truncating casts in `storage`, `&self` [`StoreReader`] methods + `Send`/`Sync` store impls, `// SAFETY:` on every `unsafe` block |
+//!
+//! The analyzer runs in CI as a required gate; deliberate exemptions use
+//! in-place `// xarch-allow: <rule> -- <reason>` comments, all of which
+//! the `report` mode prints as a ledger (see the README's "Enforced
+//! invariants" section and the `analyze` example).
 
 pub use xarch_compress as compress;
 pub use xarch_core as core;

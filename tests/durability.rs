@@ -484,3 +484,53 @@ fn indexed_durable_answers_queries_after_reopen() {
     assert_eq!(hits[1].time.to_string(), "2-3");
     std::fs::remove_file(&path).unwrap();
 }
+
+#[test]
+fn bit_flip_sweep_never_panics_and_never_lies() {
+    // Regression for the workspace `panic-freedom` invariant: corrupting
+    // any single bit of a real segment file must produce either a loud
+    // `StoreError` or a clean recovery — never a panic, and never a
+    // recovered version whose bytes differ from what was committed.
+    let path = scratch_path("bit-flip-sweep");
+    let docs = versions();
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    {
+        let mut durable = reopen(&path).unwrap();
+        for d in &docs {
+            reference.add_version(d).unwrap();
+            durable.add_version(d).unwrap();
+        }
+    }
+    let pristine = std::fs::read(&path).unwrap();
+    assert!(pristine.len() > 100, "segment unexpectedly small");
+
+    // one flipped bit per byte position covers every field of the
+    // superblock, every header, every payload byte, and every trailer
+    for i in 0..pristine.len() {
+        let mut mutated = pristine.clone();
+        mutated[i] ^= 1 << (i % 8);
+        std::fs::write(&path, &mutated).unwrap();
+        match reopen(&path) {
+            // loud, positioned failure is a correct answer
+            Err(StoreError::Corrupt { .. }) | Err(StoreError::Backend(_)) => {}
+            Err(other) => panic!("byte {i}: unexpected error class: {other}"),
+            Ok(mut recovered) => {
+                // recovery may truncate a torn-looking tail, but every
+                // version it still claims must be byte-identical
+                let latest = recovered.latest();
+                assert!(
+                    latest <= docs.len() as u32,
+                    "byte {i}: recovered more versions than were committed"
+                );
+                for v in 1..=latest {
+                    assert_eq!(
+                        bytes_of(recovered.as_mut(), v),
+                        bytes_of(reference.as_mut(), v),
+                        "byte {i}: v{v} bytes diverged after recovery"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
