@@ -25,19 +25,26 @@ pub enum Rule {
     ApiContract,
     /// Every `unsafe` token carries a `// SAFETY:` comment.
     UnsafeAudit,
+    /// No ad-hoc `Instant::now()` timing or `eprintln!`/`eprint!` event
+    /// logging in non-test library code: operations are timed through
+    /// `xarch_obs` timers/spans and events flow through the `Tracer`, so
+    /// every measurement lands in the registry instead of vanishing into
+    /// a local variable or the console.
+    ObsDiscipline,
     /// Meta-rule: `xarch-allow` comments must be well-formed and used.
     Suppression,
 }
 
 impl Rule {
-    /// The five path-scoped invariant rules (excludes the suppression
+    /// The six path-scoped invariant rules (excludes the suppression
     /// meta-rule, which is always active).
-    pub const CHECKABLE: [Rule; 5] = [
+    pub const CHECKABLE: [Rule; 6] = [
         Rule::PanicFreedom,
         Rule::LockDiscipline,
         Rule::CastSafety,
         Rule::ApiContract,
         Rule::UnsafeAudit,
+        Rule::ObsDiscipline,
     ];
 
     /// The rule's stable name — used in diagnostics and in
@@ -49,6 +56,7 @@ impl Rule {
             Rule::CastSafety => "cast-safety",
             Rule::ApiContract => "api-contract",
             Rule::UnsafeAudit => "unsafe-audit",
+            Rule::ObsDiscipline => "obs-discipline",
             Rule::Suppression => "suppression",
         }
     }
@@ -61,6 +69,7 @@ impl Rule {
             "cast-safety" => Some(Rule::CastSafety),
             "api-contract" => Some(Rule::ApiContract),
             "unsafe-audit" => Some(Rule::UnsafeAudit),
+            "obs-discipline" => Some(Rule::ObsDiscipline),
             _ => None,
         }
     }
@@ -124,6 +133,11 @@ impl Config {
     ///   lengths cross between `u64` file arithmetic and in-memory sizes.
     /// * `lock-discipline`, `api-contract` and `unsafe-audit` bind
     ///   workspace-wide.
+    /// * `obs-discipline` binds to the library crates and the facade —
+    ///   not to `crates/obs` (it *implements* the sanctioned timing), not
+    ///   to `crates/analysis` (a CLI reporting to a console), and not to
+    ///   `crates/bench` (measurement harnesses own their stopwatches).
+    ///   Examples and integration tests fall outside the include list.
     pub fn project_policy() -> Self {
         Self {
             rules: vec![
@@ -142,6 +156,17 @@ impl Config {
                 (Rule::CastSafety, PathFilter::only(["crates/storage/src/"])),
                 (Rule::ApiContract, PathFilter::everywhere()),
                 (Rule::UnsafeAudit, PathFilter::everywhere()),
+                (
+                    Rule::ObsDiscipline,
+                    PathFilter {
+                        include: vec!["src/".into(), "crates/".into()],
+                        exclude: vec![
+                            "crates/obs/".into(),
+                            "crates/analysis/".into(),
+                            "crates/bench/".into(),
+                        ],
+                    },
+                ),
             ],
             skip: Self::default_skip(),
         }
@@ -209,5 +234,22 @@ mod tests {
         assert!(cs.matches("crates/storage/src/crc.rs"));
         assert!(!cs.matches("src/handle.rs"));
         assert!(p.scope(Rule::UnsafeAudit).unwrap().matches("src/handle.rs"));
+        let od = p.scope(Rule::ObsDiscipline).unwrap();
+        assert!(od.matches("src/handle.rs"));
+        assert!(od.matches("crates/storage/src/segment.rs"));
+        assert!(
+            !od.matches("crates/obs/src/metrics.rs"),
+            "obs implements the timers"
+        );
+        assert!(!od.matches("crates/analysis/src/main.rs"), "the CLI prints");
+        assert!(
+            !od.matches("crates/bench/src/figures.rs"),
+            "benches stopwatch"
+        );
+        assert!(
+            !od.matches("examples/bulk_load.rs"),
+            "examples narrate freely"
+        );
+        assert!(!od.matches("tests/concurrency.rs"));
     }
 }

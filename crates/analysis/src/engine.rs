@@ -326,6 +326,9 @@ pub fn analyze_sources(files: &[SourceFile], config: &Config) -> Analysis {
                         documented: s.documented,
                     }));
                 }
+                Rule::ObsDiscipline => {
+                    diags.extend(rules::obs_discipline(&ctx).into_iter().map(|d| (rule, d)));
+                }
                 Rule::Suppression => {}
             }
         }

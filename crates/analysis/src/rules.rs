@@ -324,6 +324,52 @@ fn initializer_binds_guard(stmt: &[Tok]) -> bool {
     true
 }
 
+/// Rule 6 — **obs-discipline**: library code must not time operations
+/// with raw `Instant::now()` or log events with `eprintln!`/`eprint!` —
+/// timing goes through `xarch_obs` histogram timers/spans (so the sample
+/// lands in the registry) and events go through the `Tracer` (so they hit
+/// the ring buffer and the configured sink). Test regions are exempt:
+/// tests may stopwatch and print freely.
+pub fn obs_discipline(ctx: &FileCtx<'_>) -> Vec<RawDiag> {
+    let t = ctx.toks;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if ctx.skip(Rule::ObsDiscipline, i) {
+            continue;
+        }
+        // Instant::now()
+        if t[i].is_ident("Instant")
+            && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.is_ident("now"))
+            && t.get(i + 4).is_some_and(|x| x.is_punct('('))
+        {
+            out.push(diag(
+                &t[i],
+                "raw `Instant::now()` timing in library code — use an `xarch_obs` \
+                 histogram's `start_timer()` (or `Obs::span`) so the sample lands in \
+                 the registry instead of a local variable",
+            ));
+        }
+        // eprintln! / eprint!
+        if t[i].kind == TokKind::Ident
+            && matches!(t[i].text.as_str(), "eprintln" | "eprint")
+            && t.get(i + 1).is_some_and(|x| x.is_punct('!'))
+        {
+            out.push(diag(
+                &t[i],
+                format!(
+                    "`{}!` event logging in library code — emit a structured event \
+                     through the `xarch_obs` `Tracer` so it reaches the ring buffer \
+                     and the configured sink",
+                    t[i].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// A `VersionStore` impl found in a file (for the crate-level half of the
 /// api-contract rule).
 #[derive(Debug, Clone)]

@@ -1,0 +1,38 @@
+//! Golden fixture: observability discipline respected — timing through
+//! `xarch_obs` timers/spans, events through the tracer, stopwatches and
+//! prints confined to test regions. Must produce zero diagnostics.
+
+pub fn timed_through_the_registry(hist: &xarch_obs::Histogram) -> u64 {
+    // the sanctioned way: a drop-guard timer recording into a histogram
+    let _t = hist.start_timer();
+    expensive_work()
+}
+
+pub fn event_through_the_tracer(tracer: &xarch_obs::Tracer) {
+    tracer.event(
+        xarch_obs::Level::Warn,
+        "recovery.torn_tail",
+        &[("dropped_bytes", 8.to_string())],
+    );
+}
+
+pub fn instant_as_a_value_is_fine(at: std::time::Instant) -> std::time::Duration {
+    // receiving or storing an `Instant` is not ad-hoc timing; only
+    // `Instant::now()` call sites start a stopwatch
+    at.elapsed()
+}
+
+pub fn println_is_not_event_logging(report: &str) {
+    // stdout is for program *output* (reports, expositions); the rule
+    // bans stderr event logging, not printing results
+    println!("{report}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_stopwatch_and_print() {
+        let start = std::time::Instant::now();
+        eprintln!("elapsed: {:?}", start.elapsed());
+    }
+}

@@ -1,0 +1,23 @@
+//! Golden fixture: ad-hoc timing and console event logging in library
+//! code — every marked line must produce an `obs-discipline` diagnostic.
+
+pub fn stopwatch_timing() -> std::time::Duration {
+    let start = std::time::Instant::now(); //~ obs-discipline
+    expensive_work();
+    start.elapsed() // the sample dies in a local instead of a histogram
+}
+
+pub fn qualified_stopwatch() {
+    use std::time::Instant;
+    let t0 = Instant::now(); //~ obs-discipline
+    expensive_work();
+    let _ = t0.elapsed();
+}
+
+pub fn stderr_event_logging(dropped: u64) {
+    eprintln!("torn tail truncated: {dropped} bytes"); //~ obs-discipline
+}
+
+pub fn partial_line_logging(path: &str) {
+    eprint!("replaying {path} ..."); //~ obs-discipline
+}

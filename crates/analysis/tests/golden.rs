@@ -119,6 +119,16 @@ fn unsafe_audit_clean_fixture_passes() {
 }
 
 #[test]
+fn obs_discipline_fires_at_marked_lines() {
+    assert_fires(Rule::ObsDiscipline, "obs_discipline_violating.rs");
+}
+
+#[test]
+fn obs_discipline_clean_fixture_passes() {
+    assert_clean(Rule::ObsDiscipline, "obs_discipline_clean.rs");
+}
+
+#[test]
 fn suppression_misuse_fires_at_marked_lines() {
     // the meta-rule is always active; the carrier rule is irrelevant
     assert_fires(Rule::CastSafety, "suppression_violating.rs");

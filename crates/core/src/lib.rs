@@ -34,6 +34,7 @@ pub mod chunk;
 pub mod equiv;
 pub mod history;
 pub mod merge;
+pub mod observed;
 pub mod query;
 pub mod retrieve;
 pub mod store;
@@ -46,6 +47,7 @@ pub use changes::{describe_changes, Change, ChangeKind};
 pub use chunk::ChunkedArchive;
 pub use equiv::equiv_modulo_key_order;
 pub use history::KeyQuery;
+pub use observed::{ObservedStore, QueryMetrics};
 pub use query::{ElementHistory, RangeEntry, VersionDelta};
 pub use store::{StoreError, StoreReader, StoreStats, VersionStore};
 pub use timeset::TimeSet;

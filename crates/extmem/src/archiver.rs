@@ -44,6 +44,16 @@ pub struct ExtArchive {
 impl ExtArchive {
     /// Creates an empty external archive.
     pub fn new(spec: KeySpec, cfg: IoConfig) -> Self {
+        Self::with_stats(spec, cfg, SharedIoStats::default())
+    }
+
+    /// Creates an empty external archive charging its paged I/O into
+    /// counters registered under the canonical `extmem.*` names.
+    pub fn observed(spec: KeySpec, cfg: IoConfig, registry: &xarch_obs::Registry) -> Self {
+        Self::with_stats(spec, cfg, SharedIoStats::registered(registry))
+    }
+
+    fn with_stats(spec: KeySpec, cfg: IoConfig, stats: SharedIoStats) -> Self {
         // the empty archive: a root spine with an empty timestamp
         let mut data = Vec::new();
         encode_spine_open(
@@ -61,7 +71,7 @@ impl ExtArchive {
             cfg,
             data,
             latest: 0,
-            stats: SharedIoStats::default(),
+            stats,
         }
     }
 

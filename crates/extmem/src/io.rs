@@ -49,28 +49,46 @@ impl IoStats {
     }
 }
 
-/// [`IoStats`] behind atomics: the archiver's cumulative accounting,
-/// charged from `&self` read passes so queries can run concurrently.
+/// [`IoStats`] behind [`xarch_obs::Counter`] handles: the archiver's
+/// cumulative accounting, charged from `&self` read passes so queries can
+/// run concurrently.
 ///
-/// Counters are monotone sums — relaxed ordering is enough, the totals
-/// never order other memory.
+/// Counters are monotone sums backed by relaxed atomics — the totals
+/// never order other memory, and charging never takes a lock. By default
+/// the handles are detached (per-archive accounting, exactly the old
+/// `AtomicU64` behavior); [`SharedIoStats::registered`] binds them to an
+/// observability registry under the canonical `extmem.*` names instead.
 #[derive(Debug, Default)]
 pub struct SharedIoStats {
-    page_reads: std::sync::atomic::AtomicU64,
-    page_writes: std::sync::atomic::AtomicU64,
+    page_reads: xarch_obs::Counter,
+    page_writes: xarch_obs::Counter,
 }
 
 impl SharedIoStats {
+    /// Counters registered under `extmem.page_reads` / `extmem.page_writes`.
+    pub fn registered(registry: &xarch_obs::Registry) -> Self {
+        Self {
+            page_reads: registry.counter(
+                "extmem.page_reads",
+                "pages",
+                "pages charged by external-memory read passes",
+            ),
+            page_writes: registry.counter(
+                "extmem.page_writes",
+                "pages",
+                "pages charged by external-memory write passes",
+            ),
+        }
+    }
+
     /// Charges `n` page reads.
     pub fn add_reads(&self, n: u64) {
-        self.page_reads
-            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.page_reads.add(n);
     }
 
     /// Charges `n` page writes.
     pub fn add_writes(&self, n: u64) {
-        self.page_writes
-            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.page_writes.add(n);
     }
 
     /// Folds a pass's counters into the cumulative totals.
@@ -82,8 +100,8 @@ impl SharedIoStats {
     /// A plain-value snapshot of the totals.
     pub fn get(&self) -> IoStats {
         IoStats {
-            page_reads: self.page_reads.load(std::sync::atomic::Ordering::Relaxed),
-            page_writes: self.page_writes.load(std::sync::atomic::Ordering::Relaxed),
+            page_reads: self.page_reads.get(),
+            page_writes: self.page_writes.get(),
         }
     }
 }

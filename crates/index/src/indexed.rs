@@ -75,10 +75,28 @@ impl IndexedArchive {
         &self.ts
     }
 
-    /// Resets both probe counters (for measurements).
+    /// Resets both probe counters (for measurements on a detached index;
+    /// registry-bound counters should be differenced instead).
     pub fn reset_probes(&self) {
         self.hist.reset();
         self.ts.reset_probes();
+    }
+
+    /// Bind both probe counters to `registry` under the canonical names
+    /// `index.history.comparisons` / `index.timestamp.probes`, carrying
+    /// the counts so far — the §7 accounting then has one source of truth
+    /// shared by the store and the exposition writers.
+    pub fn bind_observability(&mut self, registry: &xarch_obs::Registry) {
+        self.hist.bind_counter(registry.counter(
+            "index.history.comparisons",
+            "comparisons",
+            "binary-search comparisons spent descending the history index",
+        ));
+        self.ts.bind_counter(registry.counter(
+            "index.timestamp.probes",
+            "probes",
+            "timestamp-tree probes spent pruning invisible subtrees",
+        ));
     }
 
     fn absorb(&mut self, v: u32) {

@@ -12,9 +12,9 @@
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
 use xarch_core::{ANodeId, Archive, KeyQuery, RangeEntry, TimeSet};
+use xarch_obs::Counter;
 
 /// One record of a sorted child list: the child id plus, per the paper,
 /// an "index offset" (here: the child's own list lives in the same map)
@@ -27,19 +27,23 @@ struct Entry {
 
 /// Sorted child-key lists for every keyed node.
 ///
-/// The comparison counter is atomic so a built index can be shared across
-/// reader threads (`HistoryIndex` is `Send + Sync`; lookups take `&self`).
+/// The comparison counter is an [`xarch_obs::Counter`] (atomic under the
+/// hood) so a built index can be shared across reader threads
+/// (`HistoryIndex` is `Send + Sync`; lookups take `&self`) — and so the
+/// same handle can be registered with an observability registry, making
+/// the §7 probe accounting read from one source of truth.
 #[derive(Debug)]
 pub struct HistoryIndex {
     lists: HashMap<ANodeId, Vec<Entry>>,
-    comparisons: AtomicUsize,
+    comparisons: Counter,
 }
 
 impl Clone for HistoryIndex {
     fn clone(&self) -> Self {
         Self {
             lists: self.lists.clone(),
-            comparisons: AtomicUsize::new(self.comparisons.load(Relaxed)),
+            // detached: the clone keeps the count but not the registration
+            comparisons: Counter::with_value(self.comparisons.get()),
         }
     }
 }
@@ -56,7 +60,7 @@ impl HistoryIndex {
     pub fn new() -> Self {
         Self {
             lists: HashMap::new(),
-            comparisons: AtomicUsize::new(0),
+            comparisons: Counter::new(),
         }
     }
 
@@ -68,8 +72,16 @@ impl HistoryIndex {
         build_rec(archive, archive.root(), &root_time, &mut lists);
         Self {
             lists,
-            comparisons: AtomicUsize::new(0),
+            comparisons: Counter::new(),
         }
+    }
+
+    /// Replace the comparison counter with `counter` (typically one
+    /// registered under `index.history.comparisons`), carrying the count
+    /// so far into it.
+    pub fn bind_counter(&mut self, counter: Counter) {
+        counter.add(self.comparisons.get());
+        self.comparisons = counter;
     }
 
     /// Incrementally absorbs version `v`, which must be the version the
@@ -119,7 +131,7 @@ impl HistoryIndex {
             let mut found = None;
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                self.comparisons.fetch_add(1, Relaxed);
+                self.comparisons.inc();
                 match archive.query_cmp(list[mid].child, step) {
                     Ordering::Less => lo = mid + 1,
                     Ordering::Greater => hi = mid,
@@ -176,12 +188,14 @@ impl HistoryIndex {
 
     /// Comparison counter (reset with [`HistoryIndex::reset`]).
     pub fn comparisons(&self) -> usize {
-        self.comparisons.load(Relaxed)
+        usize::try_from(self.comparisons.get()).unwrap_or(usize::MAX)
     }
 
-    /// Resets the comparison counter.
+    /// Resets the comparison counter — a measurement-window convenience
+    /// for benches; a registry-bound counter should instead be read as a
+    /// monotone total and differenced.
     pub fn reset(&self) {
-        self.comparisons.store(0, Relaxed);
+        self.comparisons.reset();
     }
 
     /// Maximum list length `d` (for the `O(l log d)` bound).

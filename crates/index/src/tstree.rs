@@ -9,9 +9,9 @@
 //! have been probed, bounding the worst case at `2k` probes.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
 use xarch_core::{ANodeId, Archive, TimeSet};
+use xarch_obs::Counter;
 
 /// One node of a timestamp binary tree.
 #[derive(Debug, Clone)]
@@ -138,22 +138,26 @@ impl TsNode {
 /// Timestamp trees for every internal archive node, built with one scan
 /// or maintained incrementally, one merged version at a time.
 ///
-/// The probe counter is atomic so a built index can be shared across
-/// reader threads (`TimestampIndex` is `Send + Sync`; lookups take
-/// `&self`).
+/// The probe counter is an [`xarch_obs::Counter`] (atomic under the hood)
+/// so a built index can be shared across reader threads (`TimestampIndex`
+/// is `Send + Sync`; lookups take `&self`) — and so the same handle can
+/// be registered with an observability registry, making the §7 probe
+/// accounting read from one source of truth.
 #[derive(Debug)]
 pub struct TimestampIndex {
     trees: HashMap<ANodeId, TsTree>,
-    /// Total probes across the most recent `relevant_children` calls
-    /// (reset with [`TimestampIndex::reset_probes`]).
-    probes: AtomicUsize,
+    /// Total probes across all `relevant_children` calls (a monotone
+    /// count; measurement windows difference it, or use
+    /// [`TimestampIndex::reset_probes`] on a detached index).
+    probes: Counter,
 }
 
 impl Clone for TimestampIndex {
     fn clone(&self) -> Self {
         Self {
             trees: self.trees.clone(),
-            probes: AtomicUsize::new(self.probes.load(Relaxed)),
+            // detached: the clone keeps the count but not the registration
+            probes: Counter::with_value(self.probes.get()),
         }
     }
 }
@@ -170,7 +174,7 @@ impl TimestampIndex {
     pub fn new() -> Self {
         Self {
             trees: HashMap::new(),
-            probes: AtomicUsize::new(0),
+            probes: Counter::new(),
         }
     }
 
@@ -182,8 +186,15 @@ impl TimestampIndex {
         build_rec(archive, archive.root(), &root_time, &mut trees);
         Self {
             trees,
-            probes: AtomicUsize::new(0),
+            probes: Counter::new(),
         }
+    }
+
+    /// Replace the probe counter with `counter` (typically one registered
+    /// under `index.timestamp.probes`), carrying the count so far into it.
+    pub fn bind_counter(&mut self, counter: Counter) {
+        counter.add(self.probes.get());
+        self.probes = counter;
     }
 
     /// Incrementally absorbs version `v`, which must be the version the
@@ -239,21 +250,23 @@ impl TimestampIndex {
         match self.trees.get(&parent) {
             Some(t) => {
                 let (out, p) = t.relevant(v);
-                self.probes.fetch_add(p, Relaxed);
+                self.probes.add(p as u64);
                 out
             }
             None => Vec::new(),
         }
     }
 
-    /// Probe counter since the last reset.
+    /// Probe counter since construction (or the last reset).
     pub fn probes(&self) -> usize {
-        self.probes.load(Relaxed)
+        usize::try_from(self.probes.get()).unwrap_or(usize::MAX)
     }
 
-    /// Resets the probe counter.
+    /// Resets the probe counter — a measurement-window convenience for
+    /// benches on a *detached* index; a registry-bound counter should be
+    /// read as a monotone total and differenced.
     pub fn reset_probes(&self) {
-        self.probes.store(0, Relaxed);
+        self.probes.reset();
     }
 
     /// The tree of one node (for inspection).
@@ -262,9 +275,14 @@ impl TimestampIndex {
     }
 
     /// Retrieves version `v` via the index: only relevant subtrees are
-    /// visited. Returns the document plus the probe count consumed.
+    /// visited. Returns the document plus the probe count consumed by
+    /// *this call* (measured as a delta, so the cumulative counter stays
+    /// monotone and registry-bound counters are never cleared).
     pub fn retrieve(&self, archive: &Archive, v: u32) -> (Option<xarch_xml::Document>, usize) {
-        self.reset_probes();
+        let before = self.probes.get();
+        let spent = |probes: &Counter| {
+            usize::try_from(probes.get().saturating_sub(before)).unwrap_or(usize::MAX)
+        };
         if !archive.has_version(v) {
             return (None, 0);
         }
@@ -273,14 +291,14 @@ impl TimestampIndex {
             .into_iter()
             .find(|&c| matches!(archive.node(c).kind, xarch_core::AKind::Element(_)));
         let Some(doc_root) = doc_root else {
-            return (None, self.probes());
+            return (None, spent(&self.probes));
         };
         let tag = archive.tag_name(doc_root).expect("element").to_owned();
         let mut doc = xarch_xml::Document::new(&tag);
         let did = doc.root();
         copy_attrs(archive, doc_root, &mut doc, did);
         self.emit(archive, doc_root, v, &mut doc, did);
-        (Some(doc), self.probes())
+        (Some(doc), spent(&self.probes))
     }
 
     /// Materializes the subtree rooted at element `id` at version `v`,

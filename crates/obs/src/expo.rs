@@ -1,0 +1,182 @@
+//! Exposition writers: Prometheus text format and JSON, rendered from a
+//! [`Registry`] snapshot. Both are dependency-free string builders.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_bound, HistogramSnapshot};
+use crate::registry::{Registry, SampleValue};
+
+/// Canonical dot-namespaced names become Prometheus-legal identifiers
+/// (`segment.fsyncs` → `segment_fsyncs`).
+pub fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn write_histogram(out: &mut String, pname: &str, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{pname}_sum {}", h.sum);
+    let _ = writeln!(out, "{pname}_count {}", h.count);
+}
+
+/// Render every registered metric in the Prometheus text exposition
+/// format: `# HELP` / `# TYPE` headers, plain samples for counters and
+/// gauges, cumulative `_bucket{le=…}` series plus `_sum`/`_count` for
+/// histograms. The `# UNIT` comment line carries the canonical unit.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    for m in registry.samples() {
+        let pname = prometheus_name(&m.name);
+        let _ = writeln!(out, "# HELP {pname} {}", m.help);
+        let _ = writeln!(out, "# UNIT {pname} {}", m.unit);
+        let _ = writeln!(out, "# TYPE {pname} {}", m.kind.as_str());
+        match &m.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{pname} {v}");
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{pname} {v}");
+            }
+            SampleValue::Histogram(h) => write_histogram(&mut out, &pname, h),
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render every registered metric as a single JSON object keyed by
+/// canonical metric name. Counters and gauges map to numbers; histograms
+/// map to `{count, sum, max, p50, p90, p99, mean}` summaries.
+pub fn render_json(registry: &Registry) -> String {
+    let mut out = String::from("{");
+    let samples = registry.samples();
+    for (i, m) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  \"{}\": {{\"kind\": \"{}\", \"unit\": \"{}\", \"value\": ",
+            json_escape(&m.name),
+            m.kind.as_str(),
+            json_escape(m.unit)
+        );
+        match &m.value {
+            SampleValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            SampleValue::Gauge(v) => {
+                let _ = write!(out, "{v}");
+            }
+            SampleValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"mean\": {}}}",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.mean()
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Registry {
+        let r = Registry::new();
+        r.counter("segment.fsyncs", "syncs", "commit fsyncs").add(1);
+        r.gauge("segment.journal_len", "bytes", "live journal length")
+            .set(4096);
+        let h = r.histogram("query.retrieve.duration", "micros", "retrieve latency");
+        h.record(10);
+        h.record(1000);
+        r
+    }
+
+    #[test]
+    fn prometheus_text_has_headers_and_samples() {
+        let text = render_prometheus(&seeded());
+        assert!(text.contains("# TYPE segment_fsyncs counter"), "{text}");
+        assert!(text.contains("segment_fsyncs 1"), "{text}");
+        assert!(text.contains("segment_journal_len 4096"), "{text}");
+        assert!(
+            text.contains("# UNIT query_retrieve_duration micros"),
+            "{text}"
+        );
+        assert!(text.contains("query_retrieve_duration_count 2"), "{text}");
+        assert!(text.contains("query_retrieve_duration_sum 1010"), "{text}");
+        assert!(text.contains("_bucket{le=\"+Inf\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn histogram_bucket_series_is_cumulative() {
+        let text = render_prometheus(&seeded());
+        assert!(
+            text.contains("query_retrieve_duration_bucket{le=\"15\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("query_retrieve_duration_bucket{le=\"1023\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_is_keyed_by_canonical_name() {
+        let json = render_json(&seeded());
+        assert!(json.contains("\"segment.fsyncs\""), "{json}");
+        assert!(json.contains("\"kind\": \"gauge\""), "{json}");
+        assert!(json.contains("\"count\": 2"), "{json}");
+        assert!(
+            json.starts_with('{') && json.trim_end().ends_with('}'),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(
+            prometheus_name("query.as_of.duration"),
+            "query_as_of_duration"
+        );
+    }
+}

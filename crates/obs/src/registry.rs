@@ -1,0 +1,235 @@
+//! Namespaced, register-once metric registry.
+//!
+//! Components keep cloned handles to the metrics they record into; the
+//! registry keeps the authoritative name → handle map the exposition
+//! writers read from. Registration takes a mutex, recording never does —
+//! the lock lives entirely off the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// What a registered name refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Handle::Counter(_) => MetricKind::Counter,
+            Handle::Gauge(_) => MetricKind::Gauge,
+            Handle::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    unit: &'static str,
+    help: &'static str,
+    handle: Handle,
+}
+
+/// A point-in-time reading of one registered metric, used by the
+/// exposition writers.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    pub name: String,
+    pub kind: MetricKind,
+    pub unit: &'static str,
+    pub help: &'static str,
+    pub value: SampleValue,
+}
+
+#[derive(Clone, Debug)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Shared, cheaply clonable registry of named metrics.
+///
+/// Names are dot-namespaced (`segment.fsyncs`) and register-once:
+/// requesting an existing name with the same kind returns a clone of the
+/// existing handle (so two components can share a counter by name);
+/// requesting it with a different kind is a caller bug and returns the
+/// detached-handle equivalent while keeping the original registration.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Entry>> {
+        // A poisoned metrics map only ever holds plain handles; keep
+        // reporting rather than propagate a panic out of observability.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register(&self, name: &str, unit: &'static str, help: &'static str, h: Handle) -> Handle {
+        let mut map = self.lock();
+        if let Some(existing) = map.get(name) {
+            if existing.handle.kind() == h.kind() {
+                return existing.handle.clone();
+            }
+            // Kind clash: leave the original registration authoritative
+            // and hand the caller a detached handle of the kind it asked
+            // for, so recording still works even if reporting won't see it.
+            return h;
+        }
+        map.insert(
+            name.to_string(),
+            Entry {
+                unit,
+                help,
+                handle: h.clone(),
+            },
+        );
+        h
+    }
+
+    /// Register (or fetch) a counter under `name`.
+    pub fn counter(&self, name: &str, unit: &'static str, help: &'static str) -> Counter {
+        match self.register(name, unit, help, Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            _ => Counter::new(),
+        }
+    }
+
+    /// Register (or fetch) a gauge under `name`.
+    pub fn gauge(&self, name: &str, unit: &'static str, help: &'static str) -> Gauge {
+        match self.register(name, unit, help, Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Register (or fetch) a histogram under `name`.
+    pub fn histogram(&self, name: &str, unit: &'static str, help: &'static str) -> Histogram {
+        match self.register(name, unit, help, Handle::Histogram(Histogram::new())) {
+            Handle::Histogram(h) => h,
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Look up an already registered counter.
+    pub fn get_counter(&self, name: &str) -> Option<Counter> {
+        match self.lock().get(name).map(|e| e.handle.clone()) {
+            Some(Handle::Counter(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Look up an already registered gauge.
+    pub fn get_gauge(&self, name: &str) -> Option<Gauge> {
+        match self.lock().get(name).map(|e| e.handle.clone()) {
+            Some(Handle::Gauge(g)) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Look up an already registered histogram.
+    pub fn get_histogram(&self, name: &str) -> Option<Histogram> {
+        match self.lock().get(name).map(|e| e.handle.clone()) {
+            Some(Handle::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Read every registered metric, sorted by name.
+    pub fn samples(&self) -> Vec<MetricSample> {
+        self.lock()
+            .iter()
+            .map(|(name, e)| MetricSample {
+                name: name.clone(),
+                kind: e.handle.kind(),
+                unit: e.unit,
+                help: e.help,
+                value: match &e.handle {
+                    Handle::Counter(c) => SampleValue::Counter(c.get()),
+                    Handle::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Handle::Histogram(h) => SampleValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_once_returns_shared_handle() {
+        let r = Registry::new();
+        let a = r.counter("x.hits", "events", "test counter");
+        let b = r.counter("x.hits", "events", "ignored on re-register");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same underlying cell");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get_counter("x.hits").expect("registered").get(), 3);
+    }
+
+    #[test]
+    fn kind_clash_keeps_original_registration() {
+        let r = Registry::new();
+        let c = r.counter("x.v", "events", "first wins");
+        let g = r.gauge("x.v", "bytes", "clashes");
+        c.inc();
+        g.set(7);
+        assert_eq!(r.len(), 1);
+        assert!(r.get_counter("x.v").is_some());
+        assert!(r.get_gauge("x.v").is_none());
+    }
+
+    #[test]
+    fn samples_are_name_sorted_and_typed() {
+        let r = Registry::new();
+        r.histogram("b.lat", "micros", "latency").record(3);
+        r.counter("a.hits", "events", "hits").inc();
+        r.gauge("c.len", "bytes", "length").set(-2);
+        let s = r.samples();
+        let names: Vec<&str> = s.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a.hits", "b.lat", "c.len"]);
+        assert!(matches!(s[0].value, SampleValue::Counter(1)));
+        assert!(matches!(&s[1].value, SampleValue::Histogram(h) if h.count == 1));
+        assert!(matches!(s[2].value, SampleValue::Gauge(-2)));
+    }
+}

@@ -18,9 +18,11 @@ use xarch_core::{
     VersionDelta, VersionStore,
 };
 use xarch_keys::KeySpec;
+use xarch_obs::{Level, Obs};
 use xarch_xml::Document;
 
 use crate::block::{BlockKind, BLOCK_HEADER_LEN, MAX_PAYLOAD};
+use crate::metrics::StorageMetrics;
 use crate::payload::{batch_bytes_to_docs, bytes_to_doc, doc_to_bytes, docs_to_batch_bytes};
 use crate::segment::{RecoveryStats, Segment};
 
@@ -87,6 +89,29 @@ impl DurableArchive {
         options: DurableOptions,
         inner: Box<dyn VersionStore>,
     ) -> Result<Self, StoreError> {
+        Self::open_impl(path, options, inner, StorageMetrics::detached())
+    }
+
+    /// [`DurableArchive::open_with`] reporting through `obs`: segment and
+    /// recovery counters land in the registry under the canonical
+    /// `segment.*` / `recovery.*` names, and recovery outcomes (torn-tail
+    /// truncation, corrupt blocks, poisoning) are emitted as structured
+    /// events the tracer's ring buffer keeps for post-mortems.
+    pub fn open_observed(
+        path: impl AsRef<Path>,
+        options: DurableOptions,
+        inner: Box<dyn VersionStore>,
+        obs: &Obs,
+    ) -> Result<Self, StoreError> {
+        Self::open_impl(path, options, inner, StorageMetrics::registered(obs))
+    }
+
+    fn open_impl(
+        path: impl AsRef<Path>,
+        options: DurableOptions,
+        inner: Box<dyn VersionStore>,
+        metrics: StorageMetrics,
+    ) -> Result<Self, StoreError> {
         let path: PathBuf = path.as_ref().to_owned();
         let mut inner = inner;
         if inner.latest() != 0 {
@@ -106,7 +131,7 @@ impl DurableArchive {
             && file_len < expected_superblock.len() as u64
             && expected_superblock.starts_with(&std::fs::read(&path)?);
         if file_len == 0 || torn_create {
-            let segment = Segment::create(&path, inner.spec(), options.sync)?;
+            let segment = Segment::create_observed(&path, inner.spec(), options.sync, metrics)?;
             return Ok(Self {
                 inner,
                 segment,
@@ -122,88 +147,96 @@ impl DurableArchive {
         // replay happens inside the scan callback, so only one block's
         // payload is ever materialized — reopening stays within the inner
         // backend's working set even for external-memory stores
-        let (segment, recovery) = Segment::open(&path, &spec, options.sync, |b| {
-            let crate::block::ScannedBlock {
-                header,
-                payload,
-                offset,
-            } = b;
-            // raw blocks are already the decoded bytes — reuse the
-            // scan's allocation instead of copying a third time
-            let decode_payload = |payload: Vec<u8>| -> Result<Vec<u8>, StoreError> {
-                let raw = match header.codec {
-                    BlockCodec::Raw => payload,
-                    codec => codec.decode(&payload).ok_or_else(|| StoreError::Corrupt {
-                        offset: offset + BLOCK_HEADER_LEN as u64,
-                        reason: "block payload failed to decompress".into(),
-                    })?,
-                };
-                if raw.len() as u64 != header.raw_len {
-                    return Err(StoreError::Corrupt {
-                        offset,
-                        reason: format!(
-                            "decompressed payload is {} bytes, header says {}",
-                            raw.len(),
-                            header.raw_len
-                        ),
-                    });
-                }
-                Ok(raw)
-            };
-            // e.offset addresses the *decoded* payload, which only
-            // coincides with file bytes for raw blocks — keep the block's
-            // file offset and say where the decode failed in the reason
-            let decode_err = |e: xarch_extmem::StreamError| {
-                let reason = match e.offset {
-                    Some(p) => format!("{} (byte {p} of the decoded payload)", e.reason),
-                    None => e.reason,
-                };
-                StoreError::Corrupt { offset, reason }
-            };
-            let (replayed, committed) = match header.kind {
-                BlockKind::Empty => (inner.add_empty_version()?, 1u32),
-                BlockKind::Version => {
-                    let raw = decode_payload(payload)?;
-                    let doc = bytes_to_doc(&raw).map_err(decode_err)?;
-                    (inner.add_version(&doc)?, 1)
-                }
-                BlockKind::Batch => {
-                    // a verified batch block replays atomically through
-                    // the inner store's own batch fast path, so reopening
-                    // restores exactly the group-committed state
-                    let raw = decode_payload(payload)?;
-                    let docs = batch_bytes_to_docs(&raw).map_err(decode_err)?;
-                    if docs.is_empty() {
+        let (segment, recovery) = Segment::open_observed(
+            &path,
+            &spec,
+            options.sync,
+            metrics,
+            |b| {
+                let crate::block::ScannedBlock {
+                    header,
+                    payload,
+                    offset,
+                } = b;
+                // raw blocks are already the decoded bytes — reuse the
+                // scan's allocation instead of copying a third time
+                let decode_payload = |payload: Vec<u8>| -> Result<Vec<u8>, StoreError> {
+                    let raw = match header.codec {
+                        BlockCodec::Raw => payload,
+                        codec => codec.decode(&payload).ok_or_else(|| StoreError::Corrupt {
+                            offset: offset + BLOCK_HEADER_LEN as u64,
+                            reason: "block payload failed to decompress".into(),
+                        })?,
+                    };
+                    if raw.len() as u64 != header.raw_len {
                         return Err(StoreError::Corrupt {
                             offset,
-                            reason: "batch block with zero versions".into(),
+                            reason: format!(
+                                "decompressed payload is {} bytes, header says {}",
+                                raw.len(),
+                                header.raw_len
+                            ),
                         });
                     }
-                    let assigned = inner.add_versions(&docs)?;
-                    let Some(first) = assigned.first().copied() else {
-                        return Err(StoreError::Corrupt {
-                            offset,
-                            reason: "inner store assigned no versions for a non-empty batch".into(),
-                        });
+                    Ok(raw)
+                };
+                // e.offset addresses the *decoded* payload, which only
+                // coincides with file bytes for raw blocks — keep the block's
+                // file offset and say where the decode failed in the reason
+                let decode_err = |e: xarch_extmem::StreamError| {
+                    let reason = match e.offset {
+                        Some(p) => format!("{} (byte {p} of the decoded payload)", e.reason),
+                        None => e.reason,
                     };
-                    let count = u32::try_from(assigned.len()).map_err(|_| StoreError::Corrupt {
-                        offset,
-                        reason: "batch version count exceeds u32".into(),
-                    })?;
-                    (first, count)
-                }
-            };
-            if replayed != header.version {
-                return Err(StoreError::Corrupt {
+                    StoreError::Corrupt { offset, reason }
+                };
+                let (replayed, committed) = match header.kind {
+                    BlockKind::Empty => (inner.add_empty_version()?, 1u32),
+                    BlockKind::Version => {
+                        let raw = decode_payload(payload)?;
+                        let doc = bytes_to_doc(&raw).map_err(decode_err)?;
+                        (inner.add_version(&doc)?, 1)
+                    }
+                    BlockKind::Batch => {
+                        // a verified batch block replays atomically through
+                        // the inner store's own batch fast path, so reopening
+                        // restores exactly the group-committed state
+                        let raw = decode_payload(payload)?;
+                        let docs = batch_bytes_to_docs(&raw).map_err(decode_err)?;
+                        if docs.is_empty() {
+                            return Err(StoreError::Corrupt {
+                                offset,
+                                reason: "batch block with zero versions".into(),
+                            });
+                        }
+                        let assigned = inner.add_versions(&docs)?;
+                        let Some(first) = assigned.first().copied() else {
+                            return Err(StoreError::Corrupt {
+                                offset,
+                                reason: "inner store assigned no versions for a non-empty batch"
+                                    .into(),
+                            });
+                        };
+                        let count =
+                            u32::try_from(assigned.len()).map_err(|_| StoreError::Corrupt {
+                                offset,
+                                reason: "batch version count exceeds u32".into(),
+                            })?;
+                        (first, count)
+                    }
+                };
+                if replayed != header.version {
+                    return Err(StoreError::Corrupt {
                     offset,
                     reason: format!(
                         "replay desynchronized: block commits version {}, store assigned {replayed}",
                         header.version
                     ),
                 });
-            }
-            Ok(committed)
-        })?;
+                }
+                Ok(committed)
+            },
+        )?;
         Ok(Self {
             inner,
             segment,
@@ -248,6 +281,15 @@ impl DurableArchive {
         self.poisoned.is_some()
     }
 
+    /// Record that memory ran ahead of disk: further commits are refused
+    /// and the event lands in the tracer's ring buffer for post-mortems.
+    fn poison(&mut self, why: String) {
+        self.segment
+            .metrics()
+            .event(Level::Error, "durable.poisoned", &[("why", why.clone())]);
+        self.poisoned = Some(why);
+    }
+
     fn check_writable(&self) -> Result<(), StoreError> {
         match &self.poisoned {
             None => Ok(()),
@@ -272,7 +314,7 @@ impl DurableArchive {
         match self.segment.append(kind, codec, version, raw_len, payload) {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.poisoned = Some(e.to_string());
+                self.poison(e.to_string());
                 Err(e)
             }
         }
@@ -295,7 +337,7 @@ impl DurableArchive {
         {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.poisoned = Some(e.to_string());
+                self.poison(e.to_string());
                 Err(e)
             }
         }
@@ -421,7 +463,7 @@ impl VersionStore for DurableArchive {
                 // anything; if a foreign backend stopped part-way, memory
                 // is ahead of the journal and commits must stop
                 if self.inner.latest() != before {
-                    self.poisoned = Some(format!(
+                    self.poison(format!(
                         "batch merge failed after applying part of the batch: {e}"
                     ));
                 }

@@ -77,6 +77,7 @@ pub mod block;
 pub(crate) mod bytes;
 pub mod crc;
 pub mod durable;
+pub mod metrics;
 pub mod payload;
 pub mod segment;
 pub mod superblock;
@@ -84,6 +85,7 @@ pub mod superblock;
 pub use block::{BlockHeader, BlockKind, ScannedBlock};
 pub use crc::{crc32, Crc32};
 pub use durable::{DurableArchive, DurableOptions};
+pub use metrics::StorageMetrics;
 pub use segment::{RecoveryStats, Segment};
 
 use std::path::PathBuf;

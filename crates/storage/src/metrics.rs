@@ -1,0 +1,147 @@
+//! Storage-layer observability: the canonical `segment.*` / `recovery.*`
+//! metric handles and the tracer the journal reports through.
+//!
+//! A [`StorageMetrics`] is embedded in every [`Segment`](crate::Segment);
+//! by default it is *detached* (per-handle counters, silent tracer), and
+//! [`StorageMetrics::registered`] binds the same handles to an
+//! [`Obs`] registry so the exposition writers see them.
+
+use xarch_obs::{Counter, Gauge, Histogram, Level, Obs, Tracer};
+
+/// Cheap-clone bundle of every storage-layer metric handle.
+#[derive(Clone, Debug)]
+pub struct StorageMetrics {
+    /// `segment.fsyncs` — fsyncs issued to commit blocks (group commit's
+    /// measurable effect: one per batch, not one per version; the
+    /// superblock sync at create time is not a commit and is excluded).
+    pub fsyncs: Counter,
+    /// `segment.blocks_written` — blocks appended to the journal.
+    pub blocks_written: Counter,
+    /// `segment.bytes_written` — encoded block bytes appended.
+    pub bytes_written: Counter,
+    /// `segment.journal_len` — live length of the segment file in bytes.
+    pub journal_len: Gauge,
+    /// `recovery.torn_tail_truncations` — uncommitted torn tails dropped
+    /// during open.
+    pub torn_tail_truncations: Counter,
+    /// `recovery.corrupt_blocks` — blocks rejected as bit rot (opens that
+    /// failed loudly rather than truncate).
+    pub corrupt_blocks: Counter,
+    /// `recovery.versions_replayed` — committed versions replayed on open.
+    pub versions_replayed: Counter,
+    /// `recovery.replay_duration` — wall time of `Segment::open` (µs).
+    pub replay_duration: Histogram,
+    tracer: Tracer,
+}
+
+impl Default for StorageMetrics {
+    /// Detached handles and a silent tracer — what an unobserved
+    /// `DurableArchive` embeds.
+    fn default() -> Self {
+        Self {
+            fsyncs: Counter::new(),
+            blocks_written: Counter::new(),
+            bytes_written: Counter::new(),
+            journal_len: Gauge::new(),
+            torn_tail_truncations: Counter::new(),
+            corrupt_blocks: Counter::new(),
+            versions_replayed: Counter::new(),
+            replay_duration: Histogram::new(),
+            tracer: Tracer::silent(),
+        }
+    }
+}
+
+impl StorageMetrics {
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Handles registered under the canonical storage metric names, and
+    /// events routed through the bundle's tracer.
+    pub fn registered(obs: &Obs) -> Self {
+        let r = obs.registry();
+        Self {
+            fsyncs: r.counter(
+                "segment.fsyncs",
+                "syncs",
+                "fsyncs issued to commit journal blocks",
+            ),
+            blocks_written: r.counter(
+                "segment.blocks_written",
+                "blocks",
+                "blocks appended to the journal",
+            ),
+            bytes_written: r.counter(
+                "segment.bytes_written",
+                "bytes",
+                "encoded block bytes appended to the journal",
+            ),
+            journal_len: r.gauge(
+                "segment.journal_len",
+                "bytes",
+                "live length of the segment file",
+            ),
+            torn_tail_truncations: r.counter(
+                "recovery.torn_tail_truncations",
+                "events",
+                "uncommitted torn tails truncated during open",
+            ),
+            corrupt_blocks: r.counter(
+                "recovery.corrupt_blocks",
+                "blocks",
+                "journal blocks rejected as corrupt during open",
+            ),
+            versions_replayed: r.counter(
+                "recovery.versions_replayed",
+                "versions",
+                "committed versions replayed from the journal on open",
+            ),
+            replay_duration: r.histogram(
+                "recovery.replay_duration",
+                "micros",
+                "wall time of journal replay on open",
+            ),
+            tracer: obs.tracer().clone(),
+        }
+    }
+
+    /// Emit a structured event through the bundle's tracer.
+    pub(crate) fn event(
+        &self,
+        level: Level,
+        target: &'static str,
+        fields: &[(&'static str, String)],
+    ) {
+        self.tracer.event(level, target, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_handles_share_the_registry() {
+        let obs = Obs::disconnected();
+        let m = StorageMetrics::registered(&obs);
+        m.fsyncs.inc();
+        let seen = obs
+            .registry()
+            .get_counter("segment.fsyncs")
+            .expect("canonical name registered");
+        assert_eq!(seen.get(), 1);
+        assert!(obs
+            .registry()
+            .get_histogram("recovery.replay_duration")
+            .is_some());
+    }
+
+    #[test]
+    fn detached_metrics_are_isolated() {
+        let a = StorageMetrics::detached();
+        let b = StorageMetrics::detached();
+        a.blocks_written.inc();
+        assert_eq!(b.blocks_written.get(), 0);
+    }
+}

@@ -16,11 +16,13 @@ use std::path::{Path, PathBuf};
 use xarch_compress::BlockCodec;
 use xarch_core::StoreError;
 use xarch_keys::KeySpec;
+use xarch_obs::Level;
 
 use crate::block::{
     self, encode_block, BlockKind, Scan, ScannedBlock, BLOCK_HEADER_LEN, BLOCK_TRAILER_LEN,
     COMMIT_MAGIC,
 };
+use crate::metrics::StorageMetrics;
 use crate::superblock;
 
 /// What `open()` found and did while rebuilding state from a segment file.
@@ -50,10 +52,11 @@ pub struct Segment {
     len: u64,
     next_version: u32,
     sync: bool,
-    /// Blocks appended and fsyncs issued by this handle (group commit's
-    /// measurable effect: one of each per *batch* instead of per version).
-    blocks_appended: u64,
-    syncs_issued: u64,
+    /// Canonical `segment.*` / `recovery.*` metric handles — detached
+    /// (per-handle) by default, registry-backed when the segment was
+    /// opened observed. Group commit's measurable effect lives here: one
+    /// block and one fsync per *batch* instead of per version.
+    metrics: StorageMetrics,
 }
 
 fn backend(err: impl Into<String>) -> StoreError {
@@ -79,9 +82,19 @@ fn lock_exclusive(file: &File, path: &Path) -> Result<(), StoreError> {
 
 impl Segment {
     /// Creates (or truncates) a segment file holding only the superblock.
+    pub fn create(path: &Path, spec: &KeySpec, sync: bool) -> Result<Segment, StoreError> {
+        Self::create_observed(path, spec, sync, StorageMetrics::detached())
+    }
+
+    /// [`Segment::create`] recording into the given metric handles.
     // not .truncate(true): truncation must happen *after* the lock (below)
     #[allow(clippy::suspicious_open_options)]
-    pub fn create(path: &Path, spec: &KeySpec, sync: bool) -> Result<Segment, StoreError> {
+    pub fn create_observed(
+        path: &Path,
+        spec: &KeySpec,
+        sync: bool,
+        metrics: StorageMetrics,
+    ) -> Result<Segment, StoreError> {
         // take the lock before truncating, so losing a create race cannot
         // wipe a segment another handle is actively appending to
         let mut file = OpenOptions::new()
@@ -97,14 +110,19 @@ impl Segment {
         if sync {
             file.sync_data()?;
         }
+        metrics.journal_len.set_u64(sb.len() as u64);
+        metrics.event(
+            Level::Info,
+            "segment.create",
+            &[("path", path.display().to_string())],
+        );
         Ok(Segment {
             file,
             path: path.to_owned(),
             len: sb.len() as u64,
             next_version: 1,
             sync,
-            blocks_appended: 0,
-            syncs_issued: 0,
+            metrics,
         })
     }
 
@@ -119,8 +137,23 @@ impl Segment {
         path: &Path,
         spec: &KeySpec,
         sync: bool,
+        on_block: impl FnMut(ScannedBlock) -> Result<u32, StoreError>,
+    ) -> Result<(Segment, RecoveryStats), StoreError> {
+        Self::open_observed(path, spec, sync, StorageMetrics::detached(), on_block)
+    }
+
+    /// [`Segment::open`] recording recovery outcomes (torn-tail
+    /// truncations, corrupt blocks, replay duration) into the given
+    /// metric handles and emitting structured recovery events.
+    pub fn open_observed(
+        path: &Path,
+        spec: &KeySpec,
+        sync: bool,
+        metrics: StorageMetrics,
         mut on_block: impl FnMut(ScannedBlock) -> Result<u32, StoreError>,
     ) -> Result<(Segment, RecoveryStats), StoreError> {
+        // records replay wall time on every exit, clean or failed
+        let _replay = metrics.replay_duration.start_timer();
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         lock_exclusive(&file, path)?;
         let file_len = file.metadata()?.len();
@@ -233,6 +266,15 @@ impl Segment {
                 Scan::Block(b) => {
                     let expected = versions + 1;
                     if b.header.version != expected {
+                        metrics.corrupt_blocks.inc();
+                        metrics.event(
+                            Level::Error,
+                            "recovery.corrupt_block",
+                            &[
+                                ("offset", offset.to_string()),
+                                ("reason", "sequence broken".to_string()),
+                            ],
+                        );
                         return Err(StoreError::Corrupt {
                             offset,
                             reason: format!(
@@ -258,13 +300,41 @@ impl Segment {
                         file.sync_data()?;
                     }
                     len = offset;
+                    metrics.torn_tail_truncations.inc();
+                    metrics.event(
+                        Level::Warn,
+                        "recovery.torn_tail",
+                        &[
+                            ("offset", offset.to_string()),
+                            ("dropped_bytes", stats.truncated_bytes.to_string()),
+                        ],
+                    );
                 }
-                Scan::Corrupt(e) => return Err(e),
+                Scan::Corrupt(e) => {
+                    metrics.corrupt_blocks.inc();
+                    metrics.event(
+                        Level::Error,
+                        "recovery.corrupt_block",
+                        &[("offset", offset.to_string()), ("reason", e.to_string())],
+                    );
+                    return Err(e);
+                }
             }
         }
         file.seek(SeekFrom::End(0))?;
         stats.versions_recovered = versions;
         stats.bytes_scanned = len;
+        metrics.versions_replayed.add(u64::from(versions));
+        metrics.journal_len.set_u64(len);
+        metrics.event(
+            Level::Info,
+            "segment.open",
+            &[
+                ("versions", versions.to_string()),
+                ("bytes", len.to_string()),
+                ("truncated_bytes", stats.truncated_bytes.to_string()),
+            ],
+        );
         Ok((
             Segment {
                 file,
@@ -272,8 +342,7 @@ impl Segment {
                 len,
                 next_version: versions + 1,
                 sync,
-                blocks_appended: 0,
-                syncs_issued: 0,
+                metrics,
             },
             stats,
         ))
@@ -350,11 +419,13 @@ impl Segment {
         self.file.write_all(&block)?;
         if self.sync {
             self.file.sync_data()?;
-            self.syncs_issued += 1;
+            self.metrics.fsyncs.inc();
         }
         self.len += block.len() as u64;
         self.next_version += count;
-        self.blocks_appended += 1;
+        self.metrics.blocks_written.inc();
+        self.metrics.bytes_written.add(block.len() as u64);
+        self.metrics.journal_len.set_u64(self.len);
         Ok(())
     }
 
@@ -373,14 +444,21 @@ impl Segment {
         self.next_version
     }
 
-    /// Blocks appended through this handle since it was opened.
+    /// Blocks appended through this handle (through this *registry* when
+    /// the segment was opened observed against a shared one).
     pub fn blocks_appended(&self) -> u64 {
-        self.blocks_appended
+        self.metrics.blocks_written.get()
     }
 
-    /// fsyncs issued through this handle since it was opened.
+    /// Commit fsyncs issued through this handle (through this *registry*
+    /// when the segment was opened observed against a shared one).
     pub fn syncs_issued(&self) -> u64 {
-        self.syncs_issued
+        self.metrics.fsyncs.get()
+    }
+
+    /// The metric handles this segment records into.
+    pub fn metrics(&self) -> &StorageMetrics {
+        &self.metrics
     }
 }
 

@@ -46,7 +46,36 @@ use xarch_core::{
     VersionDelta, VersionStore,
 };
 use xarch_keys::KeySpec;
+use xarch_obs::{Counter, Histogram, Obs};
 use xarch_xml::Document;
+
+/// The canonical `handle.*` metric handles: how often readers pin
+/// snapshots, and how long writers keep everyone else waiting.
+#[derive(Clone, Debug, Default)]
+struct HandleMetrics {
+    /// `handle.snapshot_pins` — snapshots taken (repeatable-read pins).
+    snapshot_pins: Counter,
+    /// `handle.write_lock_hold` — write-lock hold time per mutation (µs).
+    write_lock_hold: Histogram,
+}
+
+impl HandleMetrics {
+    fn registered(obs: &Obs) -> Self {
+        let r = obs.registry();
+        Self {
+            snapshot_pins: r.counter(
+                "handle.snapshot_pins",
+                "snapshots",
+                "repeatable-read snapshots pinned off the shared handle",
+            ),
+            write_lock_hold: r.histogram(
+                "handle.write_lock_hold",
+                "micros",
+                "write-lock hold time per mutation through the shared handle",
+            ),
+        }
+    }
+}
 
 /// The state one handle and all its snapshots share. The spec is cached
 /// outside the lock: it is fixed at construction, and `StoreReader::spec`
@@ -54,6 +83,7 @@ use xarch_xml::Document;
 struct Shared {
     store: RwLock<Box<dyn VersionStore>>,
     spec: KeySpec,
+    metrics: HandleMetrics,
 }
 
 impl Shared {
@@ -97,13 +127,25 @@ impl std::fmt::Debug for ArchiveHandle {
 }
 
 impl ArchiveHandle {
-    /// Wraps `store` for shared use.
+    /// Wraps `store` for shared use with detached (unregistered) handle
+    /// metrics — recording is still lock-free, just invisible.
     pub fn new(store: Box<dyn VersionStore>) -> Self {
+        Self::with_metrics(store, HandleMetrics::default())
+    }
+
+    /// Wraps `store` for shared use, registering the `handle.*` metrics
+    /// (snapshot pins, write-lock hold time) in `obs`'s registry.
+    pub fn observed(store: Box<dyn VersionStore>, obs: &Obs) -> Self {
+        Self::with_metrics(store, HandleMetrics::registered(obs))
+    }
+
+    fn with_metrics(store: Box<dyn VersionStore>, metrics: HandleMetrics) -> Self {
         let spec = store.spec().clone();
         Self {
             shared: Arc::new(Shared {
                 store: RwLock::new(store),
                 spec,
+                metrics,
             }),
         }
     }
@@ -112,12 +154,18 @@ impl ArchiveHandle {
     /// writers and waits out in-flight reads; snapshots taken earlier are
     /// unaffected — their pinned answers never change).
     pub fn add_version(&self, doc: &Document) -> Result<u32, StoreError> {
-        self.shared.write().add_version(doc)
+        let mut guard = self.shared.write();
+        // declared after the guard: drops (and records) just before the
+        // lock is released, so the sample is the hold time, not the wait
+        let _hold = self.shared.metrics.write_lock_hold.start_timer();
+        guard.add_version(doc)
     }
 
     /// Archives an *empty* database as the next version (write lock).
     pub fn add_empty_version(&self) -> Result<u32, StoreError> {
-        self.shared.write().add_empty_version()
+        let mut guard = self.shared.write();
+        let _hold = self.shared.metrics.write_lock_hold.start_timer();
+        guard.add_empty_version()
     }
 
     /// Bulk ingest under **one** write-lock acquisition: the wrapped
@@ -126,7 +174,9 @@ impl ArchiveHandle {
     /// half-applied batch. A snapshot pins either the pre-batch or the
     /// post-batch version, never a prefix.
     pub fn add_versions(&self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
-        self.shared.write().add_versions(docs)
+        let mut guard = self.shared.write();
+        let _hold = self.shared.metrics.write_lock_hold.start_timer();
+        guard.add_versions(docs)
     }
 
     /// A read-only view pinned at the version that is `latest()` right
@@ -134,6 +184,7 @@ impl ArchiveHandle {
     /// clamps every query to the pinned version instead.
     pub fn snapshot(&self) -> Snapshot {
         let pinned = self.shared.read().latest();
+        self.shared.metrics.snapshot_pins.inc();
         Snapshot {
             shared: Arc::clone(&self.shared),
             pinned,

@@ -51,13 +51,13 @@
 //! suite verifies this); they differ in where the merge's working set
 //! lives and how temporal queries are answered:
 //!
-//! | builder call | backend | paper | when to use | `as_of` / `history` / `range` | bulk ingest ([`VersionStore::add_versions`]) | shared reads |
-//! |---|---|---|---|---|---|---|
-//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk | batch nested merge — each archive level is sorted and walked once per batch, byte-identical to a serial replay | `&self`, lock-free |
-//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges | the whole batch is partitioned once, then chunks merge their sub-batches on parallel worker threads | `&self`, lock-free |
-//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized | the batch folds into a single streaming pass: one archive-sized read+write for `k` versions instead of `k` | `&self`; I/O accounting via atomics |
-//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay | **group commit** — one multi-version block, one commit word, one fsync per batch; a torn batch recovers to the pre-batch state, never a prefix | `&self`; reads never touch the journal |
-//! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer | one batch merge, then one batched index apply | `&self`; probe counters are atomics |
+//! | builder call | backend | paper | when to use | `as_of` / `history` / `range` | bulk ingest ([`VersionStore::add_versions`]) | shared reads | observability (`.with_observability(..)`) |
+//! |---|---|---|---|---|---|---|---|
+//! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk | batch nested merge — each archive level is sorted and walked once per batch, byte-identical to a serial replay | `&self`, lock-free | `query.*` / `ingest.*` latency histograms via the outermost [`core::ObservedStore`] wrapper |
+//! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges | the whole batch is partitioned once, then chunks merge their sub-batches on parallel worker threads | `&self`, lock-free | `query.*` / `ingest.*` histograms (whole-store timing spans all chunks) |
+//! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized | the batch folds into a single streaming pass: one archive-sized read+write for `k` versions instead of `k` | `&self`; I/O accounting via atomics | `extmem.page_reads` / `extmem.page_writes` counters + `query.*` / `ingest.*` |
+//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay | **group commit** — one multi-version block, one commit word, one fsync per batch; a torn batch recovers to the pre-batch state, never a prefix | `&self`; reads never touch the journal | `segment.*` write/fsync counters, `recovery.*` replay counters + duration, structured recovery events (torn tail, corrupt block) |
+//! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer | one batch merge, then one batched index apply | `&self`; probe counters are atomics | `index.history.comparisons` / `index.timestamp.probes` bound to the shared registry |
 //!
 //! `.compaction(Compaction::Weave)` additionally selects Fig 10's
 //! "further compaction" beneath frontier nodes for the in-memory and
@@ -146,6 +146,11 @@
 //!   crash-safe [`storage::DurableArchive`] backend;
 //! * [`index`] — timestamp trees, the history index, and the indexed
 //!   `VersionStore` backends built on them;
+//! * [`obs`] — the dependency-free observability layer: metrics registry
+//!   (counters/gauges/latency histograms over lock-free atomics),
+//!   structured tracing events with a post-mortem ring buffer, and
+//!   Prometheus/JSON exposition — threaded through every backend by
+//!   [`ArchiveBuilder::with_observability`] (see `examples/ops_report.rs`);
 //! * [`datagen`] — OMIM/Swiss-Prot/XMark-like generators and the paper's
 //!   change simulators.
 //!
@@ -153,7 +158,7 @@
 //!
 //! | tool | run | enforces |
 //! |---|---|---|
-//! | `xarch_analysis` (`crates/analysis`) | `cargo run --release -p xarch_analysis -- check` | panic-freedom in decode/recovery paths, no lock guard across fsync/snapshot, no truncating casts in `storage`, `&self` [`StoreReader`] methods + `Send`/`Sync` store impls, `// SAFETY:` on every `unsafe` block |
+//! | `xarch_analysis` (`crates/analysis`) | `cargo run --release -p xarch_analysis -- check` | panic-freedom in decode/recovery paths, no lock guard across fsync/snapshot, no truncating casts in `storage`, `&self` [`StoreReader`] methods + `Send`/`Sync` store impls, `// SAFETY:` on every `unsafe` block, no ad-hoc `Instant::now()` timing or `eprintln!` event logging outside `xarch_obs` in library code |
 //!
 //! The analyzer runs in CI as a required gate; deliberate exemptions use
 //! in-place `// xarch-allow: <rule> -- <reason>` comments, all of which
@@ -167,6 +172,7 @@ pub use xarch_diff as diff;
 pub use xarch_extmem as extmem;
 pub use xarch_index as index;
 pub use xarch_keys as keys;
+pub use xarch_obs as obs;
 pub use xarch_storage as storage;
 pub use xarch_xml as xml;
 

@@ -40,10 +40,11 @@
 use std::path::PathBuf;
 
 use crate::handle::ArchiveHandle;
-use xarch_core::{Archive, ChunkedArchive, Compaction, StoreError, VersionStore};
+use xarch_core::{Archive, ChunkedArchive, Compaction, ObservedStore, StoreError, VersionStore};
 use xarch_extmem::{ExtArchive, IoConfig};
 use xarch_index::{IndexedArchive, IndexedStore};
 use xarch_keys::KeySpec;
+use xarch_obs::Obs;
 use xarch_storage::{DurableArchive, DurableOptions};
 
 /// The storage tier behind a [`VersionStore`].
@@ -71,6 +72,7 @@ pub struct ArchiveBuilder {
     backend: Backend,
     durable: Option<(PathBuf, DurableOptions)>,
     indexed: bool,
+    observability: Option<Obs>,
 }
 
 impl ArchiveBuilder {
@@ -84,7 +86,21 @@ impl ArchiveBuilder {
             backend: Backend::default(),
             durable: None,
             indexed: false,
+            observability: None,
         }
+    }
+
+    /// Reports the store through `obs`: every backend layer registers its
+    /// canonical metrics in `obs`'s registry (journal `segment.*` /
+    /// `recovery.*`, external-memory `extmem.*`, index probe counters)
+    /// and the built store is wrapped in an
+    /// [`ObservedStore`](xarch_core::ObservedStore) timing every query
+    /// kind and ingest call into `query.*` / `ingest.*` histograms.
+    /// Recording is lock-free (atomic handles); keep a clone of `obs` to
+    /// render the Prometheus/JSON report and read recent trace events.
+    pub fn with_observability(mut self, obs: Obs) -> Self {
+        self.observability = Some(obs);
+        self
     }
 
     /// Maintains the §7 query indexes alongside the store, so `as_of`,
@@ -150,12 +166,21 @@ impl ArchiveBuilder {
                     .into(),
             ));
         }
+        let obs = self.observability;
+        let ext = |spec: KeySpec, cfg: IoConfig| match &obs {
+            Some(o) => ExtArchive::observed(spec, cfg, o.registry()),
+            None => ExtArchive::new(spec, cfg),
+        };
         let inner: Box<dyn VersionStore> = match (self.backend, self.indexed) {
             (Backend::InMemory, false) => {
                 Box::new(Archive::with_compaction(self.spec, self.compaction))
             }
             (Backend::InMemory, true) => {
-                Box::new(IndexedArchive::with_compaction(self.spec, self.compaction))
+                let mut idx = IndexedArchive::with_compaction(self.spec, self.compaction);
+                if let Some(o) = &obs {
+                    idx.bind_observability(o.registry());
+                }
+                Box::new(idx)
             }
             (Backend::Chunked(n), false) => Box::new(ChunkedArchive::with_compaction(
                 self.spec,
@@ -165,15 +190,24 @@ impl ArchiveBuilder {
             (Backend::Chunked(n), true) => Box::new(IndexedStore::new(Box::new(
                 ChunkedArchive::with_compaction(self.spec, n, self.compaction),
             ))?),
-            (Backend::ExtMem(cfg), false) => Box::new(ExtArchive::new(self.spec, cfg)),
-            (Backend::ExtMem(cfg), true) => Box::new(IndexedStore::new(Box::new(
-                ExtArchive::new(self.spec, cfg),
-            ))?),
+            (Backend::ExtMem(cfg), false) => Box::new(ext(self.spec, cfg)),
+            (Backend::ExtMem(cfg), true) => {
+                Box::new(IndexedStore::new(Box::new(ext(self.spec, cfg)))?)
+            }
         };
-        match self.durable {
-            None => Ok(inner),
-            Some((path, options)) => Ok(Box::new(DurableArchive::open_with(path, options, inner)?)),
-        }
+        let inner: Box<dyn VersionStore> = match self.durable {
+            None => inner,
+            Some((path, options)) => match &obs {
+                Some(o) => Box::new(DurableArchive::open_observed(path, options, inner, o)?),
+                None => Box::new(DurableArchive::open_with(path, options, inner)?),
+            },
+        };
+        // the observability wrapper goes outermost, so the query/ingest
+        // histograms time what the caller experiences
+        Ok(match obs {
+            Some(o) => Box::new(ObservedStore::new(inner, &o)),
+            None => inner,
+        })
     }
 
     /// Builds the configured store, panicking on construction failure.
@@ -190,7 +224,12 @@ impl ArchiveBuilder {
     /// Surfaces the same construction errors as
     /// [`ArchiveBuilder::try_build`].
     pub fn try_build_shared(self) -> Result<ArchiveHandle, StoreError> {
-        Ok(ArchiveHandle::new(self.try_build()?))
+        let obs = self.observability.clone();
+        let store = self.try_build()?;
+        Ok(match obs {
+            Some(o) => ArchiveHandle::observed(store, &o),
+            None => ArchiveHandle::new(store),
+        })
     }
 
     /// Like [`ArchiveBuilder::try_build_shared`], panicking on

@@ -448,6 +448,148 @@ fn stress_durable() {
     );
 }
 
+/// The observability hot path raced directly: writer threads hammer a
+/// shared [`Counter`] and [`Histogram`] (lock-free relaxed atomics) while
+/// reader threads snapshot concurrently. Every reader-visible view must
+/// be *coherent*: counters never move backwards, and a histogram
+/// snapshot's `count` always equals the sum of its buckets — the count is
+/// derived from the buckets by construction, so no interleaving can show
+/// a sample that is counted but not bucketed (or vice versa).
+#[test]
+fn observability_primitives_stay_coherent_under_races() {
+    use xarch::obs::{Counter, Histogram};
+    const WRITERS: usize = 4;
+    const RECORDS_PER_WRITER: u64 = 5_000;
+
+    let counter = Counter::new();
+    let hist = Histogram::new();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            s.spawn(move || {
+                for i in 0..RECORDS_PER_WRITER {
+                    counter.inc();
+                    hist.record((w as u64 + 1) * (i % 1_000));
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            s.spawn(move || {
+                let (mut last_count, mut last_sum, mut last_hcount) = (0, 0, 0);
+                for _ in 0..2_000 {
+                    let c = counter.get();
+                    assert!(c >= last_count, "counter moved backwards");
+                    last_count = c;
+
+                    let snap = hist.snapshot();
+                    let bucketed: u64 = snap.buckets.iter().sum();
+                    assert_eq!(
+                        snap.count, bucketed,
+                        "histogram count diverged from its buckets mid-race"
+                    );
+                    assert!(snap.count >= last_hcount, "histogram count went backwards");
+                    assert!(snap.sum >= last_sum, "histogram sum went backwards");
+                    last_hcount = snap.count;
+                    last_sum = snap.sum;
+                }
+            });
+        }
+    });
+    let total = (WRITERS as u64) * RECORDS_PER_WRITER;
+    assert_eq!(counter.get(), total);
+    assert_eq!(hist.count(), total, "no record was lost");
+    assert_eq!(hist.buckets().iter().sum::<u64>(), total);
+}
+
+/// The same coherence through the full stack: a writer merges versions
+/// through an observed [`ArchiveHandle`] while readers query snapshots
+/// *and* watch the registry — every registered counter stays monotone and
+/// every histogram readout stays count == Σ buckets while samples land.
+#[test]
+fn registry_readouts_stay_coherent_while_observed_store_runs() {
+    use xarch::obs::Obs;
+
+    let obs = Obs::disconnected();
+    let handle = ArchiveBuilder::new(spec())
+        .with_index()
+        .with_observability(obs.clone())
+        .try_build_shared()
+        .expect("observed in-memory store cannot fail to build");
+
+    std::thread::scope(|s| {
+        let writer = handle.clone();
+        s.spawn(move || {
+            for v in 1..=VERSIONS {
+                match version_doc(v) {
+                    Some(doc) => assert_eq!(writer.add_version(&doc).unwrap(), v),
+                    None => assert_eq!(writer.add_empty_version().unwrap(), v),
+                }
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..READERS {
+            let handle = handle.clone();
+            let obs = obs.clone();
+            s.spawn(move || {
+                let ingested = obs
+                    .registry()
+                    .get_counter("ingest.versions")
+                    .expect("registered at build time");
+                let retrieve = obs
+                    .registry()
+                    .get_histogram("query.retrieve.duration")
+                    .expect("registered at build time");
+                let mut last_ingested = 0;
+                let mut last_queries = 0;
+                loop {
+                    let snap = handle.snapshot();
+                    let p = snap.pinned();
+                    if p > 0 {
+                        let _ = snap.retrieve(p).unwrap();
+                    }
+
+                    let i = ingested.get();
+                    assert!(i >= last_ingested, "ingest.versions moved backwards");
+                    assert!(i <= u64::from(VERSIONS), "over-counted ingests");
+                    last_ingested = i;
+
+                    let h = retrieve.snapshot();
+                    assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+                    assert!(h.count >= last_queries, "query count went backwards");
+                    last_queries = h.count;
+
+                    if p == VERSIONS {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    let r = obs.registry();
+    assert_eq!(
+        r.get_counter("ingest.versions").unwrap().get(),
+        u64::from(VERSIONS)
+    );
+    assert!(
+        r.get_counter("handle.snapshot_pins").unwrap().get() >= READERS as u64,
+        "every reader pinned at least one snapshot"
+    );
+    assert!(
+        r.get_histogram("query.retrieve.duration").unwrap().count() > 0,
+        "readers exercised the query path"
+    );
+    assert_eq!(
+        r.get_histogram("handle.write_lock_hold").unwrap().count(),
+        u64::from(VERSIONS),
+        "one hold-time sample per mutation"
+    );
+}
+
 #[test]
 fn stress_durable_indexed() {
     let serial_path = xarch::storage::scratch_path("stress-durable-idx-serial");
