@@ -149,6 +149,9 @@ impl Config {
                         "crates/storage/src/payload.rs",
                         "crates/storage/src/superblock.rs",
                         "crates/storage/src/durable.rs",
+                        "crates/storage/src/checkpoint.rs",
+                        "crates/storage/src/cold.rs",
+                        "crates/storage/src/mmap.rs",
                         "crates/extmem/src/events.rs",
                     ]),
                 ),

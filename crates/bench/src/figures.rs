@@ -624,6 +624,7 @@ pub fn fig_durability(scale: &Scale) {
             Some(DurableOptions {
                 compression: BlockCodec::Raw,
                 sync: true,
+                checkpoint_every: None,
             }),
         ),
         (
@@ -631,6 +632,7 @@ pub fn fig_durability(scale: &Scale) {
             Some(DurableOptions {
                 compression: BlockCodec::Lzss,
                 sync: true,
+                checkpoint_every: None,
             }),
         ),
     ];
@@ -660,9 +662,52 @@ pub fn fig_durability(scale: &Scale) {
     println!();
 
     println!("## Durability: reopen (replay) time vs version count");
-    println!("versions,reopen_ms,journal_bytes");
+    println!("versions,reopen_ms,checkpointed_reopen_ms,tail_blocks_replayed,journal_bytes");
     for n in [2usize, 5, 10] {
-        let path = scratch_path("bench-reopen");
+        let mut row = Vec::new();
+        // full replay vs checkpointed (cadence 2: the newest checkpoint
+        // always trails the head closely, so reopen work stays flat in n)
+        for every in [0u32, 2] {
+            let path = scratch_path("bench-reopen");
+            {
+                let mut store = ArchiveBuilder::new(spec.clone())
+                    .checkpoint_every(every)
+                    .durable(&path)
+                    .try_build()
+                    .expect("durable store");
+                for d in versions.iter().take(n) {
+                    store.add_version(d).expect("merge");
+                }
+            }
+            let inner = ArchiveBuilder::new(spec.clone()).build();
+            let options = DurableOptions {
+                checkpoint_every: (every > 0).then_some(every),
+                ..DurableOptions::default()
+            };
+            let start = Instant::now();
+            let store = xarch::DurableArchive::open_with(&path, options, inner).expect("reopen");
+            let elapsed = start.elapsed();
+            assert_eq!(store.latest(), n as u32);
+            let journal = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            row.push((
+                elapsed.as_secs_f64() * 1e3,
+                store.recovery().tail_blocks_replayed,
+                journal,
+            ));
+            drop(store);
+            let _ = std::fs::remove_file(&path);
+        }
+        println!(
+            "{n},{:.2},{:.2},{},{}",
+            row[0].0, row[1].0, row[1].1, row[1].2
+        );
+    }
+    println!();
+
+    println!("## Durability: cold retrieve off the mmap'd segment");
+    println!("versions,cold_open_ms,cold_retrieve_ms,bytes_decoded,mapped_bytes");
+    for n in [5usize, 10] {
+        let path = scratch_path("bench-cold");
         {
             let mut store = ArchiveBuilder::new(spec.clone())
                 .durable(&path)
@@ -673,18 +718,110 @@ pub fn fig_durability(scale: &Scale) {
             }
         }
         let start = Instant::now();
-        let store = ArchiveBuilder::new(spec.clone())
-            .durable(&path)
-            .try_build()
-            .expect("reopen");
-        let elapsed = start.elapsed();
-        assert_eq!(store.latest(), n as u32);
-        let journal = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        println!("{n},{:.2},{journal}", elapsed.as_secs_f64() * 1e3);
-        drop(store);
+        let cold = xarch::ColdArchive::open(&path).expect("cold open");
+        let open_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let got = cold.retrieve(n as u32).expect("cold retrieve");
+        let retrieve_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(got.is_some());
+        println!(
+            "{n},{open_ms:.2},{retrieve_ms:.2},{},{}",
+            cold.bytes_decoded(),
+            cold.mapped_bytes()
+        );
+        drop(cold);
         let _ = std::fs::remove_file(&path);
     }
     println!();
+}
+
+/// The shapes the checkpoint + cold-read acceptance criteria pin down:
+/// a checkpointed reopen replays a bounded tail no matter how long the
+/// history grows (flat, vs the full replay's linear block count), and a
+/// cold retrieve decodes only its own block's bytes — never the whole
+/// mapped segment.
+pub fn durability_sanity(scale: &Scale) -> Result<(), String> {
+    use xarch::storage::scratch_path;
+    use xarch::{ColdArchive, DurableArchive, DurableOptions};
+
+    let spec = omim_spec();
+    let versions = OmimGen::new(0xD15C).sequence((scale.omim_records / 4).max(10), 24);
+
+    // --- checkpointed reopen: tail work is flat in history length ---
+    let every = 4u32;
+    let mut tails = Vec::new();
+    let mut full_blocks = Vec::new();
+    for n in [8usize, 24] {
+        let path = scratch_path("sanity-checkpoint");
+        {
+            let mut store = ArchiveBuilder::new(spec.clone())
+                .checkpoint_every(every)
+                .durable(&path)
+                .try_build()
+                .map_err(|e| e.to_string())?;
+            for d in versions.iter().take(n) {
+                store.add_version(d).map_err(|e| e.to_string())?;
+            }
+        }
+        let options = DurableOptions {
+            checkpoint_every: Some(every),
+            ..DurableOptions::default()
+        };
+        let store =
+            DurableArchive::open_with(&path, options, ArchiveBuilder::new(spec.clone()).build())
+                .map_err(|e| e.to_string())?;
+        let stats = store.recovery();
+        if !stats.checkpoint_loaded {
+            return Err(format!("n={n}: reopen did not load a checkpoint"));
+        }
+        tails.push(stats.tail_blocks_replayed);
+        full_blocks.push(n as u64);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+    // the tail is bounded by the cadence, so 3x the history must not
+    // grow the replayed tail at all — while a full replay grows 3x
+    if tails[1] > tails[0] || u64::from(tails[1]) >= u64::from(every) {
+        return Err(format!(
+            "checkpointed reopen is not flat: {} tail blocks at {} versions vs {} at {}",
+            tails[1], full_blocks[1], tails[0], full_blocks[0]
+        ));
+    }
+
+    // --- cold retrieve: decodes one block's bytes, not the archive ---
+    let n = 16usize;
+    let path = scratch_path("sanity-cold");
+    {
+        let mut store = ArchiveBuilder::new(spec.clone())
+            .durable(&path)
+            .try_build()
+            .map_err(|e| e.to_string())?;
+        for d in versions.iter().take(n) {
+            store.add_version(d).map_err(|e| e.to_string())?;
+        }
+    }
+    let cold = ColdArchive::open(&path).map_err(|e| e.to_string())?;
+    let got = cold
+        .retrieve(n as u32)
+        .map_err(|e| e.to_string())?
+        .ok_or("cold retrieve returned nothing")?;
+    drop(got);
+    let decoded = cold.bytes_decoded();
+    let mapped = cold.mapped_bytes();
+    if decoded == 0 || mapped == 0 {
+        return Err("cold metrics not recorded".into());
+    }
+    // one version block out of 16: decoding even a quarter of the file
+    // would mean the cold path materialized far more than its answer
+    if decoded * 4 > mapped {
+        return Err(format!(
+            "cold retrieve decoded {decoded} of {mapped} mapped bytes — \
+             the archive is being materialized, not read cold"
+        ));
+    }
+    drop(cold);
+    let _ = std::fs::remove_file(&path);
+    Ok(())
 }
 
 /// One measured ingest run: wall-clock, rate, and (durable) journal work.

@@ -26,6 +26,7 @@ use crate::timeset::TimeSet;
 pub struct ANodeId(pub u32);
 
 impl ANodeId {
+    /// The node's position in the arena, as a `usize` for slice indexing.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -47,9 +48,13 @@ pub enum AKind {
 /// One archive node.
 #[derive(Debug, Clone)]
 pub struct ANode {
+    /// Element / text / timestamp-alternative discriminant.
     pub kind: AKind,
+    /// Parent node; `None` only for the root.
     pub parent: Option<ANodeId>,
+    /// Child nodes in document order.
     pub children: Vec<ANodeId>,
+    /// Attributes as interned-name / value pairs, in document order.
     pub attrs: Vec<(Sym, String)>,
     /// `None` = inherit the parent's timestamp.
     pub time: Option<TimeSet>,
@@ -103,8 +108,11 @@ impl From<KeyError> for MergeError {
 /// Aggregate statistics of an archive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArchiveStats {
+    /// Element nodes in the merged tree.
     pub elements: usize,
+    /// Text nodes in the merged tree.
     pub texts: usize,
+    /// `<T>` timestamp-alternative nodes.
     pub stamps: usize,
     /// Nodes carrying an explicit (non-inherited) timestamp.
     pub explicit_times: usize,
@@ -147,6 +155,27 @@ impl Archive {
             syms,
             root: ANodeId(0),
             latest: 0,
+            spec,
+            compaction,
+        }
+    }
+
+    /// Rebuilds an archive from a deserialized arena (checkpoint
+    /// restore). The caller (`crate::state`) has range-checked every id
+    /// and runs [`Archive::check_invariants`] on the result.
+    pub(crate) fn from_arena(
+        spec: KeySpec,
+        compaction: Compaction,
+        syms: SymbolTable,
+        nodes: Vec<ANode>,
+        root: ANodeId,
+        latest: u32,
+    ) -> Self {
+        Self {
+            nodes,
+            syms,
+            root,
+            latest,
             spec,
             compaction,
         }

@@ -39,6 +39,7 @@ pub struct Change {
     /// Key-annotated path, e.g.
     /// `/db/dept{name=<name>finance</name>}/emp{fn=<fn>John</fn>, ln=<ln>Doe</ln>}/sal`.
     pub path: String,
+    /// Added, deleted, or modified.
     pub kind: ChangeKind,
     /// For `Modified`: (content at `i`, content at `j`) in canonical form.
     pub detail: Option<(String, String)>,

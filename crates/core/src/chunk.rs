@@ -71,6 +71,29 @@ impl ChunkedArchive {
         &self.spec
     }
 
+    /// The cached root tag (set by the first non-empty merge); checkpoint
+    /// state must carry it so a restored store keeps rejecting documents
+    /// with a different root.
+    pub(crate) fn root_tag(&self) -> Option<&str> {
+        self.root_tag.as_deref()
+    }
+
+    /// Rebuilds a chunked archive from deserialized parts (checkpoint
+    /// restore; `crate::state` has validated each chunk).
+    pub(crate) fn from_parts(
+        spec: KeySpec,
+        chunks: Vec<Archive>,
+        root_tag: Option<String>,
+        latest: u32,
+    ) -> Self {
+        Self {
+            chunks,
+            spec,
+            root_tag,
+            latest,
+        }
+    }
+
     /// Number of chunks.
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()

@@ -26,7 +26,16 @@
 //!   inverse, making the archive "yet another XML document",
 //! * [`chunk`] — hash-partitioned chunked archiving (§5's memory
 //!   workaround),
-//! * [`equiv`] — key-aware document equivalence used to state correctness.
+//! * [`equiv`] — key-aware document equivalence used to state correctness,
+//! * [`wire`] — the shared varint/string wire primitives (one byte-level
+//!   grammar for event streams, checkpoint states, and durable block
+//!   payloads — see `docs/FORMAT.md`),
+//! * [`state`] — checkpoint state codecs behind
+//!   [`VersionStore::checkpoint_state`] /
+//!   [`VersionStore::restore_checkpoint`], the hooks the durable layer
+//!   uses to make reopen time flat in history length.
+
+#![warn(missing_docs)]
 
 pub mod archive;
 pub mod changes;
@@ -37,9 +46,11 @@ pub mod merge;
 pub mod observed;
 pub mod query;
 pub mod retrieve;
+pub mod state;
 pub mod store;
 pub mod timeset;
 pub mod weave;
+pub mod wire;
 pub mod xmlrep;
 
 pub use archive::{AKind, ANode, ANodeId, Archive, ArchiveStats, Compaction, MergeError};

@@ -207,6 +207,14 @@ impl VersionStore for ObservedStore {
         self.metrics.ingest_versions.add(assigned.len() as u64);
         Ok(assigned)
     }
+
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
+        self.inner.restore_checkpoint(state)
+    }
 }
 
 #[cfg(test)]

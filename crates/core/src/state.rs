@@ -1,0 +1,627 @@
+//! Checkpoint state codecs for the in-memory backends.
+//!
+//! A durable store periodically serializes its materialized archive into
+//! a *checkpoint block* (see `docs/FORMAT.md` §Checkpoint blocks) so that
+//! reopen restores the snapshot and replays only the tail of the journal.
+//! This module defines the state payloads for [`Archive`] and
+//! [`ChunkedArchive`]; `xarch_extmem` encodes its own (its state *is* the
+//! event stream), and the indexed wrappers reuse the inner backend's
+//! state and rebuild their indexes from it.
+//!
+//! Every state payload starts with a one-byte backend tag so a restoring
+//! store can tell "this checkpoint was taken by a different backend
+//! configuration" (answered with `Ok(None)` — the caller falls back to a
+//! full journal replay, which rebuilds correctly under the new
+//! configuration) apart from "this checkpoint is damaged" (a positioned
+//! [`StoreError::Corrupt`]).
+//!
+//! The byte grammar uses the shared [`crate::wire`] primitives; decoding
+//! is panic-free and ends with [`Archive::check_invariants`], so a
+//! corrupted-but-checksummed state can never produce a structurally
+//! broken archive.
+
+use xarch_keys::{KeyPart, KeySpec, KeyValue, NodeClass};
+use xarch_xml::{Sym, SymbolTable};
+
+use crate::archive::{AKind, ANode, ANodeId, Archive, Compaction};
+use crate::chunk::ChunkedArchive;
+use crate::store::StoreError;
+use crate::timeset::TimeSet;
+use crate::wire::{get_bytes, get_str, get_varint, put_bytes, put_str, put_varint, WireError};
+
+/// State tag: a plain in-memory [`Archive`] snapshot.
+pub const STATE_ARCHIVE: u8 = 1;
+/// State tag: a [`ChunkedArchive`] snapshot (per-chunk archive bodies).
+pub const STATE_CHUNKED: u8 = 2;
+/// State tag: an `xarch_extmem::ExtArchive` snapshot (raw event stream).
+pub const STATE_EXTMEM: u8 = 3;
+/// State tag: an `xarch_index::IndexedStore` snapshot (inner state plus
+/// the serialized query sidecar).
+pub const STATE_INDEXED_STORE: u8 = 5;
+
+/// Converts a positioned wire failure into the storage error vocabulary.
+pub fn corrupt(e: WireError) -> StoreError {
+    StoreError::Corrupt {
+        offset: e.offset as u64,
+        reason: format!("checkpoint state: {}", e.reason),
+    }
+}
+
+fn corrupt_at(pos: usize, reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        offset: pos as u64,
+        reason: reason.into(),
+    }
+}
+
+/// The spec's source text: its non-implied keys, one per line — the same
+/// canonical rendering the storage superblock records.
+pub fn spec_source(spec: &KeySpec) -> String {
+    spec.keys()
+        .iter()
+        .filter(|k| !k.implied)
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn compaction_id(c: Compaction) -> u8 {
+    match c {
+        Compaction::Alternatives => 0,
+        Compaction::Weave => 1,
+    }
+}
+
+fn class_id(c: NodeClass) -> u8 {
+    match c {
+        NodeClass::Keyed => 0,
+        NodeClass::Frontier => 1,
+        NodeClass::BeyondFrontier => 2,
+        NodeClass::Unkeyed => 3,
+        NodeClass::Text => 4,
+    }
+}
+
+fn class_from_id(id: u8) -> Option<NodeClass> {
+    Some(match id {
+        0 => NodeClass::Keyed,
+        1 => NodeClass::Frontier,
+        2 => NodeClass::BeyondFrontier,
+        3 => NodeClass::Unkeyed,
+        4 => NodeClass::Text,
+        _ => return None,
+    })
+}
+
+/// Appends a [`TimeSet`] as `varint run-count` then per run
+/// `varint lo, varint (hi - lo)` — shared by the archive state codec and
+/// the query-sidecar codec in `xarch_index`.
+pub fn put_timeset(out: &mut Vec<u8>, t: &TimeSet) {
+    let runs = t.intervals();
+    put_varint(out, runs.len() as u64);
+    for &(lo, hi) in runs {
+        put_varint(out, lo as u64);
+        put_varint(out, (hi - lo) as u64);
+    }
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, StoreError> {
+    let at = *pos;
+    let v = get_varint(buf, pos).map_err(corrupt)?;
+    u32::try_from(v).map_err(|_| corrupt_at(at, "checkpoint state: u32 overflow"))
+}
+
+fn get_byte(buf: &[u8], pos: &mut usize) -> Result<u8, StoreError> {
+    let Some(&b) = buf.get(*pos) else {
+        return Err(corrupt_at(*pos, "checkpoint state: truncated"));
+    };
+    *pos += 1;
+    Ok(b)
+}
+
+/// Decodes a [`TimeSet`] written by [`put_timeset`], rejecting unordered
+/// or overflowing intervals.
+pub fn get_timeset(buf: &[u8], pos: &mut usize) -> Result<TimeSet, StoreError> {
+    let runs = get_varint(buf, pos).map_err(corrupt)? as usize;
+    // a run costs ≥ 2 encoded bytes; an implausible count is corruption
+    if runs > buf.len() / 2 + 1 {
+        return Err(corrupt_at(*pos, "checkpoint state: implausible run count"));
+    }
+    let mut t = TimeSet::new();
+    let mut prev_hi: Option<u32> = None;
+    for _ in 0..runs {
+        let at = *pos;
+        let lo = get_u32(buf, pos)?;
+        let span = get_u32(buf, pos)?;
+        let hi = lo
+            .checked_add(span)
+            .ok_or_else(|| corrupt_at(at, "checkpoint state: interval overflow"))?;
+        if lo == 0 || prev_hi.is_some_and(|p| lo <= p) {
+            return Err(corrupt_at(at, "checkpoint state: intervals out of order"));
+        }
+        prev_hi = Some(hi);
+        for v in lo..=hi {
+            t.insert(v);
+        }
+    }
+    Ok(t)
+}
+
+/// Appends the body of one [`Archive`] (no backend tag).
+fn put_archive_body(out: &mut Vec<u8>, a: &Archive) {
+    put_varint(out, a.latest() as u64);
+    out.push(compaction_id(a.compaction()));
+    put_str(out, &spec_source(a.spec()));
+    let syms = a.syms();
+    put_varint(out, syms.len() as u64);
+    for (_, name) in syms.iter() {
+        put_str(out, name);
+    }
+    put_varint(out, a.len() as u64);
+    for i in 0..a.len() {
+        let n = a.node(ANodeId(i as u32));
+        match &n.kind {
+            AKind::Element(s) => {
+                out.push(0);
+                put_varint(out, s.index() as u64);
+            }
+            AKind::Text(t) => {
+                out.push(1);
+                put_str(out, t);
+            }
+            AKind::Stamp => out.push(2),
+        }
+        put_varint(out, n.parent.map_or(0, |p| p.0 as u64 + 1));
+        put_varint(out, n.children.len() as u64);
+        for c in &n.children {
+            put_varint(out, c.0 as u64);
+        }
+        put_varint(out, n.attrs.len() as u64);
+        for (s, v) in &n.attrs {
+            put_varint(out, s.index() as u64);
+            put_str(out, v);
+        }
+        match &n.time {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                put_timeset(out, t);
+            }
+        }
+        match &n.key {
+            None => out.push(0),
+            Some(k) => {
+                out.push(1);
+                put_varint(out, k.parts.len() as u64);
+                for p in &k.parts {
+                    put_str(out, &p.path);
+                    put_str(out, &p.canon);
+                    out.extend_from_slice(&p.fp.to_le_bytes());
+                }
+            }
+        }
+        out.push(class_id(n.class));
+    }
+    put_varint(out, a.root().0 as u64);
+}
+
+/// Decodes one archive body at `*pos`. `expect` carries the restoring
+/// store's spec and compaction mode; a mismatch answers `Ok(None)` so the
+/// caller can fall back to a full replay under its own configuration.
+fn get_archive_body(
+    buf: &[u8],
+    pos: &mut usize,
+    expect_spec: &KeySpec,
+    expect_compaction: Compaction,
+) -> Result<Option<Archive>, StoreError> {
+    let latest = get_u32(buf, pos)?;
+    let compaction = match get_byte(buf, pos)? {
+        0 => Compaction::Alternatives,
+        1 => Compaction::Weave,
+        _ => return Err(corrupt_at(*pos - 1, "checkpoint state: bad compaction id")),
+    };
+    let spec_src = get_str(buf, pos).map_err(corrupt)?;
+    let spec = KeySpec::parse(&spec_src)
+        .map_err(|e| corrupt_at(*pos, format!("checkpoint state: bad key spec: {e}")))?;
+    if spec != *expect_spec || compaction != expect_compaction {
+        return Ok(None);
+    }
+
+    let sym_count = get_varint(buf, pos).map_err(corrupt)? as usize;
+    if sym_count > buf.len() {
+        return Err(corrupt_at(
+            *pos,
+            "checkpoint state: implausible symbol count",
+        ));
+    }
+    let mut syms = SymbolTable::new();
+    for _ in 0..sym_count {
+        let name = get_str(buf, pos).map_err(corrupt)?;
+        syms.intern(&name);
+    }
+    if syms.len() != sym_count {
+        return Err(corrupt_at(*pos, "checkpoint state: duplicate symbol"));
+    }
+
+    let node_count = get_varint(buf, pos).map_err(corrupt)? as usize;
+    if node_count == 0 || node_count > buf.len() {
+        return Err(corrupt_at(*pos, "checkpoint state: implausible node count"));
+    }
+    let get_sym = |buf: &[u8], pos: &mut usize| -> Result<Sym, StoreError> {
+        let at = *pos;
+        let i = get_u32(buf, pos)?;
+        if (i as usize) < sym_count {
+            Ok(Sym(i))
+        } else {
+            Err(corrupt_at(at, "checkpoint state: symbol out of range"))
+        }
+    };
+    let get_id = |buf: &[u8], pos: &mut usize| -> Result<ANodeId, StoreError> {
+        let at = *pos;
+        let i = get_u32(buf, pos)?;
+        if (i as usize) < node_count {
+            Ok(ANodeId(i))
+        } else {
+            Err(corrupt_at(at, "checkpoint state: node id out of range"))
+        }
+    };
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let kind = match get_byte(buf, pos)? {
+            0 => AKind::Element(get_sym(buf, pos)?),
+            1 => AKind::Text(get_str(buf, pos).map_err(corrupt)?),
+            2 => AKind::Stamp,
+            _ => return Err(corrupt_at(*pos - 1, "checkpoint state: bad node kind")),
+        };
+        let at = *pos;
+        let parent_raw = get_u32(buf, pos)?;
+        let parent = match parent_raw {
+            0 => None,
+            p if (p as usize) <= node_count => Some(ANodeId(p - 1)),
+            _ => return Err(corrupt_at(at, "checkpoint state: parent out of range")),
+        };
+        let child_count = get_varint(buf, pos).map_err(corrupt)? as usize;
+        if child_count > buf.len() {
+            return Err(corrupt_at(
+                *pos,
+                "checkpoint state: implausible child count",
+            ));
+        }
+        let mut children = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            children.push(get_id(buf, pos)?);
+        }
+        let attr_count = get_varint(buf, pos).map_err(corrupt)? as usize;
+        if attr_count > buf.len() {
+            return Err(corrupt_at(*pos, "checkpoint state: implausible attr count"));
+        }
+        let mut attrs = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            let s = get_sym(buf, pos)?;
+            let v = get_str(buf, pos).map_err(corrupt)?;
+            attrs.push((s, v));
+        }
+        let time = match get_byte(buf, pos)? {
+            0 => None,
+            1 => Some(get_timeset(buf, pos)?),
+            _ => return Err(corrupt_at(*pos - 1, "checkpoint state: bad time flag")),
+        };
+        let key = match get_byte(buf, pos)? {
+            0 => None,
+            1 => {
+                let part_count = get_varint(buf, pos).map_err(corrupt)? as usize;
+                if part_count > buf.len() {
+                    return Err(corrupt_at(*pos, "checkpoint state: implausible key arity"));
+                }
+                let mut parts = Vec::with_capacity(part_count);
+                for _ in 0..part_count {
+                    let path = get_str(buf, pos).map_err(corrupt)?;
+                    let canon = get_str(buf, pos).map_err(corrupt)?;
+                    let at = *pos;
+                    let Some(fp_bytes) = buf.get(at..at + 16) else {
+                        return Err(corrupt_at(at, "checkpoint state: truncated fingerprint"));
+                    };
+                    *pos += 16;
+                    let mut fp = [0u8; 16];
+                    fp.copy_from_slice(fp_bytes);
+                    parts.push(KeyPart {
+                        path,
+                        canon,
+                        fp: u128::from_le_bytes(fp),
+                    });
+                }
+                Some(KeyValue { parts })
+            }
+            _ => return Err(corrupt_at(*pos - 1, "checkpoint state: bad key flag")),
+        };
+        let class = class_from_id(get_byte(buf, pos)?)
+            .ok_or_else(|| corrupt_at(*pos - 1, "checkpoint state: bad node class"))?;
+        nodes.push(ANode {
+            kind,
+            parent,
+            children,
+            attrs,
+            time,
+            key,
+            class,
+        });
+    }
+    let root = get_id(buf, pos)?;
+
+    // Iterative tree validation BEFORE the arena is handed to any
+    // recursive walker: a corrupted child id can form a cycle or share a
+    // subtree, and recursion over either overflows the stack instead of
+    // erroring. Every child edge must lead to an unvisited node whose
+    // parent pointer agrees.
+    if nodes.get(root.index()).is_some_and(|r| r.parent.is_some()) {
+        return Err(corrupt_at(*pos, "checkpoint state: root has a parent"));
+    }
+    let mut visited = vec![false; node_count];
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let Some(seen) = visited.get_mut(id.index()) else {
+            return Err(corrupt_at(*pos, "checkpoint state: node id out of range"));
+        };
+        if *seen {
+            return Err(corrupt_at(*pos, "checkpoint state: node cycle"));
+        }
+        *seen = true;
+        let Some(n) = nodes.get(id.index()) else {
+            return Err(corrupt_at(*pos, "checkpoint state: node id out of range"));
+        };
+        for &c in &n.children {
+            let child_parent = nodes.get(c.index()).and_then(|cn| cn.parent);
+            if child_parent != Some(id) {
+                return Err(corrupt_at(*pos, "checkpoint state: parent pointer skew"));
+            }
+            stack.push(c);
+        }
+    }
+    if !visited.iter().all(|&v| v) {
+        return Err(corrupt_at(*pos, "checkpoint state: unreachable nodes"));
+    }
+
+    let archive = Archive::from_arena(spec, compaction, syms, nodes, root, latest);
+    archive
+        .check_invariants()
+        .map_err(|e| corrupt_at(*pos, format!("checkpoint state: broken invariant: {e}")))?;
+    Ok(Some(archive))
+}
+
+/// Serializes an [`Archive`] into a tagged checkpoint state payload.
+pub fn encode_archive(a: &Archive) -> Vec<u8> {
+    let mut out = vec![STATE_ARCHIVE];
+    put_archive_body(&mut out, a);
+    out
+}
+
+/// Restores an [`Archive`] from a tagged state payload.
+///
+/// Answers `Ok(None)` when the payload was taken under a different
+/// backend tag, key spec, or compaction mode — the caller falls back to a
+/// full journal replay. Damaged payloads are a positioned
+/// [`StoreError::Corrupt`].
+pub fn decode_archive(
+    state: &[u8],
+    expect_spec: &KeySpec,
+    expect_compaction: Compaction,
+) -> Result<Option<Archive>, StoreError> {
+    let mut pos = 0;
+    if get_byte(state, &mut pos)? != STATE_ARCHIVE {
+        return Ok(None);
+    }
+    let Some(a) = get_archive_body(state, &mut pos, expect_spec, expect_compaction)? else {
+        return Ok(None);
+    };
+    if pos != state.len() {
+        return Err(corrupt_at(pos, "checkpoint state: trailing bytes"));
+    }
+    Ok(Some(a))
+}
+
+/// Serializes a [`ChunkedArchive`] into a tagged checkpoint state
+/// payload: the chunk layout plus one archive body per chunk.
+pub fn encode_chunked(c: &ChunkedArchive) -> Vec<u8> {
+    let mut out = vec![STATE_CHUNKED];
+    put_varint(&mut out, c.chunk_count() as u64);
+    match c.root_tag() {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            put_str(&mut out, t);
+        }
+    }
+    put_varint(&mut out, c.latest() as u64);
+    for chunk in c.chunks() {
+        let mut body = Vec::new();
+        put_archive_body(&mut body, chunk);
+        put_bytes(&mut out, &body);
+    }
+    out
+}
+
+/// Restores a [`ChunkedArchive`] from a tagged state payload. The same
+/// `Ok(None)` fallback contract as [`decode_archive`]; a chunk-count
+/// mismatch with the restoring store's configuration also answers
+/// `Ok(None)`.
+pub fn decode_chunked(
+    state: &[u8],
+    expect_spec: &KeySpec,
+    expect_chunks: usize,
+    expect_compaction: Compaction,
+) -> Result<Option<ChunkedArchive>, StoreError> {
+    let mut pos = 0;
+    if get_byte(state, &mut pos)? != STATE_CHUNKED {
+        return Ok(None);
+    }
+    let chunk_count = get_varint(state, &mut pos).map_err(corrupt)? as usize;
+    if chunk_count != expect_chunks {
+        return Ok(None);
+    }
+    let root_tag = match get_byte(state, &mut pos)? {
+        0 => None,
+        1 => Some(get_str(state, &mut pos).map_err(corrupt)?),
+        _ => return Err(corrupt_at(pos - 1, "checkpoint state: bad root-tag flag")),
+    };
+    let latest = get_u32(state, &mut pos)?;
+    let mut chunks = Vec::with_capacity(chunk_count);
+    for _ in 0..chunk_count {
+        let body = get_bytes(state, &mut pos).map_err(corrupt)?;
+        let mut body_pos = 0;
+        let Some(a) = get_archive_body(body, &mut body_pos, expect_spec, expect_compaction)? else {
+            return Ok(None);
+        };
+        if body_pos != body.len() {
+            return Err(corrupt_at(
+                body_pos,
+                "checkpoint state: trailing chunk bytes",
+            ));
+        }
+        if a.latest() != latest {
+            return Err(corrupt_at(body_pos, "checkpoint state: chunk version skew"));
+        }
+        chunks.push(a);
+    }
+    if pos != state.len() {
+        return Err(corrupt_at(pos, "checkpoint state: trailing bytes"));
+    }
+    Ok(Some(ChunkedArchive::from_parts(
+        expect_spec.clone(),
+        chunks,
+        root_tag,
+        latest,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VersionStore;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+    }
+
+    fn docs() -> Vec<xarch_xml::Document> {
+        [
+            "<db><rec><id>1</id><val>a</val></rec></db>",
+            "<db><rec><id>1</id><val>b</val></rec><rec><id>2</id><val>c</val></rec></db>",
+            "<db><rec><id>2</id><val>c2</val></rec></db>",
+        ]
+        .iter()
+        .map(|s| xarch_xml::parse(s).unwrap())
+        .collect()
+    }
+
+    fn populated() -> Archive {
+        let mut a = Archive::new(spec());
+        for d in &docs() {
+            a.add_version(d).unwrap();
+        }
+        a.add_empty_version();
+        a
+    }
+
+    #[test]
+    fn archive_state_round_trips_byte_identically() {
+        let a = populated();
+        let state = encode_archive(&a);
+        let b = decode_archive(&state, &spec(), Compaction::Alternatives)
+            .unwrap()
+            .expect("matching config restores");
+        assert_eq!(b.latest(), a.latest());
+        for v in 1..=a.latest() {
+            let mut want = Vec::new();
+            let mut got = Vec::new();
+            let w = a.retrieve_into(v, &mut want).unwrap();
+            let g = b.retrieve_into(v, &mut got).unwrap();
+            assert_eq!(w, g, "v{v} existence");
+            assert_eq!(want, got, "v{v} bytes");
+        }
+        // and the restored archive keeps merging: identical next version
+        let next = xarch_xml::parse("<db><rec><id>3</id><val>z</val></rec></db>").unwrap();
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.add_version(&next).unwrap();
+        b2.add_version(&next).unwrap();
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        a2.retrieve_into(a2.latest(), &mut want).unwrap();
+        b2.retrieve_into(b2.latest(), &mut got).unwrap();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn mismatched_configuration_falls_back_not_errors() {
+        let a = populated();
+        let state = encode_archive(&a);
+        // compaction mismatch
+        assert!(decode_archive(&state, &spec(), Compaction::Weave)
+            .unwrap()
+            .is_none());
+        // spec mismatch
+        let other = KeySpec::parse("(/, (db, {}))\n(/db, (item, {sku}))").unwrap();
+        assert!(decode_archive(&state, &other, Compaction::Alternatives)
+            .unwrap()
+            .is_none());
+        // foreign backend tag
+        let mut tagged = state.clone();
+        tagged[0] = STATE_EXTMEM;
+        assert!(decode_archive(&tagged, &spec(), Compaction::Alternatives)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn bit_flip_sweep_over_state_never_panics() {
+        let a = populated();
+        let state = encode_archive(&a);
+        for i in 0..state.len() {
+            let mut mutated = state.clone();
+            mutated[i] ^= 1 << (i % 8);
+            // any answer is fine except a panic or a structurally broken
+            // archive claiming to be valid
+            if let Ok(Some(b)) = decode_archive(&mutated, &spec(), Compaction::Alternatives) {
+                b.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_state_round_trips() {
+        let mut c = ChunkedArchive::new(spec(), 3);
+        for d in &docs() {
+            c.add_version(d).unwrap();
+        }
+        let state = encode_chunked(&c);
+        let r = decode_chunked(&state, &spec(), 3, Compaction::Alternatives)
+            .unwrap()
+            .expect("matching config restores");
+        assert_eq!(r.latest(), c.latest());
+        for v in 1..=c.latest() {
+            let mut want = Vec::new();
+            let mut got = Vec::new();
+            let w = c.retrieve_into(v, &mut want).unwrap();
+            let g = r.retrieve_into(v, &mut got).unwrap();
+            assert_eq!(w, g);
+            assert_eq!(want, got);
+        }
+        // chunk-count mismatch falls back
+        assert!(decode_chunked(&state, &spec(), 4, Compaction::Alternatives)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn version_store_trait_checkpoints_through_the_default_methods() {
+        let mut a = populated();
+        let state = VersionStore::checkpoint_state(&a)
+            .unwrap()
+            .expect("in-memory archive supports checkpoints");
+        let mut fresh = Archive::new(spec());
+        assert!(fresh.restore_checkpoint(&state).unwrap());
+        assert_eq!(fresh.latest(), a.latest());
+        // restore refuses to clobber a populated store
+        assert!(a.restore_checkpoint(&state).is_err());
+    }
+}

@@ -310,6 +310,34 @@ pub trait VersionStore: StoreReader + Send + Sync {
         }
         Ok(assigned)
     }
+
+    /// Serializes the store's materialized state into an opaque
+    /// checkpoint payload (see `crate::state` and `docs/FORMAT.md`
+    /// §Checkpoint blocks).
+    ///
+    /// `Ok(None)` means the backend does not support checkpoints — the
+    /// durable wrapper then simply never writes checkpoint blocks and
+    /// reopen replays the full journal, exactly as before. The payload is
+    /// backend-tagged: restoring it into a differently-configured store
+    /// answers `Ok(false)` from [`VersionStore::restore_checkpoint`]
+    /// rather than producing a wrong archive.
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(None)
+    }
+
+    /// Restores a payload produced by [`VersionStore::checkpoint_state`]
+    /// into this (empty) store.
+    ///
+    /// Answers `Ok(true)` when the state was recognized and restored,
+    /// `Ok(false)` when it was taken under a different backend
+    /// configuration (tag, key spec, compaction, chunk layout — the
+    /// caller falls back to a full journal replay, which rebuilds
+    /// correctly under the new configuration), and `Err` when the payload
+    /// is structurally damaged or the store is not empty.
+    fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
+        let _ = state;
+        Ok(false)
+    }
 }
 
 impl StoreReader for Archive {
@@ -370,6 +398,25 @@ impl VersionStore for Archive {
     fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
         Ok(Archive::add_versions(self, docs)?)
     }
+
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(Some(crate::state::encode_archive(self)))
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
+        if Archive::latest(self) != 0 {
+            return Err(StoreError::Backend(
+                "restore_checkpoint requires an empty store".into(),
+            ));
+        }
+        match crate::state::decode_archive(state, Archive::spec(self), self.compaction())? {
+            Some(restored) => {
+                *self = restored;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
 }
 
 impl StoreReader for ChunkedArchive {
@@ -429,6 +476,31 @@ impl VersionStore for ChunkedArchive {
 
     fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
         Ok(ChunkedArchive::add_versions(self, docs)?)
+    }
+
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(Some(crate::state::encode_chunked(self)))
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
+        if ChunkedArchive::latest(self) != 0 {
+            return Err(StoreError::Backend(
+                "restore_checkpoint requires an empty store".into(),
+            ));
+        }
+        let compaction = self.chunks()[0].compaction();
+        match crate::state::decode_chunked(
+            state,
+            ChunkedArchive::spec(self),
+            self.chunk_count(),
+            compaction,
+        )? {
+            Some(restored) => {
+                *self = restored;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 

@@ -538,6 +538,93 @@ impl VersionStore for ExtArchive {
     fn add_versions(&mut self, docs: &[Document]) -> std::result::Result<Vec<u32>, StoreError> {
         Ok(ExtArchive::add_versions(self, docs)?)
     }
+
+    fn checkpoint_state(&self) -> std::result::Result<Option<Vec<u8>>, StoreError> {
+        // the external archive's materialized state IS its event stream —
+        // the checkpoint payload is the stream plus enough framing to
+        // verify it belongs to this configuration
+        let mut out = vec![xarch_core::state::STATE_EXTMEM];
+        xarch_core::wire::put_varint(&mut out, self.latest as u64);
+        xarch_core::wire::put_str(&mut out, &xarch_core::state::spec_source(&self.spec));
+        xarch_core::wire::put_bytes(&mut out, &self.data);
+        Ok(Some(out))
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u8]) -> std::result::Result<bool, StoreError> {
+        use xarch_core::wire::{get_bytes, get_str, get_varint};
+        if self.latest != 0 {
+            return Err(StoreError::Backend(
+                "restore_checkpoint requires an empty store".into(),
+            ));
+        }
+        if state.first() != Some(&xarch_core::state::STATE_EXTMEM) {
+            return Ok(false);
+        }
+        let mut pos = 1;
+        let latest = get_varint(state, &mut pos).map_err(xarch_core::state::corrupt)?;
+        let latest = u32::try_from(latest).map_err(|_| StoreError::Corrupt {
+            offset: pos as u64,
+            reason: "checkpoint state: version overflow".into(),
+        })?;
+        let spec_src = get_str(state, &mut pos).map_err(xarch_core::state::corrupt)?;
+        let spec = KeySpec::parse(&spec_src).map_err(|e| StoreError::Corrupt {
+            offset: pos as u64,
+            reason: format!("checkpoint state: bad key spec: {e}"),
+        })?;
+        if spec != self.spec {
+            return Ok(false);
+        }
+        let data = get_bytes(state, &mut pos).map_err(xarch_core::state::corrupt)?;
+        if pos != state.len() {
+            return Err(StoreError::Corrupt {
+                offset: pos as u64,
+                reason: "checkpoint state: trailing bytes".into(),
+            });
+        }
+        // a structural sanity pass over the restored stream: every entry
+        // must decode, so a damaged-but-checksummed payload fails loudly
+        // here instead of mid-query
+        validate_stream(data)?;
+        self.data = data.to_vec();
+        self.latest = latest;
+        Ok(true)
+    }
+}
+
+/// Walks every entry of an event stream, erroring (positioned, loud) on
+/// the first undecodable entry or unbalanced spine — the structural
+/// sanity gate for checkpoint restore, so a damaged payload fails at
+/// restore time instead of mid-query.
+fn validate_stream(data: &[u8]) -> std::result::Result<(), StoreError> {
+    use crate::events::{Peeked, StreamCursor};
+    let mut cur = StreamCursor::new(data, 4096);
+    let mut depth = 0u64;
+    loop {
+        match cur.peek().map_err(StoreError::from)? {
+            Peeked::Eof => break,
+            Peeked::Small(_) => {
+                cur.take_small().map_err(StoreError::from)?;
+            }
+            Peeked::Spine(_) => {
+                cur.take_spine_open().map_err(StoreError::from)?;
+                depth += 1;
+            }
+            Peeked::Close => {
+                cur.take_spine_close().map_err(StoreError::from)?;
+                depth = depth.checked_sub(1).ok_or_else(|| StoreError::Corrupt {
+                    offset: 0,
+                    reason: "checkpoint state: unbalanced spine close".into(),
+                })?;
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(StoreError::Corrupt {
+            offset: data.len() as u64,
+            reason: "checkpoint state: unclosed spine".into(),
+        });
+    }
+    Ok(())
 }
 
 /// The label sort key a [`KeyQuery`] step addresses — the same encoding

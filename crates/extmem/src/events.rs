@@ -101,57 +101,27 @@ fn err_at<T>(offset: usize, msg: impl Into<String>) -> Result<T> {
 }
 
 // ---------- primitive encoding ----------
+//
+// The byte-level primitives (LEB128 varints, length-prefixed strings)
+// are shared workspace-wide: `xarch_core::wire` owns them so the event
+// streams, the checkpoint state codec, and the durable block payloads
+// all speak one grammar (`docs/FORMAT.md` §Primitives). These wrappers
+// keep this module's positioned `StreamError` vocabulary.
 
-pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let b = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(b);
-            break;
-        }
-        out.push(b | 0x80);
-    }
+pub fn put_varint(out: &mut Vec<u8>, v: u64) {
+    xarch_core::wire::put_varint(out, v);
 }
 
 pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let Some(&b) = buf.get(*pos) else {
-            return err_at(*pos, "truncated varint");
-        };
-        *pos += 1;
-        v |= ((b & 0x7f) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-        if shift >= 64 {
-            return err_at(*pos, "varint overflow");
-        }
-    }
+    xarch_core::wire::get_varint(buf, pos).map_err(|e| StreamError::at(e.offset, e.reason))
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_varint(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
+    xarch_core::wire::put_str(out, s);
 }
 
 fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
-    let len = get_varint(buf, pos)? as usize;
-    let start = *pos;
-    // checked: a crafted length near usize::MAX must error, not overflow
-    let Some(bytes) = start.checked_add(len).and_then(|end| buf.get(start..end)) else {
-        return err_at(start, "truncated string");
-    };
-    *pos += len;
-    match std::str::from_utf8(bytes) {
-        Ok(s) => Ok(s.to_owned()),
-        // report the *start* of the bad string — the offset a maintainer
-        // will inspect — not the already-advanced cursor
-        Err(_) => err_at(start, "invalid utf-8"),
-    }
+    xarch_core::wire::get_str(buf, pos).map_err(|e| StreamError::at(e.offset, e.reason))
 }
 
 // ---------- small-node encoding ----------

@@ -218,6 +218,39 @@ impl VersionStore for IndexedArchive {
         }
         Ok(assigned)
     }
+
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        // the indexes are derived data: the archive snapshot alone is the
+        // state, so a checkpoint stays restorable by a plain Archive (and
+        // vice versa) when `.with_index()` is toggled between runs
+        Ok(Some(xarch_core::state::encode_archive(&self.archive)))
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
+        if self.archive.latest() != 0 {
+            return Err(StoreError::Backend(
+                "restore_checkpoint requires an empty store".into(),
+            ));
+        }
+        let decoded = xarch_core::state::decode_archive(
+            state,
+            self.archive.spec(),
+            self.archive.compaction(),
+        )?;
+        let Some(restored) = decoded else {
+            return Ok(false);
+        };
+        // rebuild the derived indexes, then re-bind the live counter
+        // handles so registry-bound probe accounting survives the restore
+        let hist_counter = self.hist.counter_handle();
+        let ts_counter = self.ts.counter_handle();
+        self.archive = restored;
+        self.hist = HistoryIndex::build(&self.archive);
+        self.ts = TimestampIndex::build(&self.archive);
+        self.hist.bind_counter(hist_counter);
+        self.ts.bind_counter(ts_counter);
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +331,43 @@ mod tests {
         assert_eq!(h.values[0].0.to_string(), "1");
         assert!(h.values[1].1.contains("<val>b</val>"));
         assert_eq!(h.values[1].0.to_string(), "2");
+    }
+
+    #[test]
+    fn checkpoint_restore_rebuilds_indexes_and_keeps_bound_counters() {
+        let mut s = IndexedArchive::new(spec());
+        for d in versions() {
+            s.add_version(&d).unwrap();
+        }
+        let state = s
+            .checkpoint_state()
+            .unwrap()
+            .expect("indexed archive checkpoints");
+
+        let registry = xarch_obs::Registry::new();
+        let mut fresh = IndexedArchive::new(spec());
+        fresh.bind_observability(&registry);
+        assert!(fresh.restore_checkpoint(&state).unwrap());
+        assert_eq!(fresh.latest(), 3);
+        let q = vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ];
+        assert_eq!(fresh.history(&q).unwrap().unwrap().to_string(), "1-2");
+        // the registry-bound probe counters must still be the live handles
+        let _ = fresh.as_of(&q, 2).unwrap().expect("rec 1 at v2");
+        let comparisons = registry
+            .get_counter("index.history.comparisons")
+            .expect("still bound");
+        assert!(comparisons.get() > 0, "restore detached the counter");
+
+        // a plain-archive restore also accepts an IndexedArchive state
+        let mut plain = Archive::new(spec());
+        assert!(plain.restore_checkpoint(&state).unwrap());
+        assert_eq!(plain.latest(), 3);
+
+        // populated stores refuse to restore
+        assert!(fresh.restore_checkpoint(&state).is_err());
     }
 
     #[test]

@@ -84,6 +84,13 @@ impl HistoryIndex {
         self.comparisons = counter;
     }
 
+    /// The live comparison-counter handle (shared, cheap to clone) — lets
+    /// a checkpoint restore rebuild the index and keep recording into an
+    /// already registry-bound counter.
+    pub(crate) fn counter_handle(&self) -> Counter {
+        self.comparisons.clone()
+    }
+
     /// Incrementally absorbs version `v`, which must be the version the
     /// archive just merged. Only nodes visible at `v` (and their immediate
     /// children, whose terminations the rebuild picks up) can have changed

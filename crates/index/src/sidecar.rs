@@ -25,6 +25,8 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::ops::RangeInclusive;
 
+use xarch_core::state::{corrupt, get_timeset, put_timeset, STATE_INDEXED_STORE};
+use xarch_core::wire::{get_bytes, get_str, get_varint, put_bytes, put_str, put_varint};
 use xarch_core::{
     KeyQuery, RangeEntry, StoreError, StoreReader, StoreStats, TimeSet, VersionStore,
 };
@@ -120,6 +122,105 @@ impl QueryIndex {
     /// True when nothing has been absorbed yet.
     pub fn is_empty(&self) -> bool {
         self.root.time.is_empty() && self.root.children.is_empty()
+    }
+}
+
+fn corrupt_at(pos: usize, reason: &str) -> StoreError {
+    StoreError::Corrupt {
+        offset: pos as u64,
+        reason: reason.into(),
+    }
+}
+
+/// Appends one trie node: timestamp, child count, then per child the
+/// [`KeyQuery`] step (tag, part count, `(path, canon)` pairs) followed by
+/// the child node. Encode recurses — the trie is as deep as the keyed
+/// paths the spec admits.
+fn put_qnode(out: &mut Vec<u8>, n: &QNode) {
+    put_timeset(out, &n.time);
+    put_varint(out, n.children.len() as u64);
+    for (step, child) in &n.children {
+        put_str(out, &step.tag);
+        put_varint(out, step.parts.len() as u64);
+        for (path, canon) in &step.parts {
+            put_str(out, path);
+            put_str(out, canon);
+        }
+        put_qnode(out, child);
+    }
+}
+
+/// Decodes a trie written by [`put_qnode`]. Iterative (explicit frame
+/// stack) so a corrupted payload claiming absurd nesting cannot overflow
+/// the call stack.
+fn get_qnode(buf: &[u8], pos: &mut usize) -> Result<QNode, StoreError> {
+    struct Frame {
+        node: QNode,
+        remaining: u64,
+        step: KeyQuery,
+    }
+    let time = get_timeset(buf, pos)?;
+    let remaining = get_varint(buf, pos).map_err(corrupt)?;
+    let mut stack = vec![Frame {
+        node: QNode {
+            time,
+            children: BTreeMap::new(),
+        },
+        remaining,
+        step: KeyQuery::new(""),
+    }];
+    loop {
+        let Some(top) = stack.last_mut() else {
+            return Err(corrupt_at(
+                *pos,
+                "checkpoint state: sidecar stack underflow",
+            ));
+        };
+        if top.remaining == 0 {
+            let Some(done) = stack.pop() else {
+                return Err(corrupt_at(
+                    *pos,
+                    "checkpoint state: sidecar stack underflow",
+                ));
+            };
+            match stack.last_mut() {
+                Some(parent) => {
+                    if parent.node.children.insert(done.step, done.node).is_some() {
+                        return Err(corrupt_at(
+                            *pos,
+                            "checkpoint state: duplicate sidecar child",
+                        ));
+                    }
+                }
+                None => return Ok(done.node),
+            }
+            continue;
+        }
+        top.remaining -= 1;
+        let at = *pos;
+        let tag = get_str(buf, pos).map_err(corrupt)?.to_owned();
+        let nparts = get_varint(buf, pos).map_err(corrupt)? as usize;
+        // a part costs ≥ 2 encoded bytes; an implausible count is corruption
+        if nparts > buf.len() / 2 + 1 {
+            return Err(corrupt_at(at, "checkpoint state: implausible part count"));
+        }
+        let mut parts = Vec::with_capacity(nparts);
+        for _ in 0..nparts {
+            let path = get_str(buf, pos).map_err(corrupt)?.to_owned();
+            let canon = get_str(buf, pos).map_err(corrupt)?.to_owned();
+            parts.push((path, canon));
+        }
+        let step = KeyQuery { tag, parts };
+        let time = get_timeset(buf, pos)?;
+        let remaining = get_varint(buf, pos).map_err(corrupt)?;
+        stack.push(Frame {
+            node: QNode {
+                time,
+                children: BTreeMap::new(),
+            },
+            remaining,
+            step,
+        });
     }
 }
 
@@ -267,6 +368,43 @@ impl VersionStore for IndexedStore {
         }
         Ok(assigned)
     }
+
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        // wrap the inner backend's state (if it supports checkpointing at
+        // all) and append the serialized sidecar so a restore skips the
+        // backfill replay too
+        let Some(inner) = self.inner.checkpoint_state()? else {
+            return Ok(None);
+        };
+        let mut out = vec![STATE_INDEXED_STORE];
+        put_bytes(&mut out, &inner);
+        put_qnode(&mut out, &self.sidecar.root);
+        Ok(Some(out))
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
+        if self.inner.latest() != 0 {
+            return Err(StoreError::Backend(
+                "restore_checkpoint requires an empty store".into(),
+            ));
+        }
+        if state.first() != Some(&STATE_INDEXED_STORE) {
+            return Ok(false);
+        }
+        let mut pos = 1usize;
+        let inner_state = get_bytes(state, &mut pos).map_err(corrupt)?;
+        // decode the sidecar fully BEFORE touching the inner store so a
+        // damaged payload can never leave the pair half-restored
+        let root = get_qnode(state, &mut pos)?;
+        if pos != state.len() {
+            return Err(corrupt_at(pos, "checkpoint state: trailing bytes"));
+        }
+        if !self.inner.restore_checkpoint(inner_state)? {
+            return Ok(false);
+        }
+        self.sidecar = QueryIndex { root };
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +471,63 @@ mod tests {
             assert_eq!(hits.len(), 2, "{label}: {hits:?}");
             assert_eq!(hits[0].time.to_string(), "1-2");
             assert_eq!(hits[1].time.to_string(), "2");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_inner_state_and_sidecar() {
+        let mut s = IndexedStore::new(Box::new(Archive::new(spec()))).unwrap();
+        s.add_version(&parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap())
+            .unwrap();
+        s.add_empty_version().unwrap();
+        s.add_version(
+            &parse(
+                "<db><rec><id>1</id><val>b</val></rec>\
+                 <rec><id>2</id><val>c</val></rec></db>",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let state = s
+            .checkpoint_state()
+            .unwrap()
+            .expect("indexed store checkpoints");
+
+        let mut fresh = IndexedStore::new(Box::new(Archive::new(spec()))).unwrap();
+        assert!(fresh.restore_checkpoint(&state).unwrap());
+        assert_eq!(fresh.latest(), 3);
+        let q = vec![
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ];
+        assert_eq!(fresh.history(&q).unwrap().unwrap().to_string(), "1,3");
+        assert_eq!(fresh.history(&[]).unwrap().unwrap().to_string(), "1-3");
+        assert_eq!(fresh.query_index().len(), s.query_index().len());
+        let sub = fresh.as_of(&q, 3).unwrap().expect("rec 1 at v3");
+        assert!(xarch_xml::writer::to_compact_string(&sub).contains("<val>b</val>"));
+        // restored state re-checkpoints byte-identically
+        assert_eq!(fresh.checkpoint_state().unwrap().unwrap(), state);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_tags_and_survives_bit_flips() {
+        let mut s = IndexedStore::new(Box::new(Archive::new(spec()))).unwrap();
+        s.add_version(&parse("<db><rec><id>1</id><val>a</val></rec></db>").unwrap())
+            .unwrap();
+        let state = s.checkpoint_state().unwrap().unwrap();
+
+        // a bare-archive state is some other backend's: fall back to replay
+        let bare = xarch_core::state::encode_archive(&Archive::new(spec()));
+        let mut fresh = IndexedStore::new(Box::new(Archive::new(spec()))).unwrap();
+        assert!(!fresh.restore_checkpoint(&bare).unwrap());
+
+        // flipping any single byte must never panic: every outcome is a
+        // loud error, a clean mismatch, or an intact restore
+        for i in 0..state.len() {
+            let mut bad = state.clone();
+            bad[i] ^= 0x40;
+            let mut fresh = IndexedStore::new(Box::new(Archive::new(spec()))).unwrap();
+            let _ = fresh.restore_checkpoint(&bad);
         }
     }
 

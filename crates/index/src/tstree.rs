@@ -197,6 +197,13 @@ impl TimestampIndex {
         self.probes = counter;
     }
 
+    /// The live probe-counter handle (shared, cheap to clone) — lets a
+    /// checkpoint restore rebuild the index and keep recording into an
+    /// already registry-bound counter.
+    pub(crate) fn counter_handle(&self) -> Counter {
+        self.probes.clone()
+    }
+
     /// Incrementally absorbs version `v`, which must be the version the
     /// archive just merged: the trees of nodes visible at `v` are rebuilt
     /// (their child sets or child timestamps may have changed — including

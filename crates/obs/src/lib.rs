@@ -35,6 +35,8 @@
 //! assert_eq!(obs.recent_events().len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 mod expo;
 mod metrics;
 mod registry;
@@ -75,14 +77,17 @@ impl Obs {
         }
     }
 
+    /// Bundle an existing registry and tracer.
     pub fn with_parts(registry: Registry, tracer: Tracer) -> Self {
         Self { registry, tracer }
     }
 
+    /// The bundled metric registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
     }
 
+    /// The bundled event tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }

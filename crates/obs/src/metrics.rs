@@ -25,6 +25,7 @@ pub struct Counter {
 }
 
 impl Counter {
+    /// A fresh detached counter at zero.
     pub fn new() -> Self {
         Self::default()
     }
@@ -37,16 +38,19 @@ impl Counter {
         c
     }
 
+    /// Count one event.
     #[inline]
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Count `n` events at once.
     #[inline]
     pub fn add(&self, n: u64) {
         self.v.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current count.
     #[inline]
     pub fn get(&self) -> u64 {
         self.v.load(Ordering::Relaxed)
@@ -66,10 +70,12 @@ pub struct Gauge {
 }
 
 impl Gauge {
+    /// A fresh detached gauge at zero.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Set the current value.
     #[inline]
     pub fn set(&self, v: i64) {
         self.v.store(v, Ordering::Relaxed);
@@ -81,11 +87,13 @@ impl Gauge {
         self.set(i64::try_from(v).unwrap_or(i64::MAX));
     }
 
+    /// Move the value by `d` (negative deltas decrease it).
     #[inline]
     pub fn add(&self, d: i64) {
         self.v.fetch_add(d, Ordering::Relaxed);
     }
 
+    /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
         self.v.load(Ordering::Relaxed)
@@ -147,6 +155,7 @@ pub fn bucket_bound(i: usize) -> u64 {
 }
 
 impl Histogram {
+    /// A fresh detached histogram with empty buckets.
     pub fn new() -> Self {
         Self::default()
     }
@@ -266,13 +275,19 @@ impl Drop for Timer {
 /// Point-in-time readout of a [`Histogram`].
 #[derive(Clone, Debug)]
 pub struct HistogramSnapshot {
+    /// Total samples in the snapshot.
     pub count: u64,
+    /// Sum of all sampled values.
     pub sum: u64,
+    /// Largest sampled value (exact).
     pub max: u64,
     /// Upper bound of the bucket containing the 50th percentile sample.
     pub p50: u64,
+    /// Upper bound of the bucket containing the 90th percentile sample.
     pub p90: u64,
+    /// Upper bound of the bucket containing the 99th percentile sample.
     pub p99: u64,
+    /// The raw per-bucket counts the quantiles were derived from.
     pub buckets: [u64; BUCKETS],
 }
 

@@ -13,12 +13,16 @@ use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 /// What a registered name refers to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MetricKind {
+    /// A monotone [`Counter`].
     Counter,
+    /// An up/down [`Gauge`].
     Gauge,
+    /// A log-bucketed [`Histogram`].
     Histogram,
 }
 
 impl MetricKind {
+    /// The kind's lower-case exposition label.
     pub fn as_str(self) -> &'static str {
         match self {
             MetricKind::Counter => "counter",
@@ -56,17 +60,26 @@ struct Entry {
 /// exposition writers.
 #[derive(Clone, Debug)]
 pub struct MetricSample {
+    /// Dot-namespaced registered name, e.g. `segment.fsyncs`.
     pub name: String,
+    /// Counter / gauge / histogram.
     pub kind: MetricKind,
+    /// Unit label supplied at registration (`bytes`, `micros`, …).
     pub unit: &'static str,
+    /// Human-readable description supplied at registration.
     pub help: &'static str,
+    /// The value read at sampling time.
     pub value: SampleValue,
 }
 
+/// The typed value inside a [`MetricSample`].
 #[derive(Clone, Debug)]
 pub enum SampleValue {
+    /// A counter's current count.
     Counter(u64),
+    /// A gauge's current value.
     Gauge(i64),
+    /// A histogram's consistent snapshot.
     Histogram(Box<HistogramSnapshot>),
 }
 
@@ -83,6 +96,7 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// A fresh, empty registry.
     pub fn new() -> Self {
         Self::default()
     }
@@ -168,6 +182,7 @@ impl Registry {
         self.lock().len()
     }
 
+    /// True when nothing has been registered yet.
     pub fn is_empty(&self) -> bool {
         self.lock().is_empty()
     }

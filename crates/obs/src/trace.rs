@@ -16,14 +16,20 @@ use crate::metrics::Histogram;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Level {
+    /// Something failed; the operation did not complete as asked.
     Error = 1,
+    /// Something unusual was handled (torn tail, skipped checkpoint).
     Warn = 2,
+    /// Routine milestones: opens, commits, recovery summaries.
     Info = 3,
+    /// Per-operation details, including span durations.
     Debug = 4,
+    /// Highest-volume diagnostics.
     Trace = 5,
 }
 
 impl Level {
+    /// The level's conventional upper-case log label.
     pub fn as_str(self) -> &'static str {
         match self {
             Level::Error => "ERROR",
@@ -58,8 +64,11 @@ pub struct Event {
     /// Monotone per-tracer sequence number (ring-buffer eviction keeps
     /// gaps visible).
     pub seq: u64,
+    /// Severity the event was emitted at.
     pub level: Level,
+    /// Dot-namespaced operation name, e.g. `recovery.torn_tail`.
     pub target: &'static str,
+    /// Structured key=value payload, in emission order.
     pub fields: Vec<(&'static str, String)>,
 }
 
@@ -80,6 +89,7 @@ impl fmt::Display for Event {
 /// Where rendered events go. Implementations must tolerate concurrent
 /// calls; the tracer renders before dispatch so sinks never re-enter it.
 pub trait EventSink: Send + Sync {
+    /// Deliver one already-rendered event.
     fn emit(&self, event: &Event);
 }
 
@@ -111,10 +121,12 @@ pub struct VecSink {
 }
 
 impl VecSink {
+    /// A fresh, empty sink.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Take every captured event, leaving the sink empty.
     pub fn drain(&self) -> Vec<Event> {
         let mut g = self.events.lock().unwrap_or_else(|e| e.into_inner());
         std::mem::take(&mut *g)
@@ -172,6 +184,7 @@ impl Tracer {
         Self::default()
     }
 
+    /// Tracer forwarding events at or above `filter` to `sink`.
     pub fn with_sink(sink: Arc<dyn EventSink>, filter: Level) -> Self {
         Self {
             inner: Arc::new(TracerInner {
@@ -189,6 +202,7 @@ impl Tracer {
         Self::with_sink(Arc::new(NullSink), Level::Error)
     }
 
+    /// Current sink forwarding threshold.
     pub fn level(&self) -> Level {
         Level::from_u8(self.inner.filter.load(Ordering::Relaxed))
     }
@@ -264,6 +278,7 @@ pub struct Span {
 }
 
 impl Span {
+    /// Start a span now; its duration lands in `hist` when it ends.
     pub fn new(target: &'static str, hist: Histogram, tracer: Option<Tracer>) -> Self {
         Self {
             hist,

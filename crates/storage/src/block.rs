@@ -49,6 +49,13 @@ pub enum BlockKind {
     /// a torn batch is truncated as one unit on reopen — recovery restores
     /// the pre-batch state, never a prefix of the batch.
     Batch,
+    /// A **checkpoint**: the payload is a serialized snapshot of the
+    /// materialized archive state covering every version up to and
+    /// including the header's `version` field (see `docs/FORMAT.md`
+    /// §Checkpoint blocks). Checkpoints commit *zero* new versions — they
+    /// are pure redundancy over the journal, written so reopen can restore
+    /// the snapshot and replay only the tail instead of the whole history.
+    Checkpoint,
 }
 
 impl BlockKind {
@@ -57,6 +64,7 @@ impl BlockKind {
             BlockKind::Version => 1,
             BlockKind::Empty => 2,
             BlockKind::Batch => 3,
+            BlockKind::Checkpoint => 4,
         }
     }
 
@@ -65,15 +73,29 @@ impl BlockKind {
             1 => Some(BlockKind::Version),
             2 => Some(BlockKind::Empty),
             3 => Some(BlockKind::Batch),
+            4 => Some(BlockKind::Checkpoint),
             _ => None,
         }
+    }
+
+    /// The raw kind byte as stored in block headers (`docs/FORMAT.md`
+    /// §Block kinds).
+    pub fn kind_byte(self) -> u8 {
+        self.id()
+    }
+
+    /// Inverse of [`BlockKind::kind_byte`]; `None` for unassigned ids.
+    pub fn from_kind_byte(id: u8) -> Option<Self> {
+        Self::from_id(id)
     }
 }
 
 /// A decoded block header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockHeader {
+    /// What the payload carries (`docs/FORMAT.md` §Block kinds).
     pub kind: BlockKind,
+    /// How the payload bytes are stored (raw or LZSS-compressed).
     pub codec: BlockCodec,
     /// The version number this block committed (first block = 1, then +1).
     pub version: u32,
@@ -86,6 +108,7 @@ pub struct BlockHeader {
 /// One fully verified block read back from a segment.
 #[derive(Debug, Clone)]
 pub struct ScannedBlock {
+    /// The decoded, CRC-verified header.
     pub header: BlockHeader,
     /// Stored payload bytes (still encoded per `header.codec`).
     pub payload: Vec<u8>,

@@ -1,0 +1,638 @@
+//! [`ColdArchive`]: read-only queries straight off the memory-mapped
+//! segment file.
+//!
+//! A [`DurableArchive`](crate::DurableArchive) materializes the whole
+//! archive in its inner backend before it can answer anything — the right
+//! trade for a writer, but wasteful for a one-off query against a large,
+//! cold segment. `ColdArchive` takes the other corner of the design
+//! space: it memory-maps the file, builds a tiny *per-block version
+//! index* from a header-only walk (22 bytes per block; payloads are never
+//! touched), and then serves [`StoreReader`] queries by decoding exactly
+//! the blocks they need. A point `retrieve`/`as_of` checksums and decodes
+//! one block; the rest of the file stays untouched OS page cache at most.
+//!
+//! Cold readers hold a *shared* OS lock, so any number may coexist — but
+//! a live writer (which holds the exclusive lock) blocks cold opens and
+//! vice versa, keeping the map stable for its whole lifetime.
+//!
+//! Integrity policy matches the format's split (see `docs/FORMAT.md`
+//! §Recovery): a torn tail at open is quietly ignored (those bytes were
+//! never acknowledged), while any damage to a committed block — at open
+//! where the header walk trips over it, or at query time when the block's
+//! CRC fails — surfaces as a positioned
+//! [`StoreError::Corrupt`]. A cold
+//! reader never truncates or repairs: it has no write permission on the
+//! segment at all.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+use xarch_compress::BlockCodec;
+use xarch_core::{query, KeyQuery, StoreError, StoreReader, StoreStats, TimeSet};
+use xarch_keys::KeySpec;
+use xarch_obs::{Level, Obs};
+use xarch_xml::Document;
+
+use crate::block::{
+    self, BlockKind, Scan, ScannedBlock, BLOCK_HEADER_LEN, BLOCK_TRAILER_LEN, MAX_PAYLOAD,
+};
+use crate::metrics::ColdMetrics;
+use crate::mmap::MappedFile;
+use crate::payload::{batch_bytes_to_docs, bytes_to_doc};
+use crate::superblock;
+
+/// One committed data block in the version index: which versions it
+/// holds and where it sits in the file. Checkpoint blocks are not
+/// indexed — they duplicate journal state the cold reader re-derives
+/// per query anyway.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// File offset of the block header.
+    offset: u64,
+    kind: BlockKind,
+    /// First version the block commits.
+    first_version: u32,
+    /// Versions the block commits (1 except for batch blocks).
+    count: u32,
+}
+
+/// A read-only archive view served directly off the mmap'd segment file.
+///
+/// Built by [`ColdArchive::open`]; answers every [`StoreReader`] query
+/// (the temporal ones through the trait's whole-retrieve defaults) while
+/// decoding only the blocks each query touches.
+///
+/// ```no_run
+/// use xarch_core::StoreReader;
+/// use xarch_storage::ColdArchive;
+/// let cold = ColdArchive::open("archive.seg")?;
+/// let doc = cold.retrieve(cold.latest())?;
+/// # Ok::<(), xarch_core::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct ColdArchive {
+    /// Holds the shared OS lock (and the mapping's backing fd) open for
+    /// the reader's whole lifetime.
+    _file: File,
+    map: MappedFile,
+    spec: KeySpec,
+    index: Vec<IndexEntry>,
+    latest: u32,
+    metrics: ColdMetrics,
+}
+
+fn corrupt(offset: u64, reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        offset,
+        reason: reason.into(),
+    }
+}
+
+impl ColdArchive {
+    /// Opens the segment at `path` read-only under a shared OS lock,
+    /// maps it, and indexes its blocks (headers only — no payload is
+    /// read). Fails if a writer currently holds the segment, if the
+    /// superblock does not verify, or if the header walk trips over
+    /// interior corruption; a torn tail is quietly excluded.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_impl(path.as_ref(), ColdMetrics::detached())
+    }
+
+    /// [`ColdArchive::open`] reporting through `obs`: query work lands in
+    /// the registry under the canonical `cold.*` names.
+    pub fn open_observed(path: impl AsRef<Path>, obs: &Obs) -> Result<Self, StoreError> {
+        Self::open_impl(path.as_ref(), ColdMetrics::registered(obs))
+    }
+
+    fn open_impl(path: &Path, metrics: ColdMetrics) -> Result<Self, StoreError> {
+        use std::fs::TryLockError;
+        let file = File::open(path)?;
+        match file.try_lock_shared() {
+            Ok(()) => {}
+            Err(TryLockError::WouldBlock) => {
+                return Err(StoreError::Backend(format!(
+                    "segment {} is open for writing (cold readers wait for the writer to close)",
+                    path.display()
+                )));
+            }
+            Err(TryLockError::Error(e)) => return Err(StoreError::Io(e)),
+        }
+        let map = MappedFile::map(&file)?;
+        let bytes = map.as_slice();
+        let (spec, first_block) = superblock::decode(bytes)?;
+        let (index, latest, decoded) = build_index(bytes, first_block)?;
+        metrics.mapped_bytes.set_u64(bytes.len() as u64);
+        if let Some(span) = decoded {
+            metrics.blocks_decoded.inc();
+            metrics.bytes_decoded.add(span);
+        }
+        metrics.event(
+            Level::Info,
+            "cold.open",
+            &[
+                ("path", path.display().to_string()),
+                ("mapped_bytes", bytes.len().to_string()),
+                ("blocks", index.len().to_string()),
+                ("versions", latest.to_string()),
+            ],
+        );
+        Ok(Self {
+            _file: file,
+            map,
+            spec,
+            index,
+            latest,
+            metrics,
+        })
+    }
+
+    /// Bytes of segment file the reader has mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// True when the bytes are served by a real memory map rather than
+    /// the buffered fallback.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Stored block bytes checksummed and decoded so far on behalf of
+    /// queries (this handle's `cold.bytes_decoded` counter). A point
+    /// query moves this by one block span, not by the file size.
+    pub fn bytes_decoded(&self) -> u64 {
+        self.metrics.bytes_decoded.get()
+    }
+
+    /// The index entry holding version `v`, if `v` is a committed,
+    /// non-empty-or-otherwise version number.
+    fn entry_for(&self, v: u32) -> Option<IndexEntry> {
+        if v == 0 || v > self.latest {
+            return None;
+        }
+        let pos = self.index.partition_point(|e| e.first_version <= v);
+        let e = *self.index.get(pos.checked_sub(1)?)?;
+        (v < e.first_version.saturating_add(e.count)).then_some(e)
+    }
+
+    /// Checksums and decodes the single block at `entry`, returning the
+    /// *uncompressed* payload.
+    fn load_block(&self, entry: IndexEntry) -> Result<Vec<u8>, StoreError> {
+        let bytes = self.map.as_slice();
+        let scanned = match block::scan_block(bytes, entry.offset) {
+            Scan::Block(b) => b,
+            Scan::Corrupt(e) => {
+                self.metrics.event(
+                    Level::Error,
+                    "cold.corrupt_block",
+                    &[
+                        ("offset", entry.offset.to_string()),
+                        ("reason", e.to_string()),
+                    ],
+                );
+                return Err(e);
+            }
+            // the index only holds blocks whose full span was present at
+            // open, and the shared lock bars truncation while we live
+            Scan::TornTail => {
+                return Err(corrupt(
+                    entry.offset,
+                    "indexed block vanished from the mapped segment",
+                ));
+            }
+        };
+        let raw = decode_payload(&scanned)?;
+        self.metrics.blocks_decoded.inc();
+        self.metrics
+            .bytes_decoded
+            .add(block_span(scanned.header.stored_len));
+        Ok(raw)
+    }
+
+    /// Decodes the documents of one data block: `None` per empty version,
+    /// `Some(doc)` otherwise, in version order starting at
+    /// `entry.first_version`.
+    fn docs_in(&self, entry: IndexEntry) -> Result<Vec<Option<Document>>, StoreError> {
+        match entry.kind {
+            BlockKind::Empty => Ok(vec![None]),
+            BlockKind::Version => {
+                let raw = self.load_block(entry)?;
+                let doc = bytes_to_doc(&raw).map_err(|e| stream_err(entry.offset, e))?;
+                Ok(vec![Some(doc)])
+            }
+            BlockKind::Batch => {
+                let raw = self.load_block(entry)?;
+                let docs = batch_bytes_to_docs(&raw).map_err(|e| stream_err(entry.offset, e))?;
+                if docs.len() as u64 != u64::from(entry.count) {
+                    return Err(corrupt(
+                        entry.offset,
+                        format!(
+                            "batch block holds {} versions, the index expected {}",
+                            docs.len(),
+                            entry.count
+                        ),
+                    ));
+                }
+                Ok(docs.into_iter().map(Some).collect())
+            }
+            BlockKind::Checkpoint => Err(corrupt(
+                entry.offset,
+                "checkpoint block reached the version index",
+            )),
+        }
+    }
+}
+
+/// Total file span of a block with the given stored payload size.
+fn block_span(stored_len: u64) -> u64 {
+    stored_len + (BLOCK_HEADER_LEN + BLOCK_TRAILER_LEN) as u64
+}
+
+/// Positions an event-stream decode failure at the block that held it.
+fn stream_err(offset: u64, e: xarch_extmem::StreamError) -> StoreError {
+    let reason = match e.offset {
+        Some(p) => format!("{} (byte {p} of the decoded payload)", e.reason),
+        None => e.reason,
+    };
+    StoreError::Corrupt { offset, reason }
+}
+
+/// Uncompresses a verified block's payload and checks the declared raw
+/// length.
+fn decode_payload(b: &ScannedBlock) -> Result<Vec<u8>, StoreError> {
+    let raw = match b.header.codec {
+        BlockCodec::Raw => b.payload.clone(),
+        codec => codec.decode(&b.payload).ok_or_else(|| {
+            corrupt(
+                b.offset + BLOCK_HEADER_LEN as u64,
+                "block payload failed to decompress",
+            )
+        })?,
+    };
+    if raw.len() as u64 != b.header.raw_len {
+        return Err(corrupt(
+            b.offset,
+            format!(
+                "decompressed payload is {} bytes, header says {}",
+                raw.len(),
+                b.header.raw_len
+            ),
+        ));
+    }
+    Ok(raw)
+}
+
+/// Walks block headers (payloads untouched) building the version index.
+/// Returns the data-block entries, the latest committed version, and —
+/// when the final data block was a batch whose count had to be learned by
+/// decoding it — the byte span that decode charged.
+#[allow(clippy::type_complexity)]
+fn build_index(
+    bytes: &[u8],
+    first_block: u64,
+) -> Result<(Vec<IndexEntry>, u32, Option<u64>), StoreError> {
+    struct RawEntry {
+        offset: u64,
+        kind: BlockKind,
+        version: u32,
+    }
+    let len = bytes.len() as u64;
+    let min_block = (BLOCK_HEADER_LEN + BLOCK_TRAILER_LEN) as u64;
+    let mut raw: Vec<RawEntry> = Vec::new();
+    let mut offset = first_block;
+    // classify whatever made the walk stop: torn tails are quietly
+    // excluded (those bytes were never acknowledged), anything else is
+    // loud — scan_block applies the format's full torn-vs-rot rules
+    let classify_stop = |offset: u64| -> Result<(), StoreError> {
+        match block::scan_block(bytes, offset) {
+            Scan::TornTail => Ok(()),
+            Scan::Corrupt(e) => Err(e),
+            Scan::Block(_) => Err(corrupt(
+                offset,
+                "header walk stopped at a block that verifies — internal inconsistency",
+            )),
+        }
+    };
+    while offset < len {
+        if len - offset < min_block {
+            classify_stop(offset)?;
+            break;
+        }
+        let header = bytes
+            .get(
+                usize::try_from(offset)
+                    .map_err(|_| corrupt(offset, "block offset exceeds the address space"))?..,
+            )
+            .and_then(|r| r.get(..BLOCK_HEADER_LEN));
+        let Some(header) = header else {
+            classify_stop(offset)?;
+            break;
+        };
+        let (Some(&kind_byte), Some(version), Some(stored_len)) = (
+            header.first(),
+            crate::bytes::le_u32(header, 2),
+            block::declared_payload_len(header),
+        ) else {
+            classify_stop(offset)?;
+            break;
+        };
+        let end = offset
+            .saturating_add(min_block)
+            .saturating_add(stored_len.min(MAX_PAYLOAD));
+        if stored_len > MAX_PAYLOAD || end > len || BlockKind::from_kind_byte(kind_byte).is_none() {
+            classify_stop(offset)?;
+            break;
+        }
+        // kind_byte just round-tripped through from_kind_byte above
+        if let Some(kind) = BlockKind::from_kind_byte(kind_byte) {
+            if kind != BlockKind::Checkpoint {
+                raw.push(RawEntry {
+                    offset,
+                    kind,
+                    version,
+                });
+            }
+        }
+        offset = end;
+    }
+    // counts: a block's span in version space reaches to the next data
+    // block's first version; the final block needs its payload decoded
+    // only if it is a batch
+    let mut index = Vec::with_capacity(raw.len());
+    let mut latest = 0u32;
+    let mut decoded_span = None;
+    for (i, e) in raw.iter().enumerate() {
+        let expected = latest.saturating_add(1);
+        if e.version != expected {
+            return Err(corrupt(
+                e.offset,
+                format!(
+                    "block sequence broken: expected version {expected}, found {}",
+                    e.version
+                ),
+            ));
+        }
+        let count = match raw.get(i + 1) {
+            Some(next) => next
+                .version
+                .checked_sub(e.version)
+                .filter(|&c| c >= 1)
+                .ok_or_else(|| {
+                    corrupt(
+                        next.offset,
+                        format!(
+                            "block sequence not increasing: version {} follows {}",
+                            next.version, e.version
+                        ),
+                    )
+                })?,
+            None if e.kind == BlockKind::Batch => {
+                // the only case needing a payload: the final batch block's
+                // count is not derivable from a successor header
+                let scanned = match block::scan_block(bytes, e.offset) {
+                    Scan::Block(b) => b,
+                    Scan::Corrupt(err) => return Err(err),
+                    Scan::TornTail => {
+                        return Err(corrupt(e.offset, "indexed block failed re-verification"))
+                    }
+                };
+                decoded_span = Some(block_span(scanned.header.stored_len));
+                let payload = decode_payload(&scanned)?;
+                let docs =
+                    batch_bytes_to_docs(&payload).map_err(|err| stream_err(e.offset, err))?;
+                u32::try_from(docs.len())
+                    .ok()
+                    .filter(|&c| c >= 1)
+                    .ok_or_else(|| corrupt(e.offset, "batch block with zero versions"))?
+            }
+            None => 1,
+        };
+        latest = e.version.saturating_add(count.saturating_sub(1));
+        index.push(IndexEntry {
+            offset: e.offset,
+            kind: e.kind,
+            first_version: e.version,
+            count,
+        });
+    }
+    Ok((index, latest, decoded_span))
+}
+
+impl StoreReader for ColdArchive {
+    fn spec(&self) -> &KeySpec {
+        &self.spec
+    }
+
+    fn latest(&self) -> u32 {
+        self.latest
+    }
+
+    fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+        self.metrics.retrieves.inc();
+        let Some(entry) = self.entry_for(v) else {
+            return Ok(None);
+        };
+        if entry.kind == BlockKind::Empty {
+            return Ok(None);
+        }
+        let mut docs = self.docs_in(entry)?;
+        let at = usize::try_from(v.saturating_sub(entry.first_version))
+            .map_err(|_| corrupt(entry.offset, "version offset exceeds the address space"))?;
+        Ok(docs.get_mut(at).and_then(Option::take))
+    }
+
+    fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+        match self.retrieve(v)? {
+            Some(doc) => {
+                out.write_all(xarch_xml::writer::to_compact_string(&doc).as_bytes())?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Streaming scan: decodes one block at a time (never the whole
+    /// archive at once) and probes each version's document for the
+    /// addressed element.
+    fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+        let mut ts = TimeSet::new();
+        for &entry in &self.index {
+            for (i, doc) in self.docs_in(entry)?.iter().enumerate() {
+                let Some(doc) = doc else { continue };
+                if query::find_in_doc(doc, &self.spec, steps).is_some() {
+                    let v = entry
+                        .first_version
+                        .saturating_add(u32::try_from(i).unwrap_or(u32::MAX));
+                    ts.insert(v);
+                }
+            }
+        }
+        Ok((!ts.is_empty()).then_some(ts))
+    }
+
+    /// Storage-level statistics: the cold reader never materializes the
+    /// archive tree, so the node counts (`elements`, `texts`, `stamps`)
+    /// are reported as 0; `size_bytes` is the mapped segment size.
+    fn stats(&self) -> Result<StoreStats, StoreError> {
+        Ok(StoreStats {
+            versions: self.latest,
+            elements: 0,
+            texts: 0,
+            stamps: 0,
+            size_bytes: self.map.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::{DurableArchive, DurableOptions};
+    use crate::scratch_path;
+    use xarch_core::{Archive, VersionStore};
+    use xarch_xml::parse;
+
+    fn spec() -> KeySpec {
+        KeySpec::parse("(/, (db, {}))\n(/db, (rec, {id}))\n(/db/rec, (val, {}))").unwrap()
+    }
+
+    fn fresh_inner() -> Box<dyn VersionStore> {
+        Box::new(Archive::new(spec()))
+    }
+
+    fn doc_n(n: u32) -> Document {
+        parse(&format!("<db><rec><id>1</id><val>v{n}</val></rec></db>")).unwrap()
+    }
+
+    fn write_segment(path: &std::path::Path, opts: DurableOptions, n: u32) {
+        let mut d = DurableArchive::open_with(path, opts, fresh_inner()).unwrap();
+        for i in 1..=n {
+            d.add_version(&doc_n(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn cold_retrieve_matches_warm_and_decodes_one_block() {
+        let path = scratch_path("cold-basic");
+        write_segment(&path, DurableOptions::default(), 8);
+        let cold = ColdArchive::open(&path).unwrap();
+        assert_eq!(cold.latest(), 8);
+        let before = cold.bytes_decoded();
+        let got = StoreReader::retrieve(&cold, 5).unwrap().unwrap();
+        assert!(xarch_core::equiv_modulo_key_order(
+            &got,
+            &doc_n(5),
+            cold.spec()
+        ));
+        let decoded = cold.bytes_decoded() - before;
+        assert!(decoded > 0);
+        assert!(
+            decoded < cold.mapped_bytes() / 2,
+            "one point retrieve decoded {decoded} of {} mapped bytes",
+            cold.mapped_bytes()
+        );
+        if cfg!(unix) {
+            assert!(cold.is_mapped());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cold_reader_handles_batches_empties_and_checkpoints() {
+        let path = scratch_path("cold-mixed");
+        let opts = DurableOptions {
+            compression: BlockCodec::Lzss,
+            checkpoint_every: Some(2),
+            ..DurableOptions::default()
+        };
+        {
+            let mut d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
+            d.add_version(&doc_n(1)).unwrap();
+            d.add_versions(&[doc_n(2), doc_n(3), doc_n(4)]).unwrap();
+            d.add_empty_version().unwrap();
+            d.add_version(&doc_n(6)).unwrap();
+            assert!(d.checkpoints_written() > 0, "cadence must have fired");
+        }
+        let cold = ColdArchive::open(&path).unwrap();
+        assert_eq!(cold.latest(), 6);
+        for v in [1u32, 2, 3, 4, 6] {
+            let got = StoreReader::retrieve(&cold, v).unwrap().unwrap();
+            assert!(
+                xarch_core::equiv_modulo_key_order(&got, &doc_n(v), cold.spec()),
+                "version {v} mismatched"
+            );
+        }
+        assert!(StoreReader::retrieve(&cold, 5).unwrap().is_none());
+        assert!(cold.has_version(5));
+        assert!(StoreReader::retrieve(&cold, 7).unwrap().is_none());
+        // history streams block-by-block
+        let steps = [
+            KeyQuery::new("db"),
+            KeyQuery::new("rec").with_text("id", "1"),
+        ];
+        let ts = StoreReader::history(&cold, &steps).unwrap().unwrap();
+        assert_eq!(ts.versions().collect::<Vec<_>>(), vec![1, 2, 3, 4, 6]);
+        // as_of rides the default: one retrieve, one descent
+        let sub = StoreReader::as_of(&cold, &steps, 3).unwrap().unwrap();
+        assert!(xarch_xml::writer::to_compact_string(&sub).contains("v3"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cold_open_ignores_torn_tail_but_fails_on_interior_rot() {
+        let path = scratch_path("cold-torn");
+        write_segment(&path, DurableOptions::default(), 3);
+        // torn tail: append a strict prefix of a real block (what a
+        // crashed append leaves behind) — quietly excluded
+        let committed = std::fs::metadata(&path).unwrap().len();
+        {
+            use std::io::Write as _;
+            let torn = block::encode_block(BlockKind::Version, BlockCodec::Raw, 4, 3, b"abc");
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&torn[..BLOCK_HEADER_LEN + 2]).unwrap();
+        }
+        let cold = ColdArchive::open(&path).unwrap();
+        assert_eq!(cold.latest(), 3);
+        drop(cold);
+        // interior rot: flip a payload byte in the first block — the walk
+        // still indexes it (headers only), but touching it is loud
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(usize::try_from(committed).unwrap());
+        let first_block = {
+            let sb = superblock::encode(&spec()).unwrap();
+            sb.len()
+        };
+        bytes[first_block + BLOCK_HEADER_LEN + 2] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let cold = ColdArchive::open(&path).unwrap();
+        let err = StoreReader::retrieve(&cold, 1).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        // undamaged blocks stay readable
+        assert!(StoreReader::retrieve(&cold, 2).unwrap().is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cold_open_is_refused_while_a_writer_is_live() {
+        let path = scratch_path("cold-lock");
+        let d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        let err = ColdArchive::open(&path).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("open for writing"), "{err}");
+        drop(d);
+        // two cold readers share happily
+        let c1 = ColdArchive::open(&path).unwrap();
+        let c2 = ColdArchive::open(&path).unwrap();
+        assert_eq!(c1.latest(), c2.latest());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cold_archive_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ColdArchive>();
+    }
+}

@@ -21,10 +21,11 @@ use xarch_keys::KeySpec;
 use xarch_obs::{Level, Obs};
 use xarch_xml::Document;
 
-use crate::block::{BlockKind, BLOCK_HEADER_LEN, MAX_PAYLOAD};
+use crate::block::{BlockKind, Scan, BLOCK_HEADER_LEN, MAX_PAYLOAD};
+use crate::checkpoint::{decode_checkpoint, encode_checkpoint};
 use crate::metrics::StorageMetrics;
 use crate::payload::{batch_bytes_to_docs, bytes_to_doc, doc_to_bytes, docs_to_batch_bytes};
-use crate::segment::{RecoveryStats, Segment};
+use crate::segment::{scan_block_at, scan_checkpoints, RecoveryStats, ResumeFrom, Segment};
 
 /// Tuning knobs for a [`DurableArchive`].
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +41,17 @@ pub struct DurableOptions {
     /// tests, and benchmarks, or where the platform guarantees ordered
     /// writeback.
     pub sync: bool,
+    /// Append a checkpoint block after every `n` committed versions
+    /// (`None` or `Some(0)` disables checkpointing, the default).
+    ///
+    /// A checkpoint snapshots the inner backend's materialized state
+    /// (see [`VersionStore::checkpoint_state`]); reopen then restores the
+    /// newest intact snapshot and replays only the journal *tail* behind
+    /// it, making reopen cost proportional to the cadence instead of the
+    /// full history. Checkpoints are pure redundancy — a damaged one is
+    /// loudly skipped in favor of an older snapshot or a full replay, so
+    /// enabling them never weakens crash safety.
+    pub checkpoint_every: Option<u32>,
 }
 
 impl Default for DurableOptions {
@@ -47,6 +59,7 @@ impl Default for DurableOptions {
         Self {
             compression: BlockCodec::Raw,
             sync: true,
+            checkpoint_every: None,
         }
     }
 }
@@ -57,6 +70,17 @@ pub struct DurableArchive {
     segment: Segment,
     options: DurableOptions,
     recovery: RecoveryStats,
+    /// File offset of the newest checkpoint block's header (0 = none;
+    /// offset 0 is always inside the superblock). Back-chained into the
+    /// next checkpoint's payload.
+    last_checkpoint: u64,
+    /// Versions covered by the newest checkpoint — the cadence counter
+    /// compares `inner.latest()` against this.
+    last_checkpoint_covered: u32,
+    /// Set once the inner backend reported it cannot snapshot
+    /// (`checkpoint_state()` returned `None`), so the cadence check stops
+    /// re-asking on every commit.
+    checkpoint_unsupported: bool,
     /// Set when a journal append failed *after* the inner merge committed:
     /// memory is then ahead of disk, so further commits are refused until
     /// the store is reopened (reads stay available).
@@ -140,18 +164,78 @@ impl DurableArchive {
                     truncated_bytes: if torn_create { file_len } else { 0 },
                     ..RecoveryStats::default()
                 },
+                last_checkpoint: 0,
+                last_checkpoint_covered: 0,
+                checkpoint_unsupported: false,
                 poisoned: None,
             });
         }
         let spec = inner.spec().clone();
+        // Fast reopen: restore the newest intact checkpoint snapshot into
+        // the (still empty) inner store, then have the segment scan skip
+        // the journal prefix it covers. The pre-scan runs without the
+        // write lock; open_observed_from re-verifies the chosen block
+        // under the lock before trusting it. Every failure here falls
+        // back — to an older snapshot, then to a full replay — because a
+        // checkpoint is pure redundancy over the journal.
+        let mut resume: Option<ResumeFrom> = None;
+        for cand in scan_checkpoints(&path)
+            .unwrap_or_default()
+            .into_iter()
+            .rev()
+        {
+            let verified = match scan_block_at(&path, cand.offset) {
+                Ok(Scan::Block(b)) if b.header.kind == BlockKind::Checkpoint => b,
+                // damaged or torn candidate: an older snapshot may be fine
+                _ => continue,
+            };
+            let raw = match verified.header.codec {
+                BlockCodec::Raw => verified.payload,
+                codec => match codec.decode(&verified.payload) {
+                    Some(raw) => raw,
+                    None => continue,
+                },
+            };
+            if raw.len() as u64 != verified.header.raw_len {
+                continue;
+            }
+            let payload_at = cand.offset + BLOCK_HEADER_LEN as u64;
+            let Ok(cp) = decode_checkpoint(&raw, payload_at) else {
+                continue;
+            };
+            if cp.covered != verified.header.version {
+                continue;
+            }
+            match inner.restore_checkpoint(&cp.state) {
+                Ok(true) => {
+                    resume = Some(ResumeFrom {
+                        checkpoint_offset: cand.offset,
+                        versions: cp.covered,
+                    });
+                    break;
+                }
+                // the snapshot is intact but belongs to a different
+                // backend configuration — older snapshots would mismatch
+                // the same way, so go straight to a full replay
+                Ok(false) => break,
+                // damaged state bytes: walk back to an older snapshot
+                // (restore failures leave the inner store untouched)
+                Err(_) => continue,
+            }
+        }
+        // the newest checkpoint seen — restored or replayed over — so the
+        // next checkpoint back-chains to it and the cadence counter
+        // continues instead of restarting
+        let mut last_cp: (u64, u32) = resume.map_or((0, 0), |r| (r.checkpoint_offset, r.versions));
         // replay happens inside the scan callback, so only one block's
         // payload is ever materialized — reopening stays within the inner
         // backend's working set even for external-memory stores
-        let (segment, recovery) = Segment::open_observed(
+        let (segment, recovery) = Segment::open_observed_from(
             &path,
             &spec,
             options.sync,
             metrics,
+            resume,
             |b| {
                 let crate::block::ScannedBlock {
                     header,
@@ -191,6 +275,14 @@ impl DurableArchive {
                     StoreError::Corrupt { offset, reason }
                 };
                 let (replayed, committed) = match header.kind {
+                    BlockKind::Checkpoint => {
+                        // nothing to replay — the snapshot duplicates
+                        // journal state — but remember it so the next
+                        // checkpoint back-chains to it and the cadence
+                        // counter continues instead of restarting
+                        last_cp = (offset, header.version);
+                        return Ok(0);
+                    }
                     BlockKind::Empty => (inner.add_empty_version()?, 1u32),
                     BlockKind::Version => {
                         let raw = decode_payload(payload)?;
@@ -242,6 +334,9 @@ impl DurableArchive {
             segment,
             options,
             recovery,
+            last_checkpoint: last_cp.0,
+            last_checkpoint_covered: last_cp.1,
+            checkpoint_unsupported: false,
             poisoned: None,
         })
     }
@@ -249,6 +344,19 @@ impl DurableArchive {
     /// What `open` found and did while rebuilding from the segment file.
     pub fn recovery(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// File offset of the newest checkpoint block, or `None` when the
+    /// segment holds no checkpoint yet.
+    pub fn last_checkpoint_offset(&self) -> Option<u64> {
+        (self.last_checkpoint != 0).then_some(self.last_checkpoint)
+    }
+
+    /// Checkpoint blocks appended through this handle (through this
+    /// *registry* when the archive was opened observed against a shared
+    /// one).
+    pub fn checkpoints_written(&self) -> u64 {
+        self.segment.metrics().checkpoints_written.get()
     }
 
     /// The segment file's path.
@@ -342,6 +450,70 @@ impl DurableArchive {
             }
         }
     }
+
+    /// Appends a checkpoint block if the configured cadence is due.
+    ///
+    /// Runs *after* the triggering commit is durable, so a checkpoint
+    /// problem never fails that commit: an unsupported or unreadable inner
+    /// snapshot just skips the checkpoint (with a traced event), while a
+    /// failed *append* poisons the handle — the segment tail may be torn,
+    /// and reopen will truncate it back to the committed prefix.
+    fn maybe_checkpoint(&mut self) {
+        let every = match self.options.checkpoint_every {
+            Some(n) if n > 0 => n,
+            _ => return,
+        };
+        if self.checkpoint_unsupported || self.poisoned.is_some() {
+            return;
+        }
+        let covered = self.inner.latest();
+        if covered.saturating_sub(self.last_checkpoint_covered) < every {
+            return;
+        }
+        let state = match self.inner.checkpoint_state() {
+            Ok(Some(state)) => state,
+            Ok(None) => {
+                self.checkpoint_unsupported = true;
+                self.segment.metrics().event(
+                    Level::Warn,
+                    "durable.checkpoint_unsupported",
+                    &[("backend", "inner store cannot snapshot".into())],
+                );
+                return;
+            }
+            Err(e) => {
+                self.segment.metrics().event(
+                    Level::Error,
+                    "durable.checkpoint_skipped",
+                    &[("why", e.to_string())],
+                );
+                return;
+            }
+        };
+        let raw = encode_checkpoint(self.last_checkpoint, covered, &state);
+        if raw.len() as u64 > MAX_PAYLOAD {
+            self.segment.metrics().event(
+                Level::Warn,
+                "durable.checkpoint_skipped",
+                &[(
+                    "why",
+                    format!("{}-byte snapshot exceeds block limit", raw.len()),
+                )],
+            );
+            return;
+        }
+        let (codec, payload) = self.options.compression.encode(&raw);
+        match self
+            .segment
+            .append_checkpoint(codec, raw.len() as u64, &payload)
+        {
+            Ok(offset) => {
+                self.last_checkpoint = offset;
+                self.last_checkpoint_covered = covered;
+            }
+            Err(e) => self.poison(format!("checkpoint append failed: {e}")),
+        }
+    }
 }
 
 impl StoreReader for DurableArchive {
@@ -422,6 +594,7 @@ impl VersionStore for DurableArchive {
         let v = self.inner.add_version(doc)?;
         let (codec, payload) = self.options.compression.encode(&raw);
         self.journal(BlockKind::Version, codec, v, raw.len() as u64, &payload)?;
+        self.maybe_checkpoint();
         Ok(v)
     }
 
@@ -429,6 +602,7 @@ impl VersionStore for DurableArchive {
         self.check_writable()?;
         let v = self.inner.add_empty_version()?;
         self.journal(BlockKind::Empty, BlockCodec::Raw, v, 0, &[])?;
+        self.maybe_checkpoint();
         Ok(v)
     }
 
@@ -480,7 +654,24 @@ impl VersionStore for DurableArchive {
         })?;
         let (codec, payload) = self.options.compression.encode(&raw);
         self.journal_batch(codec, before + 1, count, raw.len() as u64, &payload)?;
+        self.maybe_checkpoint();
         Ok(assigned)
+    }
+
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        self.inner.checkpoint_state()
+    }
+
+    /// Always refuses: restoring state into a durable store without
+    /// journaling it would leave memory ahead of disk. Checkpoints flow
+    /// through the segment file instead — reopen from the path restores
+    /// the newest snapshot automatically.
+    fn restore_checkpoint(&mut self, _state: &[u8]) -> Result<bool, StoreError> {
+        Err(StoreError::Backend(
+            "durable stores restore checkpoints through reopen, not restore_checkpoint \
+             (the snapshot must come from the journal it covers)"
+                .into(),
+        ))
     }
 }
 
@@ -657,12 +848,125 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    fn doc_n(n: u32) -> xarch_xml::Document {
+        parse(&format!("<db><rec><id>1</id><val>v{n}</val></rec></db>")).unwrap()
+    }
+
+    #[test]
+    fn checkpointed_reopen_restores_snapshot_and_replays_only_the_tail() {
+        let path = scratch_path("durable-checkpointed");
+        let opts = DurableOptions {
+            checkpoint_every: Some(2),
+            ..DurableOptions::default()
+        };
+        {
+            let mut d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
+            for n in 1..=5 {
+                d.add_version(&doc_n(n)).unwrap();
+            }
+            // cadence 2 over 5 versions: checkpoints after v2 and v4
+            assert_eq!(d.checkpoints_written(), 2);
+            assert!(d.last_checkpoint_offset().is_some());
+        }
+        let d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
+        let rec = d.recovery();
+        assert!(rec.checkpoint_loaded, "newest checkpoint must be restored");
+        assert_eq!(rec.versions_recovered, 5);
+        // only v5 sits behind the checkpoint covering v4
+        assert_eq!(rec.tail_blocks_replayed, 1);
+        for n in 1..=5 {
+            let got = d.retrieve(n).unwrap().unwrap();
+            assert!(xarch_core::equiv_modulo_key_order(
+                &got,
+                &doc_n(n),
+                d.spec()
+            ));
+        }
+        // the cadence counter resumed: v6 completes a new 2-version stride
+        let mut d = d;
+        d.add_version(&doc_n(6)).unwrap();
+        assert_eq!(d.checkpoints_written(), 1, "one new checkpoint after v6");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_blocks_are_transparent_to_a_full_replay() {
+        // reopening with checkpointing disabled must still work on a
+        // segment that holds checkpoint blocks (full replay steps over
+        // them), and the reopened state must match a checkpointed reopen
+        let path = scratch_path("durable-cp-fullreplay");
+        let opts = DurableOptions {
+            checkpoint_every: Some(1),
+            ..DurableOptions::default()
+        };
+        {
+            let mut d = DurableArchive::open_with(&path, opts, fresh_inner()).unwrap();
+            for n in 1..=3 {
+                d.add_version(&doc_n(n)).unwrap();
+            }
+        }
+        // an inner store that refuses snapshots forces the full-replay path
+        struct NoSnapshot(Archive);
+        impl StoreReader for NoSnapshot {
+            fn spec(&self) -> &KeySpec {
+                self.0.spec()
+            }
+            fn latest(&self) -> u32 {
+                self.0.latest()
+            }
+            fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+                StoreReader::retrieve(&self.0, v)
+            }
+            fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+                StoreReader::retrieve_into(&self.0, v, out)
+            }
+            fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+                StoreReader::history(&self.0, steps)
+            }
+            fn stats(&self) -> Result<StoreStats, StoreError> {
+                StoreReader::stats(&self.0)
+            }
+        }
+        impl VersionStore for NoSnapshot {
+            fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+                VersionStore::add_version(&mut self.0, doc)
+            }
+            fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+                VersionStore::add_empty_version(&mut self.0)
+            }
+        }
+        let d = DurableArchive::open_with(&path, opts, Box::new(NoSnapshot(Archive::new(spec()))))
+            .unwrap();
+        assert!(!d.recovery().checkpoint_loaded);
+        assert_eq!(d.recovery().versions_recovered, 3);
+        assert_eq!(d.recovery().tail_blocks_replayed, 3);
+        for n in 1..=3 {
+            let got = d.retrieve(n).unwrap().unwrap();
+            assert!(xarch_core::equiv_modulo_key_order(
+                &got,
+                &doc_n(n),
+                d.spec()
+            ));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_restore_checkpoint_is_refused() {
+        let path = scratch_path("durable-no-direct-restore");
+        let mut d = DurableArchive::open(&path, fresh_inner()).unwrap();
+        let err = d.restore_checkpoint(&[]).unwrap_err();
+        assert!(err.to_string().contains("reopen"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
     #[test]
     fn lzss_blocks_round_trip() {
         let path = scratch_path("durable-lzss");
         let opts = DurableOptions {
             compression: BlockCodec::Lzss,
             sync: true,
+            checkpoint_every: None,
         };
         let mut src = String::from("<db>");
         for i in 0..40 {

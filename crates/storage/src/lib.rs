@@ -15,7 +15,8 @@
 //! ## On-disk layout
 //!
 //! A segment file is a superblock followed by one block per committed
-//! version:
+//! version (or version batch), with checkpoint blocks interleaved at the
+//! configured cadence:
 //!
 //! ```text
 //! ┌────────────────────────── superblock ──────────────────────────┐
@@ -27,7 +28,18 @@
 //! │ crc32 over header+payload │ commit word "CMT!"                 │  trailer
 //! └────────────────────────────────────────────────────────────────┘
 //! ┌──────────────────────── block (version 2) ─────────────────────┐ …
+//! ┌────────────────── checkpoint block (covers 1..=n) ─────────────┐
+//! │ same header/trailer grammar; payload = snapshot of the wrapped │
+//! │ backend's materialized state, back-chained to the previous one │
+//! └────────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Every field, block kind, and recovery rule is specified byte-for-byte
+//! in `docs/FORMAT.md` at the repository root; a golden test
+//! (`tests/docs.rs`) pins the spec's constants to this crate's source.
+//! The current format revision is
+//! [`superblock::FORMAT_VERSION`] (rev 2 introduced checkpoint blocks;
+//! rev-1 files open unchanged).
 //!
 //! Three properties fall out of this framing:
 //!
@@ -55,6 +67,22 @@
 //! tests assert the reopened store is version-for-version byte-identical
 //! to one that never left memory.
 //!
+//! Checkpoint blocks cap what that costs: with
+//! [`DurableOptions::checkpoint_every`] set (or the builder's
+//! `.checkpoint_every(n)`), reopen restores the newest intact snapshot
+//! and replays only the tail journal behind it, so startup stays flat as
+//! history grows. Checkpoints are *pure redundancy* — a damaged one is
+//! skipped loudly and recovery falls back to an older one or to a full
+//! replay, never to an error the journal itself doesn't have.
+//!
+//! ## The cold-read path
+//!
+//! [`ColdArchive`] answers queries straight off the mmap'd segment file:
+//! open walks only the block headers to build a per-block version index,
+//! and each query decodes just the blocks its answer needs — the archive
+//! is never materialized in RAM. See [`cold`] for the integrity policy
+//! and [`mmap`] for the mapping itself.
+//!
 //! ## Enforced invariants
 //!
 //! The decode/recovery modules in this crate are under the workspace's
@@ -63,6 +91,7 @@
 //! below): corrupt bytes must surface as positioned
 //! [`StoreError::Corrupt`](xarch_core::StoreError::Corrupt) values — never
 //! a panic, never a silently truncating `as` cast.
+#![warn(missing_docs)]
 #![cfg_attr(
     not(test),
     deny(
@@ -75,18 +104,24 @@
 
 pub mod block;
 pub(crate) mod bytes;
+pub mod checkpoint;
+pub mod cold;
 pub mod crc;
 pub mod durable;
 pub mod metrics;
+pub mod mmap;
 pub mod payload;
 pub mod segment;
 pub mod superblock;
 
 pub use block::{BlockHeader, BlockKind, ScannedBlock};
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, CheckpointPayload};
+pub use cold::ColdArchive;
 pub use crc::{crc32, Crc32};
 pub use durable::{DurableArchive, DurableOptions};
-pub use metrics::StorageMetrics;
-pub use segment::{RecoveryStats, Segment};
+pub use metrics::{ColdMetrics, StorageMetrics};
+pub use mmap::MappedFile;
+pub use segment::{scan_checkpoints, CheckpointRef, RecoveryStats, ResumeFrom, Segment};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};

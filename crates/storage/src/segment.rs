@@ -28,13 +28,26 @@ use crate::superblock;
 /// What `open()` found and did while rebuilding state from a segment file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
-    /// Committed versions replayed from the file.
+    /// Total committed versions re-established by the open: versions
+    /// restored from a checkpoint snapshot (when one was loaded) plus
+    /// versions replayed block-by-block from the journal.
     pub versions_recovered: u32,
-    /// Bytes of verified data (superblock + committed blocks).
+    /// Bytes of data verified during the open: the superblock plus every
+    /// scanned block. A checkpointed open skips the journal prefix the
+    /// snapshot covers, so this is smaller than the file when
+    /// [`RecoveryStats::checkpoint_loaded`] is set.
     pub bytes_scanned: u64,
     /// Bytes of uncommitted torn tail dropped by truncation (0 on a clean
     /// shutdown).
     pub truncated_bytes: u64,
+    /// True when the open restored a checkpoint snapshot instead of
+    /// replaying the whole journal — reopen cost was then proportional to
+    /// the tail, not the history.
+    pub checkpoint_loaded: bool,
+    /// Journal blocks replayed through the merge path by this open (the
+    /// tail after the checkpoint, or every block when none was loaded).
+    /// Checkpoint blocks themselves are not replay work and are excluded.
+    pub tail_blocks_replayed: u32,
 }
 
 impl RecoveryStats {
@@ -42,6 +55,142 @@ impl RecoveryStats {
     pub fn recovered_torn_tail(&self) -> bool {
         self.truncated_bytes > 0
     }
+}
+
+/// Where a checkpointed open resumes: the verified checkpoint block and
+/// the version count its snapshot restored. Produced by the durable
+/// layer after [`scan_checkpoints`] + a successful state restore;
+/// [`Segment::open_observed_from`] re-verifies the block under the
+/// exclusive lock before trusting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeFrom {
+    /// File offset of the restored checkpoint block's header.
+    pub checkpoint_offset: u64,
+    /// Versions the restored snapshot covers; the tail scan's sequence
+    /// check continues from here.
+    pub versions: u32,
+}
+
+/// A checkpoint candidate found by [`scan_checkpoints`]' header-only
+/// pre-scan. Unverified: the CRC is only checked when the candidate is
+/// actually read (see [`scan_block_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointRef {
+    /// File offset of the block header.
+    pub offset: u64,
+    /// The version count the header claims the snapshot covers.
+    pub covered: u32,
+    /// File offset one past the block's trailer — where tail replay
+    /// resumes after a successful restore.
+    pub end: u64,
+}
+
+/// Header-only forward scan listing every checkpoint block candidate in
+/// the segment at `path`, oldest first. Reads 22 bytes per block and
+/// seeks over payloads, so the cost is proportional to the block *count*,
+/// not the file size. Advisory: headers are unverified and the scan stops
+/// quietly at the first structural anomaly (the authoritative
+/// verification happens in [`Segment::open_observed_from`]); an
+/// unreadable or checkpoint-free segment yields an empty list.
+pub fn scan_checkpoints(path: &Path) -> Result<Vec<CheckpointRef>, StoreError> {
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len();
+    let mut out = Vec::new();
+    // superblock fixed prefix → spec length → first block offset
+    if len < superblock::FIXED_LEN as u64 {
+        return Ok(out);
+    }
+    let mut fixed = [0u8; superblock::FIXED_LEN];
+    file.read_exact(&mut fixed)?;
+    let Some(spec_len) = superblock::declared_spec_len(&fixed) else {
+        return Ok(out);
+    };
+    if spec_len > superblock::MAX_SPEC_LEN {
+        return Ok(out);
+    }
+    let mut offset = (superblock::FIXED_LEN as u64)
+        .saturating_add(spec_len)
+        .saturating_add(4);
+    let min_block = (BLOCK_HEADER_LEN + BLOCK_TRAILER_LEN) as u64;
+    let mut header = [0u8; BLOCK_HEADER_LEN];
+    file.seek(SeekFrom::Start(offset))?;
+    while offset.saturating_add(min_block) <= len {
+        file.read_exact(&mut header)?;
+        let Some(stored_len) = block::declared_payload_len(&header) else {
+            break;
+        };
+        if stored_len > block::MAX_PAYLOAD {
+            break;
+        }
+        let end = offset.saturating_add(min_block).saturating_add(stored_len);
+        if end > len {
+            break;
+        }
+        if header.first() == Some(&BlockKind::Checkpoint.kind_byte()) {
+            let Some(covered) = crate::bytes::le_u32(&header, 2) else {
+                break;
+            };
+            out.push(CheckpointRef {
+                offset,
+                covered,
+                end,
+            });
+        }
+        file.seek(SeekFrom::Start(end))?;
+        offset = end;
+    }
+    Ok(out)
+}
+
+/// Reads and fully verifies the single block at `offset` in the segment
+/// at `path`, classifying failures exactly like the sequential scan (torn
+/// tail vs interior corruption). I/O failures are `Err`; content
+/// classification is the returned [`Scan`].
+pub fn scan_block_at(path: &Path, offset: u64) -> Result<Scan, StoreError> {
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len();
+    let eof_commit_word = if len >= offset.saturating_add(4) && len >= 4 {
+        let mut last = [0u8; 4];
+        file.seek(SeekFrom::End(-4))?;
+        file.read_exact(&mut last)?;
+        last == COMMIT_MAGIC.to_le_bytes()
+    } else {
+        false
+    };
+    if len.saturating_sub(offset) < BLOCK_HEADER_LEN as u64 {
+        return Ok(Scan::TornTail);
+    }
+    let mut header = [0u8; BLOCK_HEADER_LEN];
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(&mut header)?;
+    let Some(declared) = block::declared_payload_len(&header) else {
+        return Ok(Scan::TornTail);
+    };
+    if declared > block::MAX_PAYLOAD {
+        return Ok(Scan::Corrupt(StoreError::Corrupt {
+            offset,
+            reason: format!("implausible payload length {declared} in block header"),
+        }));
+    }
+    let needed = declared + BLOCK_TRAILER_LEN as u64;
+    let available = needed.min(len.saturating_sub(offset + BLOCK_HEADER_LEN as u64));
+    let Ok(take) = usize::try_from(available) else {
+        return Ok(Scan::Corrupt(StoreError::Corrupt {
+            offset,
+            reason: "block span exceeds the address space".into(),
+        }));
+    };
+    let mut body = vec![0u8; take];
+    file.read_exact(&mut body)?;
+    let end = offset + BLOCK_HEADER_LEN as u64 + needed;
+    let bytes_after_end = len.saturating_sub(end);
+    Ok(block::scan_block_parts(
+        &header,
+        body,
+        offset,
+        bytes_after_end,
+        eof_commit_word,
+    ))
 }
 
 /// An open segment file positioned for appending.
@@ -150,6 +299,23 @@ impl Segment {
         spec: &KeySpec,
         sync: bool,
         metrics: StorageMetrics,
+        on_block: impl FnMut(ScannedBlock) -> Result<u32, StoreError>,
+    ) -> Result<(Segment, RecoveryStats), StoreError> {
+        Self::open_observed_from(path, spec, sync, metrics, None, on_block)
+    }
+
+    /// [`Segment::open_observed`] with an optional checkpoint resume
+    /// point: when `resume` is set, the block at its offset is re-verified
+    /// under the exclusive lock (it must be a committed checkpoint
+    /// covering exactly `resume.versions`), the journal prefix it covers
+    /// is skipped, and only the tail after it is scanned and replayed —
+    /// reopen cost becomes proportional to the tail, not the history.
+    pub fn open_observed_from(
+        path: &Path,
+        spec: &KeySpec,
+        sync: bool,
+        metrics: StorageMetrics,
+        resume: Option<ResumeFrom>,
         mut on_block: impl FnMut(ScannedBlock) -> Result<u32, StoreError>,
     ) -> Result<(Segment, RecoveryStats), StoreError> {
         // records replay wall time on every exit, clean or failed
@@ -218,8 +384,47 @@ impl Segment {
         let mut offset = first_block;
         let mut stats = RecoveryStats::default();
         let mut len = file_len;
+        if let Some(r) = resume {
+            // the resume point came from an unlocked pre-scan; re-verify
+            // under the exclusive lock that it is still a committed
+            // checkpoint covering exactly what the snapshot restored
+            let end = match scan_block_at(path, r.checkpoint_offset)? {
+                Scan::Block(b)
+                    if b.header.kind == BlockKind::Checkpoint && b.header.version == r.versions =>
+                {
+                    r.checkpoint_offset
+                        + (b.payload.len() + BLOCK_HEADER_LEN + BLOCK_TRAILER_LEN) as u64
+                }
+                _ => {
+                    metrics.corrupt_blocks.inc();
+                    return Err(StoreError::Corrupt {
+                        offset: r.checkpoint_offset,
+                        reason: "checkpoint resume point failed re-verification".into(),
+                    });
+                }
+            };
+            versions = r.versions;
+            offset = end.min(len);
+            stats.checkpoint_loaded = true;
+            metrics.checkpoints_loaded.inc();
+            metrics.event(
+                Level::Info,
+                "recovery.checkpoint_loaded",
+                &[
+                    ("offset", r.checkpoint_offset.to_string()),
+                    ("covered", r.versions.to_string()),
+                ],
+            );
+            file.seek(SeekFrom::Start(offset))?;
+        }
+        let resumed_at = offset;
         let mut header = [0u8; BLOCK_HEADER_LEN];
         while offset < len {
+            // Some(end) when the bytes at `offset` are identifiably a
+            // *complete* checkpoint block (kind byte, commit word at its
+            // declared end): a corrupt one can then be skipped instead of
+            // failing the open — checkpoints are pure redundancy
+            let mut checkpoint_span_end: Option<u64> = None;
             let scan = if len - offset < BLOCK_HEADER_LEN as u64 {
                 Scan::TornTail
             } else {
@@ -250,6 +455,14 @@ impl Segment {
                                 file.read_exact(&mut body)?;
                                 let end = offset + BLOCK_HEADER_LEN as u64 + needed;
                                 let bytes_after_end = len.saturating_sub(end);
+                                let commit_ok = available == needed
+                                    && body.len().checked_sub(4).and_then(|s| body.get(s..))
+                                        == Some(COMMIT_MAGIC.to_le_bytes().as_slice());
+                                if commit_ok
+                                    && header.first() == Some(&BlockKind::Checkpoint.kind_byte())
+                                {
+                                    checkpoint_span_end = Some(end);
+                                }
                                 block::scan_block_parts(
                                     &header,
                                     body,
@@ -263,6 +476,37 @@ impl Segment {
                 }
             };
             match scan {
+                Scan::Block(b) if b.header.kind == BlockKind::Checkpoint => {
+                    // checkpoints commit nothing: the header records how
+                    // many versions the snapshot covers, which must agree
+                    // with the journal so far
+                    if b.header.version != versions {
+                        metrics.corrupt_blocks.inc();
+                        metrics.event(
+                            Level::Error,
+                            "recovery.corrupt_block",
+                            &[
+                                ("offset", offset.to_string()),
+                                ("reason", "checkpoint coverage skew".to_string()),
+                            ],
+                        );
+                        return Err(StoreError::Corrupt {
+                            offset,
+                            reason: format!(
+                                "checkpoint claims to cover version {}, journal holds {versions}",
+                                b.header.version
+                            ),
+                        });
+                    }
+                    offset += (b.payload.len() + BLOCK_HEADER_LEN + BLOCK_TRAILER_LEN) as u64;
+                    let committed = on_block(b)?;
+                    if committed != 0 {
+                        return Err(StoreError::Corrupt {
+                            offset,
+                            reason: "checkpoint block claimed to commit versions".into(),
+                        });
+                    }
+                }
                 Scan::Block(b) => {
                     let expected = versions + 1;
                     if b.header.version != expected {
@@ -292,6 +536,24 @@ impl Segment {
                         });
                     }
                     versions = expected + (committed - 1);
+                    stats.tail_blocks_replayed = stats.tail_blocks_replayed.saturating_add(1);
+                }
+                Scan::Corrupt(e) if checkpoint_span_end.is_some() => {
+                    // a rotted checkpoint is loud but never fatal: every
+                    // bit of its state is rederivable from the journal, so
+                    // record it and step over its (commit-word-delimited)
+                    // span to the blocks behind it
+                    let Some(end) = checkpoint_span_end else {
+                        return Err(e);
+                    };
+                    metrics.corrupt_blocks.inc();
+                    metrics.checkpoints_skipped.inc();
+                    metrics.event(
+                        Level::Warn,
+                        "recovery.checkpoint_skipped",
+                        &[("offset", offset.to_string()), ("reason", e.to_string())],
+                    );
+                    offset = end;
                 }
                 Scan::TornTail => {
                     stats.truncated_bytes = len - offset;
@@ -323,8 +585,12 @@ impl Segment {
         }
         file.seek(SeekFrom::End(0))?;
         stats.versions_recovered = versions;
-        stats.bytes_scanned = len;
-        metrics.versions_replayed.add(u64::from(versions));
+        // a checkpointed open verified the superblock and the tail only
+        stats.bytes_scanned = first_block + len.saturating_sub(resumed_at);
+        let restored = resume.map_or(0, |r| r.versions);
+        metrics
+            .versions_replayed
+            .add(u64::from(versions.saturating_sub(restored)));
         metrics.journal_len.set_u64(len);
         metrics.event(
             Level::Info,
@@ -333,6 +599,7 @@ impl Segment {
                 ("versions", versions.to_string()),
                 ("bytes", len.to_string()),
                 ("truncated_bytes", stats.truncated_bytes.to_string()),
+                ("checkpoint_loaded", stats.checkpoint_loaded.to_string()),
             ],
         );
         Ok((
@@ -389,6 +656,49 @@ impl Segment {
             raw_len,
             payload,
         )
+    }
+
+    /// Appends one checkpoint block whose snapshot covers every version
+    /// committed so far (the header records `next_version - 1`).
+    /// Checkpoints commit no versions, so the sequence cursor does not
+    /// advance. Returns the file offset of the appended block's header,
+    /// which the durable layer back-chains into the *next* checkpoint's
+    /// payload.
+    pub fn append_checkpoint(
+        &mut self,
+        codec: BlockCodec,
+        raw_len: u64,
+        payload: &[u8],
+    ) -> Result<u64, StoreError> {
+        if payload.len() as u64 > block::MAX_PAYLOAD {
+            return Err(backend(format!(
+                "checkpoint payload of {} bytes exceeds the {} byte block limit",
+                payload.len(),
+                block::MAX_PAYLOAD
+            )));
+        }
+        let covered = self.next_version.saturating_sub(1);
+        let offset = self.len;
+        let block = encode_block(BlockKind::Checkpoint, codec, covered, raw_len, payload);
+        self.file.write_all(&block)?;
+        if self.sync {
+            self.file.sync_data()?;
+            self.metrics.fsyncs.inc();
+        }
+        self.len += block.len() as u64;
+        self.metrics.checkpoints_written.inc();
+        self.metrics.checkpoint_bytes.add(block.len() as u64);
+        self.metrics.journal_len.set_u64(self.len);
+        self.metrics.event(
+            Level::Info,
+            "segment.checkpoint",
+            &[
+                ("covered", covered.to_string()),
+                ("bytes", block.len().to_string()),
+                ("offset", offset.to_string()),
+            ],
+        );
+        Ok(offset)
     }
 
     fn append_block(

@@ -273,6 +273,14 @@ impl VersionStore for ArchiveHandle {
         // one lock acquisition so readers never interleave with it
         ArchiveHandle::add_versions(self, docs)
     }
+
+    fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        self.shared.read().checkpoint_state()
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
+        self.shared.write().restore_checkpoint(state)
+    }
 }
 
 /// A read-only view of a shared archive pinned at one version.

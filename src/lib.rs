@@ -56,14 +56,18 @@
 //! | default | [`core::Archive`] | §4.2 | archive + version fit in RAM; fastest merges and queries | native: key-path descent + visibility-pruned subtree walk | batch nested merge — each archive level is sorted and walked once per batch, byte-identical to a serial replay | `&self`, lock-free | `query.*` / `ingest.*` latency histograms via the outermost [`core::ObservedStore`] wrapper |
 //! | `.chunks(n)` | [`core::ChunkedArchive`] | §5 | data outgrows one merge's memory: top-level records are hash-partitioned into `n` independent archives, merged chunk by chunk | native: queries route to the owning chunk; `range` fans out and merges | the whole batch is partitioned once, then chunks merge their sub-batches on parallel worker threads | `&self`, lock-free | `query.*` / `ingest.*` histograms (whole-store timing spans all chunks) |
 //! | `.backend(Backend::ExtMem(io_cfg))` | [`extmem::ExtArchive`] | §6.3 | data outgrows memory entirely: sorted event streams merged in one `O(N/B)` pass, with paged-I/O accounting | native: partial stream scan — non-matching spines are skipped, only the answer is materialized | the batch folds into a single streaming pass: one archive-sized read+write for `k` versions instead of `k` | `&self`; I/O accounting via atomics | `extmem.page_reads` / `extmem.page_writes` counters + `query.*` / `ingest.*` |
-//! | `.durable(path)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above) | delegates to the wrapped backend; indexes are re-established during replay | **group commit** — one multi-version block, one commit word, one fsync per batch; a torn batch recovers to the pre-batch state, never a prefix | `&self`; reads never touch the journal | `segment.*` write/fsync counters, `recovery.*` replay counters + duration, structured recovery events (torn tail, corrupt block) |
+//! | `.durable(path)` + `.checkpoint_every(n)` | [`storage::DurableArchive`] | — | the archive must outlive the process: every commit is journaled to a checksummed segment file and replayed on reopen (composes with any row above); a checkpoint cadence keeps reopen cost flat vs history by restoring the newest snapshot block and replaying only the tail | delegates to the wrapped backend; indexes are re-established during replay | **group commit** — one multi-version block, one commit word, one fsync per batch; a torn batch recovers to the pre-batch state, never a prefix | `&self`; reads never touch the journal | `segment.*` / `checkpoint.*` write/fsync counters, `recovery.*` replay counters + duration, structured recovery events (torn tail, corrupt block, skipped checkpoint) |
 //! | `.with_index()` | [`index::IndexedArchive`] / [`index::IndexedStore`] | §7 | query-heavy service workloads: timestamp trees + history index (in-memory) or a key-path sidecar (chunked, extmem), maintained incrementally per merge | indexed: `O(l log d)` descent, probe counts proportional to the answer | one batch merge, then one batched index apply | `&self`; probe counters are atomics | `index.history.comparisons` / `index.timestamp.probes` bound to the shared registry |
+//! | [`ColdArchive::open`](storage::ColdArchive::open) | [`storage::ColdArchive`] | — | rarely-read archives that must answer without startup cost: queries run straight off the mmap'd segment file via a per-block version index, decoding only the blocks each answer needs — the archive is never materialized in RAM | per-block: `retrieve` decodes one block; `as_of`/`range`/`diff` ride the trait fallbacks; `history` streams block-at-a-time | n/a — cold readers are read-only (a shared OS lock admits any number of them beside each other, and refuses a live writer) | `&self`; the map itself is the shared state | `cold.retrieves` / `cold.blocks_decoded` / `cold.bytes_decoded` counters + `cold.mapped_bytes` gauge ([`storage::ColdArchive::open_observed`]) |
 //!
 //! `.compaction(Compaction::Weave)` additionally selects Fig 10's
 //! "further compaction" beneath frontier nodes for the in-memory and
 //! chunked backends. Durable configurations can fail to open (corrupt
 //! file, key-spec mismatch), so prefer [`ArchiveBuilder::try_build`] over
-//! `build()` when `.durable(..)` is set.
+//! `build()` when `.durable(..)` is set. The on-disk format all the
+//! durable rows share — superblock, block grammar, checkpoint envelope,
+//! recovery rules — is specified byte-for-byte in `docs/FORMAT.md`, and
+//! a golden test pins the spec's constants to the source.
 //!
 //! ## Bulk ingest
 //!
@@ -142,8 +146,10 @@
 //!   [`VersionStore`] trait;
 //! * [`compress`] — LZSS (gzip-class) and XMill-style compressors;
 //! * [`extmem`] — the external-memory archiver with I/O accounting;
-//! * [`storage`] — the durable segmented archive format and the
-//!   crash-safe [`storage::DurableArchive`] backend;
+//! * [`storage`] — the durable segmented archive format (specified in
+//!   `docs/FORMAT.md`), the crash-safe [`storage::DurableArchive`]
+//!   backend with checkpointed reopen, and the mmap'd
+//!   [`storage::ColdArchive`] cold-read path;
 //! * [`index`] — timestamp trees, the history index, and the indexed
 //!   `VersionStore` backends built on them;
 //! * [`obs`] — the dependency-free observability layer: metrics registry
@@ -159,6 +165,7 @@
 //! | tool | run | enforces |
 //! |---|---|---|
 //! | `xarch_analysis` (`crates/analysis`) | `cargo run --release -p xarch_analysis -- check` | panic-freedom in decode/recovery paths, no lock guard across fsync/snapshot, no truncating casts in `storage`, `&self` [`StoreReader`] methods + `Send`/`Sync` store impls, `// SAFETY:` on every `unsafe` block, no ad-hoc `Instant::now()` timing or `eprintln!` event logging outside `xarch_obs` in library code |
+//! | docs drift gate (`tests/docs.rs`) | `cargo test --test docs` | `docs/FORMAT.md`'s magic / format-revision / layout constants match `crates/storage` source (golden test), and every intra-repo link in `README.md` / `docs/*.md` resolves |
 //!
 //! The analyzer runs in CI as a required gate; deliberate exemptions use
 //! in-place `// xarch-allow: <rule> -- <reason>` comments, all of which
@@ -185,4 +192,4 @@ pub use xarch_core::{
     ElementHistory, RangeEntry, StoreError, StoreReader, StoreStats, VersionDelta, VersionStore,
 };
 pub use xarch_index::{IndexedArchive, IndexedStore, QueryIndex};
-pub use xarch_storage::{DurableArchive, DurableOptions, RecoveryStats};
+pub use xarch_storage::{ColdArchive, DurableArchive, DurableOptions, RecoveryStats};

@@ -71,6 +71,9 @@ pub struct ArchiveBuilder {
     compaction: Compaction,
     backend: Backend,
     durable: Option<(PathBuf, DurableOptions)>,
+    /// Checkpoint cadence requested before `.durable(..)` was called —
+    /// folded into the journal options when the durable layer is added.
+    checkpoint_every: Option<u32>,
     indexed: bool,
     observability: Option<Obs>,
 }
@@ -85,6 +88,7 @@ impl ArchiveBuilder {
             compaction: Compaction::default(),
             backend: Backend::default(),
             durable: None,
+            checkpoint_every: None,
             indexed: false,
             observability: None,
         }
@@ -147,9 +151,27 @@ impl ArchiveBuilder {
     }
 
     /// Like [`ArchiveBuilder::durable`], with explicit journal options
-    /// (per-block compression, sync policy).
-    pub fn durable_with(mut self, path: impl Into<PathBuf>, options: DurableOptions) -> Self {
+    /// (per-block compression, sync policy, checkpoint cadence).
+    pub fn durable_with(mut self, path: impl Into<PathBuf>, mut options: DurableOptions) -> Self {
+        if options.checkpoint_every.is_none() {
+            options.checkpoint_every = self.checkpoint_every;
+        }
         self.durable = Some((path.into(), options));
+        self
+    }
+
+    /// Appends a checkpoint block to the durable journal after every `n`
+    /// committed versions, so reopening restores the newest snapshot and
+    /// replays only the tail — reopen cost stays flat as history grows.
+    /// Only meaningful together with [`ArchiveBuilder::durable`] /
+    /// [`ArchiveBuilder::durable_with`] (order does not matter); `n = 0`
+    /// disables checkpointing.
+    pub fn checkpoint_every(mut self, n: u32) -> Self {
+        let cadence = (n > 0).then_some(n);
+        match &mut self.durable {
+            Some((_, options)) => options.checkpoint_every = cadence,
+            None => self.checkpoint_every = cadence,
+        }
         self
     }
 
@@ -321,6 +343,65 @@ mod tests {
         assert!(panicked.is_err());
         // and a valid chunk count still builds
         assert!(ArchiveBuilder::new(spec()).chunks(1).try_build().is_ok());
+    }
+
+    #[test]
+    fn checkpoint_cadence_folds_into_the_journal_in_either_order() {
+        // cadence before .durable(..) is held on the builder and folded in;
+        // cadence after edits the journal options directly; n = 0 disables
+        let before = ArchiveBuilder::new(spec())
+            .checkpoint_every(3)
+            .durable(xarch_storage::scratch_path("builder-cp-before"));
+        let after = ArchiveBuilder::new(spec())
+            .durable(xarch_storage::scratch_path("builder-cp-after"))
+            .checkpoint_every(3);
+        for b in [before, after] {
+            let (_, options) = b.durable.as_ref().unwrap();
+            assert_eq!(options.checkpoint_every, Some(3));
+        }
+        let off = ArchiveBuilder::new(spec())
+            .checkpoint_every(5)
+            .checkpoint_every(0)
+            .durable(xarch_storage::scratch_path("builder-cp-off"));
+        assert_eq!(off.durable.as_ref().unwrap().1.checkpoint_every, None);
+        // explicit options win over a builder-level cadence
+        let explicit = ArchiveBuilder::new(spec())
+            .checkpoint_every(9)
+            .durable_with(
+                xarch_storage::scratch_path("builder-cp-explicit"),
+                DurableOptions {
+                    checkpoint_every: Some(2),
+                    ..DurableOptions::default()
+                },
+            );
+        assert_eq!(
+            explicit.durable.as_ref().unwrap().1.checkpoint_every,
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn checkpointed_builder_reopens_from_the_snapshot() {
+        let path = xarch_storage::scratch_path("builder-checkpointed");
+        let build = || {
+            ArchiveBuilder::new(spec())
+                .checkpoint_every(2)
+                .durable(&path)
+                .try_build()
+                .unwrap()
+        };
+        {
+            let mut store = build();
+            for n in 1..=5u32 {
+                let doc = parse(&format!("<db><rec><id>{n}</id></rec></db>")).unwrap();
+                store.add_version(&doc).unwrap();
+            }
+        }
+        let store = build();
+        assert_eq!(store.latest(), 5);
+        let got = store.retrieve(3).unwrap().unwrap();
+        assert!(xarch_xml::writer::to_compact_string(&got).contains("<id>3</id>"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

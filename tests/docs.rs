@@ -1,0 +1,246 @@
+//! The docs drift gate: `docs/FORMAT.md` is normative, so its constants
+//! are asserted against the storage source (a golden test), and every
+//! intra-repo markdown link in `README.md` / `docs/*.md` must resolve —
+//! a renamed file or section fails CI instead of silently breaking the
+//! spec's cross-references.
+
+use std::path::{Path, PathBuf};
+
+use xarch::storage::{block, superblock};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+// ---------- the FORMAT.md golden test ----------
+
+/// Evaluates the constant notations FORMAT.md's tables use: decimal,
+/// hex with optional underscores, and `a << b` shifts.
+fn eval(expr: &str) -> Option<u64> {
+    let expr = expr.trim();
+    if let Some((a, b)) = expr.split_once("<<") {
+        return eval(a)?.checked_shl(eval(b)?.try_into().ok()?);
+    }
+    let digits = expr.replace('_', "");
+    match digits.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => digits.parse().ok(),
+    }
+}
+
+/// Finds the markdown table row `| `name` | `value` | …` and returns the
+/// backticked value cell.
+fn table_value<'a>(doc: &'a str, name: &str) -> &'a str {
+    let row = doc
+        .lines()
+        .find(|l| {
+            let mut cells = l.split('|').map(str::trim);
+            cells.next(); // before the leading pipe
+            cells.next() == Some(&format!("`{name}`"))
+        })
+        .unwrap_or_else(|| panic!("FORMAT.md has no table row for `{name}`"));
+    let cell = row.split('|').map(str::trim).nth(2).unwrap_or_default();
+    cell.strip_prefix('`')
+        .and_then(|c| c.strip_suffix('`'))
+        .unwrap_or_else(|| panic!("`{name}` row's value cell {cell:?} is not backticked"))
+}
+
+#[test]
+fn format_spec_constants_match_the_storage_source() {
+    let doc = read(&repo_root().join("docs/FORMAT.md"));
+    // the magic is documented as its ASCII text
+    assert_eq!(
+        table_value(&doc, "MAGIC").as_bytes(),
+        superblock::MAGIC,
+        "FORMAT.md magic diverged from superblock::MAGIC"
+    );
+    let numeric: &[(&str, u64)] = &[
+        ("FORMAT_VERSION", u64::from(superblock::FORMAT_VERSION)),
+        (
+            "MIN_FORMAT_VERSION",
+            u64::from(superblock::MIN_FORMAT_VERSION),
+        ),
+        ("FIXED_LEN", superblock::FIXED_LEN as u64),
+        ("MAX_SPEC_LEN", superblock::MAX_SPEC_LEN),
+        ("BLOCK_HEADER_LEN", block::BLOCK_HEADER_LEN as u64),
+        ("BLOCK_TRAILER_LEN", block::BLOCK_TRAILER_LEN as u64),
+        ("COMMIT_MAGIC", u64::from(block::COMMIT_MAGIC)),
+        ("MAX_PAYLOAD", block::MAX_PAYLOAD),
+    ];
+    for (name, actual) in numeric {
+        let cell = table_value(&doc, name);
+        let documented = eval(cell)
+            .unwrap_or_else(|| panic!("`{name}` value {cell:?} does not evaluate to a number"));
+        assert_eq!(
+            documented, *actual,
+            "FORMAT.md documents `{name}` as {cell} but the source says {actual}"
+        );
+    }
+}
+
+#[test]
+fn format_spec_block_kind_table_matches_the_source() {
+    let doc = read(&repo_root().join("docs/FORMAT.md"));
+    let kinds = [
+        (block::BlockKind::Version, "Version"),
+        (block::BlockKind::Empty, "Empty"),
+        (block::BlockKind::Batch, "Batch"),
+        (block::BlockKind::Checkpoint, "Checkpoint"),
+    ];
+    for (kind, name) in kinds {
+        let byte = kind.kind_byte();
+        let row = doc
+            .lines()
+            .find(|l| {
+                let mut cells = l.split('|').map(str::trim);
+                cells.next();
+                cells.next() == Some(&format!("`{byte}`")) && l.contains(name)
+            })
+            .unwrap_or_else(|| {
+                panic!("FORMAT.md §Block kinds has no row mapping byte {byte} to {name}")
+            });
+        assert!(
+            row.split('|').map(str::trim).nth(2) == Some(name),
+            "FORMAT.md kind-byte row for {name} names the wrong kind: {row}"
+        );
+    }
+    // the byte after the last assigned kind must stay documented as invalid
+    assert!(
+        block::BlockKind::from_kind_byte(5).is_none(),
+        "a fifth block kind exists — extend FORMAT.md §Block kinds and its revision history"
+    );
+}
+
+#[test]
+fn format_spec_state_tags_match_the_source() {
+    use xarch::core::state;
+    let doc = read(&repo_root().join("docs/FORMAT.md"));
+    let tags: &[(u8, &str)] = &[
+        (state::STATE_ARCHIVE, "`Archive`"),
+        (state::STATE_CHUNKED, "`ChunkedArchive`"),
+        (state::STATE_EXTMEM, "`ExtArchive`"),
+        (state::STATE_INDEXED_STORE, "`IndexedStore`"),
+    ];
+    for (tag, backend) in tags {
+        assert!(
+            doc.lines().any(|l| {
+                let mut cells = l.split('|').map(str::trim);
+                cells.next();
+                cells.next() == Some(&format!("`{tag}`"))
+                    && cells.next().is_some_and(|c| c.contains(backend))
+            }),
+            "FORMAT.md §Checkpoint blocks has no state-tag row mapping {tag} to {backend}"
+        );
+    }
+}
+
+// ---------- the intra-repo link checker ----------
+
+/// GitHub-style anchor slug for a markdown heading.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| match c {
+            'A'..='Z' => Some(c.to_ascii_lowercase()),
+            'a'..='z' | '0'..='9' | '-' => Some(c),
+            ' ' => Some('-'),
+            _ => None,
+        })
+        .collect()
+}
+
+fn anchors_of(doc: &str) -> Vec<String> {
+    doc.lines()
+        .filter_map(|l| l.strip_prefix('#'))
+        .map(|rest| slug(rest.trim_start_matches('#')))
+        .collect()
+}
+
+/// Extracts `[text](target)` targets, skipping fenced code blocks and
+/// inline code spans (rustdoc examples contain link-shaped text).
+fn link_targets(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut fenced = false;
+    for line in doc.lines() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if fenced {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(close) = rest.find("](") {
+            let after = &rest[close + 2..];
+            let Some(end) = after.find(')') else { break };
+            out.push(after[..end].to_string());
+            rest = &after[end + 1..];
+        }
+    }
+    out
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs_dir = root.join("docs");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&docs_dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", docs_dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    entries.sort();
+    files.extend(entries);
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let doc = read(file);
+        let dir = file.parent().unwrap_or(&root);
+        for target in link_targets(&doc) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, fragment) = match target.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                file.clone()
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{}: link target {target:?} does not exist",
+                    file.display()
+                ));
+                continue;
+            }
+            if let Some(frag) = fragment {
+                if resolved.extension().is_some_and(|x| x == "md")
+                    && !anchors_of(&read(&resolved)).iter().any(|a| a == frag)
+                {
+                    broken.push(format!(
+                        "{}: anchor {target:?} matches no heading in {}",
+                        file.display(),
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo links:\n{}",
+        broken.join("\n")
+    );
+}

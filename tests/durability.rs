@@ -485,6 +485,234 @@ fn indexed_durable_answers_queries_after_reopen() {
     std::fs::remove_file(&path).unwrap();
 }
 
+fn checkpointed(path: &Path, every: u32) -> DurableArchive {
+    let options = xarch::DurableOptions {
+        checkpoint_every: Some(every),
+        ..xarch::DurableOptions::default()
+    };
+    DurableArchive::open_with(path, options, ArchiveBuilder::new(spec()).build()).unwrap()
+}
+
+#[test]
+fn kill_mid_checkpoint_write_recovers_the_pre_checkpoint_state() {
+    // Cadence 3 with exactly 3 versions leaves the checkpoint as the
+    // final block; truncating inside it at several offsets models a crash
+    // at any point of the checkpoint append. A checkpoint is pure
+    // redundancy, so every committed version must recover — the damaged
+    // checkpoint is just a torn tail.
+    let docs = versions();
+    let path = scratch_path("cp-torn");
+    let (cp_off, file_end) = {
+        let mut d = checkpointed(&path, 3);
+        for doc in &docs {
+            d.add_version(doc).unwrap();
+        }
+        let off = d
+            .last_checkpoint_offset()
+            .expect("cadence 3 fired at version 3");
+        (off, std::fs::metadata(&path).unwrap().len())
+    };
+    assert!(cp_off < file_end, "checkpoint is the tail block");
+    let pristine = std::fs::read(&path).unwrap();
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    for doc in &docs {
+        reference.add_version(doc).unwrap();
+    }
+    for cut in [
+        cp_off + 1,                       // header barely started
+        cp_off + 10,                      // mid-header
+        cp_off + (file_end - cp_off) / 2, // mid-payload
+        file_end - 1,                     // one byte short of the commit word
+    ] {
+        std::fs::write(&path, &pristine).unwrap();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+        let mut d = checkpointed(&path, 3);
+        assert_eq!(d.latest(), 3, "cut at {cut}");
+        let stats = d.recovery();
+        assert_eq!(stats.versions_recovered, 3, "cut at {cut}");
+        assert!(stats.recovered_torn_tail(), "cut at {cut}");
+        assert!(
+            !stats.checkpoint_loaded,
+            "cut at {cut}: the only checkpoint was torn"
+        );
+        assert_eq!(stats.truncated_bytes, cut - cp_off, "cut at {cut}");
+        for v in 1..=3 {
+            assert_eq!(
+                bytes_of(&mut d, v),
+                bytes_of(reference.as_mut(), v),
+                "cut at {cut}: v{v} diverged"
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bit_flip_inside_a_committed_checkpoint_is_skipped_loudly() {
+    // Bit rot inside a committed checkpoint must not take the archive
+    // down — the journal it summarizes is still intact. Recovery skips
+    // the damaged checkpoint with a positioned warning event plus the
+    // `recovery.checkpoints_skipped` counter, falls back to the previous
+    // intact checkpoint, and still recovers every version.
+    use xarch::storage::block::BLOCK_HEADER_LEN;
+    let path = scratch_path("cp-bit-flip");
+    let docs = versions();
+    let newest_cp = {
+        let mut d = checkpointed(&path, 2);
+        for doc in &docs {
+            d.add_version(doc).unwrap();
+        }
+        // a fourth version fires the second checkpoint, and a fifth puts
+        // a committed block BEHIND it — rot in the file's final block is
+        // indistinguishable from a torn append and is truncated instead,
+        // so the interior position is what this test is about
+        d.add_empty_version().unwrap();
+        assert_eq!(d.checkpoints_written(), 2);
+        let cp = d.last_checkpoint_offset().unwrap();
+        d.add_empty_version().unwrap();
+        cp
+    };
+    // flip one bit in the newest checkpoint's payload
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    let flip_at = newest_cp + BLOCK_HEADER_LEN as u64 + 3;
+    f.seek(SeekFrom::Start(flip_at)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    f.seek(SeekFrom::Start(flip_at)).unwrap();
+    f.write_all(&[b[0] ^ 0x20]).unwrap();
+    drop(f);
+
+    let obs = xarch::obs::Obs::disconnected();
+    let options = xarch::DurableOptions {
+        checkpoint_every: Some(2),
+        ..xarch::DurableOptions::default()
+    };
+    let mut d =
+        DurableArchive::open_observed(&path, options, ArchiveBuilder::new(spec()).build(), &obs)
+            .unwrap();
+    assert_eq!(d.latest(), 5);
+    let stats = d.recovery();
+    assert_eq!(stats.versions_recovered, 5);
+    assert!(
+        stats.checkpoint_loaded,
+        "the older intact checkpoint still fast-paths the reopen"
+    );
+    let skipped = obs
+        .registry()
+        .get_counter("recovery.checkpoints_skipped")
+        .expect("registered")
+        .get();
+    assert!(skipped >= 1, "damaged checkpoint counted: {skipped}");
+    // the skip is loud: a traced event names the corrupt offset
+    let events = obs.recent_events();
+    let warned = events.iter().any(|e| {
+        e.target.contains("checkpoint")
+            && e.fields
+                .iter()
+                .any(|(k, v)| *k == "offset" && v.parse::<u64>().is_ok())
+    });
+    assert!(warned, "no positioned checkpoint-skip event in {events:?}");
+    // and the recovered contents are undamaged
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    for doc in &docs {
+        reference.add_version(doc).unwrap();
+    }
+    reference.add_empty_version().unwrap();
+    reference.add_empty_version().unwrap();
+    for v in 1..=3 {
+        assert_eq!(
+            bytes_of(&mut d, v),
+            bytes_of(reference.as_mut(), v),
+            "v{v} diverged after checkpoint fallback"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bit_flip_in_the_only_checkpoint_falls_back_to_full_replay() {
+    let path = scratch_path("cp-only-flip");
+    let docs = versions();
+    let cp_off = {
+        let mut d = checkpointed(&path, 3);
+        for doc in &docs {
+            d.add_version(doc).unwrap();
+        }
+        assert_eq!(d.checkpoints_written(), 1);
+        d.last_checkpoint_offset().unwrap()
+    };
+    let mut bytes = std::fs::read(&path).unwrap();
+    let flip_at = cp_off as usize + xarch::storage::block::BLOCK_HEADER_LEN + 1;
+    bytes[flip_at] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut d = checkpointed(&path, 3);
+    assert_eq!(d.latest(), 3);
+    let stats = d.recovery();
+    assert!(!stats.checkpoint_loaded, "no intact checkpoint to load");
+    assert_eq!(stats.versions_recovered, 3, "full replay still recovers");
+    let mut reference = ArchiveBuilder::new(spec()).build();
+    for doc in &docs {
+        reference.add_version(doc).unwrap();
+    }
+    for v in 1..=3 {
+        assert_eq!(bytes_of(&mut d, v), bytes_of(reference.as_mut(), v), "v{v}");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checkpointed_reopen_is_equivalent_at_datagen_scale() {
+    // the larger-workload acceptance check with checkpoints in the file:
+    // reopen through a checkpoint must be byte-identical to a full replay
+    // and to the never-closed in-memory reference
+    let spec = omim_spec();
+    let mut g = OmimGen::new(0xCAFE);
+    g.del_ratio = 0.05;
+    g.ins_ratio = 0.07;
+    let docs = g.sequence(30, 10);
+    let mut reference = ArchiveBuilder::new(spec.clone()).build();
+    for d in &docs {
+        reference.add_version(d).unwrap();
+    }
+    let path = scratch_path("cp-omim");
+    {
+        let mut durable = ArchiveBuilder::new(spec.clone())
+            .checkpoint_every(4)
+            .durable(&path)
+            .try_build()
+            .unwrap();
+        for d in &docs {
+            durable.add_version(d).unwrap();
+        }
+    }
+    // reopen once with the checkpoint fast path, once with checkpointing
+    // configured off (the blocks are still in the file and must be
+    // transparently skipped by a full replay)
+    for every in [4u32, 0] {
+        let recovered = ArchiveBuilder::new(spec.clone())
+            .checkpoint_every(every)
+            .durable(&path)
+            .try_build()
+            .unwrap();
+        assert_eq!(recovered.latest(), reference.latest(), "every={every}");
+        for v in 1..=reference.latest() {
+            let mut want = Vec::new();
+            let mut got = Vec::new();
+            reference.retrieve_into(v, &mut want).unwrap();
+            recovered.retrieve_into(v, &mut got).unwrap();
+            assert_eq!(want, got, "every={every}: v{v} bytes");
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn bit_flip_sweep_never_panics_and_never_lies() {
     // Regression for the workspace `panic-freedom` invariant: corrupting

@@ -194,6 +194,16 @@ fn ingest_figure_shows_group_commit_speedup() {
     xarch_bench::figures::ingest_sanity(&scale).unwrap();
 }
 
+#[test]
+fn durability_figure_shows_flat_checkpointed_reopen_and_cold_reads() {
+    // The checkpoint + cold-read acceptance gate: a checkpointed reopen
+    // replays a bounded tail regardless of history length, and a cold
+    // retrieve decodes only its block's bytes off the mmap'd segment —
+    // never the whole archive.
+    let scale = xarch_bench_scale();
+    xarch_bench::figures::durability_sanity(&scale).unwrap();
+}
+
 fn xarch_bench_scale() -> xarch_bench::figures::Scale {
     // large enough that the compression margin (which grows with version
     // count) is decisive, small enough for test time

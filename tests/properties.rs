@@ -258,6 +258,72 @@ proptest! {
     }
 
     #[test]
+    fn checkpointed_reopen_equals_never_closed_store(
+        versions in proptest::collection::vec(version_strategy(), 1..6),
+        write_every in 0u32..5,
+        reopen_every in 0u32..5
+    ) {
+        // A store written with one RANDOM checkpoint cadence and reopened
+        // with another must answer byte-for-byte like the store that never
+        // left memory — checkpoints are pure redundancy, so neither the
+        // cadence at write time nor at reopen time may leak into answers.
+        // The mmap'd cold reader over the same file must agree too.
+        use xarch::StoreReader;
+        let spec = mini_spec();
+        let docs: Vec<Document> = versions.iter().map(|v| build_version(v)).collect();
+        let path = xarch::storage::scratch_path("prop-ckpt");
+        let mut live = ArchiveBuilder::new(spec.clone()).build();
+        {
+            let mut durable = ArchiveBuilder::new(spec.clone())
+                .checkpoint_every(write_every)
+                .durable(&path)
+                .try_build()
+                .unwrap();
+            for d in &docs {
+                live.add_version(d).unwrap();
+                durable.add_version(d).unwrap();
+            }
+        } // dropped: simulates the process exiting
+        {
+            let reopened = ArchiveBuilder::new(spec.clone())
+                .checkpoint_every(reopen_every)
+                .durable(&path)
+                .try_build()
+                .unwrap();
+            prop_assert_eq!(reopened.latest(), live.latest(), "latest diverged");
+            for v in 1..=docs.len() as u32 {
+                let mut live_bytes = Vec::new();
+                let mut reopened_bytes = Vec::new();
+                let live_wrote = live.retrieve_into(v, &mut live_bytes).unwrap();
+                let reopened_wrote = reopened.retrieve_into(v, &mut reopened_bytes).unwrap();
+                prop_assert_eq!(live_wrote, reopened_wrote, "v{}: presence", v);
+                prop_assert_eq!(
+                    &live_bytes, &reopened_bytes,
+                    "v{}: reopened bytes diverged (write cadence {}, reopen cadence {})",
+                    v, write_every, reopen_every
+                );
+            }
+        } // the cold reader refuses files with a live writer — drop first
+        let cold = xarch::ColdArchive::open(&path).unwrap();
+        prop_assert_eq!(cold.latest(), live.latest(), "cold latest diverged");
+        for (i, d) in docs.iter().enumerate() {
+            // the cold reader serves each version as originally ingested
+            // (it decodes the journal block, not the merged archive), so
+            // the contract is value equivalence, not byte equality
+            let v = i as u32 + 1;
+            let got = StoreReader::retrieve(&cold, v)
+                .unwrap()
+                .expect("cold version present");
+            prop_assert!(
+                equiv_modulo_key_order(&got, d, &spec),
+                "v{}: cold read diverged (write cadence {})", v, write_every
+            );
+        }
+        drop(cold);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn temporal_queries_agree_with_filtered_retrieve_on_every_backend(
         versions in proptest::collection::vec((version_strategy(), 0u8..8), 1..6)
     ) {
