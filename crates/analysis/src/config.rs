@@ -126,17 +126,22 @@ pub struct Config {
 impl Config {
     /// The **project policy** — the scopes CI enforces on this workspace.
     ///
-    /// * `panic-freedom` binds to the storage decode/recovery modules and
-    ///   the external-memory event decoder: every path a corrupted byte
-    ///   can reach must answer with a positioned `StoreError::Corrupt`.
+    /// * `panic-freedom` binds to the storage decode/recovery modules,
+    ///   the external-memory event decoder, the wire-protocol crate, and
+    ///   the server's request loop: every path a corrupted or hostile
+    ///   byte can reach must answer with a typed error, never a panic —
+    ///   on disk that is `StoreError::Corrupt`; on the wire it is a
+    ///   `FrameError`/`DecodeError` or a structured error response.
     /// * `cast-safety` binds to the whole storage crate, where offsets and
     ///   lengths cross between `u64` file arithmetic and in-memory sizes.
     /// * `lock-discipline`, `api-contract` and `unsafe-audit` bind
     ///   workspace-wide.
     /// * `obs-discipline` binds to the library crates and the facade —
     ///   not to `crates/obs` (it *implements* the sanctioned timing), not
-    ///   to `crates/analysis` (a CLI reporting to a console), and not to
-    ///   `crates/bench` (measurement harnesses own their stopwatches).
+    ///   to `crates/analysis` (a CLI reporting to a console), not to
+    ///   `crates/bench` (measurement harnesses own their stopwatches),
+    ///   and not to the `xarch-server` binary entry point (startup and
+    ///   usage errors go to stderr before any observability exists).
     ///   Examples and integration tests fall outside the include list.
     pub fn project_policy() -> Self {
         Self {
@@ -153,6 +158,8 @@ impl Config {
                         "crates/storage/src/cold.rs",
                         "crates/storage/src/mmap.rs",
                         "crates/extmem/src/events.rs",
+                        "crates/proto/src/",
+                        "crates/server/src/serve.rs",
                     ]),
                 ),
                 (Rule::LockDiscipline, PathFilter::everywhere()),
@@ -167,6 +174,7 @@ impl Config {
                             "crates/obs/".into(),
                             "crates/analysis/".into(),
                             "crates/bench/".into(),
+                            "crates/server/src/main.rs".into(),
                         ],
                     },
                 ),
@@ -232,6 +240,13 @@ mod tests {
         let pf = p.scope(Rule::PanicFreedom).unwrap();
         assert!(pf.matches("crates/storage/src/block.rs"));
         assert!(pf.matches("crates/extmem/src/events.rs"));
+        assert!(pf.matches("crates/proto/src/msg.rs"), "wire decode paths");
+        assert!(pf.matches("crates/proto/src/frame.rs"));
+        assert!(pf.matches("crates/server/src/serve.rs"), "request loop");
+        assert!(
+            !pf.matches("crates/server/src/main.rs"),
+            "the binary may expect() on startup"
+        );
         assert!(!pf.matches("crates/core/src/archive.rs"));
         let cs = p.scope(Rule::CastSafety).unwrap();
         assert!(cs.matches("crates/storage/src/crc.rs"));
@@ -245,6 +260,14 @@ mod tests {
             "obs implements the timers"
         );
         assert!(!od.matches("crates/analysis/src/main.rs"), "the CLI prints");
+        assert!(
+            od.matches("crates/server/src/serve.rs"),
+            "servers report through obs"
+        );
+        assert!(
+            !od.matches("crates/server/src/main.rs"),
+            "startup errors print to stderr"
+        );
         assert!(
             !od.matches("crates/bench/src/figures.rs"),
             "benches stopwatch"

@@ -1127,9 +1127,151 @@ pub fn fig_concurrency(scale: &Scale) {
     println!();
 }
 
+/// Starts an `xarch-server` over an OMIM-shaped archive seeded with 10
+/// versions, returning the running server and the version documents
+/// (reused as churn fodder by the concurrent-ingest mode).
+fn start_service(scale: &Scale) -> (xarch_server::RunningServer, Vec<Document>) {
+    use xarch_server::{Server, ServerConfig};
+    // the same spec omim_spec() parses, as config `spec =` lines
+    let mut config = String::from("listen = 127.0.0.1:0\nworkers = 8\nindexed = true\n");
+    for line in [
+        "(/, (ROOT, {}))",
+        "(/ROOT, (Record, {Num}))",
+        "(/ROOT/Record, (Title, {}))",
+        "(/ROOT/Record, (AlternativeTitle, {\\e}))",
+        "(/ROOT/Record, (Text, {}))",
+        "(/ROOT/Record, (Contributors, {Name, CNtype, Date/Month, Date/Day, Date/Year}))",
+        "(/ROOT/Record/Contributors, (Date, {}))",
+        "(/ROOT/Record, (Creation_Date, {Name, Date/Month, Date/Day, Date/Year}))",
+        "(/ROOT/Record/Creation_Date, (Date, {}))",
+    ] {
+        config.push_str(&format!("spec = {line}\n"));
+    }
+    let cfg = ServerConfig::from_text(&config).expect("bench server config");
+    let server = Server::start(cfg).expect("bench server starts");
+    let docs = OmimGen::new(0x5EED).sequence(scale.omim_records / 3, 10);
+    server.handle().add_versions(&docs).expect("seed versions");
+    (server, docs)
+}
+
+/// One measurement window against a running server: `conns` client
+/// threads stream `retrieve` requests over their own sockets; when
+/// `churn` is set a curator thread keeps landing merges through the
+/// served handle the whole time. Returns requests completed.
+fn service_window(
+    server: &xarch_server::RunningServer,
+    conns: usize,
+    churn: bool,
+    docs: &[Document],
+    window: std::time::Duration,
+) -> u64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use xarch_proto::{Client, Lease};
+
+    let addr = server.addr();
+    let latest = server.handle().latest();
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        if churn {
+            let writer = server.handle().clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    writer
+                        .add_version(&docs[i % docs.len()])
+                        .expect("churn merge");
+                    i += 1;
+                }
+            });
+        }
+        for t in 0..conns {
+            let stop = &stop;
+            let total = &total;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connects");
+                let mut v = 1 + (t as u32 % latest);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let doc = client
+                        .retrieve(Lease::FRESH, v)
+                        .expect("retrieve over wire");
+                    assert!(doc.is_some(), "seeded version {v} must be archived");
+                    v = v % latest + 1;
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed)
+}
+
+/// Service: network query throughput as client connections scale 1→8,
+/// idle vs with a curator ingesting concurrently — the serving story's
+/// headline property. Every request costs a frame round-trip and a
+/// fresh snapshot pin, and the concurrent-ingest rows show what a
+/// single writer landing merges does to read latency (reads never
+/// block: the handle is single-writer / multi-reader).
+pub fn fig_service(scale: &Scale) {
+    const WINDOW: std::time::Duration = std::time::Duration::from_millis(120);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "## Service: network queries/sec vs client connections, idle vs \
+         concurrent ingest (OMIM-like, 10 versions, {cores} hardware threads)"
+    );
+    println!("mode,connections,requests,requests_per_sec,speedup_vs_1");
+    let (server, docs) = start_service(scale);
+    for (mode, churn) in [("idle", false), ("concurrent-ingest", true)] {
+        let mut baseline = 0.0;
+        for conns in [1usize, 2, 4, 8] {
+            let requests = service_window(&server, conns, churn, &docs, WINDOW);
+            let per_sec = requests as f64 / WINDOW.as_secs_f64();
+            if conns == 1 {
+                baseline = per_sec;
+            }
+            println!(
+                "{mode},{conns},{requests},{per_sec:.0},{:.2}",
+                per_sec / baseline.max(1.0)
+            );
+        }
+    }
+    println!();
+}
+
+/// The service acceptance gate: with 4 client connections, queries/sec
+/// during concurrent ingest must not collapse more than 5× below the
+/// idle rate — a writer landing merges may tax readers, but it must
+/// never starve them — and both rates must be nonzero.
+pub fn service_sanity(scale: &Scale) -> Result<(), String> {
+    const WINDOW: std::time::Duration = std::time::Duration::from_millis(200);
+    const CONNS: usize = 4;
+    let (server, docs) = start_service(scale);
+    // warm the pool and the caches before either measured window
+    let _ = service_window(&server, CONNS, false, &docs, WINDOW / 4);
+    let idle = service_window(&server, CONNS, false, &docs, WINDOW);
+    let busy = service_window(&server, CONNS, true, &docs, WINDOW);
+    if idle == 0 || busy == 0 {
+        return Err(format!(
+            "service must answer queries in both modes: idle={idle}, concurrent-ingest={busy}"
+        ));
+    }
+    let ratio = idle as f64 / busy as f64;
+    if ratio > 5.0 {
+        return Err(format!(
+            "query throughput collapsed {ratio:.1}x under concurrent ingest \
+             (idle={idle} vs busy={busy} requests in {WINDOW:?})"
+        ));
+    }
+    Ok(())
+}
+
 /// Runs one experiment by id ("7", "11a", ..., "claims", "extmem",
 /// "index", "queries", "ablation", "durability", "concurrency",
-/// "ingest") or "all".
+/// "ingest", "service") or "all".
 pub fn run(fig: &str, scale: &Scale) -> bool {
     match fig {
         "7" => fig7(scale),
@@ -1150,6 +1292,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
         "durability" => fig_durability(scale),
         "concurrency" => fig_concurrency(scale),
         "ingest" => fig_ingest(scale),
+        "service" => fig_service(scale),
         "all" => {
             for f in [
                 "7",
@@ -1170,6 +1313,7 @@ pub fn run(fig: &str, scale: &Scale) -> bool {
                 "durability",
                 "concurrency",
                 "ingest",
+                "service",
             ] {
                 run(f, scale);
             }

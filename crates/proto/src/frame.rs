@@ -1,0 +1,253 @@
+//! The frame envelope: every message travels as `len · crc · body`.
+//!
+//! ```text
+//! ┌───────────────┬───────────────┬──────────────────┐
+//! │ len: u32 LE   │ crc: u32 LE   │ body (len bytes) │
+//! └───────────────┴───────────────┴──────────────────┘
+//! ```
+//!
+//! `len` counts the body bytes only; `crc` is the CRC-32 (IEEE, the
+//! storage layer's [`xarch_storage::crc32`]) of the body. The header is
+//! fixed at [`FRAME_HEADER_LEN`] bytes, and no frame body may exceed
+//! [`MAX_FRAME_LEN`] — receivers additionally enforce their own
+//! (possibly tighter) configured ceiling and reject the frame *before*
+//! reading its body, so an advertised 4 GiB length costs an attacker a
+//! connection, not the server an allocation.
+//!
+//! Reads are panic-free: every failure mode is a typed [`FrameError`],
+//! and a connection closed cleanly *between* frames is the distinct
+//! [`FrameError::Eof`] — the one "error" that is not an error.
+
+use std::io::{self, Read, Write};
+
+use xarch_storage::crc32;
+
+/// Bytes in the fixed frame header: a `u32` length plus a `u32` CRC.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// The protocol-level ceiling on a frame body's length, in bytes.
+/// Receivers may configure a tighter limit; they never accept more.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+    /// The connection failed or was truncated mid-frame (includes
+    /// read timeouts surfacing as `WouldBlock`/`TimedOut`).
+    Io(io::Error),
+    /// The header advertised a body longer than the receiver's limit.
+    TooLarge {
+        /// The advertised body length.
+        len: u32,
+        /// The receiver's configured ceiling.
+        max: u32,
+    },
+    /// The body's checksum did not match the header's CRC.
+    BadCrc {
+        /// The checksum the header carried.
+        expected: u32,
+        /// The checksum of the bytes actually received.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed at frame boundary"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::BadCrc { expected, found } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#010x}, body hashes to {found:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Decodes a little-endian `u32` at `at`, if the bytes are there.
+fn le_u32(buf: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let bytes: [u8; 4] = buf.get(at..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+/// Writes `body` as one frame: header (length + CRC) then the body.
+///
+/// Fails with `InvalidInput` when `body` exceeds [`MAX_FRAME_LEN`] —
+/// oversized messages must be rejected at the sender, not shipped to be
+/// rejected at the receiver.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame body of {} bytes exceeds MAX_FRAME_LEN", body.len()),
+            )
+        })?;
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let (len_bytes, crc_bytes) = header.split_at_mut(4);
+    len_bytes.copy_from_slice(&len.to_le_bytes());
+    crc_bytes.copy_from_slice(&crc32(body).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body, enforcing `max_len` (clamped to
+/// [`MAX_FRAME_LEN`]) *before* the body is read or allocated.
+///
+/// A connection closed before the first header byte is a clean
+/// [`FrameError::Eof`]; closed anywhere after that, a truncation
+/// ([`FrameError::Io`] with `UnexpectedEof`).
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < FRAME_HEADER_LEN {
+        let n = match header.get_mut(filled..) {
+            Some(rest) => r.read(rest)?,
+            None => 0,
+        };
+        if n == 0 {
+            if filled == 0 {
+                return Err(FrameError::Eof);
+            }
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid frame header",
+            )));
+        }
+        filled += n;
+    }
+    let len = le_u32(&header, 0).unwrap_or(0);
+    let expected = le_u32(&header, 4).unwrap_or(0);
+    let max = max_len.min(MAX_FRAME_LEN);
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let found = crc32(&body);
+    if found != expected {
+        return Err(FrameError::BadCrc { expected, found });
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, body).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trip() {
+        for body in [&b""[..], b"x", b"hello frame", &[0u8; 1024][..]] {
+            let bytes = frame_bytes(body);
+            assert_eq!(bytes.len(), FRAME_HEADER_LEN + body.len());
+            let got = read_frame(&mut bytes.as_slice(), MAX_FRAME_LEN).unwrap();
+            assert_eq!(got, body);
+        }
+    }
+
+    #[test]
+    fn clean_close_is_eof_truncation_is_io() {
+        // nothing at all: clean close
+        assert!(matches!(
+            read_frame(&mut [].as_slice(), MAX_FRAME_LEN),
+            Err(FrameError::Eof)
+        ));
+        let bytes = frame_bytes(b"payload");
+        // every strictly-partial prefix is a truncation, never Eof, never
+        // a success, never a panic
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut &bytes[..cut], MAX_FRAME_LEN).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Io(_)),
+                "cut at {cut}: expected Io, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = vec![0u8; FRAME_HEADER_LEN];
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice(), MAX_FRAME_LEN).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { .. }), "{err}");
+        // a receiver-configured limit tightens the protocol ceiling
+        let bytes = frame_bytes(&[7u8; 100]);
+        let err = read_frame(&mut bytes.as_slice(), 64).unwrap_err();
+        assert!(
+            matches!(err, FrameError::TooLarge { len: 100, max: 64 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_bodies_fail_the_crc() {
+        let reference = frame_bytes(b"check me");
+        for i in FRAME_HEADER_LEN..reference.len() {
+            let mut bytes = reference.clone();
+            bytes[i] ^= 0x40;
+            let err = read_frame(&mut bytes.as_slice(), MAX_FRAME_LEN).unwrap_err();
+            assert!(
+                matches!(err, FrameError::BadCrc { .. }),
+                "flip at {i}: {err}"
+            );
+        }
+        // a flipped CRC byte also fails
+        let mut bytes = frame_bytes(b"check me");
+        bytes[5] ^= 1;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), MAX_FRAME_LEN),
+            Err(FrameError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn sender_refuses_oversized_bodies() {
+        let body = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing may hit the wire");
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(FrameError::Eof.to_string().contains("closed"));
+        let e = FrameError::TooLarge { len: 9, max: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = FrameError::BadCrc {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `xarch-server` — serve an archive over TCP from a config file.
+//!
+//! ```text
+//! xarch-server <config-file>
+//! ```
+//!
+//! Reads and validates the config (see [`xarch_server::config`] for the
+//! format), builds the archive backend it describes, binds the listener,
+//! prints the bound address to stdout (one line, so scripts can scrape
+//! the ephemeral port), and serves until shut down — either remotely
+//! via the protocol's `Shutdown` verb (only when the config sets
+//! `allow_shutdown = true`) or by killing the process; the journal is
+//! group-committed, so an archive that answered an ingest has it on
+//! disk regardless.
+
+use std::process::ExitCode;
+
+use xarch_server::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(config_path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: xarch-server <config-file>");
+        return ExitCode::from(2);
+    };
+    let cfg = match ServerConfig::from_file(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("xarch-server: {config_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("xarch-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.wait();
+    ExitCode::SUCCESS
+}

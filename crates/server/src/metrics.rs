@@ -1,0 +1,108 @@
+//! The `server.*` metric family, registered once per server instance.
+
+use std::collections::HashMap;
+
+use xarch_obs::{Counter, Gauge, Histogram, Obs, Timer};
+
+/// Every verb that gets its own latency histogram
+/// (`server.<verb>.duration`, microseconds).
+pub(crate) const TIMED_VERBS: &[&str] = &[
+    "hello",
+    "ping",
+    "retrieve",
+    "as_of",
+    "history",
+    "history_values",
+    "range",
+    "diff",
+    "stats",
+    "latest",
+    "ingest",
+    "snap_open",
+    "snap_close",
+    "metrics",
+    "health",
+    "shutdown",
+];
+
+/// Atomic handles to the service metrics; cloning is cheap and
+/// recording is lock-free, so every worker holds its own copy.
+#[derive(Clone)]
+pub(crate) struct ServerMetrics {
+    /// `server.connections` — connections accepted since startup.
+    pub connections: Counter,
+    /// `server.connections_active` — connections currently open.
+    pub connections_active: Gauge,
+    /// `server.requests` — requests decoded and dispatched.
+    pub requests: Counter,
+    /// `server.rejected_frames` — frames refused before dispatch
+    /// (oversized length prefix, bad CRC).
+    pub rejected_frames: Counter,
+    /// `server.errors` — structured error responses sent.
+    pub errors: Counter,
+    /// `server.in_flight` — requests currently being answered.
+    pub in_flight: Gauge,
+    /// `server.leases_open` — snapshot leases currently held.
+    pub leases_open: Gauge,
+    verbs: HashMap<&'static str, Histogram>,
+}
+
+impl ServerMetrics {
+    pub(crate) fn register(obs: &Obs) -> Self {
+        let r = obs.registry();
+        let mut verbs = HashMap::new();
+        for verb in TIMED_VERBS {
+            verbs.insert(
+                *verb,
+                r.histogram(
+                    &format!("server.{verb}.duration"),
+                    "micros",
+                    "time to answer one request of this verb",
+                ),
+            );
+        }
+        ServerMetrics {
+            connections: r.counter(
+                "server.connections",
+                "connections",
+                "connections accepted since startup",
+            ),
+            connections_active: r.gauge(
+                "server.connections_active",
+                "connections",
+                "connections currently open",
+            ),
+            requests: r.counter(
+                "server.requests",
+                "requests",
+                "requests decoded and dispatched",
+            ),
+            rejected_frames: r.counter(
+                "server.rejected_frames",
+                "frames",
+                "frames refused before dispatch (oversize, bad crc)",
+            ),
+            errors: r.counter(
+                "server.errors",
+                "responses",
+                "structured error responses sent",
+            ),
+            in_flight: r.gauge(
+                "server.in_flight",
+                "requests",
+                "requests currently being answered",
+            ),
+            leases_open: r.gauge(
+                "server.leases_open",
+                "leases",
+                "snapshot leases currently held across all connections",
+            ),
+            verbs,
+        }
+    }
+
+    /// Starts the latency timer for `verb` (records on drop).
+    pub(crate) fn verb_timer(&self, verb: &str) -> Option<Timer> {
+        self.verbs.get(verb).map(|h| h.start_timer())
+    }
+}

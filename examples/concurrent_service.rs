@@ -1,43 +1,65 @@
-//! A concurrent archive service: one curator merging new versions while
-//! reader threads serve consistent temporal queries from snapshots.
+//! A concurrent archive service, embedded: one process runs the real
+//! `xarch-server` (`crates/server`), its curator merges new versions
+//! in-process through the served [`xarch::ArchiveHandle`], and reader
+//! threads are genuine network clients — each [`xarch_proto::Client`]
+//! leases a pinned snapshot over the wire (`snap_open`) and gets
+//! repeatable reads across as many queries as it likes, no matter how
+//! many merges land meanwhile.
 //!
 //! This is the deployment shape the paper's archive is meant for — a
-//! long-lived query service over an append-only corpus. The
-//! [`xarch::ArchiveHandle`] gives it single-writer / multi-reader
-//! semantics over any backend; each reader pins a [`xarch::Snapshot`] and
-//! gets repeatable reads across as many queries as it likes, no matter
-//! how many merges land meanwhile.
+//! long-lived query service over an append-only corpus. The wire
+//! protocol the readers speak is specified in `docs/PROTOCOL.md`;
+//! `examples/serve_and_query.rs` shows the fully remote variant where
+//! even the curator ingests over the wire.
 //!
 //!     cargo run --release --example concurrent_service
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use xarch::core::KeyQuery;
-use xarch::datagen::omim::{omim_spec, OmimGen};
-use xarch::{ArchiveBuilder, StoreReader};
+use xarch::datagen::omim::OmimGen;
+use xarch::StoreReader;
+use xarch_proto::Client;
+use xarch_server::{Server, ServerConfig};
 
 const VERSIONS: usize = 24;
 const RECORDS: usize = 60;
 const READERS: usize = 4;
 
+/// The OMIM key spec, as config `spec =` lines — the same spec
+/// `xarch::datagen::omim::omim_spec()` parses.
+const OMIM_SPEC: &str = "(/, (ROOT, {}))\n\
+    (/ROOT, (Record, {Num}))\n\
+    (/ROOT/Record, (Title, {}))\n\
+    (/ROOT/Record, (AlternativeTitle, {\\e}))\n\
+    (/ROOT/Record, (Text, {}))\n\
+    (/ROOT/Record, (Contributors, {Name, CNtype, Date/Month, Date/Day, Date/Year}))\n\
+    (/ROOT/Record/Contributors, (Date, {}))\n\
+    (/ROOT/Record, (Creation_Date, {Name, Date/Month, Date/Day, Date/Year}))\n\
+    (/ROOT/Record/Creation_Date, (Date, {}))";
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // An indexed in-memory archive behind a shared handle; swap in
-    // `.chunks(..)`, `.backend(Backend::ExtMem(..))` or `.durable(path)`
-    // and nothing below changes.
-    let handle = ArchiveBuilder::new(omim_spec())
-        .with_index()
-        .try_build_shared()?;
+    // An indexed in-memory archive served over TCP; swap the backend
+    // line for `backend = chunked:8` or `backend = extmem` (or add
+    // `durable = path`) and nothing below changes.
+    let mut config = String::from("listen = 127.0.0.1:0\nworkers = 4\nindexed = true\n");
+    for line in OMIM_SPEC.lines() {
+        config.push_str(&format!("spec = {line}\n"));
+    }
+    let server = Server::start(ServerConfig::from_text(&config)?)?;
+    let addr = server.addr();
+    println!("xarch-server listening on {addr}");
 
     let versions = OmimGen::new(0xC0FFEE).sequence(RECORDS, VERSIONS);
     // seed the first version so readers have something to pin
-    handle.add_version(&versions[0])?;
+    server.handle().add_version(&versions[0])?;
 
     let done = AtomicBool::new(false);
     let queries_served = AtomicU64::new(0);
 
-    std::thread::scope(|s| -> Result<(), xarch::StoreError> {
-        // ---- the curator: keeps merging new versions -------------------
-        let writer = handle.clone();
+    std::thread::scope(|s| {
+        // ---- the curator: merges in-process through the served handle ----
+        let writer = server.handle().clone();
         let writer_done = &done;
         s.spawn(move || {
             for doc in &versions[1..] {
@@ -46,42 +68,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             writer_done.store(true, Ordering::Release);
         });
 
-        // ---- the service: each reader works off its own snapshot -------
+        // ---- the service: each reader is a network client on a lease -----
         for r in 0..READERS {
-            let reader = handle.clone();
             let done = &done;
             let served = &queries_served;
             s.spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connects");
                 let mut last_pin = 0;
                 while !done.load(Ordering::Acquire) || last_pin < VERSIONS as u32 {
-                    let snap = reader.snapshot();
-                    last_pin = snap.pinned();
+                    let (lease, pin) = client.open_snapshot().expect("lease");
+                    last_pin = pin;
                     // a consistent bundle of queries at one pinned version:
                     // whatever lands behind us, these answers agree
-                    let root = [KeyQuery::new("ROOT")];
-                    let recs = snap.range(&root, 1..=last_pin).expect("range");
-                    let full = snap.retrieve(last_pin).expect("retrieve");
+                    let root = vec![KeyQuery::new("ROOT")];
+                    let recs = client.range(lease, &root, 1, last_pin).expect("range");
+                    let full = client.retrieve(lease, last_pin).expect("retrieve");
                     assert_eq!(
                         full.is_some(),
                         !recs.is_empty(),
                         "r{r}: snapshot must be internally consistent"
                     );
                     if let Some(first) = recs.first() {
-                        let q = [root[0].clone(), first.step.clone()];
-                        let hist = snap.history(&q).expect("history").expect("exists");
+                        let q = vec![root[0].clone(), first.step.clone()];
+                        let hist = client.history(lease, &q).expect("history");
+                        let hist = hist.expect("exists");
                         // the pinned world ends at the pin
                         assert!(hist.versions().all(|v| v <= last_pin));
                     }
+                    client.close_snapshot(lease).expect("close");
                     served.fetch_add(3, Ordering::Relaxed);
                 }
             });
         }
-        Ok(())
-    })?;
+    });
 
-    let final_snap = handle.snapshot();
+    let final_snap = server.handle().snapshot();
     println!(
-        "merged {} versions while {READERS} readers served {} snapshot queries",
+        "merged {} versions while {READERS} network readers served {} leased queries",
         final_snap.latest(),
         queries_served.load(Ordering::Relaxed),
     );

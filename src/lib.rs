@@ -135,6 +135,13 @@
 //! snapshot readers, and `tests/concurrency.rs` for the stress proof that
 //! snapshot answers are byte-identical to serial replays.
 //!
+//! To serve that contract over the network, `xarch-server`
+//! (`crates/server`) owns an [`ArchiveHandle`] behind a TCP worker pool
+//! and answers the whole query surface plus batched ingest over the
+//! `xarch_proto` wire protocol — each request from a fresh snapshot pin
+//! or a client-held lease (`docs/PROTOCOL.md` is the byte-level spec;
+//! [`ArchiveBuilder::try_build_served`] is the construction hook).
+//!
 //! ## Workspace layout
 //!
 //! * [`xml`] — XML model, parser, writers, value order, canonical form;
@@ -160,12 +167,17 @@
 //! * [`datagen`] — OMIM/Swiss-Prot/XMark-like generators and the paper's
 //!   change simulators.
 //!
+//! Two service crates sit on top of the facade (and are therefore not
+//! re-exported here): `xarch_proto` (`crates/proto`), the CRC-framed
+//! wire protocol and blocking client, and `xarch_server`
+//! (`crates/server`), the `xarch-server` network archive service.
+//!
 //! ## Tooling
 //!
 //! | tool | run | enforces |
 //! |---|---|---|
 //! | `xarch_analysis` (`crates/analysis`) | `cargo run --release -p xarch_analysis -- check` | panic-freedom in decode/recovery paths, no lock guard across fsync/snapshot, no truncating casts in `storage`, `&self` [`StoreReader`] methods + `Send`/`Sync` store impls, `// SAFETY:` on every `unsafe` block, no ad-hoc `Instant::now()` timing or `eprintln!` event logging outside `xarch_obs` in library code |
-//! | docs drift gate (`tests/docs.rs`) | `cargo test --test docs` | `docs/FORMAT.md`'s magic / format-revision / layout constants match `crates/storage` source (golden test), and every intra-repo link in `README.md` / `docs/*.md` resolves |
+//! | docs drift gate (`tests/docs.rs`) | `cargo test --test docs` | `docs/FORMAT.md`'s magic / format-revision / layout constants match `crates/storage` source, `docs/PROTOCOL.md`'s handshake constants / verb bytes / error codes match `crates/proto` source (golden tests), and every intra-repo link in `README.md` / `docs/*.md` resolves |
 //!
 //! The analyzer runs in CI as a required gate; deliberate exemptions use
 //! in-place `// xarch-allow: <rule> -- <reason>` comments, all of which

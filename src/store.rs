@@ -261,6 +261,20 @@ impl ArchiveBuilder {
         self.try_build_shared()
             .expect("archive construction failed")
     }
+
+    /// Builds the configured store for *serving*: a shared
+    /// [`ArchiveHandle`] plus the [`Obs`] instance every layer reports
+    /// into. This is the hook the `xarch_server` crate calls — a service
+    /// needs both the handle (to pin per-request snapshots) and the
+    /// observability registry (to register its own `server.*` metrics
+    /// and render the exposition), so an `Obs` is created here when the
+    /// builder was not already given one via
+    /// [`ArchiveBuilder::with_observability`].
+    pub fn try_build_served(mut self) -> Result<(ArchiveHandle, Obs), StoreError> {
+        let obs = self.observability.get_or_insert_with(Obs::new).clone();
+        let handle = self.try_build_shared()?;
+        Ok((handle, obs))
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
-//! The docs drift gate: `docs/FORMAT.md` is normative, so its constants
-//! are asserted against the storage source (a golden test), and every
-//! intra-repo markdown link in `README.md` / `docs/*.md` must resolve —
-//! a renamed file or section fails CI instead of silently breaking the
-//! spec's cross-references.
+//! The docs drift gate: `docs/FORMAT.md` and `docs/PROTOCOL.md` are
+//! normative, so their constants, verb bytes, and error codes are
+//! asserted against the storage and wire-protocol sources (golden
+//! tests), and every intra-repo markdown link in `README.md` /
+//! `docs/*.md` must resolve — a renamed file or section fails CI
+//! instead of silently breaking the specs' cross-references.
 
 use std::path::{Path, PathBuf};
 
@@ -16,9 +17,9 @@ fn read(path: &Path) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
 }
 
-// ---------- the FORMAT.md golden test ----------
+// ---------- golden-test helpers ----------
 
-/// Evaluates the constant notations FORMAT.md's tables use: decimal,
+/// Evaluates the constant notations the specs' tables use: decimal,
 /// hex with optional underscores, and `a << b` shifts.
 fn eval(expr: &str) -> Option<u64> {
     let expr = expr.trim();
@@ -42,12 +43,29 @@ fn table_value<'a>(doc: &'a str, name: &str) -> &'a str {
             cells.next(); // before the leading pipe
             cells.next() == Some(&format!("`{name}`"))
         })
-        .unwrap_or_else(|| panic!("FORMAT.md has no table row for `{name}`"));
+        .unwrap_or_else(|| panic!("the spec has no table row for `{name}`"));
     let cell = row.split('|').map(str::trim).nth(2).unwrap_or_default();
     cell.strip_prefix('`')
         .and_then(|c| c.strip_suffix('`'))
         .unwrap_or_else(|| panic!("`{name}` row's value cell {cell:?} is not backticked"))
 }
+
+/// Slices out one `## heading` section, so tables in different sections
+/// may reuse row names (the protocol's verb and response tables both
+/// have a `history` row).
+fn section<'a>(doc: &'a str, heading: &str) -> &'a str {
+    let header = format!("## {heading}");
+    let start = doc
+        .find(&header)
+        .unwrap_or_else(|| panic!("the spec has no `{header}` section"));
+    let body = &doc[start + header.len()..];
+    match body.find("\n## ") {
+        Some(end) => &body[..end],
+        None => body,
+    }
+}
+
+// ---------- the FORMAT.md golden test ----------
 
 #[test]
 fn format_spec_constants_match_the_storage_source() {
@@ -136,6 +154,154 @@ fn format_spec_state_tags_match_the_source() {
             "FORMAT.md §Checkpoint blocks has no state-tag row mapping {tag} to {backend}"
         );
     }
+}
+
+// ---------- the PROTOCOL.md golden tests ----------
+
+#[test]
+fn protocol_spec_constants_match_the_proto_source() {
+    let doc = read(&repo_root().join("docs/PROTOCOL.md"));
+    // the handshake magic is documented as its ASCII text
+    assert_eq!(
+        table_value(&doc, "PROTO_MAGIC").as_bytes(),
+        &xarch_proto::PROTO_MAGIC,
+        "PROTOCOL.md magic diverged from xarch_proto::PROTO_MAGIC"
+    );
+    let numeric: &[(&str, u64)] = &[
+        ("PROTO_VERSION", u64::from(xarch_proto::PROTO_VERSION)),
+        (
+            "MIN_PROTO_VERSION",
+            u64::from(xarch_proto::MIN_PROTO_VERSION),
+        ),
+        ("FRAME_HEADER_LEN", xarch_proto::FRAME_HEADER_LEN as u64),
+        ("MAX_FRAME_LEN", u64::from(xarch_proto::MAX_FRAME_LEN)),
+    ];
+    for (name, actual) in numeric {
+        let cell = table_value(&doc, name);
+        let documented = eval(cell)
+            .unwrap_or_else(|| panic!("`{name}` value {cell:?} does not evaluate to a number"));
+        assert_eq!(
+            documented, *actual,
+            "PROTOCOL.md documents `{name}` as {cell} but the source says {actual}"
+        );
+    }
+}
+
+/// Asserts every `(name, byte)` pair has a row in the section's table,
+/// and that the table has no extra rows — an undocumented verb is as
+/// much drift as a misdocumented one.
+fn assert_byte_table(sec: &str, what: &str, rows: &[(&str, u8)]) {
+    for (name, byte) in rows {
+        let cell = table_value(sec, name);
+        let documented = eval(cell)
+            .unwrap_or_else(|| panic!("`{name}` value {cell:?} does not evaluate to a number"));
+        assert_eq!(
+            documented,
+            u64::from(*byte),
+            "PROTOCOL.md documents {what} `{name}` as {cell} but the source says {byte:#04x}"
+        );
+    }
+    let data_rows = sec
+        .lines()
+        .filter(|l| l.starts_with("| `") && !l.contains("---"))
+        .count();
+    assert_eq!(
+        data_rows,
+        rows.len(),
+        "PROTOCOL.md's {what} table has {data_rows} rows but the source assigns {} — \
+         document the new {what} and bump the revision history",
+        rows.len()
+    );
+}
+
+#[test]
+fn protocol_spec_verb_table_matches_the_source() {
+    use xarch_proto::msg::verbs;
+    let doc = read(&repo_root().join("docs/PROTOCOL.md"));
+    assert_byte_table(
+        section(&doc, "Request verbs"),
+        "verb",
+        &[
+            ("hello", verbs::HELLO),
+            ("ping", verbs::PING),
+            ("retrieve", verbs::RETRIEVE),
+            ("as_of", verbs::AS_OF),
+            ("history", verbs::HISTORY),
+            ("history_values", verbs::HISTORY_VALUES),
+            ("range", verbs::RANGE),
+            ("diff", verbs::DIFF),
+            ("stats", verbs::STATS),
+            ("latest", verbs::LATEST),
+            ("ingest", verbs::INGEST),
+            ("snap_open", verbs::SNAP_OPEN),
+            ("snap_close", verbs::SNAP_CLOSE),
+            ("metrics", verbs::METRICS),
+            ("health", verbs::HEALTH),
+            ("shutdown", verbs::SHUTDOWN),
+        ],
+    );
+}
+
+#[test]
+fn protocol_spec_response_tag_table_matches_the_source() {
+    use xarch_proto::msg::tags;
+    let doc = read(&repo_root().join("docs/PROTOCOL.md"));
+    assert_byte_table(
+        section(&doc, "Response tags"),
+        "response tag",
+        &[
+            ("hello-ok", tags::HELLO_OK),
+            ("pong", tags::PONG),
+            ("document", tags::DOCUMENT),
+            ("history", tags::HISTORY),
+            ("history-values", tags::HISTORY_VALUES),
+            ("range", tags::RANGE),
+            ("diff", tags::DIFF),
+            ("stats", tags::STATS),
+            ("latest", tags::LATEST),
+            ("ingested", tags::INGESTED),
+            ("snap-opened", tags::SNAP_OPENED),
+            ("snap-closed", tags::SNAP_CLOSED),
+            ("metrics", tags::METRICS),
+            ("health", tags::HEALTH),
+            ("shutting-down", tags::SHUTTING_DOWN),
+            ("error", tags::ERROR),
+        ],
+    );
+}
+
+#[test]
+fn protocol_spec_error_code_table_matches_the_source() {
+    use xarch_proto::ErrorCode;
+    let doc = read(&repo_root().join("docs/PROTOCOL.md"));
+    let sec = section(&doc, "Error codes");
+    let mut codes = Vec::new();
+    for byte in 1u8.. {
+        match ErrorCode::from_code(byte) {
+            Some(code) => codes.push(code),
+            None => break,
+        }
+    }
+    for code in &codes {
+        let cell = table_value(sec, code.name());
+        assert_eq!(
+            eval(cell),
+            Some(u64::from(code.code())),
+            "PROTOCOL.md documents `{}` as code {cell} but the source says {}",
+            code.name(),
+            code.code()
+        );
+    }
+    let data_rows = sec
+        .lines()
+        .filter(|l| l.starts_with("| `") && !l.contains("---"))
+        .count();
+    assert_eq!(
+        data_rows,
+        codes.len(),
+        "PROTOCOL.md's error-code table disagrees with ErrorCode — \
+         document the new code and bump the revision history"
+    );
 }
 
 // ---------- the intra-repo link checker ----------

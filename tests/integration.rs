@@ -204,6 +204,16 @@ fn durability_figure_shows_flat_checkpointed_reopen_and_cold_reads() {
     xarch_bench::figures::durability_sanity(&scale).unwrap();
 }
 
+#[test]
+fn service_figure_shows_ingest_does_not_starve_network_readers() {
+    // The serving acceptance gate: with 4 client connections streaming
+    // retrieves over real sockets, queries/sec during concurrent ingest
+    // must stay within 5x of the idle rate — the single-writer /
+    // multi-reader handle means merges tax readers but never starve them.
+    let scale = xarch_bench_scale();
+    xarch_bench::figures::service_sanity(&scale).unwrap();
+}
+
 fn xarch_bench_scale() -> xarch_bench::figures::Scale {
     // large enough that the compression margin (which grows with version
     // count) is decisive, small enough for test time
