@@ -9,8 +9,9 @@
 //!   no `unwrap`/`expect`/`panic!`-family macros/slice-indexing outside
 //!   `#[cfg(test)]`.
 //! * **lock-discipline** — no `RwLock`/`Mutex` guard binding may live
-//!   across an fsync (`sync_all`/`sync_data`/`fsync`) or a `.snapshot()`
-//!   construction.
+//!   across an fsync (`sync_all`/`sync_data`/`fsync`), a `.snapshot()`
+//!   construction, or a `publish(..)` call (the snapshot-publication
+//!   point must flip readers with no stripe or slot lock held).
 //! * **cast-safety** — no truncating `as` casts on offset/length
 //!   arithmetic in `crates/storage`; use `try_into`/checked conversions.
 //! * **api-contract** — `StoreReader` impl methods take `&self`, and every

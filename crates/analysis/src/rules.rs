@@ -151,13 +151,15 @@ const GUARD_ACQUIRERS: [&str; 3] = ["read", "write", "lock"];
 const SYNC_CALLS: [&str; 4] = ["sync_all", "sync_data", "fsync", "fdatasync"];
 
 /// Rule 2 — **lock-discipline**: a `let`-bound `RwLock`/`Mutex` guard must
-/// not stay live across an fsync (`sync_all`/`sync_data`/`fsync`) or a
-/// `.snapshot()` construction — a blocked reader must never be waiting on
-/// the disk. Detection: a `let` whose initializer *ends* in `.read()` /
-/// `.write()` / `.lock()` (optionally followed by `?` / `.unwrap()` /
-/// `.expect(..)`) binds a guard; any sync call or snapshot construction
-/// before the binding's scope closes (or an explicit `drop(guard)`) is a
-/// violation.
+/// not stay live across an fsync (`sync_all`/`sync_data`/`fsync`), a
+/// `.snapshot()` construction, or a `publish(..)` call — a blocked reader
+/// must never be waiting on the disk, and the snapshot-publication point
+/// (the atomic flip that redirects every reader) must run with no stripe
+/// or slot lock held. Detection: a `let` whose initializer *ends* in
+/// `.read()` / `.write()` / `.lock()` (optionally followed by `?` /
+/// `.unwrap()` / `.expect(..)`) binds a guard; any sync call, snapshot
+/// construction, or publication before the binding's scope closes (or an
+/// explicit `drop(guard)`) is a violation.
 pub fn lock_discipline(ctx: &FileCtx<'_>) -> Vec<RawDiag> {
     let t = ctx.toks;
     let depth = brace_depths(t);
@@ -225,8 +227,18 @@ pub fn lock_discipline(ctx: &FileCtx<'_>) -> Vec<RawDiag> {
                     &t[k + 1],
                     format!(
                         "lock guard `{name}` is live across `.snapshot()` construction — \
-                         taking a snapshot acquires the shared read lock and can deadlock \
-                         behind a queued writer"
+                         pin snapshots off the published word, not from inside a locked \
+                         section"
+                    ),
+                ));
+            }
+            if t[k].is_ident("publish") && t.get(k + 1).is_some_and(|x| x.is_punct('(')) {
+                out.push(diag(
+                    &t[k],
+                    format!(
+                        "lock guard `{name}` is live across `publish()` — the publication \
+                         point redirects every reader with one atomic flip and must run \
+                         with no stripe or slot lock held; drop the guard first"
                     ),
                 ));
             }

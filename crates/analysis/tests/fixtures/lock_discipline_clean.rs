@@ -32,3 +32,10 @@ pub fn io_read_is_not_a_lock(reader: &mut impl std::io::Read, file: &std::fs::Fi
     file.sync_all().ok();
     let _ = n;
 }
+
+pub fn publish_after_guard_drops(shared: &Shared, lock: &std::sync::RwLock<u32>) {
+    let guard = lock.write().unwrap();
+    let pin = *guard;
+    drop(guard);
+    shared.publish(pin);
+}

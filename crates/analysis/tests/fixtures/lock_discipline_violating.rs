@@ -22,3 +22,9 @@ pub fn fsync_under_read_guard_with_question_mark(
     drop(pinned);
     Ok(())
 }
+
+pub fn publish_under_slot_guard(shared: &Shared, lock: &std::sync::RwLock<u32>) {
+    let guard = lock.write().unwrap();
+    shared.publish(*guard); //~ lock-discipline
+    drop(guard);
+}

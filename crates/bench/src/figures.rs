@@ -1040,24 +1040,83 @@ fn probe_fsync_ms() -> f64 {
     per
 }
 
+/// One measured window of the concurrency experiment: `threads` reader
+/// threads each pin a snapshot off `handle` and stream whole versions
+/// (bounded by their own pin) in a tight loop until the window closes;
+/// with `churn`, one extra thread merges documents through the same
+/// handle the whole time, so every read races live publications. Returns
+/// the total reads completed.
+fn snapshot_read_window(
+    handle: &xarch::ArchiveHandle,
+    threads: usize,
+    window: std::time::Duration,
+    churn: Option<&[Document]>,
+) -> u64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use xarch::StoreReader;
+
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        if let Some(docs) = churn {
+            let writer = handle.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    writer
+                        .add_version(&docs[i % docs.len()])
+                        .expect("churn merge");
+                    i += 1;
+                }
+            });
+        }
+        for t in 0..threads {
+            let snap = handle.snapshot();
+            let stop = &stop;
+            let total = &total;
+            s.spawn(move || {
+                let latest = snap.pinned();
+                let mut sink = Vec::new();
+                let mut v = 1 + (t as u32 % latest);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    sink.clear();
+                    snap.retrieve_into(v, &mut sink).expect("read");
+                    v = v % latest + 1;
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed)
+}
+
 /// Concurrency: snapshot read throughput as reader threads scale 1→8 —
 /// the shared-read API's headline property. Each thread clones the
 /// `ArchiveHandle`, pins a snapshot, and streams whole versions in a
-/// tight loop for a fixed wall-clock window; reads are `&self` behind a
-/// read lock, so throughput should scale with the thread count until the
-/// memory system saturates. Measured on the in-memory backend and on the
-/// durable wrapper (whose reads bypass the journal entirely).
+/// tight loop for a fixed wall-clock window; reads are wait-free (one
+/// atomic load finds the published instance, no lock is ever awaited), so
+/// throughput should scale with the thread count until the memory system
+/// saturates. Measured on the in-memory backend, on the durable wrapper
+/// (whose reads bypass the journal entirely), and — the publication
+/// protocol's signature row — on the in-memory backend with a **writer
+/// continuously merging**: queued merges divert readers to the passive
+/// instance instead of blocking them, so the curve should track the
+/// writer-idle one instead of flattening to the merge rate.
 pub fn fig_concurrency(scale: &Scale) {
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::time::Duration;
     use xarch::storage::scratch_path;
-    use xarch::{ArchiveHandle, StoreReader};
+    use xarch::ArchiveHandle;
 
     const WINDOW: Duration = Duration::from_millis(120);
 
     // speedup is bounded by the machine: on a single hardware thread the
     // curve is flat (the interesting signal there is that it does not
-    // *degrade* — readers never block each other)
+    // *degrade* — readers never block each other, writer active or not)
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "## Concurrency: snapshot read throughput vs reader threads \
@@ -1067,11 +1126,12 @@ pub fn fig_concurrency(scale: &Scale) {
     let spec = omim_spec();
     let versions = OmimGen::new(0x5EED).sequence(scale.omim_records / 3, 10);
 
-    let configs: Vec<(&str, Option<std::path::PathBuf>)> = vec![
-        ("in-memory", None),
-        ("durable", Some(scratch_path("bench-concurrency"))),
+    let configs: Vec<(&str, Option<std::path::PathBuf>, bool)> = vec![
+        ("in-memory", None, false),
+        ("durable", Some(scratch_path("bench-concurrency")), false),
+        ("in-memory+writer", None, true),
     ];
-    for (label, path) in configs {
+    for (label, path, writer_active) in configs {
         let store = match &path {
             None => ArchiveBuilder::new(spec.clone()).build(),
             Some(p) => ArchiveBuilder::new(spec.clone())
@@ -1083,33 +1143,10 @@ pub fn fig_concurrency(scale: &Scale) {
         for d in &versions {
             handle.add_version(d).expect("merge");
         }
-        let latest = handle.latest();
         let mut baseline = 0.0;
         for threads in 1..=8usize {
-            let stop = AtomicBool::new(false);
-            let total = AtomicU64::new(0);
-            std::thread::scope(|s| {
-                for t in 0..threads {
-                    let snap = handle.snapshot();
-                    let stop = &stop;
-                    let total = &total;
-                    s.spawn(move || {
-                        let mut sink = Vec::new();
-                        let mut v = 1 + (t as u32 % latest);
-                        let mut n = 0u64;
-                        while !stop.load(Ordering::Relaxed) {
-                            sink.clear();
-                            snap.retrieve_into(v, &mut sink).expect("read");
-                            v = v % latest + 1;
-                            n += 1;
-                        }
-                        total.fetch_add(n, Ordering::Relaxed);
-                    });
-                }
-                std::thread::sleep(WINDOW);
-                stop.store(true, Ordering::Relaxed);
-            });
-            let reads = total.load(Ordering::Relaxed);
+            let churn = writer_active.then_some(versions.as_slice());
+            let reads = snapshot_read_window(&handle, threads, WINDOW, churn);
             let per_sec = reads as f64 / WINDOW.as_secs_f64();
             if threads == 1 {
                 baseline = per_sec;
@@ -1125,6 +1162,62 @@ pub fn fig_concurrency(scale: &Scale) {
         }
     }
     println!();
+}
+
+/// CI gate over the concurrency figure: snapshot reads must be genuinely
+/// wait-free. Fails if 8 reader threads are slower than half of one
+/// reader (readers blocking each other), if an actively-merging writer
+/// collapses 8-reader throughput by more than 4x (readers queueing behind
+/// the writer — the failure mode of a global writer-priority RwLock), or,
+/// on machines with ≥ 4 hardware threads, if 8 readers racing a live
+/// writer fail to out-read a single writer-idle reader (no scaling past
+/// one thread). Margins are deliberately loose: real schedulers jitter,
+/// and regressions here are order-of-magnitude events, not percentages.
+pub fn concurrency_sanity(scale: &Scale) -> Result<(), String> {
+    use std::time::Duration;
+    use xarch::ArchiveHandle;
+
+    const WINDOW: Duration = Duration::from_millis(150);
+    const THREADS: usize = 8;
+
+    let spec = omim_spec();
+    let versions = OmimGen::new(0x5EED).sequence((scale.omim_records / 6).max(20), 10);
+    let handle = ArchiveHandle::new(ArchiveBuilder::new(spec).build());
+    for d in &versions {
+        handle.add_version(d).map_err(|e| e.to_string())?;
+    }
+
+    // warm caches and the thread pool before any measured window
+    let _ = snapshot_read_window(&handle, 1, WINDOW / 4, None);
+    let single = snapshot_read_window(&handle, 1, WINDOW, None);
+    let idle = snapshot_read_window(&handle, THREADS, WINDOW, None);
+    let busy = snapshot_read_window(&handle, THREADS, WINDOW, Some(&versions));
+    if single == 0 || idle == 0 || busy == 0 {
+        return Err(format!(
+            "readers must make progress in every mode: single={single}, \
+             idle-8={idle}, writer-active-8={busy}"
+        ));
+    }
+    if idle * 2 < single {
+        return Err(format!(
+            "8 idle readers completed fewer than half of one reader's reads \
+             ({idle} vs {single}) — readers are contending with each other"
+        ));
+    }
+    if busy * 4 < idle {
+        return Err(format!(
+            "an active writer collapsed 8-reader throughput more than 4x \
+             ({busy} vs {idle}) — readers are queueing behind merges"
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 && busy < single {
+        return Err(format!(
+            "with {cores} hardware threads, 8 readers racing a live writer \
+             ({busy} reads) should out-read one writer-idle reader ({single})"
+        ));
+    }
+    Ok(())
 }
 
 /// Starts an `xarch-server` over an OMIM-shaped archive seeded with 10

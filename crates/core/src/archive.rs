@@ -329,6 +329,82 @@ impl Archive {
         }
     }
 
+    /// Aggregate statistics of the archive *as it stood* after version `v`
+    /// merged. A node counts iff its effective timestamp intersects
+    /// `1..=v`; merging later versions never changes that membership
+    /// (append-only: a merge decides only its own version number), so the
+    /// answer is a pure function of the first `v` versions and stays
+    /// fixed while the live archive grows. Explicit-time and interval
+    /// counts follow the canonical clamped rendering rule of
+    /// [`Archive::to_xml_at`]: a timestamp counts as explicit iff its
+    /// clamp to `1..=v` differs from the parent's clamped effective time.
+    pub fn stats_at(&self, v: u32) -> ArchiveStats {
+        let mut s = ArchiveStats {
+            elements: 0,
+            texts: 0,
+            stamps: 0,
+            explicit_times: 0,
+            intervals: 0,
+        };
+        // The root always counts (its clamped time is explicit by
+        // definition — `to_xml_at` always wraps the root), even at v=0
+        // when its clamped timestamp is empty.
+        let root_time = self.effective_time(self.root).clamp_range(1, v);
+        s.elements += 1;
+        s.explicit_times += 1;
+        s.intervals += root_time.run_count();
+        let children: Vec<ANodeId> = self.node(self.root).children.clone();
+        for c in children {
+            self.stats_at_rec(c, &root_time, v, &mut s);
+        }
+        s
+    }
+
+    fn stats_at_rec(&self, id: ANodeId, parent_eff: &TimeSet, v: u32, s: &mut ArchiveStats) {
+        let n = self.node(id);
+        let clamped = match &n.time {
+            Some(t) => t.clamp_range(1, v),
+            None => parent_eff.clone(),
+        };
+        if clamped.is_empty() {
+            // Invisible at every version ≤ v — the node (and, by the §2
+            // superset invariant, its whole subtree) joined later.
+            return;
+        }
+        match n.kind {
+            AKind::Element(_) => s.elements += 1,
+            AKind::Text(_) => s.texts += 1,
+            AKind::Stamp => {
+                // Canonical stamp elision: a merge only wraps a text
+                // alternative in a stamp when it does NOT span its
+                // element's whole lifetime. If the clamp to `1..=v` makes
+                // this the sole surviving alternative covering the
+                // parent's entire clamped existence, a serial replay of
+                // versions `1..=v` would have stored it unwrapped — count
+                // it that way, or the answer would depend on merges > v.
+                if clamped == *parent_eff {
+                    for &c in &n.children {
+                        self.stats_at_rec(c, parent_eff, v, s);
+                    }
+                    return;
+                }
+                s.stamps += 1;
+            }
+        }
+        // Canonical explicitness: a (non-elided) stamp always renders with
+        // its clamped time; any other node renders a wrapper iff its
+        // clamped time differs from the parent's clamped effective time.
+        let explicit =
+            matches!(n.kind, AKind::Stamp) || (n.time.is_some() && clamped != *parent_eff);
+        if explicit {
+            s.explicit_times += 1;
+            s.intervals += clamped.run_count();
+        }
+        for &c in &n.children {
+            self.stats_at_rec(c, &clamped, v, s);
+        }
+    }
+
     /// Checks the structural invariants of the archive, returning a
     /// description of the first violation (tests call this after every
     /// merge):

@@ -172,33 +172,17 @@ impl ChunkedArchive {
 
     /// Partitions `doc`'s top-level keyed children by key hash and merges
     /// each partition into its chunk.
+    ///
+    /// Routed through [`ChunkedArchive::add_versions`] as a one-document
+    /// batch: every possible rejection (whole-document *and* per-chunk
+    /// sub-document validation) happens before any chunk is touched, and
+    /// the per-chunk merges then run as independent, infallible stripes on
+    /// worker threads. The old serial loop could fail after some chunks
+    /// had already advanced, desynchronizing the partition version
+    /// counters; the batch path structurally cannot.
     pub fn add_version(&mut self, doc: &Document) -> Result<u32, MergeError> {
-        let ann = annotate(doc, &self.spec)?;
-        let root = doc.root();
-        // Reject unkeyed roots here, before any chunk or the root tag is
-        // touched — a failed add must leave the store unchanged (the chunk
-        // merges below cannot fail once the whole document annotated and
-        // its root is keyed).
-        if !ann.is_keyed(root) {
-            return Err(MergeError::UnkeyedRoot(doc.tag_name(root).to_owned()));
-        }
-        let root_tag = doc.tag_name(root).to_owned();
-        if let Some(prev) = &self.root_tag {
-            debug_assert_eq!(prev, &root_tag, "root tag must be stable across versions");
-        }
-
-        // Merge every chunk's sub-document. Every chunk gets a version each
-        // round so version numbers stay aligned.
-        let mut assigned = None;
-        for (i, sub) in self.sub_documents(doc, &ann).iter().enumerate() {
-            let v = self.chunks[i].add_version(sub)?;
-            match assigned {
-                None => assigned = Some(v),
-                Some(prev) => debug_assert_eq!(prev, v, "chunk versions diverged"),
-            }
-        }
-        self.root_tag = Some(root_tag);
-        self.latest = assigned.expect("at least one chunk");
+        let assigned = self.add_versions(std::slice::from_ref(doc))?;
+        debug_assert_eq!(assigned.len(), 1, "one document merges as one version");
         Ok(self.latest)
     }
 
@@ -501,6 +485,34 @@ impl ChunkedArchive {
     /// Total size across chunks (pretty XML form).
     pub fn size_bytes(&self) -> usize {
         self.chunks.iter().map(|c| c.size_bytes()).sum()
+    }
+
+    /// Aggregate statistics summed over chunks *as they stood* after
+    /// version `v` merged — the pinned-exact counterpart of
+    /// [`ChunkedArchive::stats`] (see [`Archive::stats_at`]).
+    pub fn stats_at(&self, v: u32) -> ArchiveStats {
+        let mut total = ArchiveStats {
+            elements: 0,
+            texts: 0,
+            stamps: 0,
+            explicit_times: 0,
+            intervals: 0,
+        };
+        for chunk in &self.chunks {
+            let s = chunk.stats_at(v);
+            total.elements += s.elements;
+            total.texts += s.texts;
+            total.stamps += s.stamps;
+            total.explicit_times += s.explicit_times;
+            total.intervals += s.intervals;
+        }
+        total
+    }
+
+    /// Total size across chunks as they stood after version `v` merged
+    /// (canonical clamped pretty XML form — see [`Archive::size_bytes_at`]).
+    pub fn size_bytes_at(&self, v: u32) -> usize {
+        self.chunks.iter().map(|c| c.size_bytes_at(v)).sum()
     }
 }
 

@@ -94,6 +94,13 @@ impl QueryMetrics {
 pub struct ObservedStore {
     inner: Box<dyn VersionStore>,
     metrics: QueryMetrics,
+    /// True for handle-side replicas made by [`VersionStore::fork`]: the
+    /// replica shares the original's metric handles so queries served
+    /// from it record into the same `query.*` histograms (each query runs
+    /// on exactly one instance), but the writer applies every merge to
+    /// *both* instances — so a replica must not record `ingest.*`, or
+    /// every commit would count twice.
+    replica: bool,
 }
 
 impl std::fmt::Debug for ObservedStore {
@@ -111,6 +118,7 @@ impl ObservedStore {
         Self {
             inner,
             metrics: QueryMetrics::registered(obs),
+            replica: false,
         }
     }
 
@@ -157,6 +165,10 @@ impl StoreReader for ObservedStore {
         self.inner.stats()
     }
 
+    fn stats_at(&self, v: u32) -> Result<StoreStats, StoreError> {
+        self.inner.stats_at(v)
+    }
+
     fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         let _t = self.metrics.as_of.start_timer();
         self.inner.as_of(steps, v)
@@ -184,6 +196,9 @@ impl StoreReader for ObservedStore {
 
 impl VersionStore for ObservedStore {
     fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+        if self.replica {
+            return self.inner.add_version(doc);
+        }
         let _t = self.metrics.merge_duration.start_timer();
         let v = self.inner.add_version(doc)?;
         self.metrics.ingest_versions.inc();
@@ -191,6 +206,9 @@ impl VersionStore for ObservedStore {
     }
 
     fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+        if self.replica {
+            return self.inner.add_empty_version();
+        }
         let _t = self.metrics.merge_duration.start_timer();
         let v = self.inner.add_empty_version()?;
         self.metrics.ingest_versions.inc();
@@ -200,6 +218,9 @@ impl VersionStore for ObservedStore {
     fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
         if docs.is_empty() {
             return Ok(Vec::new());
+        }
+        if self.replica {
+            return self.inner.add_versions(docs);
         }
         let _t = self.metrics.batch_merge_duration.start_timer();
         let assigned = self.inner.add_versions(docs)?;
@@ -214,6 +235,14 @@ impl VersionStore for ObservedStore {
 
     fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
         self.inner.restore_checkpoint(state)
+    }
+
+    fn fork(&self) -> Result<Box<dyn VersionStore>, StoreError> {
+        Ok(Box::new(ObservedStore {
+            inner: self.inner.fork()?,
+            metrics: self.metrics.clone(),
+            replica: true,
+        }))
     }
 }
 
@@ -288,6 +317,37 @@ mod tests {
                 .count(),
             1,
             "empty batches record nothing"
+        );
+    }
+
+    #[test]
+    fn forked_replica_records_queries_but_never_ingest() {
+        let obs = Obs::disconnected();
+        let mut s = observed(&obs);
+        s.add_version(&doc("<db><rec><id>1</id></rec></db>"))
+            .expect("merge");
+        let mut replica = s.fork().expect("fork");
+        // The shared handle applies every commit to both instances — the
+        // replica's copy of the merge must not count a second time.
+        replica
+            .add_version(&doc("<db><rec><id>2</id></rec></db>"))
+            .expect("replica merge");
+        let _ = replica.retrieve(1).expect("replica read");
+        let r = obs.registry();
+        assert_eq!(r.get_counter("ingest.versions").expect("reg").get(), 1);
+        assert_eq!(
+            r.get_histogram("ingest.merge_duration")
+                .expect("reg")
+                .count(),
+            1
+        );
+        // … but queries served from the replica land in the shared
+        // query.* histograms like any other read.
+        assert_eq!(
+            r.get_histogram("query.retrieve.duration")
+                .expect("reg")
+                .count(),
+            1
         );
     }
 

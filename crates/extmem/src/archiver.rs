@@ -457,6 +457,85 @@ impl ExtArchive {
         Ok(s)
     }
 
+    /// Aggregate statistics of the archive *as it stood* after version
+    /// `v` merged, computed with one pass over the stream: an entry
+    /// counts iff its effective timestamp intersects `1..=v`, and
+    /// `size_bytes` is the length of the canonical clamped re-encoding
+    /// (explicit timestamps survive iff their clamp differs from the
+    /// parent's clamped effective time). Append-only merges never change
+    /// either, so the answer stays fixed while the live archive grows.
+    pub fn store_stats_at(&self, v: u32) -> Result<StoreStats> {
+        let v = v.min(self.latest);
+        let mut cur = StreamCursor::new(&self.data, self.cfg.page_bytes);
+        let mut s = StoreStats {
+            versions: v,
+            ..StoreStats::default()
+        };
+        let mut size = 0usize;
+        let mut scratch = Vec::new();
+        // clamped effective timestamps of the currently-open spines
+        let mut stack: Vec<TimeSet> = Vec::new();
+        loop {
+            match cur.peek()? {
+                Peeked::Eof => break,
+                Peeked::Close => {
+                    cur.take_spine_close()?;
+                    stack.pop();
+                    scratch.clear();
+                    encode_spine_close(&mut scratch);
+                    size += scratch.len();
+                }
+                Peeked::Spine(_) => {
+                    let h = cur.take_spine_open()?;
+                    let clamped = match (&h.time, stack.last()) {
+                        (Some(t), _) => t.clamp_range(1, v),
+                        (None, Some(p)) => p.clone(),
+                        (None, None) => TimeSet::new(),
+                    };
+                    // the root spine always renders — even clamped empty
+                    // (the empty archive at v = 0); any other spine whose
+                    // clamped time is empty joined after v, subtree and all
+                    if clamped.is_empty() && !stack.is_empty() {
+                        skip_spine(&mut cur)?;
+                        continue;
+                    }
+                    s.elements += 1;
+                    let explicit = match stack.last() {
+                        None => true,
+                        Some(p) => h.time.is_some() && clamped != *p,
+                    };
+                    scratch.clear();
+                    encode_spine_open(
+                        &SpineHeader {
+                            tag: h.tag,
+                            attrs: h.attrs,
+                            sort_key: h.sort_key,
+                            time: explicit.then(|| clamped.clone()),
+                        },
+                        &mut scratch,
+                    );
+                    size += scratch.len();
+                    stack.push(clamped);
+                }
+                Peeked::Small(_) => {
+                    let t = cur.take_small()?;
+                    let parent = stack.last().cloned().unwrap_or_default();
+                    let mut survivors = Vec::new();
+                    clamp_tree(&t, v, &parent, &mut survivors);
+                    for ct in &survivors {
+                        count_tree(ct, &mut s);
+                        scratch.clear();
+                        encode_small(ct, &mut scratch);
+                        size += scratch.len();
+                    }
+                }
+            }
+        }
+        self.stats.add_reads(cur.pages_read());
+        s.size_bytes = size;
+        Ok(s)
+    }
+
     /// Retrieves version `v` with one streaming pass.
     pub fn retrieve(&self, v: u32) -> Result<Option<Document>> {
         if v == 0 || v > self.latest {
@@ -507,6 +586,10 @@ impl StoreReader for ExtArchive {
 
     fn stats(&self) -> std::result::Result<StoreStats, StoreError> {
         Ok(ExtArchive::store_stats(self)?)
+    }
+
+    fn stats_at(&self, v: u32) -> std::result::Result<StoreStats, StoreError> {
+        Ok(ExtArchive::store_stats_at(self, v)?)
     }
 
     fn as_of(
@@ -588,6 +671,19 @@ impl VersionStore for ExtArchive {
         self.data = data.to_vec();
         self.latest = latest;
         Ok(true)
+    }
+
+    fn fork(&self) -> std::result::Result<Box<dyn VersionStore>, StoreError> {
+        // the replica shares the I/O counters (its passes are real paged
+        // I/O charged to the same archive) and copies the event stream,
+        // so it answers every read byte-identically
+        Ok(Box::new(ExtArchive {
+            spec: self.spec.clone(),
+            cfg: self.cfg,
+            data: self.data.clone(),
+            latest: self.latest,
+            stats: self.stats.clone(),
+        }))
     }
 }
 
@@ -955,6 +1051,43 @@ fn write_etree<W: Write + ?Sized>(t: &ETree, out: &mut W) -> std::io::Result<()>
             }
         }
     }
+}
+
+/// Clamps a fragment to the versions ≤ `v`, canonically, appending the
+/// surviving nodes to `out`: nodes whose clamped effective timestamp is
+/// empty vanish with their subtrees; a stamp whose clamped time equals
+/// the parent's whole clamped lifetime is *elided* (its children splice
+/// up unwrapped — exactly what a serial replay of `1..=v` would have
+/// stored); any other surviving node keeps an explicit timestamp iff its
+/// clamp differs from the parent's clamped effective time. Used by
+/// [`ExtArchive::store_stats_at`] so pinned statistics are a pure
+/// function of the first `v` versions.
+fn clamp_tree(t: &ETree, v: u32, parent_eff: &TimeSet, out: &mut Vec<ETree>) {
+    let clamped = match &t.time {
+        Some(ts) => ts.clamp_range(1, v),
+        None => parent_eff.clone(),
+    };
+    if clamped.is_empty() {
+        return;
+    }
+    if matches!(t.kind, EKind::Stamp) && clamped == *parent_eff {
+        for c in &t.children {
+            clamp_tree(c, v, parent_eff, out);
+        }
+        return;
+    }
+    let mut children = Vec::new();
+    for c in &t.children {
+        clamp_tree(c, v, &clamped, &mut children);
+    }
+    let explicit = matches!(t.kind, EKind::Stamp) || (t.time.is_some() && clamped != *parent_eff);
+    out.push(ETree {
+        kind: t.kind.clone(),
+        sort_key: t.sort_key.clone(),
+        frontier: t.frontier,
+        time: explicit.then_some(clamped),
+        children,
+    });
 }
 
 /// Counts one fragment's nodes into the unified statistics.

@@ -58,7 +58,7 @@ impl IoStats {
 /// the handles are detached (per-archive accounting, exactly the old
 /// `AtomicU64` behavior); [`SharedIoStats::registered`] binds them to an
 /// observability registry under the canonical `extmem.*` names instead.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SharedIoStats {
     page_reads: xarch_obs::Counter,
     page_writes: xarch_obs::Counter,

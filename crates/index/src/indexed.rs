@@ -138,6 +138,15 @@ impl StoreReader for IndexedArchive {
         ))
     }
 
+    fn stats_at(&self, v: u32) -> Result<StoreStats, StoreError> {
+        let v = v.min(self.archive.latest());
+        Ok(StoreStats::from_archive(
+            self.archive.stats_at(v),
+            v,
+            self.archive.size_bytes_at(v),
+        ))
+    }
+
     fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         if !self.archive.has_version(v) {
             return Ok(None);
@@ -250,6 +259,13 @@ impl VersionStore for IndexedArchive {
         self.hist.bind_counter(hist_counter);
         self.ts.bind_counter(ts_counter);
         Ok(true)
+    }
+
+    fn fork(&self) -> Result<Box<dyn VersionStore>, StoreError> {
+        // archive and derived indexes clone structurally; the clone shares
+        // the registry-bound probe counter handles, so replica probes keep
+        // charging the same `index.*` counters
+        Ok(Box::new(self.clone()))
     }
 }
 

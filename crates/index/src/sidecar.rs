@@ -322,6 +322,10 @@ impl StoreReader for IndexedStore {
         self.inner.stats()
     }
 
+    fn stats_at(&self, v: u32) -> Result<StoreStats, StoreError> {
+        self.inner.stats_at(v)
+    }
+
     fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         // sidecar gate: a missing element or dead version costs no I/O
         match self.sidecar.history(steps) {
@@ -404,6 +408,15 @@ impl VersionStore for IndexedStore {
         }
         self.sidecar = QueryIndex { root };
         Ok(true)
+    }
+
+    fn fork(&self) -> Result<Box<dyn VersionStore>, StoreError> {
+        // fork the backend, clone the derived sidecar — the pair stays
+        // consistent because both describe the same version sequence
+        Ok(Box::new(IndexedStore {
+            inner: self.inner.fork()?,
+            sidecar: self.sidecar.clone(),
+        }))
     }
 }
 

@@ -21,8 +21,13 @@
 //! * an unknown verb or an undecodable payload is answered with a
 //!   structured error and the connection *survives* — framing is still
 //!   sound;
-//! * every query runs against a pinned snapshot, and every non-`Hello`
-//!   request before the handshake is refused with `need-hello`;
+//! * every query runs against a pinned snapshot — fresh pins and lease
+//!   opens are a single atomic load of the handle's published version,
+//!   so no worker (and therefore no client) ever waits behind an
+//!   in-flight merge, and a writer fault can never take the read side
+//!   of the service down;
+//! * every non-`Hello` request before the handshake is refused with
+//!   `need-hello`;
 //! * nothing in this path panics: a worker survives any byte sequence a
 //!   peer can send.
 
@@ -596,7 +601,10 @@ fn answer(req: Request, state: &mut ConnState, ctx: &Ctx, peer: &str) -> (Respon
 }
 
 /// Resolves the lease (0 = fresh pin) and runs `f` against the
-/// snapshot, mapping `StoreError` to a structured `store` error.
+/// snapshot, mapping `StoreError` to a structured `store` error. A
+/// fresh pin is wait-free (one atomic load of the published version),
+/// and a held lease answers exactly as it did when opened — concurrent
+/// ingest through the same handle never blocks or perturbs either path.
 fn with_snapshot(
     state: &ConnState,
     ctx: &Ctx,

@@ -549,6 +549,10 @@ impl StoreReader for DurableArchive {
         self.inner.stats()
     }
 
+    fn stats_at(&self, v: u32) -> Result<StoreStats, StoreError> {
+        self.inner.stats_at(v)
+    }
+
     // Temporal queries delegate to the inner store rather than taking the
     // trait's whole-retrieve defaults: when the wrapped backend is
     // indexed, its indexes are re-established *during* journal replay (the
@@ -672,6 +676,16 @@ impl VersionStore for DurableArchive {
              (the snapshot must come from the journal it covers)"
                 .into(),
         ))
+    }
+
+    /// Forks only the wrapped in-memory store: reads never touch the
+    /// journal, so the replica answers byte-identically, while the journal
+    /// and its fsyncs stay single-copy on the durable instance. The
+    /// shared handle applies every commit to the durable instance first
+    /// (and publishes only after it lands), so the replica never holds a
+    /// version that could vanish on crash.
+    fn fork(&self) -> Result<Box<dyn VersionStore>, StoreError> {
+        self.inner.fork()
     }
 }
 

@@ -1,5 +1,5 @@
 //! The concurrent service layer: one writer, many readers, over any
-//! backend.
+//! backend — with wait-free snapshot publication.
 //!
 //! The paper's archive is an *append-only* structure: merging version `i`
 //! decides only whether `i` belongs to each element's timestamp, never the
@@ -9,13 +9,21 @@
 //! while curation continues. [`ArchiveHandle`] packages that property:
 //!
 //! * the handle is cheaply clonable (an [`Arc`]) and `Send + Sync`;
-//! * writes (`add_version`) take the write lock — single-writer;
-//! * reads take the read lock — any number run concurrently;
+//! * writes (`add_version`) are single-writer, serialized on a writer
+//!   mutex that **readers never touch**;
+//! * reads are *wait-free*: the handle keeps **two instances** of the
+//!   archive — the store it was built over and a [`VersionStore::fork`]
+//!   replica — and an atomic word says which one readers enter. The
+//!   writer merges into the passive instance, flips the word (the
+//!   *publication point*: one atomic store), then catches the other
+//!   instance up. A reader is never blocked by a queued or running
+//!   writer, and a writer panic can never poison a lock readers depend
+//!   on — readers just keep serving the published instance;
 //! * [`ArchiveHandle::snapshot`] returns a [`Snapshot`]: a [`StoreReader`]
-//!   pinned at the version that was `latest()` at snapshot time. Every
-//!   query through the snapshot clamps to the pinned version, so a reader
-//!   observes one consistent archive — repeatable reads across many
-//!   queries — while merges keep landing behind it.
+//!   pinned at the published version — taking one is a single atomic
+//!   load. Every query through the snapshot clamps to the pinned version,
+//!   so a reader observes one consistent archive — repeatable reads
+//!   across many queries — while merges keep landing behind it.
 //!
 //! ```
 //! use xarch::keys::KeySpec;
@@ -36,27 +44,71 @@
 //! assert_eq!(handle.latest(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # The left-right publication protocol
+//!
+//! Slot 0 holds the *authoritative* store (the one the handle was built
+//! over — if it journals and fsyncs, that happens here, once). Slot 1
+//! holds the replica. `active` names the slot readers enter; `published`
+//! is the pin new snapshots take. One mutation runs:
+//!
+//! 1. divert `active` to the replica (identical content — readers see no
+//!    change);
+//! 2. write-lock the authoritative slot (this waits only for reader
+//!    stragglers that entered before the diversion, never the other way
+//!    round) and apply the mutation — durability included;
+//! 3. drop the guard, then **publish**: `active` back to the
+//!    authoritative slot, `published` to the new version. Two release
+//!    stores; no lock is held across them;
+//! 4. write-lock the replica slot and apply the same mutation, so the
+//!    next write can divert to it again.
+//!
+//! Readers `try_read` the active slot in a loop: the writer only ever
+//! write-locks the slot it has already diverted readers away from, so a
+//! failed `try_read` means the active word just moved — the reload
+//! succeeds. No reader ever parks on a lock.
+//!
+//! A mutation that *fails cleanly* (key rejection, oversized payload)
+//! leaves both instances untouched — backends validate before mutating —
+//! and the error is returned with nothing published. A mutation that
+//! *panics*, or succeeds on one instance and fails on the other, leaves
+//! the two instances potentially divergent: the handle **quarantines** —
+//! every later write returns [`StoreError::Backend`], while reads keep
+//! serving the (consistent, published) active instance indefinitely.
 
 use std::io::Write;
 use std::ops::RangeInclusive;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockWriteGuard, TryLockError};
 
 use xarch_core::{
-    ElementHistory, KeyQuery, RangeEntry, StoreError, StoreReader, StoreStats, TimeSet,
+    Archive, ElementHistory, KeyQuery, RangeEntry, StoreError, StoreReader, StoreStats, TimeSet,
     VersionDelta, VersionStore,
 };
 use xarch_keys::KeySpec;
 use xarch_obs::{Counter, Histogram, Obs};
 use xarch_xml::Document;
 
+/// Slot index of the authoritative instance (the store the handle was
+/// built over; journaling/fsync happen here, once).
+const AUTH: usize = 0;
+/// Slot index of the forked replica.
+const REPLICA: usize = 1;
+
 /// The canonical `handle.*` metric handles: how often readers pin
-/// snapshots, and how long writers keep everyone else waiting.
+/// snapshots, how long the writer section runs, and how many publications
+/// have flipped the readers' view.
 #[derive(Clone, Debug, Default)]
 struct HandleMetrics {
     /// `handle.snapshot_pins` — snapshots taken (repeatable-read pins).
     snapshot_pins: Counter,
-    /// `handle.write_lock_hold` — write-lock hold time per mutation (µs).
+    /// `handle.write_lock_hold` — writer-section duration per mutation
+    /// (µs): divert, authoritative apply, publish, replica catch-up.
     write_lock_hold: Histogram,
+    /// `handle.publications` — snapshot publications (one atomic flip per
+    /// committed mutation).
+    publications: Counter,
 }
 
 impl HandleMetrics {
@@ -71,43 +123,208 @@ impl HandleMetrics {
             write_lock_hold: r.histogram(
                 "handle.write_lock_hold",
                 "micros",
-                "write-lock hold time per mutation through the shared handle",
+                "writer-section duration per mutation through the shared handle",
+            ),
+            publications: r.counter(
+                "handle.publications",
+                "publications",
+                "snapshot publications (atomic view flips) through the shared handle",
             ),
         }
     }
 }
 
 /// The state one handle and all its snapshots share. The spec is cached
-/// outside the lock: it is fixed at construction, and `StoreReader::spec`
-/// returns a borrow that must not depend on holding a guard.
+/// outside the slots: it is fixed at construction, and
+/// `StoreReader::spec` returns a borrow that must not depend on holding a
+/// guard.
 struct Shared {
-    store: RwLock<Box<dyn VersionStore>>,
+    /// `slots[AUTH]` is the authoritative store, `slots[REPLICA]` its
+    /// fork. The `RwLock`s provide *memory* exclusion between one writer
+    /// and reader stragglers on a single slot — never reader-vs-writer
+    /// scheduling: readers only `try_read`, and the writer only
+    /// write-locks the slot readers have been diverted away from.
+    slots: [RwLock<Box<dyn VersionStore>>; 2],
+    /// Which slot readers enter right now.
+    active: AtomicUsize,
+    /// The version pin new snapshots take — always queryable on the
+    /// active slot.
+    published: AtomicU32,
+    /// Serializes writers. Readers never touch it.
+    writer: Mutex<()>,
+    /// Set when the two instances may have diverged (a writer panic, or a
+    /// mutation that succeeded on one instance and failed on the other).
+    /// Reads keep serving; writes are refused.
+    quarantined: AtomicBool,
+    /// Why the handle was quarantined (first fault wins).
+    quarantine_why: OnceLock<String>,
     spec: KeySpec,
     metrics: HandleMetrics,
 }
 
 impl Shared {
-    fn read(&self) -> RwLockReadGuard<'_, Box<dyn VersionStore>> {
-        // a poisoned lock means a writer panicked mid-merge; the archive
-        // may hold a half-applied version, so refuse to serve from it
-        self.store
-            .read()
-            .expect("archive writer panicked mid-merge")
+    /// Runs `f` over the active instance — wait-free for readers. A
+    /// `try_read` on the active slot can fail only when the writer just
+    /// diverted `active` elsewhere and write-locked this slot; reloading
+    /// `active` then names the other slot, whose `try_read` succeeds.
+    /// Nested calls (query-inside-`with_store`) are safe for the same
+    /// reason: the writer never write-locks the slot `active` names.
+    fn enter<R>(&self, f: impl FnOnce(&dyn VersionStore) -> R) -> R {
+        loop {
+            let i = self.active.load(Ordering::Acquire);
+            match self.slots[i].try_read() {
+                Ok(g) => return f(g.as_ref()),
+                // Unreachable: a slot poisons only if a thread panics
+                // while holding its *write* guard, and the writer catches
+                // mutation panics before the guard drops (then
+                // quarantines). Recover rather than compound the fault.
+                Err(TryLockError::Poisoned(p)) => return f(p.into_inner().as_ref()),
+                Err(TryLockError::WouldBlock) => std::thread::yield_now(),
+            }
+        }
     }
 
-    fn write(&self) -> RwLockWriteGuard<'_, Box<dyn VersionStore>> {
-        self.store
-            .write()
-            .expect("archive writer panicked mid-merge")
+    /// The version every read path answers from — a single atomic load.
+    fn published(&self) -> u32 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// The publication point: two release stores — readers back to the
+    /// authoritative slot, then the new pin. No lock is held across this
+    /// call (the analyzer's `lock-discipline` rule enforces that).
+    fn publish(&self, pin: u32) {
+        self.active.store(AUTH, Ordering::Release);
+        self.published.store(pin, Ordering::Release);
+        self.metrics.publications.inc();
+    }
+
+    fn quarantine(&self, why: String) {
+        let _ = self.quarantine_why.set(why);
+        self.quarantined.store(true, Ordering::Release);
+    }
+
+    fn check_writable(&self) -> Result<(), StoreError> {
+        if self.quarantined.load(Ordering::Acquire) {
+            return Err(StoreError::Backend(format!(
+                "archive handle is quarantined ({}); reads keep serving the published \
+                 version, writes are refused",
+                self.quarantine_why
+                    .get()
+                    .map(String::as_str)
+                    .unwrap_or("writer fault")
+            )));
+        }
+        Ok(())
+    }
+
+    /// One serialized mutation through the left-right protocol. `op` is
+    /// applied to the authoritative instance first (durability included),
+    /// published, then replayed onto the replica. See the module docs for
+    /// the failure matrix.
+    fn mutate<T>(
+        &self,
+        op: impl Fn(&mut Box<dyn VersionStore>) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let _writer = match self.writer.lock() {
+            // the mutex guards nothing by itself (each slot has its own
+            // lock); a poisoned writer mutex just means a past writer
+            // panicked — which already quarantined the handle below
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        self.check_writable()?;
+        // declared after the mutex: drops (and records) when the whole
+        // writer section — divert, apply, publish, catch-up — finishes
+        let _hold = self.metrics.write_lock_hold.start_timer();
+
+        // 1. divert readers to the replica (identical content pre-merge)
+        self.active.store(REPLICA, Ordering::Release);
+
+        // 2. apply to the authoritative instance
+        let (value, pin) = {
+            let mut g = write_guard(&self.slots[AUTH]);
+            match catch_unwind(AssertUnwindSafe(|| op(&mut g))) {
+                Err(panic) => {
+                    // half-applied merge: the authoritative instance may
+                    // be inconsistent. Readers stay on the untouched
+                    // replica; nothing is published; writes stop here.
+                    let why = format!("writer panicked mid-merge: {}", panic_msg(&panic));
+                    drop(g);
+                    self.quarantine(why.clone());
+                    return Err(StoreError::Backend(why));
+                }
+                Ok(Err(e)) => {
+                    // clean rejection: backends validate before mutating,
+                    // so both instances are still identical — put readers
+                    // back on the authoritative slot and surface the error
+                    drop(g);
+                    self.active.store(AUTH, Ordering::Release);
+                    return Err(e);
+                }
+                Ok(Ok(v)) => {
+                    let pin = g.latest();
+                    (v, pin)
+                }
+            }
+            // guard drops here — before publication
+        };
+
+        // 3. publish: readers flip to the authoritative slot (which has
+        //    the new version, durably committed) and the pin advances
+        self.publish(pin);
+
+        // 4. catch the replica up so the next write can divert to it
+        let caught_up = {
+            let mut g = write_guard(&self.slots[REPLICA]);
+            match catch_unwind(AssertUnwindSafe(|| op(&mut g))) {
+                Ok(Ok(_)) => Ok(()),
+                Ok(Err(e)) => Err(format!(
+                    "instances diverged: mutation committed on the archive but was \
+                     rejected by the replica: {e}"
+                )),
+                Err(panic) => Err(format!(
+                    "instances diverged: mutation committed on the archive but \
+                     panicked on the replica: {}",
+                    panic_msg(&panic)
+                )),
+            }
+        };
+        if let Err(why) = caught_up {
+            // the committed, published version stays readable (the active
+            // slot is consistent); only future writes are refused
+            self.quarantine(why);
+        }
+        Ok(value)
     }
 }
 
+/// Write-locks one slot. Poison is unreachable (mutation panics are
+/// caught before the guard drops), so recover instead of panicking —
+/// readers of the published instance must survive any writer fault.
+fn write_guard(
+    lock: &RwLock<Box<dyn VersionStore>>,
+) -> RwLockWriteGuard<'_, Box<dyn VersionStore>> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Best-effort panic payload message for quarantine diagnostics.
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> &str {
+    p.downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| p.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 /// A cheaply-clonable, thread-safe handle to a shared archive:
-/// single-writer / multi-reader over any [`VersionStore`] backend.
+/// single-writer / multi-reader over any [`VersionStore`] backend, with
+/// wait-free reads (see the module docs for the publication protocol).
 ///
 /// Reads through the handle (it implements [`StoreReader`]) are *live* —
-/// each query sees whatever has been committed when it acquires the read
-/// lock. For a consistent view across several queries, take a
+/// each query sees whatever has been published when it enters the active
+/// instance. For a consistent view across several queries, take a
 /// [`ArchiveHandle::snapshot`].
 ///
 /// Constructed by [`crate::ArchiveBuilder::build_shared`] /
@@ -129,61 +346,85 @@ impl std::fmt::Debug for ArchiveHandle {
 impl ArchiveHandle {
     /// Wraps `store` for shared use with detached (unregistered) handle
     /// metrics — recording is still lock-free, just invisible.
+    ///
+    /// The handle immediately takes a [`VersionStore::fork`] replica of
+    /// `store` (every in-tree backend forks cheaply and byte-identically;
+    /// the trait default replays into an in-memory archive). In the
+    /// degenerate case that the fork itself fails, the handle starts
+    /// quarantined: reads serve `store` wait-free, writes are refused.
     pub fn new(store: Box<dyn VersionStore>) -> Self {
         Self::with_metrics(store, HandleMetrics::default())
     }
 
     /// Wraps `store` for shared use, registering the `handle.*` metrics
-    /// (snapshot pins, write-lock hold time) in `obs`'s registry.
+    /// (snapshot pins, writer-section duration, publications) in `obs`'s
+    /// registry.
     pub fn observed(store: Box<dyn VersionStore>, obs: &Obs) -> Self {
         Self::with_metrics(store, HandleMetrics::registered(obs))
     }
 
     fn with_metrics(store: Box<dyn VersionStore>, metrics: HandleMetrics) -> Self {
         let spec = store.spec().clone();
+        let published = store.latest();
+        let (replica, fork_failure) = match store.fork() {
+            Ok(r) => (r, None),
+            // no replica, no publication protocol: serve reads off the
+            // (sole) authoritative slot forever, refuse writes
+            Err(e) => (
+                Box::new(Archive::new(spec.clone())) as Box<dyn VersionStore>,
+                Some(format!("replica construction failed: {e}")),
+            ),
+        };
+        let shared = Shared {
+            slots: [RwLock::new(store), RwLock::new(replica)],
+            active: AtomicUsize::new(AUTH),
+            published: AtomicU32::new(published),
+            writer: Mutex::new(()),
+            quarantined: AtomicBool::new(false),
+            quarantine_why: OnceLock::new(),
+            spec,
+            metrics,
+        };
+        if let Some(why) = fork_failure {
+            shared.quarantine(why);
+        }
         Self {
-            shared: Arc::new(Shared {
-                store: RwLock::new(store),
-                spec,
-                metrics,
-            }),
+            shared: Arc::new(shared),
         }
     }
 
-    /// Merges `doc` as the next version (write lock: excludes other
-    /// writers and waits out in-flight reads; snapshots taken earlier are
-    /// unaffected — their pinned answers never change).
+    /// Merges `doc` as the next version. Single-writer: concurrent writes
+    /// serialize on the writer mutex. Readers are never blocked — they
+    /// keep answering from the currently-published instance until the
+    /// merge publishes, and snapshots taken earlier are unaffected (their
+    /// pinned answers never change).
     pub fn add_version(&self, doc: &Document) -> Result<u32, StoreError> {
-        let mut guard = self.shared.write();
-        // declared after the guard: drops (and records) just before the
-        // lock is released, so the sample is the hold time, not the wait
-        let _hold = self.shared.metrics.write_lock_hold.start_timer();
-        guard.add_version(doc)
+        self.shared.mutate(|s| s.add_version(doc))
     }
 
-    /// Archives an *empty* database as the next version (write lock).
+    /// Archives an *empty* database as the next version.
     pub fn add_empty_version(&self) -> Result<u32, StoreError> {
-        let mut guard = self.shared.write();
-        let _hold = self.shared.metrics.write_lock_hold.start_timer();
-        guard.add_empty_version()
+        self.shared.mutate(|s| s.add_empty_version())
     }
 
-    /// Bulk ingest under **one** write-lock acquisition: the wrapped
-    /// backend's batch fast path runs while readers wait, so no reader —
-    /// and no snapshot taken before or after — can ever observe a
-    /// half-applied batch. A snapshot pins either the pre-batch or the
-    /// post-batch version, never a prefix.
+    /// Bulk ingest as **one** writer section with **one** publication:
+    /// the wrapped backend's batch fast path (the chunked backend merges
+    /// its partitions under independent per-chunk stripes on worker
+    /// threads) runs against the passive instance while readers keep
+    /// answering from the published one, and the batch becomes visible
+    /// with a single atomic flip. A snapshot pins either the pre-batch or
+    /// the post-batch version, never a prefix.
     pub fn add_versions(&self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
-        let mut guard = self.shared.write();
-        let _hold = self.shared.metrics.write_lock_hold.start_timer();
-        guard.add_versions(docs)
+        self.shared.mutate(|s| s.add_versions(docs))
     }
 
-    /// A read-only view pinned at the version that is `latest()` right
-    /// now. Taking a snapshot is O(1) — no data is copied; the snapshot
-    /// clamps every query to the pinned version instead.
+    /// A read-only view pinned at the currently-published version. Taking
+    /// a snapshot is **wait-free** — one atomic load of the published
+    /// pin, no lock, no data copied; the snapshot clamps every query to
+    /// the pinned version instead. Pinning proceeds at full speed while a
+    /// merge is in flight.
     pub fn snapshot(&self) -> Snapshot {
-        let pinned = self.shared.read().latest();
+        let pinned = self.shared.published();
         self.shared.metrics.snapshot_pins.inc();
         Snapshot {
             shared: Arc::clone(&self.shared),
@@ -191,17 +432,20 @@ impl ArchiveHandle {
         }
     }
 
-    /// Runs `f` with the locked store — an escape hatch for backend
+    /// Runs `f` with the active instance — an escape hatch for backend
     /// inspection (I/O stats, recovery stats) that the trait does not
     /// carry. Reads only; the closure gets `&dyn VersionStore`.
     ///
-    /// The read lock is held for the closure's whole run: do **not**
-    /// re-enter this handle (or a clone, or a snapshot of it) from
-    /// inside `f`. `std::sync::RwLock` may block a second read
-    /// acquisition while a writer is queued, so re-entry can deadlock
-    /// against a concurrent `add_version`.
+    /// Re-entry is safe: calling any read method of this handle (or a
+    /// clone, or a snapshot of it) from inside `f` cannot deadlock, even
+    /// with a writer running concurrently — readers never park on a lock
+    /// (the old global-`RwLock` handle documented exactly that hazard;
+    /// the publication protocol removed it, and `tests/concurrency.rs`
+    /// pins the fix). The view is *live*: a nested read after a
+    /// concurrent publication may see a newer version than `f`'s own
+    /// argument.
     pub fn with_store<R>(&self, f: impl FnOnce(&dyn VersionStore) -> R) -> R {
-        f(self.shared.read().as_ref())
+        self.shared.enter(f)
     }
 }
 
@@ -211,35 +455,40 @@ impl StoreReader for ArchiveHandle {
     }
 
     fn latest(&self) -> u32 {
-        self.shared.read().latest()
+        // wait-free: the published pin IS the active instance's version
+        self.shared.published()
     }
 
     fn has_version(&self, v: u32) -> bool {
-        self.shared.read().has_version(v)
+        v >= 1 && v <= self.shared.published()
     }
 
     fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
-        self.shared.read().retrieve(v)
+        self.shared.enter(|s| s.retrieve(v))
     }
 
     fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
-        self.shared.read().retrieve_into(v, out)
+        self.shared.enter(|s| s.retrieve_into(v, out))
     }
 
     fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
-        self.shared.read().history(steps)
+        self.shared.enter(|s| s.history(steps))
     }
 
     fn stats(&self) -> Result<StoreStats, StoreError> {
-        self.shared.read().stats()
+        self.shared.enter(|s| s.stats())
+    }
+
+    fn stats_at(&self, v: u32) -> Result<StoreStats, StoreError> {
+        self.shared.enter(|s| s.stats_at(v))
     }
 
     fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
-        self.shared.read().as_of(steps, v)
+        self.shared.enter(|s| s.as_of(steps, v))
     }
 
     fn history_values(&self, steps: &[KeyQuery]) -> Result<Option<ElementHistory>, StoreError> {
-        self.shared.read().history_values(steps)
+        self.shared.enter(|s| s.history_values(steps))
     }
 
     fn range(
@@ -247,18 +496,18 @@ impl StoreReader for ArchiveHandle {
         prefix: &[KeyQuery],
         versions: RangeInclusive<u32>,
     ) -> Result<Vec<RangeEntry>, StoreError> {
-        self.shared.read().range(prefix, versions)
+        self.shared.enter(|s| s.range(prefix, versions))
     }
 
     fn diff(&self, steps: &[KeyQuery], v1: u32, v2: u32) -> Result<VersionDelta, StoreError> {
-        self.shared.read().diff(steps, v1, v2)
+        self.shared.enter(|s| s.diff(steps, v1, v2))
     }
 }
 
 /// The handle is itself a [`VersionStore`], so it can slot into any code
 /// written against the trait (conformance suites, generic drivers). The
 /// `&mut` receivers are a formality — writes really synchronize on the
-/// internal lock.
+/// internal writer mutex.
 impl VersionStore for ArchiveHandle {
     fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
         ArchiveHandle::add_version(self, doc)
@@ -269,17 +518,21 @@ impl VersionStore for ArchiveHandle {
     }
 
     fn add_versions(&mut self, docs: &[Document]) -> Result<Vec<u32>, StoreError> {
-        // NOT the trait's default loop: the whole batch must land under
-        // one lock acquisition so readers never interleave with it
+        // NOT the trait's default loop: the whole batch must land as one
+        // writer section and one publication so readers never interleave
         ArchiveHandle::add_versions(self, docs)
     }
 
     fn checkpoint_state(&self) -> Result<Option<Vec<u8>>, StoreError> {
-        self.shared.read().checkpoint_state()
+        self.shared.enter(|s| s.checkpoint_state())
     }
 
     fn restore_checkpoint(&mut self, state: &[u8]) -> Result<bool, StoreError> {
-        self.shared.write().restore_checkpoint(state)
+        self.shared.mutate(|s| s.restore_checkpoint(state))
+    }
+
+    fn fork(&self) -> Result<Box<dyn VersionStore>, StoreError> {
+        self.shared.enter(|s| s.fork())
     }
 }
 
@@ -291,13 +544,16 @@ impl VersionStore for ArchiveHandle {
 /// archived after `P` was "never archived". Because merged versions are
 /// immutable, every query answer equals what a serial replay of versions
 /// `1..=P` would produce — no matter how many merges commit after the
-/// snapshot was taken. The one exception is [`StoreReader::stats`]: its
-/// `versions` count is pinned, but the node/byte counts describe the
-/// *live* physical storage (which only grows, so they upper-bound the
-/// pinned version's).
+/// snapshot was taken. That includes [`StoreReader::stats`]: node counts
+/// and the serialized size are exact *at the pin*
+/// ([`StoreReader::stats_at`]), not descriptions of the live storage.
 ///
 /// Snapshots are cheap (`Arc` + a version number), `Clone`, and
-/// `Send + Sync`: hand one to each request handler thread.
+/// `Send + Sync`: hand one to each request handler thread. A snapshot
+/// holds no lock and references no particular instance — each query
+/// enters whichever instance is published at that moment (any published
+/// instance answers identically for versions ≤ `P`), so a long-lived
+/// snapshot never stalls the writer.
 #[derive(Clone)]
 pub struct Snapshot {
     shared: Arc<Shared>,
@@ -343,37 +599,40 @@ impl StoreReader for Snapshot {
         if v == 0 || v > self.pinned {
             return Ok(None);
         }
-        self.shared.read().retrieve(v)
+        self.shared.enter(|s| s.retrieve(v))
     }
 
     fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
         if v == 0 || v > self.pinned {
             return Ok(false);
         }
-        self.shared.read().retrieve_into(v, out)
+        self.shared.enter(|s| s.retrieve_into(v, out))
     }
 
     fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
-        match self.shared.read().history(steps)? {
+        match self.shared.enter(|s| s.history(steps))? {
             None => Ok(None),
             Some(t) => Ok(self.clamp_history(steps, t)),
         }
     }
 
     fn stats(&self) -> Result<StoreStats, StoreError> {
-        // node and byte counts describe the *live* physical storage (the
-        // archive only grows, so they are an upper bound for the pinned
-        // version); the version count is the snapshot's
-        let mut s = self.shared.read().stats()?;
-        s.versions = self.pinned;
-        Ok(s)
+        // exact at the pin: node counts include only nodes that existed
+        // in some version ≤ pinned, and the size is the canonical clamped
+        // serialization — a pure function of the pinned content, stable
+        // no matter how many merges land after the pin
+        self.shared.enter(|s| s.stats_at(self.pinned))
+    }
+
+    fn stats_at(&self, v: u32) -> Result<StoreStats, StoreError> {
+        self.shared.enter(|s| s.stats_at(v.min(self.pinned)))
     }
 
     fn as_of(&self, steps: &[KeyQuery], v: u32) -> Result<Option<Document>, StoreError> {
         if v == 0 || v > self.pinned {
             return Ok(None);
         }
-        self.shared.read().as_of(steps, v)
+        self.shared.enter(|s| s.as_of(steps, v))
     }
 
     // `history_values` takes the trait default: it loops over the
@@ -391,7 +650,7 @@ impl StoreReader for Snapshot {
         if lo > hi {
             return Ok(Vec::new());
         }
-        self.shared.read().range(prefix, lo..=hi)
+        self.shared.enter(|s| s.range(prefix, lo..=hi))
     }
 
     // `diff` takes the trait default, which composes from the clamped
@@ -402,6 +661,8 @@ impl StoreReader for Snapshot {
 mod tests {
     use super::*;
     use crate::store::ArchiveBuilder;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Barrier;
     use xarch_xml::parse;
 
     fn spec() -> KeySpec {
@@ -493,6 +754,39 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_stats_are_exact_at_the_pin_and_repeatable() {
+        let handle = ArchiveBuilder::new(spec()).build_shared();
+        handle.add_version(&doc(1)).unwrap();
+        handle.add_version(&doc(2)).unwrap();
+        let snap = handle.snapshot();
+        let first = snap.stats().unwrap();
+
+        // exact: node counts equal a serial replay of versions 1..=2
+        let mut replay = Archive::new(spec());
+        replay.add_version(&doc(1)).unwrap();
+        replay.add_version(&doc(2)).unwrap();
+        let expected = replay.stats();
+        assert_eq!(first.versions, 2);
+        assert_eq!(first.elements, expected.elements);
+        assert_eq!(first.texts, expected.texts);
+        assert_eq!(first.stamps, expected.stamps);
+
+        // repeatable: later merges — including an empty version, which
+        // terminates every element and promotes inherited timestamps to
+        // explicit ones in the live tree — change nothing at the pin
+        handle.add_version(&doc(3)).unwrap();
+        handle.add_empty_version().unwrap();
+        let second = snap.stats().unwrap();
+        assert_eq!(first, second, "pinned stats moved under later merges");
+        let live = handle.stats().unwrap();
+        assert_eq!(live.versions, 4);
+        assert!(
+            live.elements >= first.elements && live.size_bytes >= first.size_bytes,
+            "the live archive only grows"
+        );
+    }
+
+    #[test]
     fn snapshot_of_empty_archive() {
         let handle = ArchiveBuilder::new(spec()).build_shared();
         let snap = handle.snapshot();
@@ -543,5 +837,186 @@ mod tests {
             }
         });
         assert_eq!(handle.latest(), 5);
+    }
+
+    /// A store whose merges rendezvous with the test on barriers while
+    /// `stall` is set, holding the writer section open deterministically.
+    struct GatedStore {
+        inner: Archive,
+        stall: Arc<AtomicBool>,
+        entered: Arc<Barrier>,
+        released: Arc<Barrier>,
+    }
+
+    impl StoreReader for GatedStore {
+        fn spec(&self) -> &KeySpec {
+            Archive::spec(&self.inner)
+        }
+        fn latest(&self) -> u32 {
+            Archive::latest(&self.inner)
+        }
+        fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+            StoreReader::retrieve(&self.inner, v)
+        }
+        fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+            StoreReader::retrieve_into(&self.inner, v, out)
+        }
+        fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+            StoreReader::history(&self.inner, steps)
+        }
+        fn stats(&self) -> Result<StoreStats, StoreError> {
+            StoreReader::stats(&self.inner)
+        }
+    }
+
+    impl VersionStore for GatedStore {
+        fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+            if self.stall.load(Ordering::Acquire) {
+                self.entered.wait();
+                self.released.wait();
+            }
+            VersionStore::add_version(&mut self.inner, doc)
+        }
+        fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+            VersionStore::add_empty_version(&mut self.inner)
+        }
+    }
+
+    /// Satellite regression: pinning snapshots (and every read) must be
+    /// wait-free while a slow merge holds the write path. Deterministic —
+    /// the merge is parked on a barrier, not a timer: with the old global
+    /// RwLock this test would deadlock at `handle.snapshot()`.
+    #[test]
+    fn snapshots_pin_while_a_slow_merge_is_in_flight() {
+        let stall = Arc::new(AtomicBool::new(false));
+        let entered = Arc::new(Barrier::new(2));
+        let released = Arc::new(Barrier::new(2));
+        let handle = ArchiveHandle::new(Box::new(GatedStore {
+            inner: Archive::new(spec()),
+            stall: Arc::clone(&stall),
+            entered: Arc::clone(&entered),
+            released: Arc::clone(&released),
+        }));
+        handle.add_version(&doc(1)).unwrap();
+        stall.store(true, Ordering::Release);
+
+        std::thread::scope(|s| {
+            let writer = handle.clone();
+            s.spawn(move || {
+                writer.add_version(&doc(2)).unwrap();
+            });
+            // the merge is now parked inside the authoritative apply,
+            // write guard held …
+            entered.wait();
+            // … and every read path still answers instantly
+            let snap = handle.snapshot();
+            assert_eq!(snap.pinned(), 1);
+            assert!(snap.retrieve(1).unwrap().is_some());
+            assert_eq!(handle.latest(), 1);
+            assert!(handle.retrieve(1).unwrap().is_some());
+            // with_store re-entry mid-merge: the documented deadlock of
+            // the old handle (read guard + queued writer + nested read)
+            let (outer, nested, pin) = handle.with_store(|st| {
+                let nested = handle.with_store(|st2| st2.latest());
+                (st.latest(), nested, handle.snapshot().pinned())
+            });
+            assert_eq!((outer, nested, pin), (1, 1, 1));
+            stall.store(false, Ordering::Release);
+            released.wait();
+        });
+        assert_eq!(handle.latest(), 2);
+        assert!(handle.retrieve(2).unwrap().is_some());
+    }
+
+    /// A store that panics mid-merge when the incoming document carries
+    /// the poison marker.
+    struct FaultyStore {
+        inner: Archive,
+    }
+
+    impl StoreReader for FaultyStore {
+        fn spec(&self) -> &KeySpec {
+            Archive::spec(&self.inner)
+        }
+        fn latest(&self) -> u32 {
+            Archive::latest(&self.inner)
+        }
+        fn retrieve(&self, v: u32) -> Result<Option<Document>, StoreError> {
+            StoreReader::retrieve(&self.inner, v)
+        }
+        fn retrieve_into(&self, v: u32, out: &mut dyn Write) -> Result<bool, StoreError> {
+            StoreReader::retrieve_into(&self.inner, v, out)
+        }
+        fn history(&self, steps: &[KeyQuery]) -> Result<Option<TimeSet>, StoreError> {
+            StoreReader::history(&self.inner, steps)
+        }
+        fn stats(&self) -> Result<StoreStats, StoreError> {
+            StoreReader::stats(&self.inner)
+        }
+    }
+
+    impl VersionStore for FaultyStore {
+        fn add_version(&mut self, doc: &Document) -> Result<u32, StoreError> {
+            if xarch_xml::writer::to_compact_string(doc).contains("boom") {
+                panic!("injected merge fault");
+            }
+            VersionStore::add_version(&mut self.inner, doc)
+        }
+        fn add_empty_version(&mut self) -> Result<u32, StoreError> {
+            VersionStore::add_empty_version(&mut self.inner)
+        }
+    }
+
+    /// Satellite regression: a writer panic must not cascade into the
+    /// readers. With the old handle the panic poisoned the global RwLock
+    /// and every later read panicked too; now readers keep serving the
+    /// published version and the write side degrades to `Backend` errors.
+    #[test]
+    fn writer_panic_quarantines_writes_but_readers_keep_answering() {
+        let handle = ArchiveHandle::new(Box::new(FaultyStore {
+            inner: Archive::new(spec()),
+        }));
+        handle.add_version(&doc(1)).unwrap();
+        let snap = handle.snapshot();
+
+        let poison = parse("<db><rec><id>boom</id></rec></db>").unwrap();
+        let err = handle.add_version(&poison).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Backend(ref m) if m.contains("panicked")),
+            "{err}"
+        );
+
+        // reads survive — from the handle, from old snapshots, from new
+        assert_eq!(handle.latest(), 1);
+        assert!(handle.retrieve(1).unwrap().is_some());
+        assert_eq!(snap.pinned(), 1);
+        assert!(snap.retrieve(1).unwrap().is_some());
+        assert_eq!(handle.snapshot().pinned(), 1);
+
+        // the write side stays down: quarantined, never panicking
+        let err = handle.add_version(&doc(2)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Backend(ref m) if m.contains("quarantined")),
+            "{err}"
+        );
+        assert!(handle.add_empty_version().is_err());
+    }
+
+    /// A clean rejection (no panic) must leave the handle fully live:
+    /// both instances stay consistent and later writes succeed.
+    #[test]
+    fn rejected_merges_do_not_quarantine() {
+        let handle = ArchiveBuilder::new(spec()).build_shared();
+        handle.add_version(&doc(1)).unwrap();
+        // an unkeyed root is rejected by validation before any mutation
+        let bad = parse("<wrong><x>1</x></wrong>").unwrap();
+        assert!(matches!(
+            handle.add_version(&bad).unwrap_err(),
+            StoreError::Merge(_)
+        ));
+        assert_eq!(handle.latest(), 1);
+        handle.add_version(&doc(2)).unwrap();
+        assert_eq!(handle.latest(), 2);
+        assert!(handle.retrieve(2).unwrap().is_some());
     }
 }

@@ -205,6 +205,17 @@ fn durability_figure_shows_flat_checkpointed_reopen_and_cold_reads() {
 }
 
 #[test]
+fn concurrency_figure_shows_wait_free_read_scaling() {
+    // The publication-protocol acceptance gate: 8 snapshot readers never
+    // contend with each other, an actively-merging writer cannot collapse
+    // their throughput (merges divert readers to the passive instance
+    // instead of blocking them), and on multi-core machines reads scale
+    // past one thread even while the writer races.
+    let scale = xarch_bench_scale();
+    xarch_bench::figures::concurrency_sanity(&scale).unwrap();
+}
+
+#[test]
 fn service_figure_shows_ingest_does_not_starve_network_readers() {
     // The serving acceptance gate: with 4 client connections streaming
     // retrieves over real sockets, queries/sec during concurrent ingest
